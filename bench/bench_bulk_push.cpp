@@ -1,0 +1,100 @@
+// EXP-3 (§8.1): "Complex operations such as writing flow entries to
+// thousands of nodes will result in tens of thousands of context switches
+// and thus a small performance impact."
+//
+// Sweep: push 10 flows to each of N switches (N = 10..2000) through the
+// file system, and the same workload through libyanc.  The `syscalls`
+// counter reproduces the paper's arithmetic directly: at ~14 file ops per
+// flow, 1000 switches x 10 flows ≈ 140k boundary crossings — "tens of
+// thousands" begins around a hundred switches.
+#include <benchmark/benchmark.h>
+
+#include "yanc/fast/consumer.hpp"
+#include "yanc/fast/syscall_model.hpp"
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/netfs/yancfs.hpp"
+
+using namespace yanc;
+
+namespace {
+
+flow::FlowSpec sample_flow(int i) {
+  flow::FlowSpec spec;
+  spec.match.dl_type = 0x0800;
+  spec.match.tp_dst = static_cast<std::uint16_t>(1000 + i);
+  spec.actions = {flow::Action::output(2)};
+  return spec;
+}
+
+constexpr int kFlowsPerSwitch = 10;
+
+void BM_BulkPush_FsPath(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = std::make_shared<vfs::Vfs>();
+    (void)netfs::mount_yanc_fs(*v);
+    for (int s = 0; s < switches; ++s)
+      (void)v->mkdir("/net/switches/sw" + std::to_string(s));
+    v->reset_counters();
+    state.ResumeTiming();
+
+    for (int s = 0; s < switches; ++s) {
+      std::string base = "/net/switches/sw" + std::to_string(s) + "/flows/";
+      for (int f = 0; f < kFlowsPerSwitch; ++f)
+        (void)netfs::write_flow(*v, base + "f" + std::to_string(f),
+                                sample_flow(f));
+    }
+
+    state.PauseTiming();
+    fast::SyscallCostModel model;
+    std::uint64_t syscalls = v->counters().total.load();
+    state.counters["syscalls"] = benchmark::Counter(
+        static_cast<double>(syscalls));
+    state.counters["modeled_ms"] = benchmark::Counter(
+        static_cast<double>(model.overhead_ns(syscalls)) / 1e6);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * switches * kFlowsPerSwitch);
+}
+BENCHMARK(BM_BulkPush_FsPath)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BulkPush_Libyanc(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fast::FlowChannel channel(1 << 16);
+    std::uint64_t delivered = 0;
+    for (int s = 0; s < switches; ++s) {
+      fast::FlowBatch batch;
+      batch.switch_name = "sw" + std::to_string(s);
+      for (int f = 0; f < kFlowsPerSwitch; ++f)
+        batch.entries.emplace_back("f" + std::to_string(f), sample_flow(f));
+      (void)channel.submit(std::move(batch));
+    }
+    auto stats = fast::drain_flow_channel(
+        channel, ofp::Version::of10,
+        [&](const std::string&, std::vector<std::uint8_t>) { ++delivered; });
+    benchmark::DoNotOptimize(stats);
+    state.counters["syscalls"] = benchmark::Counter(0);
+    state.counters["flow_mods"] =
+        benchmark::Counter(static_cast<double>(delivered));
+  }
+  state.SetItemsProcessed(state.iterations() * switches * kFlowsPerSwitch);
+}
+BENCHMARK(BM_BulkPush_Libyanc)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// EXP-1 (§8.1): the per-access cost of the file-system interface.
+//
+// "Each fine-grained access to the file system is done through a system
+// call — for example read(), write(), and stat() — which switches context
+// from the application to the kernel."
+//
+// Our VFS is in-process, so each benchmark reports two things:
+//   * the raw in-process cost of the operation (real_time), and
+//   * `syscalls` — how many application/kernel boundary crossings the same
+//     sequence would take on the paper's FUSE prototype (the Vfs op
+//     counter), from which modelled overhead at ~500ns/crossing follows.
+#include <benchmark/benchmark.h>
+
+#include "yanc/fast/syscall_model.hpp"
+#include "yanc/netfs/yancfs.hpp"
+
+using namespace yanc;
+
+namespace {
+
+std::shared_ptr<vfs::Vfs> fresh_fs() {
+  auto v = std::make_shared<vfs::Vfs>();
+  (void)netfs::mount_yanc_fs(*v);
+  (void)v->mkdir("/net/switches/sw1");
+  return v;
+}
+
+void report_syscalls(benchmark::State& state, const vfs::Vfs& v) {
+  fast::SyscallCostModel model;
+  double ops = static_cast<double>(v.counters().total.load());
+  state.counters["syscalls"] =
+      benchmark::Counter(ops, benchmark::Counter::kIsRate);
+  state.counters["modeled_ns_op"] = benchmark::Counter(
+      static_cast<double>(model.overhead_ns(v.counters().total.load())) /
+      static_cast<double>(state.iterations()));
+}
+
+void BM_WriteFile(benchmark::State& state) {
+  auto v = fresh_fs();
+  v->reset_counters();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        v->write_file("/net/switches/sw1/id", "0xabcdef"));
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_WriteFile);
+
+void BM_ReadFile(benchmark::State& state) {
+  auto v = fresh_fs();
+  (void)v->write_file("/net/switches/sw1/id", "0xabcdef");
+  v->reset_counters();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(v->read_file("/net/switches/sw1/id"));
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_ReadFile);
+
+void BM_Stat(benchmark::State& state) {
+  auto v = fresh_fs();
+  v->reset_counters();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(v->stat("/net/switches/sw1/id"));
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_Stat);
+
+// Path depth dominates resolution cost: every component is a lookup.
+void BM_StatAtDepth(benchmark::State& state) {
+  auto v = std::make_shared<vfs::Vfs>();
+  std::string path;
+  for (int d = 0; d < state.range(0); ++d) {
+    path += "/d" + std::to_string(d);
+    (void)v->mkdir(path);
+  }
+  (void)v->write_file(path + "/leaf", "x");
+  path += "/leaf";
+  v->reset_counters();
+  for (auto _ : state) benchmark::DoNotOptimize(v->stat(path));
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_StatAtDepth)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Readdir64(benchmark::State& state) {
+  auto v = fresh_fs();
+  for (int i = 0; i < 64; ++i)
+    (void)v->mkdir("/net/switches/sw1/flows/f" + std::to_string(i));
+  v->reset_counters();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(v->readdir("/net/switches/sw1/flows"));
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_Readdir64);
+
+void BM_MkdirRmdirFlow(benchmark::State& state) {
+  auto v = fresh_fs();
+  v->reset_counters();
+  for (auto _ : state) {
+    (void)v->mkdir("/net/switches/sw1/flows/bench");
+    (void)v->rmdir("/net/switches/sw1/flows/bench");
+  }
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_MkdirRmdirFlow);
+
+// Typed-file validation is on the write path; how much does it cost?
+void BM_ValidatedWriteCidr(benchmark::State& state) {
+  auto v = fresh_fs();
+  (void)v->mkdir("/net/switches/sw1/flows/f");
+  v->reset_counters();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(v->write_file(
+        "/net/switches/sw1/flows/f/match.nw_src", "10.20.0.0/16"));
+  report_syscalls(state, *v);
+}
+BENCHMARK(BM_ValidatedWriteCidr);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// EXP-9 (§5.4): the administrator's tools at scale.  "A quick overview of
+// the switches in a network can be provided by: $ ls -l /net/switches" —
+// how quick, with 10,000 switches?
+//
+// Sweeps network size and measures ls, ls -l, tree-walking find, and
+// recursive grep over the live yanc FS.
+//
+// Expected shape: ls is linear in directory size; find/grep are linear in
+// total tree size (switches x files-per-switch); all remain interactive
+// (well under a second) even at 10k switches.
+#include <benchmark/benchmark.h>
+
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/netfs/yancfs.hpp"
+#include "yanc/shell/coreutils.hpp"
+
+using namespace yanc;
+
+namespace {
+
+std::shared_ptr<vfs::Vfs> build_network(int switches, int flows_per_switch) {
+  auto v = std::make_shared<vfs::Vfs>();
+  (void)netfs::mount_yanc_fs(*v);
+  for (int s = 0; s < switches; ++s) {
+    std::string sw = "/net/switches/sw" + std::to_string(s);
+    (void)v->mkdir(sw);
+    for (int f = 0; f < flows_per_switch; ++f) {
+      flow::FlowSpec spec;
+      spec.match.tp_dst = static_cast<std::uint16_t>(f == 0 ? 22 : 1000 + f);
+      spec.actions = {flow::Action::output(1)};
+      (void)netfs::write_flow(*v, sw + "/flows/f" + std::to_string(f), spec);
+    }
+  }
+  return v;
+}
+
+void BM_Ls(benchmark::State& state) {
+  auto v = build_network(static_cast<int>(state.range(0)), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shell::ls(*v, "/net/switches"));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Ls)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_LsLong(benchmark::State& state) {
+  auto v = build_network(static_cast<int>(state.range(0)), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shell::ls(*v, "/net/switches", true));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LsLong)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FindTpDst(benchmark::State& state) {
+  auto v = build_network(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shell::find_name(*v, "/net", "match.tp_dst"));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FindTpDst)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// The full paper one-liner: find ... -exec grep 22.
+void BM_SshFlowQuery(benchmark::State& state) {
+  auto v = build_network(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto flows = shell::flows_matching_port(*v, "/net", 22);
+    benchmark::DoNotOptimize(flows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SshFlowQuery)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GrepRecursive(benchmark::State& state) {
+  auto v = build_network(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shell::grep_recursive(*v, "/net", "22"));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GrepRecursive)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Creation rate: how fast can the FS materialize switch objects (driver
+// connect storms)?
+void BM_SwitchCreation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = std::make_shared<vfs::Vfs>();
+    (void)netfs::mount_yanc_fs(*v);
+    state.ResumeTiming();
+    for (int s = 0; s < state.range(0); ++s)
+      (void)v->mkdir("/net/switches/sw" + std::to_string(s));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SwitchCreation)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

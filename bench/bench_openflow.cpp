@@ -1,0 +1,148 @@
+// EXP-8 (§4.1): thin per-protocol drivers, OpenFlow 1.0 and 1.3 side by
+// side.  Codec throughput for the hot message types, and the end-to-end
+// driver pipeline rate: FS commit -> watch -> FLOW_MOD on the wire.
+//
+// Expected shape: 1.3 costs more per message than 1.0 (OXM TLVs vs fixed
+// struct) but both are far below the file-system path cost — the driver
+// is not the bottleneck, which is the §4.1 "thin driver" claim.
+#include <benchmark/benchmark.h>
+
+#include "yanc/driver/of_driver.hpp"
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/netfs/yancfs.hpp"
+#include "yanc/ofp/codec.hpp"
+#include "yanc/sw/switch.hpp"
+
+using namespace yanc;
+
+namespace {
+
+ofp::FlowMod rich_flow_mod() {
+  ofp::FlowMod fm;
+  fm.spec.match.in_port = 3;
+  fm.spec.match.dl_src = MacAddress::from_u64(0x020000000001);
+  fm.spec.match.dl_dst = MacAddress::from_u64(0x020000000002);
+  fm.spec.match.dl_type = 0x0800;
+  fm.spec.match.nw_src = *Cidr::parse("10.0.0.0/8");
+  fm.spec.match.nw_dst = *Cidr::parse("192.168.1.5");
+  fm.spec.match.nw_proto = 6;
+  fm.spec.match.tp_dst = 22;
+  fm.spec.actions = {
+      flow::Action{flow::ActionKind::set_dl_dst,
+                   MacAddress::from_u64(0x020000000009)},
+      flow::Action::output(7)};
+  fm.spec.priority = 100;
+  return fm;
+}
+
+ofp::Version version_arg(const benchmark::State& state) {
+  return state.range(0) == 0 ? ofp::Version::of10 : ofp::Version::of13;
+}
+
+void BM_EncodeFlowMod(benchmark::State& state) {
+  auto v = version_arg(state);
+  auto fm = rich_flow_mod();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = ofp::encode(v, 1, fm);
+    bytes += encoded->size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["bytes_msg"] = benchmark::Counter(
+      static_cast<double>(bytes) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_EncodeFlowMod)->Arg(0)->Arg(1);
+
+void BM_DecodeFlowMod(benchmark::State& state) {
+  auto v = version_arg(state);
+  auto bytes = *ofp::encode(v, 1, rich_flow_mod());
+  for (auto _ : state) benchmark::DoNotOptimize(ofp::decode(bytes));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeFlowMod)->Arg(0)->Arg(1);
+
+void BM_EncodePacketIn(benchmark::State& state) {
+  auto v = version_arg(state);
+  ofp::PacketIn pi;
+  pi.buffer_id = 7;
+  pi.in_port = 3;
+  pi.data.assign(128, 0xab);
+  pi.total_len = 128;
+  for (auto _ : state) benchmark::DoNotOptimize(ofp::encode(v, 1, pi));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodePacketIn)->Arg(0)->Arg(1);
+
+void BM_DecodePacketIn(benchmark::State& state) {
+  auto v = version_arg(state);
+  ofp::PacketIn pi;
+  pi.data.assign(128, 0xab);
+  auto bytes = *ofp::encode(v, 1, pi);
+  for (auto _ : state) benchmark::DoNotOptimize(ofp::decode(bytes));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodePacketIn)->Arg(0)->Arg(1);
+
+// End-to-end driver pipeline: committed FS flow -> FLOW_MOD installed in
+// the switch's table, everything in between included (watch dispatch,
+// flowio read-back, encode, channel, switch decode + table add).
+void BM_DriverPipeline(benchmark::State& state) {
+  auto v = version_arg(state);
+  auto vfs = std::make_shared<vfs::Vfs>();
+  (void)netfs::mount_yanc_fs(*vfs);
+  driver::DriverOptions opts;
+  opts.version = v;
+  driver::OfDriver driver(vfs, opts);
+  net::Scheduler scheduler;
+  net::Network network(scheduler);
+  sw::SwitchOptions sopts;
+  sopts.datapath_id = 1;
+  sopts.version = v;
+  sw::Switch s("dp1", sopts, network);
+  for (std::uint16_t p = 1; p <= 4; ++p)
+    s.add_port(p, MacAddress::from_u64(p), "eth");
+  s.connect(driver.listener().connect());
+  for (int i = 0; i < 30; ++i) {
+    if (driver.poll() + s.pump() + scheduler.run_until_idle() == 0) break;
+  }
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    flow::FlowSpec spec;
+    spec.match.tp_dst = static_cast<std::uint16_t>(i % 60000);
+    spec.actions = {flow::Action::output(2)};
+    (void)netfs::write_flow(
+        *vfs, "/net/switches/sw1/flows/f" + std::to_string(i), spec);
+    while (driver.poll() + s.pump()) {
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["table_size"] =
+      benchmark::Counter(static_cast<double>(s.table().size()));
+}
+BENCHMARK(BM_DriverPipeline)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// The software switch's own matching rate under a populated table.
+void BM_SwitchLookup(benchmark::State& state) {
+  const int table_size = static_cast<int>(state.range(0));
+  sw::FlowTable table;
+  for (int i = 0; i < table_size; ++i) {
+    flow::FlowSpec spec;
+    spec.match.tp_dst = static_cast<std::uint16_t>(i);
+    spec.priority = static_cast<std::uint16_t>(i % 100);
+    spec.actions = {flow::Action::output(1)};
+    table.add(spec, 0, 0);
+  }
+  flow::FieldValues pkt;
+  pkt.tp_dst = static_cast<std::uint16_t>(table_size / 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(table.lookup(pkt, 0, 64, false));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchLookup)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// The §6 proof of concept, reproduced: two controller nodes each mount a
+// replica of the yanc file system; a distributed file system underneath
+// turns them into one logically centralized controller.  The switch is
+// attached to node B; the administrator works on node A; neither the
+// driver nor the admin tools know replication exists.
+//
+// Also demonstrates per-subtree consistency via xattr (§5.1) and a
+// partition diverging + healing under the eventual mode.
+//
+// Usage: ./build/examples/distributed_controller
+#include <cstdio>
+
+#include "yanc/dist/replicated.hpp"
+#include "yanc/driver/of_driver.hpp"
+#include "yanc/netfs/handles.hpp"
+#include "yanc/shell/coreutils.hpp"
+#include "yanc/sw/switch.hpp"
+
+using namespace yanc;
+
+int main() {
+  net::Scheduler scheduler;
+  net::Network network(scheduler);
+
+  // Two replicas over a 200us link; node 0 is the strict-mode primary.
+  dist::Cluster cluster(
+      scheduler,
+      dist::ClusterOptions{.nodes = 2,
+                           .link_latency = std::chrono::microseconds(200),
+                           .default_mode = dist::Mode::strict});
+
+  auto vfs_a = std::make_shared<vfs::Vfs>();  // controller node A
+  auto vfs_b = std::make_shared<vfs::Vfs>();  // controller node B
+  (void)vfs_a->mkdir("/net");
+  (void)vfs_b->mkdir("/net");
+  (void)vfs_a->mount("/net", cluster.fs(0));
+  (void)vfs_b->mount("/net", cluster.fs(1));
+
+  // Node B hosts the driver; a switch connects to it.
+  driver::OfDriver driver_b(vfs_b);
+  sw::SwitchOptions opts;
+  opts.datapath_id = 0x42;
+  sw::Switch s("dp42", opts, network);
+  for (std::uint16_t p = 1; p <= 2; ++p)
+    s.add_port(p, MacAddress::from_u64(p), "eth" + std::to_string(p));
+  s.connect(driver_b.listener().connect());
+
+  auto settle = [&] {
+    for (int round = 0; round < 60; ++round) {
+      std::size_t work =
+          driver_b.poll() + s.pump() + scheduler.run_until_idle();
+      if (!work) break;
+    }
+  };
+  settle();
+
+  std::printf("== node A never ran a driver, yet sees the switch that\n"
+              "   node B's driver created (replication is below the FS):\n");
+  std::printf("%s\n", shell::ls(*vfs_a, "/net/switches", true)->c_str());
+
+  // The admin on node A programs a flow with ordinary file writes.
+  std::printf("== admin on node A writes a flow...\n");
+  netfs::NetDir net_a(vfs_a);
+  flow::FlowSpec spec;
+  spec.match.dl_type = 0x0806;
+  spec.actions = {flow::Action::flood()};
+  (void)net_a.switch_at("sw1").add_flow("arp", spec);
+  settle();
+  std::printf("   ...and node B's driver programmed the hardware: "
+              "%zu entries (%s)\n\n",
+              s.table().size(),
+              s.table().entries()[0].spec.to_string().c_str());
+
+  // Strict-mode cost is visible on the non-primary node (§8.1-adjacent).
+  std::printf("== replication accounting: node B paid %llu ns of primary\n"
+              "   round trips for %llu local ops; %llu ops replicated in,\n"
+              "   %llu messages / %llu bytes on the wire\n\n",
+              static_cast<unsigned long long>(cluster.fs(1)->sync_delay_ns()),
+              static_cast<unsigned long long>(cluster.fs(1)->local_ops()),
+              static_cast<unsigned long long>(
+                  cluster.fs(1)->remote_ops_applied()),
+              static_cast<unsigned long long>(
+                  cluster.transport().messages_sent()),
+              static_cast<unsigned long long>(
+                  cluster.transport().bytes_sent()));
+
+  // Per-subtree consistency (§5.1): the events tree runs eventual.
+  std::printf("== setxattr user.yanc.consistency=eventual on /net/events\n");
+  std::string mode = "eventual";
+  (void)vfs_a->setxattr("/net/events", dist::kConsistencyXattr,
+                        {mode.begin(), mode.end()});
+  settle();
+
+  // Partition the nodes; node A keeps writing into the eventual subtree.
+  std::printf("== partition A|B, write events on A, heal, converge:\n");
+  cluster.partition(0, 1);
+  (void)vfs_a->mkdir("/net/events/during-partition");
+  settle();
+  auto on_b = vfs_b->stat("/net/events/during-partition");
+  std::printf("   during partition, node B sees it: %s\n",
+              on_b.ok() ? "yes (?!)" : "no (diverged, as expected)");
+  cluster.heal(0, 1);
+  settle();
+  on_b = vfs_b->stat("/net/events/during-partition");
+  std::printf("   after heal,       node B sees it: %s\n",
+              on_b.ok() ? "yes (converged)" : "no");
+  return on_b.ok() ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#include "yanc/apps/auditor.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/topo/graph.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc::apps {
+
+using vfs::Credentials;
+using vfs::Vfs;
+
+std::string AuditReport::to_text() const {
+  std::ostringstream out;
+  out << "yanc audit: " << switches << " switches, " << ports << " ports, "
+      << flows << " flows (" << committed_flows << " committed), " << hosts
+      << " hosts, " << links << " links\n";
+  if (findings.empty()) {
+    out << "OK: no findings\n";
+    return out.str();
+  }
+  for (const auto& f : findings) {
+    out << (f.severity == AuditFinding::Severity::error ? "ERROR" : "WARN")
+        << ' ' << f.path << ": " << f.message << '\n';
+  }
+  return out.str();
+}
+
+Result<AuditReport> run_audit(Vfs& vfs, const std::string& net_root,
+                              const Credentials& creds) {
+  AuditReport report;
+  auto fail = [&](AuditFinding::Severity sev, std::string path,
+                  std::string message) {
+    report.findings.push_back(
+        AuditFinding{sev, std::move(path), std::move(message)});
+  };
+
+  auto switches = vfs.readdir(net_root + "/switches", creds);
+  if (!switches) return switches.error();
+
+  for (const auto& sw : *switches) {
+    if (sw.type != vfs::FileType::directory) continue;
+    ++report.switches;
+    std::string sw_dir = net_root + "/switches/" + sw.name;
+
+    // Identity sanity.
+    bool connected = false;
+    if (auto c = vfs.read_file(sw_dir + "/connected", creds))
+      connected = trim(*c) == "1";
+    std::uint64_t dpid = 0;
+    if (auto id = vfs.read_file(sw_dir + "/id", creds))
+      dpid = parse_hex_u64(trim(*id)).value_or(0);
+    if (connected && dpid == 0)
+      fail(AuditFinding::Severity::warning, sw_dir,
+           "connected switch has datapath id 0");
+
+    // Ports + peer symmetry.
+    std::set<std::uint16_t> port_numbers;
+    if (auto ports = vfs.readdir(sw_dir + "/ports", creds)) {
+      for (const auto& port : *ports) {
+        ++report.ports;
+        auto no = parse_u64(port.name);
+        if (no) port_numbers.insert(static_cast<std::uint16_t>(*no));
+        std::string port_dir = sw_dir + "/ports/" + port.name;
+        auto peer = vfs.readlink(port_dir + "/peer", creds);
+        if (!peer) continue;
+        ++report.links;
+        auto peer_stat = vfs.stat(port_dir + "/peer", creds);
+        if (!peer_stat) {
+          fail(AuditFinding::Severity::error, port_dir,
+               "peer symlink does not resolve: " + *peer);
+          continue;
+        }
+        // Symmetry: the peer's peer should point back here.
+        auto back = vfs.readlink(*peer + "/peer", creds);
+        std::string self = port_dir;
+        if (!back)
+          fail(AuditFinding::Severity::warning, port_dir,
+               "one-sided link (peer has no back-link)");
+        else if (vfs::normalize_path(*back) != vfs::normalize_path(self))
+          fail(AuditFinding::Severity::error, port_dir,
+               "asymmetric link: peer points back to " + *back);
+      }
+    }
+
+    // Flows.
+    if (auto flows = vfs.readdir(sw_dir + "/flows", creds)) {
+      for (const auto& f : *flows) {
+        ++report.flows;
+        std::string flow_dir = sw_dir + "/flows/" + f.name;
+        auto spec = netfs::read_flow(vfs, flow_dir, creds);
+        if (!spec) {
+          fail(AuditFinding::Severity::error, flow_dir,
+               "unparseable flow: " + spec.error().message());
+          continue;
+        }
+        if (spec->version > 0) ++report.committed_flows;
+        for (const auto& action : spec->actions) {
+          if (action.kind != flow::ActionKind::output) continue;
+          std::uint16_t port = action.port();
+          if (port >= flow::port_no::max) continue;  // reserved ports
+          if (!port_numbers.count(port))
+            fail(AuditFinding::Severity::error, flow_dir,
+                 "action outputs to nonexistent port " +
+                     std::to_string(port));
+        }
+      }
+    }
+  }
+
+  // Hosts.
+  if (auto hosts = vfs.readdir(net_root + "/hosts", creds)) {
+    for (const auto& h : *hosts) {
+      if (h.type != vfs::FileType::directory) continue;
+      ++report.hosts;
+      std::string host_dir = net_root + "/hosts/" + h.name;
+      if (auto loc = vfs.readlink(host_dir + "/location", creds)) {
+        if (!vfs.stat(host_dir + "/location", creds))
+          fail(AuditFinding::Severity::error, host_dir,
+               "location does not resolve: " + *loc);
+      }
+    }
+  }
+  return report;
+}
+
+Result<AuditReport> run_audit_to_file(Vfs& vfs, const std::string& net_root,
+                                      const std::string& report_path,
+                                      const Credentials& creds) {
+  auto report = run_audit(vfs, net_root, creds);
+  if (!report) return report;
+  auto slash = report_path.rfind('/');
+  if (slash != std::string::npos && slash > 0)
+    (void)vfs.mkdir_p(report_path.substr(0, slash), 0755, creds);
+  if (auto ec = vfs.write_file(report_path, report->to_text(), creds); ec)
+    return ec;
+  return report;
+}
+
+}  // namespace yanc::apps

@@ -1,0 +1,53 @@
+// The auditor (§2: "an auditor might run periodically via a cron job").
+//
+// A run-occasionally program, not a daemon: each run() scans the whole
+// /net tree, checks cross-object invariants, and writes a plain-text
+// report — the kind of job the paper argues should NOT have to live
+// inside a monolithic controller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::apps {
+
+struct AuditFinding {
+  enum class Severity { warning, error };
+  Severity severity = Severity::warning;
+  std::string path;     // object the finding refers to
+  std::string message;
+};
+
+struct AuditReport {
+  std::size_t switches = 0;
+  std::size_t ports = 0;
+  std::size_t flows = 0;
+  std::size_t committed_flows = 0;
+  std::size_t hosts = 0;
+  std::size_t links = 0;
+  std::vector<AuditFinding> findings;
+
+  bool clean() const noexcept { return findings.empty(); }
+  std::string to_text() const;
+};
+
+/// Runs the audit.  Invariants checked:
+///   * flow action.out ports exist on their switch,
+///   * committed flows parse into a valid FlowSpec,
+///   * peer symlinks resolve to ports and are symmetric,
+///   * host location links resolve,
+///   * connected switches have a nonzero datapath id.
+Result<AuditReport> run_audit(vfs::Vfs& vfs,
+                              const std::string& net_root = "/net",
+                              const vfs::Credentials& creds = {});
+
+/// Runs the audit and writes the report to `<net_root>-audit.txt`-style
+/// path (default "/var/log/yanc-audit.txt"), creating directories.
+Result<AuditReport> run_audit_to_file(
+    vfs::Vfs& vfs, const std::string& net_root = "/net",
+    const std::string& report_path = "/var/log/yanc-audit.txt",
+    const vfs::Credentials& creds = {});
+
+}  // namespace yanc::apps

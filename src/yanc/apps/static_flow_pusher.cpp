@@ -1,0 +1,75 @@
+#include "yanc/apps/static_flow_pusher.hpp"
+
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc::apps {
+
+PushReport push_flows(vfs::Vfs& vfs, const std::string& spec_text,
+                      const std::string& net_root,
+                      const vfs::Credentials& creds) {
+  PushReport report;
+  int line_no = 0;
+  for (const auto& raw_line : split(spec_text, '\n')) {
+    ++line_no;
+    auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') {
+      ++report.lines_skipped;
+      continue;
+    }
+
+    std::string sw, flow_name;
+    std::vector<std::pair<std::string, std::string>> fields;
+    bool bad = false;
+    for (const auto& token : split_nonempty(line, ' ')) {
+      auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        report.errors.push_back("line " + std::to_string(line_no) +
+                                ": malformed token '" + token + "'");
+        bad = true;
+        break;
+      }
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "switch")
+        sw = value;
+      else if (key == "flow")
+        flow_name = value;
+      else
+        fields.emplace_back(std::move(key), std::move(value));
+    }
+    if (bad) continue;
+    if (sw.empty() || flow_name.empty()) {
+      report.errors.push_back("line " + std::to_string(line_no) +
+                              ": needs switch= and flow=");
+      continue;
+    }
+
+    std::string dir = net_root + "/switches/" + sw + "/flows/" + flow_name;
+    if (auto st = vfs.stat(dir, creds); !st) {
+      if (auto ec = vfs.mkdir(dir, 0755, creds); ec) {
+        report.errors.push_back("line " + std::to_string(line_no) + ": " +
+                                dir + ": " + ec.message());
+        continue;
+      }
+    }
+    bool wrote_all = true;
+    for (const auto& [key, value] : fields) {
+      if (auto ec = vfs.write_file(dir + "/" + key, value, creds); ec) {
+        report.errors.push_back("line " + std::to_string(line_no) + ": " +
+                                key + "=" + value + ": " + ec.message());
+        wrote_all = false;
+      }
+    }
+    if (!wrote_all) continue;
+    if (auto v = netfs::commit_flow(vfs, dir, creds); !v) {
+      report.errors.push_back("line " + std::to_string(line_no) +
+                              ": commit: " + v.error().message());
+      continue;
+    }
+    ++report.flows_written;
+  }
+  return report;
+}
+
+}  // namespace yanc::apps

@@ -1,0 +1,33 @@
+// The static flow pusher (§8): 'A simple "static flow pusher" shell
+// script can be used to write flows to switches.'
+//
+// This is that script as a library: a line-oriented text format in which
+// each line describes one flow, compiled into file writes against the
+// yanc FS.  The format mirrors the file names, so a line reads like the
+// directory it creates:
+//
+//   # arp goes everywhere
+//   switch=sw1 flow=arp match.dl_type=0x0806 action.out=flood priority=5
+//   switch=sw1 flow=ssh-drop match.tp_dst=22 action.drop=1
+#pragma once
+
+#include <string>
+
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::apps {
+
+struct PushReport {
+  std::size_t flows_written = 0;
+  std::size_t lines_skipped = 0;  // blank/comment lines
+  std::vector<std::string> errors;  // "line N: message"
+};
+
+/// Applies the spec text; flows are committed as they complete.
+/// Lines with errors are reported but do not abort the rest (like a shell
+/// script without -e).
+PushReport push_flows(vfs::Vfs& vfs, const std::string& spec_text,
+                      const std::string& net_root = "/net",
+                      const vfs::Credentials& creds = {});
+
+}  // namespace yanc::apps

@@ -1,0 +1,471 @@
+#include "yanc/dist/replicated.hpp"
+
+#include "yanc/util/bytes.hpp"
+#include "yanc/util/log.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc::dist {
+
+using vfs::Credentials;
+using vfs::NodeId;
+
+struct ReplicatedYancFs::Op {
+  enum class Kind : std::uint8_t {
+    mkdir,
+    create,
+    write,
+    truncate,
+    unlink,
+    rmdir,
+    rename,
+    symlink,
+    chmod,
+    chown,
+    setxattr,
+    removexattr,
+  };
+  Kind kind = Kind::mkdir;
+  bool via_primary = false;  // strict op awaiting primary fan-out
+  std::uint64_t ts = 0;      // Lamport timestamp
+  std::uint64_t origin = 0;
+  std::string path;
+  std::string aux;   // rename destination / symlink target / xattr name
+  std::string data;  // write payload / xattr value
+  std::uint64_t offset = 0;  // write offset / truncate size
+  std::uint32_t mode = 0;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+
+  std::vector<std::uint8_t> encode() const {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u8(via_primary ? 1 : 0);
+    w.u64(ts);
+    w.u64(origin);
+    w.u64(offset);
+    w.u32(mode);
+    w.u32(uid);
+    w.u32(gid);
+    for (const std::string* s : {&path, &aux, &data}) {
+      w.u32(static_cast<std::uint32_t>(s->size()));
+      w.bytes({reinterpret_cast<const std::uint8_t*>(s->data()), s->size()});
+    }
+    return w.take();
+  }
+
+  static Result<Op> decode(const std::vector<std::uint8_t>& bytes) {
+    BufReader r(bytes);
+    Op op;
+    op.kind = static_cast<Kind>(r.u8());
+    op.via_primary = r.u8() != 0;
+    op.ts = r.u64();
+    op.origin = r.u64();
+    op.offset = r.u64();
+    op.mode = r.u32();
+    op.uid = r.u32();
+    op.gid = r.u32();
+    for (std::string* s : {&op.path, &op.aux, &op.data}) {
+      std::uint32_t len = r.u32();
+      auto raw = r.bytes(len);
+      s->assign(raw.begin(), raw.end());
+    }
+    if (!r.ok()) return Errc::protocol_error;
+    return op;
+  }
+};
+
+namespace {
+
+std::pair<std::string, std::string> dir_and_leaf(const std::string& path) {
+  auto slash = path.rfind('/');
+  if (slash == std::string::npos || slash == 0)
+    return {"/", path.substr(slash == std::string::npos ? 0 : 1)};
+  return {path.substr(0, slash), path.substr(slash + 1)};
+}
+
+}  // namespace
+
+ReplicatedYancFs::ReplicatedYancFs(ReplicaOptions options)
+    : options_(options) {}
+
+void ReplicatedYancFs::attach(Transport* transport, Transport::NodeId self,
+                              Transport::NodeId primary) {
+  transport_ = transport;
+  self_ = self;
+  primary_ = primary;
+}
+
+Mode ReplicatedYancFs::mode_for(NodeId node) const {
+  auto value = nearest_xattr(node, kConsistencyXattr);
+  if (!value) return options_.default_mode;
+  std::string text(value->begin(), value->end());
+  auto trimmed = trim(text);
+  if (trimmed == "eventual") return Mode::eventual;
+  if (trimmed == "strict") return Mode::strict;
+  return options_.default_mode;
+}
+
+Result<NodeId> ReplicatedYancFs::resolve_local(const std::string& path) {
+  NodeId node = root();
+  for (const auto& comp : split_nonempty(path, '/')) {
+    auto next = lookup(node, comp);
+    if (!next) return next.error();
+    node = *next;
+  }
+  return node;
+}
+
+void ReplicatedYancFs::emit(Op op) {
+  if (!transport_ || applying_remote_) return;
+  op.ts = ++lamport_;
+  op.origin = self_;
+  ++local_ops_;
+  if (op.kind == Op::Kind::write || op.kind == Op::Kind::truncate)
+    write_versions_[op.path] = {op.ts, op.origin};
+
+  // Consistency is chosen by the nearest xattr above the op's target.
+  Mode mode = options_.default_mode;
+  if (auto node = resolve_local(op.path))
+    mode = mode_for(*node);
+  else if (auto parent = resolve_local(dir_and_leaf(op.path).first))
+    mode = mode_for(*parent);
+
+  if (mode == Mode::strict && self_ != primary_) {
+    // Synchronous routing through the primary: the caller pays the round
+    // trip (modelled as accounted virtual time; the op itself travels the
+    // simulated link so remote visibility is still ordered by arrival).
+    sync_delay_ns_ += 2 * static_cast<std::uint64_t>(
+                              transport_->latency().count());
+    op.via_primary = true;
+    transport_->send(self_, primary_, op.encode());
+    return;
+  }
+  transport_->broadcast(self_, op.encode());
+}
+
+void ReplicatedYancFs::handle_message(Transport::NodeId from,
+                                      const std::vector<std::uint8_t>& bytes) {
+  auto op = Op::decode(bytes);
+  if (!op) {
+    log_error("dist", "undecodable replication op");
+    return;
+  }
+  lamport_ = std::max(lamport_, op->ts);
+  bool applied = apply(*op);
+  if (applied)
+    ++remote_ops_;
+  else
+    ++conflicts_;
+  (void)from;
+
+  // Primary fan-out for strict ops that were routed through us.
+  if (op->via_primary && self_ == primary_) {
+    Op fanned = *op;
+    fanned.via_primary = false;
+    for (Transport::NodeId node = 0; node < transport_->size(); ++node)
+      if (node != self_ && node != op->origin)
+        transport_->send(self_, node, fanned.encode());
+  }
+}
+
+bool ReplicatedYancFs::apply(const Op& op) {
+  applying_remote_ = true;
+  auto done = [&](bool ok) {
+    applying_remote_ = false;
+    return ok;
+  };
+  Credentials root_creds;
+  auto [dir, leaf] = dir_and_leaf(op.path);
+
+  switch (op.kind) {
+    case Op::Kind::mkdir: {
+      auto parent = resolve_local(dir);
+      if (!parent) return done(false);
+      auto r = mkdir(*parent, leaf, op.mode, root_creds);
+      return done(r.ok() || r.error() == make_error_code(Errc::exists));
+    }
+    case Op::Kind::create: {
+      auto parent = resolve_local(dir);
+      if (!parent) return done(false);
+      auto r = create(*parent, leaf, op.mode, root_creds);
+      return done(r.ok() || r.error() == make_error_code(Errc::exists));
+    }
+    case Op::Kind::write:
+    case Op::Kind::truncate: {
+      // Last-writer-wins on content: a concurrently newer local write
+      // (greater ts, or equal ts from a higher node id) survives.
+      auto it = write_versions_.find(op.path);
+      if (it != write_versions_.end() &&
+          it->second > std::make_pair(op.ts, op.origin))
+        return done(false);
+      auto node = resolve_local(op.path);
+      if (!node) return done(false);
+      bool ok;
+      if (op.kind == Op::Kind::write)
+        ok = write(*node, op.offset, op.data, root_creds).ok();
+      else
+        ok = !truncate(*node, op.offset, root_creds);
+      if (ok) write_versions_[op.path] = {op.ts, op.origin};
+      return done(ok);
+    }
+    case Op::Kind::unlink: {
+      auto parent = resolve_local(dir);
+      if (!parent) return done(false);
+      auto ec = unlink(*parent, leaf, root_creds);
+      return done(!ec || ec == make_error_code(Errc::not_found));
+    }
+    case Op::Kind::rmdir: {
+      auto parent = resolve_local(dir);
+      if (!parent) return done(false);
+      auto ec = rmdir(*parent, leaf, root_creds);
+      return done(!ec || ec == make_error_code(Errc::not_found));
+    }
+    case Op::Kind::rename: {
+      auto [to_dir, to_leaf] = dir_and_leaf(op.aux);
+      auto from_parent = resolve_local(dir);
+      auto to_parent = resolve_local(to_dir);
+      if (!from_parent || !to_parent) return done(false);
+      return done(
+          !rename(*from_parent, leaf, *to_parent, to_leaf, root_creds));
+    }
+    case Op::Kind::symlink: {
+      auto parent = resolve_local(dir);
+      if (!parent) return done(false);
+      auto r = symlink(*parent, leaf, op.aux, root_creds);
+      return done(r.ok() || r.error() == make_error_code(Errc::exists));
+    }
+    case Op::Kind::chmod: {
+      auto node = resolve_local(op.path);
+      if (!node) return done(false);
+      return done(!chmod(*node, op.mode, root_creds));
+    }
+    case Op::Kind::chown: {
+      auto node = resolve_local(op.path);
+      if (!node) return done(false);
+      return done(!chown(*node, op.uid, op.gid, root_creds));
+    }
+    case Op::Kind::setxattr: {
+      auto node = resolve_local(op.path);
+      if (!node) return done(false);
+      std::vector<std::uint8_t> value(op.data.begin(), op.data.end());
+      return done(!setxattr(*node, op.aux, std::move(value), root_creds));
+    }
+    case Op::Kind::removexattr: {
+      auto node = resolve_local(op.path);
+      if (!node) return done(false);
+      auto ec = removexattr(*node, op.aux, root_creds);
+      return done(!ec || ec == make_error_code(Errc::not_found));
+    }
+  }
+  return done(false);
+}
+
+// --- mutating overrides -------------------------------------------------------
+
+Result<NodeId> ReplicatedYancFs::mkdir(NodeId parent, const std::string& name,
+                                       std::uint32_t mode,
+                                       const Credentials& creds) {
+  auto parent_path = path_of(parent);
+  auto r = YancFs::mkdir(parent, name, mode, creds);
+  if (r && !applying_remote_ && parent_path) {
+    Op op;
+    op.kind = Op::Kind::mkdir;
+    op.path = (*parent_path == "/" ? "" : *parent_path) + "/" + name;
+    op.mode = mode;
+    emit(std::move(op));
+  }
+  return r;
+}
+
+Result<NodeId> ReplicatedYancFs::create(NodeId parent, const std::string& name,
+                                        std::uint32_t mode,
+                                        const Credentials& creds) {
+  auto parent_path = path_of(parent);
+  auto r = YancFs::create(parent, name, mode, creds);
+  if (r && !applying_remote_ && parent_path) {
+    Op op;
+    op.kind = Op::Kind::create;
+    op.path = (*parent_path == "/" ? "" : *parent_path) + "/" + name;
+    op.mode = mode;
+    emit(std::move(op));
+  }
+  return r;
+}
+
+Result<std::uint64_t> ReplicatedYancFs::write(NodeId node,
+                                              std::uint64_t offset,
+                                              std::string_view data,
+                                              const Credentials& creds) {
+  auto r = YancFs::write(node, offset, data, creds);
+  if (r && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op op;
+      op.kind = Op::Kind::write;
+      op.path = *path;
+      op.offset = offset;
+      op.data = std::string(data);
+      emit(std::move(op));
+    }
+  }
+  return r;
+}
+
+Status ReplicatedYancFs::truncate(NodeId node, std::uint64_t size,
+                                  const Credentials& creds) {
+  auto ec = YancFs::truncate(node, size, creds);
+  if (!ec && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op op;
+      op.kind = Op::Kind::truncate;
+      op.path = *path;
+      op.offset = size;
+      emit(std::move(op));
+    }
+  }
+  return ec;
+}
+
+Status ReplicatedYancFs::unlink(NodeId parent, const std::string& name,
+                                const Credentials& creds) {
+  auto parent_path = path_of(parent);
+  auto ec = YancFs::unlink(parent, name, creds);
+  if (!ec && !applying_remote_ && parent_path) {
+    Op op;
+    op.kind = Op::Kind::unlink;
+    op.path = (*parent_path == "/" ? "" : *parent_path) + "/" + name;
+    emit(std::move(op));
+  }
+  return ec;
+}
+
+Status ReplicatedYancFs::rmdir(NodeId parent, const std::string& name,
+                               const Credentials& creds) {
+  auto parent_path = path_of(parent);
+  auto ec = YancFs::rmdir(parent, name, creds);
+  if (!ec && !applying_remote_ && parent_path) {
+    Op op;
+    op.kind = Op::Kind::rmdir;
+    op.path = (*parent_path == "/" ? "" : *parent_path) + "/" + name;
+    emit(std::move(op));
+  }
+  return ec;
+}
+
+Status ReplicatedYancFs::rename(NodeId old_parent, const std::string& old_name,
+                                NodeId new_parent,
+                                const std::string& new_name,
+                                const Credentials& creds) {
+  auto from_path = path_of(old_parent);
+  auto to_path = path_of(new_parent);
+  auto ec = YancFs::rename(old_parent, old_name, new_parent, new_name, creds);
+  if (!ec && !applying_remote_ && from_path && to_path) {
+    Op op;
+    op.kind = Op::Kind::rename;
+    op.path = (*from_path == "/" ? "" : *from_path) + "/" + old_name;
+    op.aux = (*to_path == "/" ? "" : *to_path) + "/" + new_name;
+    emit(std::move(op));
+  }
+  return ec;
+}
+
+Result<NodeId> ReplicatedYancFs::symlink(NodeId parent,
+                                         const std::string& name,
+                                         const std::string& target,
+                                         const Credentials& creds) {
+  auto parent_path = path_of(parent);
+  auto r = YancFs::symlink(parent, name, target, creds);
+  if (r && !applying_remote_ && parent_path) {
+    Op op;
+    op.kind = Op::Kind::symlink;
+    op.path = (*parent_path == "/" ? "" : *parent_path) + "/" + name;
+    op.aux = target;
+    emit(std::move(op));
+  }
+  return r;
+}
+
+Status ReplicatedYancFs::chmod(NodeId node, std::uint32_t mode,
+                               const Credentials& creds) {
+  auto ec = YancFs::chmod(node, mode, creds);
+  if (!ec && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op op;
+      op.kind = Op::Kind::chmod;
+      op.path = *path;
+      op.mode = mode;
+      emit(std::move(op));
+    }
+  }
+  return ec;
+}
+
+Status ReplicatedYancFs::chown(NodeId node, vfs::Uid uid, vfs::Gid gid,
+                               const Credentials& creds) {
+  auto ec = YancFs::chown(node, uid, gid, creds);
+  if (!ec && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op op;
+      op.kind = Op::Kind::chown;
+      op.path = *path;
+      op.uid = uid;
+      op.gid = gid;
+      emit(std::move(op));
+    }
+  }
+  return ec;
+}
+
+Status ReplicatedYancFs::setxattr(NodeId node, const std::string& name,
+                                  std::vector<std::uint8_t> value,
+                                  const Credentials& creds) {
+  std::string copy(value.begin(), value.end());
+  auto ec = YancFs::setxattr(node, name, std::move(value), creds);
+  if (!ec && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op op;
+      op.kind = Op::Kind::setxattr;
+      op.path = *path;
+      op.aux = name;
+      op.data = std::move(copy);
+      emit(std::move(op));
+    }
+  }
+  return ec;
+}
+
+Status ReplicatedYancFs::removexattr(NodeId node, const std::string& name,
+                                     const Credentials& creds) {
+  auto ec = YancFs::removexattr(node, name, creds);
+  if (!ec && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op op;
+      op.kind = Op::Kind::removexattr;
+      op.path = *path;
+      op.aux = name;
+      emit(std::move(op));
+    }
+  }
+  return ec;
+}
+
+// --- Cluster -------------------------------------------------------------------
+
+Cluster::Cluster(net::Scheduler& scheduler, ClusterOptions options)
+    : transport_(scheduler, options.link_latency) {
+  for (std::size_t i = 0; i < options.nodes; ++i) {
+    auto replica = std::make_shared<ReplicatedYancFs>(
+        ReplicaOptions{options.default_mode});
+    replicas_.push_back(replica);
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    auto replica = replicas_[i];
+    Transport::NodeId id = transport_.join(
+        [replica](Transport::NodeId from,
+                  const std::vector<std::uint8_t>& bytes) {
+          replica->handle_message(from, bytes);
+        });
+    replica->attach(&transport_, id, /*primary=*/0);
+  }
+}
+
+}  // namespace yanc::dist

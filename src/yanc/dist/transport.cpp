@@ -1,0 +1,63 @@
+#include "yanc/dist/transport.hpp"
+
+#include <algorithm>
+
+namespace yanc::dist {
+
+namespace {
+std::pair<Transport::NodeId, Transport::NodeId> ordered(
+    Transport::NodeId a, Transport::NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
+
+Transport::NodeId Transport::join(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return handlers_.size() - 1;
+}
+
+void Transport::send(NodeId from, NodeId to,
+                     std::vector<std::uint8_t> message) {
+  if (to >= handlers_.size() || from == to) return;
+  ++messages_;
+  bytes_ += message.size();
+  if (partitioned(from, to)) {
+    queued_[{from, to}].push_back(std::move(message));
+    return;
+  }
+  deliver(from, to, std::move(message));
+}
+
+void Transport::broadcast(NodeId from,
+                          const std::vector<std::uint8_t>& message) {
+  for (NodeId to = 0; to < handlers_.size(); ++to)
+    if (to != from) send(from, to, message);
+}
+
+void Transport::set_partitioned(NodeId a, NodeId b, bool blocked) {
+  blocked_[ordered(a, b)] = blocked;
+  if (blocked) return;
+  // Healed: flush queued traffic (both directions) in send order.
+  for (auto key : {std::pair{a, b}, std::pair{b, a}}) {
+    auto it = queued_.find(key);
+    if (it == queued_.end()) continue;
+    for (auto& message : it->second)
+      deliver(key.first, key.second, std::move(message));
+    queued_.erase(it);
+  }
+}
+
+bool Transport::partitioned(NodeId a, NodeId b) const {
+  auto it = blocked_.find(ordered(a, b));
+  return it != blocked_.end() && it->second;
+}
+
+void Transport::deliver(NodeId from, NodeId to,
+                        std::vector<std::uint8_t> message) {
+  scheduler_.schedule_after(
+      latency_, [this, from, to, message = std::move(message)]() {
+        handlers_[to](from, message);
+      });
+}
+
+}  // namespace yanc::dist

@@ -1,0 +1,57 @@
+// Simulated cluster transport for the distributed file system (§6).
+//
+// Nodes exchange serialized operation records over point-to-point links
+// with configurable latency; pairs of nodes can be partitioned, in which
+// case traffic queues and is delivered in order when the partition heals
+// (modelling a network that drops TCP into retransmission, not one that
+// loses committed state).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "yanc/net/simnet.hpp"
+
+namespace yanc::dist {
+
+class Transport {
+ public:
+  using NodeId = std::size_t;
+  using Handler =
+      std::function<void(NodeId from, const std::vector<std::uint8_t>&)>;
+
+  Transport(net::Scheduler& scheduler, VirtualClock::duration latency)
+      : scheduler_(scheduler), latency_(latency) {}
+
+  /// Adds a node; its handler runs for every delivered message.
+  NodeId join(Handler handler);
+  std::size_t size() const noexcept { return handlers_.size(); }
+
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> message);
+  void broadcast(NodeId from, const std::vector<std::uint8_t>& message);
+
+  /// Blocks (or heals) the pair; healing flushes queued traffic in order.
+  void set_partitioned(NodeId a, NodeId b, bool blocked);
+  bool partitioned(NodeId a, NodeId b) const;
+
+  VirtualClock::duration latency() const noexcept { return latency_; }
+  std::uint64_t messages_sent() const noexcept { return messages_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_; }
+
+ private:
+  void deliver(NodeId from, NodeId to, std::vector<std::uint8_t> message);
+
+  net::Scheduler& scheduler_;
+  VirtualClock::duration latency_;
+  std::vector<Handler> handlers_;
+  std::map<std::pair<NodeId, NodeId>, bool> blocked_;
+  std::map<std::pair<NodeId, NodeId>,
+           std::vector<std::vector<std::uint8_t>>>
+      queued_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace yanc::dist

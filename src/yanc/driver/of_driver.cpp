@@ -1,0 +1,652 @@
+#include "yanc/driver/of_driver.hpp"
+
+#include <set>
+
+#include "yanc/util/log.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc::driver {
+
+using flow::FlowSpec;
+using vfs::Credentials;
+using vfs::NodeId;
+
+struct OfDriver::Connection {
+  net::Channel channel;
+  enum class State { handshaking, ready } state = State::handshaking;
+  std::uint64_t dpid = 0;
+  std::string name;  // directory name under switches/
+  std::string path;  // absolute switch directory path
+  std::uint32_t next_xid = 1;
+
+  struct FlowState {
+    std::uint64_t pushed_version = 0;
+    FlowSpec pushed;  // last spec sent to hardware
+    std::shared_ptr<vfs::WatchHandle> version_watch;
+    NodeId version_node = vfs::kInvalidNode;
+  };
+  std::map<std::string, FlowState> flows;
+  // Deletions the driver itself performed (flow_removed mirroring); the
+  // resulting FS delete event must not bounce a FLOW_MOD back.
+  std::set<std::string> suppress_delete;
+
+  // Keeps non-flow watches alive: flows/, packet_out/, per-port config,
+  // per-packet-out send files.  Keyed by watched path.
+  std::map<std::string, std::shared_ptr<vfs::WatchHandle>> watches;
+  std::map<std::string, NodeId> watch_nodes;
+  // Last configuration reported by the hardware, per port: (port_down,
+  // no_flood).  PORT_MOD is only sent when the FS diverges from this, so
+  // the driver's own PortStatus mirroring can never echo into a loop.
+  std::map<std::uint16_t, std::pair<bool, bool>> port_hw_config;
+};
+
+struct OfDriver::WatchContext {
+  enum class Kind {
+    flows_dir,
+    flow_version,
+    port_config,
+    pktout_dir,
+    pktout_send,
+  };
+  Kind kind;
+  Connection* conn = nullptr;
+  std::string name;  // flow / port / packet-out directory name
+};
+
+OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
+    : vfs_(std::move(vfs)), options_(std::move(options)),
+      fs_events_(
+          std::make_shared<vfs::WatchQueue>(options_.fs_queue_capacity)) {}
+
+OfDriver::~OfDriver() = default;
+
+std::size_t OfDriver::connected_switches() const {
+  std::size_t n = 0;
+  for (const auto& conn : connections_)
+    if (conn->state == Connection::State::ready && conn->channel.connected())
+      ++n;
+  return n;
+}
+
+Result<std::string> OfDriver::switch_name(std::uint64_t dpid) const {
+  for (const auto& conn : connections_)
+    if (conn->dpid == dpid && conn->state == Connection::State::ready)
+      return conn->name;
+  return Errc::not_found;
+}
+
+void OfDriver::send(Connection& conn, const ofp::Message& message) {
+  auto bytes = ofp::encode(options_.version, conn.next_xid++, message);
+  if (!bytes) {
+    log_error("driver", "cannot encode " + ofp::message_name(message) +
+                            " for OpenFlow " +
+                            ofp::version_name(options_.version));
+    return;
+  }
+  conn.channel.send(std::move(*bytes));
+}
+
+std::size_t OfDriver::poll() {
+  std::size_t work = accept_new();
+  for (auto& conn : connections_) {
+    if (!conn->channel.connected()) continue;
+    work += pump_connection(*conn);
+  }
+  work += drain_fs_events();
+
+  // Reap dead connections: mark the FS, drop watches.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->channel.connected()) {
+      ++it;
+      continue;
+    }
+    Connection* conn = it->get();
+    if (!conn->path.empty())
+      (void)vfs_->write_file(conn->path + "/connected", "0");
+    for (auto ctx = watch_contexts_.begin(); ctx != watch_contexts_.end();)
+      ctx = ctx->second.conn == conn ? watch_contexts_.erase(ctx)
+                                     : std::next(ctx);
+    it = connections_.erase(it);
+    ++work;
+  }
+  return work;
+}
+
+std::size_t OfDriver::accept_new() {
+  std::size_t accepted = 0;
+  while (auto channel = listener_.accept()) {
+    auto conn = std::make_unique<Connection>();
+    conn->channel = std::move(*channel);
+    send(*conn, ofp::Hello{});
+    send(*conn, ofp::FeaturesRequest{});
+    connections_.push_back(std::move(conn));
+    ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t OfDriver::pump_connection(Connection& conn) {
+  std::size_t handled = 0;
+  while (auto msg = conn.channel.try_recv()) {
+    auto decoded = ofp::decode(*msg);
+    if (!decoded) {
+      // Speaking the wrong dialect (or garbage): hang up, per §4.1 a
+      // different driver owns that protocol version.
+      log_error("driver", "undecodable message; closing connection");
+      conn.channel.close();
+      return handled;
+    }
+    if (decoded->header.version != options_.version) {
+      send(conn, ofp::Error{0 /*HELLO_FAILED*/, 0 /*INCOMPATIBLE*/, {}});
+      conn.channel.close();
+      return handled;
+    }
+    handle_switch_message(conn, *decoded);
+    ++handled;
+  }
+  return handled;
+}
+
+void OfDriver::handle_switch_message(Connection& conn,
+                                     const ofp::Decoded& decoded) {
+  const auto& m = decoded.message;
+  if (std::holds_alternative<ofp::Hello>(m)) return;
+  if (auto* echo = std::get_if<ofp::EchoRequest>(&m)) {
+    send(conn, ofp::EchoReply{echo->data});
+    return;
+  }
+  if (auto* features = std::get_if<ofp::FeaturesReply>(&m)) {
+    on_features(conn, *features);
+    return;
+  }
+  if (auto* pi = std::get_if<ofp::PacketIn>(&m)) {
+    on_packet_in(conn, *pi);
+    return;
+  }
+  if (auto* ps = std::get_if<ofp::PortStatus>(&m)) {
+    on_port_status(conn, *ps);
+    return;
+  }
+  if (auto* fr = std::get_if<ofp::FlowRemoved>(&m)) {
+    on_flow_removed(conn, *fr);
+    return;
+  }
+  if (auto* sr = std::get_if<ofp::StatsReply>(&m)) {
+    on_stats_reply(conn, *sr);
+    return;
+  }
+  if (auto* err = std::get_if<ofp::Error>(&m)) {
+    log_error("driver", conn.name + ": switch reported error type=" +
+                            std::to_string(err->type) +
+                            " code=" + std::to_string(err->code));
+    return;
+  }
+  // barrier replies etc. need no action
+}
+
+void OfDriver::on_features(Connection& conn,
+                           const ofp::FeaturesReply& features) {
+  conn.dpid = features.datapath_id;
+
+  // Reconnect support: reuse an existing directory whose id matches.
+  std::string switches = options_.net_root + "/switches";
+  if (auto entries = vfs_->readdir(switches)) {
+    for (const auto& e : *entries) {
+      auto id = vfs_->read_file(switches + "/" + e.name + "/id");
+      if (!id) continue;
+      auto parsed = parse_hex_u64(trim(*id));
+      if (parsed && *parsed == conn.dpid && *parsed != 0) {
+        conn.name = e.name;
+        break;
+      }
+    }
+  }
+  // Fresh name: skip over names already taken by other switches (possibly
+  // created by another driver instance on a replicated file system).
+  while (conn.name.empty()) {
+    std::string candidate = options_.switch_name_prefix +
+                            std::to_string(next_switch_index_++);
+    if (!vfs_->stat(switches + "/" + candidate)) conn.name = candidate;
+  }
+  conn.path = switches + "/" + conn.name;
+
+  if (auto ec = vfs_->mkdir(conn.path);
+      ec && ec != make_error_code(Errc::exists)) {
+    log_error("driver", "cannot create " + conn.path + ": " + ec.message());
+    conn.channel.close();
+    return;
+  }
+
+  (void)vfs_->write_file(conn.path + "/id", "0x" + to_hex(conn.dpid, 8));
+  (void)vfs_->write_file(conn.path + "/num_buffers",
+                         std::to_string(features.n_buffers));
+  (void)vfs_->write_file(conn.path + "/num_tables",
+                         std::to_string(features.n_tables));
+  (void)vfs_->write_file(conn.path + "/capabilities",
+                         "0x" + to_hex(features.capabilities, 4));
+  (void)vfs_->write_file(conn.path + "/actions",
+                         "0x" + to_hex(features.actions, 4));
+  (void)vfs_->write_file(conn.path + "/protocol_version",
+                         ofp::version_name(options_.version));
+  (void)vfs_->write_file(conn.path + "/connected", "1");
+
+  create_switch_tree(conn, features.ports);
+  conn.state = Connection::State::ready;
+
+  // Identity strings arrive via desc stats; 1.3 ports via port_desc.
+  ofp::StatsRequest desc;
+  desc.kind = ofp::StatsKind::desc;
+  send(conn, desc);
+  if (options_.version == ofp::Version::of13) {
+    ofp::StatsRequest ports;
+    ports.kind = ofp::StatsKind::port_desc;
+    send(conn, ports);
+  }
+}
+
+namespace {
+
+/// Registers `queue` on the node `path` resolves to; returns (handle, node).
+Result<std::pair<std::shared_ptr<vfs::WatchHandle>, NodeId>> watch_node(
+    vfs::Vfs& vfs, const std::string& path, std::uint32_t mask,
+    vfs::WatchQueuePtr queue) {
+  auto resolved = vfs.resolve(path, Credentials::root());
+  if (!resolved) return resolved.error();
+  auto id = resolved->fs->watch(resolved->node, mask, std::move(queue));
+  if (!id) return id.error();
+  return std::make_pair(
+      std::make_shared<vfs::WatchHandle>(resolved->fs, *id), resolved->node);
+}
+
+}  // namespace
+
+void OfDriver::create_switch_tree(Connection& conn,
+                                  const std::vector<ofp::PortDesc>& ports) {
+  for (const auto& port : ports) create_port_dir(conn, port);
+
+  // Watch flows/ for new and deleted flow directories.
+  std::string flows_dir = conn.path + "/flows";
+  if (auto w = watch_node(*vfs_, flows_dir,
+                          vfs::event::created | vfs::event::deleted,
+                          fs_events_)) {
+    conn.watches[flows_dir] = w->first;
+    watch_contexts_[w->second] =
+        WatchContext{WatchContext::Kind::flows_dir, &conn, {}};
+  }
+  // Watch packet_out/ for new requests.
+  std::string pktout_dir = conn.path + "/packet_out";
+  if (auto w = watch_node(*vfs_, pktout_dir, vfs::event::created,
+                          fs_events_)) {
+    conn.watches[pktout_dir] = w->first;
+    watch_contexts_[w->second] =
+        WatchContext{WatchContext::Kind::pktout_dir, &conn, {}};
+  }
+
+  // Flows may already exist (reconnect): adopt and push committed ones.
+  if (auto names = vfs_->readdir(flows_dir)) {
+    for (const auto& e : *names) {
+      watch_flow(conn, e.name);
+      push_flow(conn, e.name);
+    }
+  }
+}
+
+void OfDriver::create_port_dir(Connection& conn, const ofp::PortDesc& port) {
+  std::string port_path =
+      conn.path + "/ports/" + std::to_string(port.port_no);
+  if (auto ec = vfs_->mkdir(port_path);
+      ec && ec != make_error_code(Errc::exists))
+    return;
+  (void)vfs_->write_file(port_path + "/port_no",
+                         std::to_string(port.port_no));
+  (void)vfs_->write_file(port_path + "/hw_addr", port.hw_addr.to_string());
+  (void)vfs_->write_file(port_path + "/name", port.name);
+  (void)vfs_->write_file(port_path + "/config.port_down",
+                         port.port_down ? "1" : "0");
+  (void)vfs_->write_file(port_path + "/state.link_down",
+                         port.link_down ? "1" : "0");
+  (void)vfs_->write_file(port_path + "/curr_speed",
+                         std::to_string(port.curr_speed_kbps));
+  (void)vfs_->write_file(port_path + "/max_speed",
+                         std::to_string(port.max_speed_kbps));
+  conn.port_hw_config[port.port_no] = {port.port_down, port.no_flood};
+
+  // Administrative changes to the port flow back as PORT_MOD (§3.1's
+  // `echo 1 > config.port_down`).
+  for (const char* file : {"config.port_down", "config.no_flood"}) {
+    std::string cfg = port_path + "/" + file;
+    if (auto w = watch_node(*vfs_, cfg, vfs::event::modified, fs_events_)) {
+      conn.watches[cfg] = w->first;
+      watch_contexts_[w->second] =
+          WatchContext{WatchContext::Kind::port_config, &conn,
+                       std::to_string(port.port_no)};
+    }
+  }
+}
+
+void OfDriver::watch_flow(Connection& conn, const std::string& flow_name) {
+  std::string version_path =
+      conn.path + "/flows/" + flow_name + "/version";
+  auto w = watch_node(*vfs_, version_path, vfs::event::modified, fs_events_);
+  if (!w) return;
+  auto& state = conn.flows[flow_name];
+  state.version_watch = w->first;
+  state.version_node = w->second;
+  watch_contexts_[w->second] =
+      WatchContext{WatchContext::Kind::flow_version, &conn, flow_name};
+}
+
+void OfDriver::push_flow(Connection& conn, const std::string& flow_name) {
+  auto state_it = conn.flows.find(flow_name);
+  if (state_it == conn.flows.end()) return;
+  auto& state = state_it->second;
+
+  std::string flow_dir = conn.path + "/flows/" + flow_name;
+  auto spec = netfs::read_flow(*vfs_, flow_dir);
+  if (!spec) {
+    log_error("driver", "unreadable flow " + flow_dir + ": " +
+                            spec.error().message());
+    return;
+  }
+  if (spec->version == 0 || spec->version <= state.pushed_version)
+    return;  // not committed / already on hardware (§3.4)
+
+  // If the identity (match, priority, table) changed, the old hardware
+  // entry must go first; OpenFlow add only replaces identical identities.
+  if (state.pushed_version > 0 &&
+      (state.pushed.match != spec->match ||
+       state.pushed.priority != spec->priority ||
+       state.pushed.table_id != spec->table_id)) {
+    ofp::FlowMod del;
+    del.command = ofp::FlowMod::Command::remove_strict;
+    del.spec = state.pushed;
+    send(conn, del);
+  }
+
+  ofp::FlowMod add;
+  add.command = ofp::FlowMod::Command::add;
+  add.spec = *spec;
+  add.flags = ofp::kFlagSendFlowRemoved;
+  send(conn, add);
+  bump_counter(conn.path + "/counters/flow_mods");
+
+  state.pushed_version = spec->version;
+  state.pushed = *spec;
+}
+
+std::size_t OfDriver::drain_fs_events() {
+  std::size_t handled = 0;
+  // Level-triggered contexts (flow versions, port configs, packet-out
+  // send flags) are read-current-state handlers: several queued MODIFY
+  // events for the same node collapse into one action per drain.
+  std::set<NodeId> seen_level_triggered;
+  while (auto event = fs_events_->try_pop()) {
+    ++handled;
+    if (event->is(vfs::event::overflow)) {
+      // Watch queue overflowed: rescan everything we own.
+      log_error("driver", "watch queue overflow; rescanning flows");
+      for (auto& conn : connections_) {
+        if (conn->state != Connection::State::ready) continue;
+        if (auto names = vfs_->readdir(conn->path + "/flows")) {
+          for (const auto& e : *names) {
+            if (!conn->flows.count(e.name)) watch_flow(*conn, e.name);
+            push_flow(*conn, e.name);
+          }
+        }
+      }
+      continue;
+    }
+    auto ctx_it = watch_contexts_.find(event->node);
+    if (ctx_it == watch_contexts_.end()) continue;
+    WatchContext ctx = ctx_it->second;
+    Connection& conn = *ctx.conn;
+
+    switch (ctx.kind) {
+      case WatchContext::Kind::flows_dir:
+        if (event->is(vfs::event::created)) {
+          watch_flow(conn, event->name);
+          push_flow(conn, event->name);  // may already be committed
+        } else if (event->is(vfs::event::deleted)) {
+          auto it = conn.flows.find(event->name);
+          if (it != conn.flows.end()) {
+            if (conn.suppress_delete.erase(event->name) == 0 &&
+                it->second.pushed_version > 0) {
+              ofp::FlowMod del;
+              del.command = ofp::FlowMod::Command::remove_strict;
+              del.spec = it->second.pushed;
+              send(conn, del);
+              bump_counter(conn.path + "/counters/flow_mods");
+            }
+            watch_contexts_.erase(it->second.version_node);
+            conn.flows.erase(it);
+          }
+        }
+        break;
+      case WatchContext::Kind::flow_version:
+        if (seen_level_triggered.insert(event->node).second)
+          push_flow(conn, ctx.name);
+        break;
+      case WatchContext::Kind::port_config: {
+        if (!seen_level_triggered.insert(event->node).second) break;
+        std::string port_path = conn.path + "/ports/" + ctx.name;
+        ofp::PortMod pm;
+        pm.port_no = static_cast<std::uint16_t>(
+            parse_u64(ctx.name).value_or(0));
+        if (auto mac = vfs_->read_file(port_path + "/hw_addr"))
+          if (auto parsed = MacAddress::parse(trim(*mac)))
+            pm.hw_addr = *parsed;
+        if (auto down = vfs_->read_file(port_path + "/config.port_down"))
+          pm.port_down = trim(*down) == "1";
+        if (auto nf = vfs_->read_file(port_path + "/config.no_flood"))
+          pm.no_flood = trim(*nf) == "1";
+        auto known = conn.port_hw_config.find(pm.port_no);
+        if (known != conn.port_hw_config.end() &&
+            known->second == std::make_pair(pm.port_down, pm.no_flood))
+          break;  // FS already agrees with hardware: nothing to do
+        send(conn, pm);
+        break;
+      }
+      case WatchContext::Kind::pktout_dir:
+        if (event->is(vfs::event::created)) {
+          std::string send_path =
+              conn.path + "/packet_out/" + event->name + "/send";
+          if (auto w = watch_node(*vfs_, send_path, vfs::event::modified,
+                                  fs_events_)) {
+            conn.watches[send_path] = w->first;
+            watch_contexts_[w->second] = WatchContext{
+                WatchContext::Kind::pktout_send, &conn, event->name};
+          }
+          // The app may have set send=1 before this watch existed.
+          if (auto flag = vfs_->read_file(send_path);
+              flag && trim(*flag) == "1")
+            send_packet_out_dir(conn, event->name);
+        }
+        break;
+      case WatchContext::Kind::pktout_send: {
+        if (!seen_level_triggered.insert(event->node).second) break;
+        std::string send_path =
+            conn.path + "/packet_out/" + ctx.name + "/send";
+        if (auto flag = vfs_->read_file(send_path);
+            flag && trim(*flag) == "1")
+          send_packet_out_dir(conn, ctx.name);
+        break;
+      }
+    }
+  }
+  return handled;
+}
+
+void OfDriver::send_packet_out_dir(Connection& conn, const std::string& name) {
+  std::string dir = conn.path + "/packet_out/" + name;
+  ofp::PacketOut po;
+  if (auto in = vfs_->read_file(dir + "/in_port"))
+    po.in_port =
+        static_cast<std::uint16_t>(parse_u64(trim(*in)).value_or(0));
+  if (auto out = vfs_->read_file(dir + "/out")) {
+    for (const auto& tok : split_nonempty(trim(*out), ' ')) {
+      auto action = flow::parse_action("out", tok);
+      if (action) po.actions.push_back(*action);
+    }
+  }
+  if (auto data = vfs_->read_file(dir + "/data"))
+    po.data.assign(data->begin(), data->end());
+  send(conn, po);
+  bump_counter(conn.path + "/counters/packet_outs");
+
+  // Consume the request (watch contexts for the send file die with it).
+  if (auto resolved = vfs_->resolve(dir + "/send", Credentials::root()))
+    watch_contexts_.erase(resolved->node);
+  conn.watches.erase(dir + "/send");
+  (void)vfs_->rmdir(dir);
+}
+
+void OfDriver::on_packet_in(Connection& conn, const ofp::PacketIn& pi) {
+  bump_counter(conn.path + "/counters/packet_ins");
+  std::string events_dir = options_.net_root + "/events";
+  auto apps = vfs_->readdir(events_dir);
+  if (!apps) return;
+  // Concurrent delivery to every interested application (§3.5): each app's
+  // private buffer receives its own copy.
+  char seq[24];
+  std::snprintf(seq, sizeof seq, "pkt_%010llu",
+                static_cast<unsigned long long>(next_pkt_seq_++));
+  for (const auto& app : *apps) {
+    if (app.type != vfs::FileType::directory) continue;
+    std::string pkt_dir = events_dir + "/" + app.name + "/" + seq;
+    if (vfs_->mkdir(pkt_dir)) continue;
+    (void)vfs_->write_file(pkt_dir + "/datapath", conn.name);
+    (void)vfs_->write_file(pkt_dir + "/in_port",
+                           std::to_string(pi.in_port));
+    (void)vfs_->write_file(pkt_dir + "/reason",
+                           pi.reason == ofp::PacketIn::Reason::no_match
+                               ? "no_match"
+                               : "action");
+    (void)vfs_->write_file(pkt_dir + "/buffer_id",
+                           std::to_string(pi.buffer_id));
+    (void)vfs_->write_file(pkt_dir + "/total_len",
+                           std::to_string(pi.total_len));
+    (void)vfs_->write_file(
+        pkt_dir + "/data",
+        std::string_view(reinterpret_cast<const char*>(pi.data.data()),
+                         pi.data.size()));
+  }
+}
+
+void OfDriver::on_port_status(Connection& conn, const ofp::PortStatus& ps) {
+  std::string port_path =
+      conn.path + "/ports/" + std::to_string(ps.desc.port_no);
+  switch (ps.reason) {
+    case ofp::PortStatus::Reason::add:
+      create_port_dir(conn, ps.desc);
+      break;
+    case ofp::PortStatus::Reason::remove:
+      (void)vfs_->rmdir(port_path);
+      break;
+    case ofp::PortStatus::Reason::modify:
+      conn.port_hw_config[ps.desc.port_no] = {ps.desc.port_down,
+                                              ps.desc.no_flood};
+      (void)vfs_->write_file(port_path + "/state.link_down",
+                             ps.desc.link_down ? "1" : "0");
+      (void)vfs_->write_file(port_path + "/config.port_down",
+                             ps.desc.port_down ? "1" : "0");
+      break;
+  }
+}
+
+void OfDriver::on_flow_removed(Connection& conn, const ofp::FlowRemoved& fr) {
+  bump_counter(conn.path + "/counters/flow_expirations");
+  for (auto& [name, state] : conn.flows) {
+    if (state.pushed.match == fr.match &&
+        state.pushed.priority == fr.priority) {
+      // Hardware dropped the entry; mirror it out of the FS without
+      // bouncing another delete to the switch.
+      conn.suppress_delete.insert(name);
+      (void)vfs_->rmdir(conn.path + "/flows/" + name);
+      return;
+    }
+  }
+}
+
+void OfDriver::on_stats_reply(Connection& conn, const ofp::StatsReply& sr) {
+  switch (sr.kind) {
+    case ofp::StatsKind::desc:
+      (void)vfs_->write_file(conn.path + "/manufacturer", sr.manufacturer);
+      (void)vfs_->write_file(conn.path + "/hw_desc", sr.hw_desc);
+      (void)vfs_->write_file(conn.path + "/sw_desc", sr.sw_desc);
+      break;
+    case ofp::StatsKind::port_desc:
+      for (const auto& port : sr.port_descs) create_port_dir(conn, port);
+      break;
+    case ofp::StatsKind::flow:
+      for (const auto& entry : sr.flows) {
+        for (const auto& [name, state] : conn.flows) {
+          if (state.pushed.match == entry.spec.match &&
+              state.pushed.priority == entry.spec.priority) {
+            (void)netfs::write_flow_stats(
+                *vfs_, conn.path + "/flows/" + name,
+                {entry.packet_count, entry.byte_count});
+            break;
+          }
+        }
+      }
+      break;
+    case ofp::StatsKind::queue:
+      for (const auto& q : sr.queues) {
+        // Queue directories appear on first use (the switch reports them;
+        // administrators may also pre-create them to set rates).
+        std::string queue_dir = conn.path + "/ports/" +
+                                std::to_string(q.port_no) + "/queues/q" +
+                                std::to_string(q.queue_id);
+        if (auto st = vfs_->stat(queue_dir); !st) {
+          if (vfs_->mkdir(queue_dir)) continue;
+          (void)vfs_->write_file(queue_dir + "/queue_id",
+                                 std::to_string(q.queue_id));
+        }
+        (void)vfs_->write_file(queue_dir + "/counters/tx_packets",
+                               std::to_string(q.tx_packets));
+        (void)vfs_->write_file(queue_dir + "/counters/tx_bytes",
+                               std::to_string(q.tx_bytes));
+      }
+      break;
+    case ofp::StatsKind::port:
+      for (const auto& port : sr.ports) {
+        std::string counters = conn.path + "/ports/" +
+                               std::to_string(port.port_no) + "/counters";
+        (void)vfs_->write_file(counters + "/rx_packets",
+                               std::to_string(port.rx_packets));
+        (void)vfs_->write_file(counters + "/tx_packets",
+                               std::to_string(port.tx_packets));
+        (void)vfs_->write_file(counters + "/rx_bytes",
+                               std::to_string(port.rx_bytes));
+        (void)vfs_->write_file(counters + "/tx_bytes",
+                               std::to_string(port.tx_bytes));
+      }
+      break;
+  }
+}
+
+void OfDriver::request_stats() {
+  for (auto& conn : connections_) {
+    if (conn->state != Connection::State::ready ||
+        !conn->channel.connected())
+      continue;
+    ofp::StatsRequest flows;
+    flows.kind = ofp::StatsKind::flow;
+    send(*conn, flows);
+    ofp::StatsRequest ports;
+    ports.kind = ofp::StatsKind::port;
+    send(*conn, ports);
+    ofp::StatsRequest queues;
+    queues.kind = ofp::StatsKind::queue;
+    send(*conn, queues);
+  }
+}
+
+void OfDriver::bump_counter(const std::string& path, std::uint64_t delta) {
+  std::uint64_t value = 0;
+  if (auto current = vfs_->read_file(path))
+    value = parse_u64(trim(*current)).value_or(0);
+  (void)vfs_->write_file(path, std::to_string(value + delta));
+}
+
+}  // namespace yanc::driver

@@ -1,0 +1,107 @@
+// The yanc device driver (§4.1): a thin component that speaks one OpenFlow
+// version to a collection of switches and translates between the wire
+// protocol and the yanc file system.
+//
+// Everything flows through the FS:
+//   switch connects  -> driver performs the handshake and *creates the
+//                       switch directory* (Fig. 3): identity files, ports/,
+//                       flows/, counters/, packet_out/
+//   app commits flow -> driver's watch on the flow's version file fires ->
+//                       FLOW_MOD on the wire (§3.4 commit protocol)
+//   app rmdir flow   -> FLOW_MOD delete
+//   app writes
+//   config.port_down -> PORT_MOD
+//   app mkdirs a packet_out/<n> and writes send=1 -> PACKET_OUT
+//   switch packet-in -> a pkt_* directory appears in every events/<app>/
+//                       buffer (§3.5, concurrent delivery to all apps)
+//   switch flow expiry (flow_removed) -> the flow directory disappears
+//   stats sync       -> counters/ files refresh from flow/port stats
+//
+// Multiple drivers — different protocol versions, or an experimental
+// protocol — coexist on the same file system; supporting a new protocol
+// means writing a new driver, not touching anything above (§4.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "yanc/net/channel.hpp"
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/ofp/codec.hpp"
+
+namespace yanc::driver {
+
+struct DriverOptions {
+  ofp::Version version = ofp::Version::of10;
+  std::string net_root = "/net";
+  /// Prefix for auto-named switch directories ("sw" -> sw1, sw2, ...).
+  std::string switch_name_prefix = "sw";
+  /// Capacity of the driver's file-system event queue.  When it overflows
+  /// (inotify-style), the driver rescans every flows/ directory it owns —
+  /// small values exercise that recovery path in tests.
+  std::size_t fs_queue_capacity = 1 << 16;
+};
+
+class OfDriver {
+ public:
+  OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options = {});
+  ~OfDriver();
+
+  OfDriver(const OfDriver&) = delete;
+  OfDriver& operator=(const OfDriver&) = delete;
+
+  /// Switches connect here (the simulated "TCP :6633").
+  net::Listener& listener() noexcept { return listener_; }
+
+  /// One scheduling quantum: accept connections, handle switch messages,
+  /// apply pending file-system changes.  Returns units of work done.
+  std::size_t poll();
+
+  /// Requests flow/port statistics from every connected switch; replies
+  /// are mirrored into counters/ files when they arrive (next polls).
+  void request_stats();
+
+  const DriverOptions& options() const noexcept { return options_; }
+  std::size_t connected_switches() const;
+
+  /// Name of the switch directory for a datapath id, once connected.
+  Result<std::string> switch_name(std::uint64_t dpid) const;
+
+ private:
+  struct Connection;
+  struct WatchContext;
+
+  std::size_t accept_new();
+  std::size_t pump_connection(Connection& conn);
+  std::size_t drain_fs_events();
+
+  void handle_switch_message(Connection& conn, const ofp::Decoded& decoded);
+  void on_features(Connection& conn, const ofp::FeaturesReply& features);
+  void on_packet_in(Connection& conn, const ofp::PacketIn& pi);
+  void on_port_status(Connection& conn, const ofp::PortStatus& ps);
+  void on_flow_removed(Connection& conn, const ofp::FlowRemoved& fr);
+  void on_stats_reply(Connection& conn, const ofp::StatsReply& sr);
+
+  void create_switch_tree(Connection& conn,
+                          const std::vector<ofp::PortDesc>& ports);
+  void create_port_dir(Connection& conn, const ofp::PortDesc& port);
+  void watch_flow(Connection& conn, const std::string& flow_name);
+  void push_flow(Connection& conn, const std::string& flow_name);
+  void send_packet_out_dir(Connection& conn, const std::string& name);
+  void bump_counter(const std::string& path, std::uint64_t delta = 1);
+  void send(Connection& conn, const ofp::Message& message);
+
+  std::shared_ptr<vfs::Vfs> vfs_;
+  DriverOptions options_;
+  net::Listener listener_;
+  vfs::WatchQueuePtr fs_events_;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  // Watched-node -> what that node means (flow version file, flows dir...).
+  std::map<vfs::NodeId, WatchContext> watch_contexts_;
+  std::uint64_t next_switch_index_ = 1;
+  std::uint64_t next_pkt_seq_ = 1;
+};
+
+}  // namespace yanc::driver

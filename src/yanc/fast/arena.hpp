@@ -1,0 +1,47 @@
+// libyanc shared-memory substrate (§8.1): "a set of network-centric
+// library calls atop a shared memory system."
+//
+// ShmArena models the shared segment: one contiguous allocation that both
+// sides of the fastpath address directly.  Allocation is a bump pointer —
+// release is wholesale (reset), which matches the usage: batches are built,
+// published, consumed, and the arena recycled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace yanc::fast {
+
+class ShmArena {
+ public:
+  explicit ShmArena(std::size_t capacity) : buffer_(capacity) {}
+
+  /// Bump-allocates `n` bytes (aligned); nullptr when exhausted.
+  std::uint8_t* alloc(std::size_t n, std::size_t align = 8) {
+    std::size_t current = head_.load(std::memory_order_relaxed);
+    std::size_t aligned, end;
+    do {
+      aligned = (current + align - 1) & ~(align - 1);
+      end = aligned + n;
+      if (end > buffer_.size()) return nullptr;
+    } while (!head_.compare_exchange_weak(current, end,
+                                          std::memory_order_acq_rel));
+    return buffer_.data() + aligned;
+  }
+
+  /// Recycles the whole arena.  Only safe when no consumer holds
+  /// references into it (the flow-batch protocol guarantees that).
+  void reset() { head_.store(0, std::memory_order_release); }
+
+  std::size_t used() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace yanc::fast

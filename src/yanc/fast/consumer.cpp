@@ -1,0 +1,38 @@
+#include "yanc/fast/consumer.hpp"
+
+#include "yanc/netfs/flowio.hpp"
+
+namespace yanc::fast {
+
+ConsumerStats drain_flow_channel(
+    FlowChannel& channel, ofp::Version version,
+    const std::function<void(const std::string&, std::vector<std::uint8_t>)>&
+        sink,
+    vfs::Vfs* mirror, const std::string& net_root) {
+  ConsumerStats stats;
+  std::uint32_t xid = 1;
+  while (auto batch = channel.take()) {
+    ++stats.batches;
+    for (auto& [name, spec] : batch->entries) {
+      ofp::FlowMod fm;
+      fm.command = ofp::FlowMod::Command::add;
+      fm.spec = spec;
+      auto bytes = ofp::encode(version, xid++, fm);
+      if (!bytes) {
+        ++stats.encode_failures;
+        continue;
+      }
+      sink(batch->switch_name, std::move(*bytes));
+      ++stats.flows;
+      if (mirror) {
+        (void)netfs::write_flow(*mirror,
+                                net_root + "/switches/" +
+                                    batch->switch_name + "/flows/" + name,
+                                spec);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace yanc::fast

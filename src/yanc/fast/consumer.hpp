@@ -1,0 +1,31 @@
+// Driver-side consumer of the libyanc flow fastpath: drains published
+// batches, encodes FLOW_MODs for the wire, and (optionally, off the
+// application's critical path) mirrors the entries into the file system so
+// every FS-based tool still sees them.
+#pragma once
+
+#include <functional>
+
+#include "yanc/fast/flow_channel.hpp"
+#include "yanc/ofp/codec.hpp"
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::fast {
+
+struct ConsumerStats {
+  std::uint64_t batches = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t encode_failures = 0;
+};
+
+/// Drains everything pending in `channel`.  For each flow, encodes a
+/// FLOW_MOD of `version` and hands the bytes to `sink(switch_name, bytes)`.
+/// When `mirror` is non-null the flow directory is also written under
+/// `<net_root>/switches/<switch>/flows/<name>` (committed).
+ConsumerStats drain_flow_channel(
+    FlowChannel& channel, ofp::Version version,
+    const std::function<void(const std::string&, std::vector<std::uint8_t>)>&
+        sink,
+    vfs::Vfs* mirror = nullptr, const std::string& net_root = "/net");
+
+}  // namespace yanc::fast

@@ -1,0 +1,60 @@
+// The libyanc flow fastpath (§8.1): "a fastpath for e.g. creating flow
+// entries atomically and without any context switchings."
+//
+// Contrast with the file-system path, where one flow entry costs a dozen
+// system calls (mkdir + one write per match/action field + the version
+// commit).  Here the application builds a whole batch of FlowSpecs and
+// publishes it with one lock-free ring push; the driver consumes the batch
+// and pushes FLOW_MODs.  The batch is also mirrored into the file system
+// by the consumer (so shell tools still see every flow) — but off the
+// application's critical path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "yanc/fast/ring.hpp"
+#include "yanc/flow/flowspec.hpp"
+
+namespace yanc::fast {
+
+struct FlowBatch {
+  std::string switch_name;
+  /// (flow name, committed spec) pairs; the whole batch is atomic.
+  std::vector<std::pair<std::string, flow::FlowSpec>> entries;
+};
+
+class FlowChannel {
+ public:
+  explicit FlowChannel(std::size_t ring_slots = 4096) : ring_(ring_slots) {}
+
+  /// Application side: publishes a batch atomically.  No system calls, no
+  /// locks.  False when the ring is full (backpressure).
+  bool submit(FlowBatch batch) {
+    if (!ring_.push(std::move(batch))) return false;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Driver side: next pending batch.
+  std::optional<FlowBatch> take() {
+    auto batch = ring_.pop();
+    if (batch) taken_.fetch_add(1, std::memory_order_relaxed);
+    return batch;
+  }
+
+  std::uint64_t submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t taken() const noexcept {
+    return taken_.load(std::memory_order_relaxed);
+  }
+  std::size_t pending() const noexcept { return ring_.size(); }
+
+ private:
+  SpscRing<FlowBatch> ring_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> taken_{0};
+};
+
+}  // namespace yanc::fast

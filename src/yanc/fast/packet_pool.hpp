@@ -1,0 +1,157 @@
+// Zero-copy packet buffers (§8.1): "the efficient, zero-copy passing of
+// bulk data — packet in buffers, for example — among applications."
+//
+// A PacketPool owns fixed-size refcounted slots.  A packet-in payload is
+// written once; fan-out to N applications passes PacketRef handles (16
+// bytes each) instead of copying the payload N times — the file-system
+// events/ path, by contrast, writes a private copy into every app's
+// buffer.  EXP-4 measures the difference.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "yanc/util/result.hpp"
+
+namespace yanc::fast {
+
+class PacketPool;
+
+/// A shared reference to one pooled packet.  Copying bumps a refcount;
+/// the slot returns to the pool when the last reference drops.
+class PacketRef {
+ public:
+  PacketRef() = default;
+  PacketRef(const PacketRef& other) { acquire(other); }
+  PacketRef& operator=(const PacketRef& other) {
+    if (this != &other) {
+      release();
+      acquire(other);
+    }
+    return *this;
+  }
+  PacketRef(PacketRef&& other) noexcept
+      : pool_(other.pool_), slot_(other.slot_) {
+    other.pool_ = nullptr;
+  }
+  PacketRef& operator=(PacketRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      slot_ = other.slot_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketRef() { release(); }
+
+  explicit operator bool() const noexcept { return pool_ != nullptr; }
+  std::span<const std::uint8_t> data() const;
+  std::uint16_t in_port() const;
+  std::uint64_t datapath() const;
+
+ private:
+  friend class PacketPool;
+  PacketRef(PacketPool* pool, std::size_t slot) : pool_(pool), slot_(slot) {}
+  void acquire(const PacketRef& other);
+  void release();
+
+  PacketPool* pool_ = nullptr;
+  std::size_t slot_ = 0;
+};
+
+class PacketPool {
+ public:
+  PacketPool(std::size_t slots, std::size_t slot_bytes)
+      : slot_bytes_(slot_bytes), payload_(slots * slot_bytes),
+        meta_(slots) {
+    free_.reserve(slots);
+    for (std::size_t i = slots; i > 0; --i) free_.push_back(i - 1);
+  }
+
+  /// Writes the payload once and returns the first reference.
+  /// Fails with ENOSPC when the pool is exhausted or the frame too large.
+  Result<PacketRef> emplace(std::span<const std::uint8_t> frame,
+                            std::uint64_t datapath, std::uint16_t in_port) {
+    if (frame.size() > slot_bytes_) return Errc::no_space;
+    std::size_t slot;
+    {
+      std::lock_guard lock(mu_);
+      if (free_.empty()) return Errc::no_space;
+      slot = free_.back();
+      free_.pop_back();
+    }
+    Meta& m = meta_[slot];
+    m.len = frame.size();
+    m.datapath = datapath;
+    m.in_port = in_port;
+    m.refs.store(1, std::memory_order_relaxed);
+    std::memcpy(payload_.data() + slot * slot_bytes_, frame.data(),
+                frame.size());
+    return PacketRef(this, slot);
+  }
+
+  std::size_t slots_free() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+  std::size_t slots_total() const noexcept { return meta_.size(); }
+
+ private:
+  friend class PacketRef;
+  struct Meta {
+    std::atomic<std::uint32_t> refs{0};
+    std::size_t len = 0;
+    std::uint64_t datapath = 0;
+    std::uint16_t in_port = 0;
+  };
+
+  void add_ref(std::size_t slot) {
+    meta_[slot].refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void drop_ref(std::size_t slot) {
+    if (meta_[slot].refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(mu_);
+      free_.push_back(slot);
+    }
+  }
+
+  std::size_t slot_bytes_;
+  std::vector<std::uint8_t> payload_;
+  std::vector<Meta> meta_;
+  mutable std::mutex mu_;
+  std::vector<std::size_t> free_;
+};
+
+inline std::span<const std::uint8_t> PacketRef::data() const {
+  assert(pool_);
+  return {pool_->payload_.data() + slot_ * pool_->slot_bytes_,
+          pool_->meta_[slot_].len};
+}
+
+inline std::uint16_t PacketRef::in_port() const {
+  assert(pool_);
+  return pool_->meta_[slot_].in_port;
+}
+
+inline std::uint64_t PacketRef::datapath() const {
+  assert(pool_);
+  return pool_->meta_[slot_].datapath;
+}
+
+inline void PacketRef::acquire(const PacketRef& other) {
+  pool_ = other.pool_;
+  slot_ = other.slot_;
+  if (pool_) pool_->add_ref(slot_);
+}
+
+inline void PacketRef::release() {
+  if (pool_) pool_->drop_ref(slot_);
+  pool_ = nullptr;
+}
+
+}  // namespace yanc::fast

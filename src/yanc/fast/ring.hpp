@@ -1,0 +1,58 @@
+// Lock-free single-producer/single-consumer ring — the queue primitive of
+// the libyanc fastpath.  Bounded, wait-free on both sides, no system calls
+// and no locks anywhere on the hot path (the point of §8.1).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+namespace yanc::fast {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit SpscRing(std::size_t capacity = 1024) {
+    std::size_t size = 1;
+    while (size < capacity) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+  }
+
+  /// Producer side.  False when full (caller decides: retry or drop).
+  bool push(T value) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> pop() {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  std::size_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace yanc::fast

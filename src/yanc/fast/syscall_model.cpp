@@ -1,0 +1,15 @@
+#include "yanc/fast/syscall_model.hpp"
+
+#include <chrono>
+
+namespace yanc::fast {
+
+void spin_for_ns(std::uint64_t ns) {
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // busy wait
+  }
+}
+
+}  // namespace yanc::fast

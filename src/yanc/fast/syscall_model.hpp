@@ -1,0 +1,38 @@
+// The cost model behind §8.1's performance argument: "Each fine-grained
+// access to the file system is done through a system call ... which
+// switches context from the application to the kernel."
+//
+// Our VFS is in-process, so crossing it costs nothing — which would make
+// the FS-vs-fastpath comparison dishonest.  SyscallCostModel charges a
+// configurable boundary cost per Vfs operation (the Vfs op counters supply
+// the count) so benchmarks can report both raw time and modelled time
+// under a realistic per-syscall price (~300-1000 ns on current kernels).
+#pragma once
+
+#include <cstdint>
+
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::fast {
+
+struct SyscallCostModel {
+  /// Price of one user/kernel boundary crossing.
+  std::uint64_t cost_ns = 500;
+
+  /// Modelled overhead for `ops` boundary crossings.
+  std::uint64_t overhead_ns(std::uint64_t ops) const {
+    return ops * cost_ns;
+  }
+
+  /// Overhead implied by a Vfs counter delta.
+  std::uint64_t overhead_ns(const vfs::OpCounters& counters,
+                            std::uint64_t baseline_total = 0) const {
+    return overhead_ns(counters.total.load() - baseline_total);
+  }
+};
+
+/// Burns approximately `ns` of CPU (used when a benchmark wants the cost
+/// to appear in wall-clock measurements rather than as a reported column).
+void spin_for_ns(std::uint64_t ns);
+
+}  // namespace yanc::fast

@@ -1,0 +1,152 @@
+#include "yanc/flow/action.hpp"
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::flow {
+namespace {
+
+Result<std::uint16_t> parse_port_value(std::string_view s) {
+  s = trim(s);
+  if (s == "controller") return port_no::controller;
+  if (s == "flood") return port_no::flood;
+  if (s == "all") return port_no::all;
+  if (s == "in_port") return port_no::in_port;
+  if (s == "local") return port_no::local;
+  auto v = parse_u64(s);
+  if (!v || *v > 0xffff) return Errc::invalid_argument;
+  return static_cast<std::uint16_t>(*v);
+}
+
+Result<std::uint16_t> parse_u16(std::string_view s, std::uint64_t max) {
+  auto v = parse_u64(trim(s));
+  if (!v || *v > max) return Errc::invalid_argument;
+  return static_cast<std::uint16_t>(*v);
+}
+
+std::string port_text(std::uint16_t port) {
+  switch (port) {
+    case port_no::controller: return "controller";
+    case port_no::flood: return "flood";
+    case port_no::all: return "all";
+    case port_no::in_port: return "in_port";
+    case port_no::local: return "local";
+    default: return std::to_string(port);
+  }
+}
+
+}  // namespace
+
+std::string Action::value_text() const {
+  switch (kind) {
+    case ActionKind::output: return port_text(port());
+    case ActionKind::drop:
+    case ActionKind::strip_vlan: return "1";
+    case ActionKind::set_vlan:
+    case ActionKind::set_tp_src:
+    case ActionKind::set_tp_dst: return std::to_string(port());
+    case ActionKind::set_nw_tos:
+      return std::to_string(std::get<std::uint8_t>(value));
+    case ActionKind::set_dl_src:
+    case ActionKind::set_dl_dst: return mac().to_string();
+    case ActionKind::set_nw_src:
+    case ActionKind::set_nw_dst: return ip().to_string();
+    case ActionKind::enqueue: {
+      std::uint32_t packed = std::get<std::uint32_t>(value);
+      return std::to_string(packed >> 16) + ":" +
+             std::to_string(packed & 0xffff);
+    }
+  }
+  return {};
+}
+
+std::string Action::to_string() const {
+  return action_file_name(kind) + ":" + value_text();
+}
+
+std::string action_file_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::output: return "out";
+    case ActionKind::drop: return "drop";
+    case ActionKind::set_vlan: return "set_vlan";
+    case ActionKind::strip_vlan: return "strip_vlan";
+    case ActionKind::set_dl_src: return "set_dl_src";
+    case ActionKind::set_dl_dst: return "set_dl_dst";
+    case ActionKind::set_nw_src: return "set_nw_src";
+    case ActionKind::set_nw_dst: return "set_nw_dst";
+    case ActionKind::set_nw_tos: return "set_nw_tos";
+    case ActionKind::set_tp_src: return "set_tp_src";
+    case ActionKind::set_tp_dst: return "set_tp_dst";
+    case ActionKind::enqueue: return "enqueue";
+  }
+  return {};
+}
+
+Result<Action> parse_action(std::string_view name, std::string_view value) {
+  Action a;
+  if (name == "out") {
+    auto port = parse_port_value(value);
+    if (!port) return port.error();
+    return Action::output(*port);
+  }
+  if (name == "drop") {
+    a.kind = ActionKind::drop;
+    return a;
+  }
+  if (name == "strip_vlan") {
+    a.kind = ActionKind::strip_vlan;
+    return a;
+  }
+  if (name == "set_vlan") {
+    auto v = parse_u16(value, 4095);
+    if (!v) return v.error();
+    return Action{ActionKind::set_vlan, *v};
+  }
+  if (name == "set_tp_src" || name == "set_tp_dst") {
+    auto v = parse_u16(value, 0xffff);
+    if (!v) return v.error();
+    return Action{name == "set_tp_src" ? ActionKind::set_tp_src
+                                       : ActionKind::set_tp_dst,
+                  *v};
+  }
+  if (name == "set_nw_tos") {
+    auto v = parse_u64(trim(value));
+    if (!v || *v > 0xff) return Errc::invalid_argument;
+    return Action{ActionKind::set_nw_tos, static_cast<std::uint8_t>(*v)};
+  }
+  if (name == "set_dl_src" || name == "set_dl_dst") {
+    auto mac = MacAddress::parse(value);
+    if (!mac) return mac.error();
+    return Action{name == "set_dl_src" ? ActionKind::set_dl_src
+                                       : ActionKind::set_dl_dst,
+                  *mac};
+  }
+  if (name == "set_nw_src" || name == "set_nw_dst") {
+    auto ip = Ipv4Address::parse(value);
+    if (!ip) return ip.error();
+    return Action{name == "set_nw_src" ? ActionKind::set_nw_src
+                                       : ActionKind::set_nw_dst,
+                  *ip};
+  }
+  if (name == "enqueue") {
+    auto parts = split(trim(value), ':');
+    if (parts.size() != 2) return Errc::invalid_argument;
+    auto port = parse_u64(parts[0]);
+    auto queue = parse_u64(parts[1]);
+    if (!port || !queue || *port > 0xffff || *queue > 0xffff)
+      return Errc::invalid_argument;
+    return Action{ActionKind::enqueue,
+                  static_cast<std::uint32_t>((*port << 16) | *queue)};
+  }
+  return Errc::invalid_argument;
+}
+
+std::string actions_to_string(const std::vector<Action>& actions) {
+  std::string out;
+  for (const auto& a : actions) {
+    if (!out.empty()) out += ' ';
+    out += a.to_string();
+  }
+  return out.empty() ? "drop" : out;
+}
+
+}  // namespace yanc::flow

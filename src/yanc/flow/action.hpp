@@ -1,0 +1,80 @@
+// Flow actions: what the action.* files in a flow directory denote (§3.4).
+// The set mirrors OpenFlow 1.0 actions (a strict subset of 1.3's), which is
+// also exactly what the software switch executes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "yanc/util/net_types.hpp"
+#include "yanc/util/result.hpp"
+
+namespace yanc::flow {
+
+/// Reserved output "ports" (values mirror OpenFlow 1.0 ofp_port).
+namespace port_no {
+inline constexpr std::uint16_t max = 0xff00;        // highest physical port
+inline constexpr std::uint16_t in_port = 0xfff8;    // bounce out the ingress
+inline constexpr std::uint16_t flood = 0xfffb;      // all except ingress
+inline constexpr std::uint16_t all = 0xfffc;        // all ports
+inline constexpr std::uint16_t controller = 0xfffd;  // packet-in to control
+inline constexpr std::uint16_t local = 0xfffe;
+inline constexpr std::uint16_t none = 0xffff;
+}  // namespace port_no
+
+enum class ActionKind : std::uint8_t {
+  output,       // forward out a port (or reserved port)
+  drop,         // explicit drop (empty action list also drops)
+  set_vlan,     // set VLAN id
+  strip_vlan,
+  set_dl_src,
+  set_dl_dst,
+  set_nw_src,
+  set_nw_dst,
+  set_nw_tos,
+  set_tp_src,
+  set_tp_dst,
+  enqueue,      // output to a port's queue
+};
+
+/// One action.  The value variant's active member depends on kind:
+/// ports/vlan/tp -> u16, tos -> u8, dl -> MacAddress, nw -> Ipv4Address,
+/// enqueue -> (port, queue) packed into u32 (port << 16 | queue).
+struct Action {
+  ActionKind kind = ActionKind::drop;
+  std::variant<std::monostate, std::uint16_t, std::uint8_t, std::uint32_t,
+               MacAddress, Ipv4Address>
+      value;
+
+  bool operator==(const Action&) const = default;
+
+  static Action output(std::uint16_t port) {
+    return {ActionKind::output, port};
+  }
+  static Action to_controller() { return output(port_no::controller); }
+  static Action flood() { return output(port_no::flood); }
+
+  std::uint16_t port() const { return std::get<std::uint16_t>(value); }
+  MacAddress mac() const { return std::get<MacAddress>(value); }
+  Ipv4Address ip() const { return std::get<Ipv4Address>(value); }
+
+  /// File-system text form used in action.* files ("2", "flood",
+  /// "aa:bb:...", "10.0.0.1").  The action *name* is the file name.
+  std::string value_text() const;
+
+  std::string to_string() const;
+};
+
+/// Parses the value text of an action.<name> file.  `name` is the suffix
+/// after "action." ("out", "set_dl_src", ...).
+Result<Action> parse_action(std::string_view name, std::string_view value);
+
+/// The file-name suffix for an action ("out" for output, ...).
+std::string action_file_name(ActionKind kind);
+
+/// Renders an action list as "output:2 set_vlan:10 ...".
+std::string actions_to_string(const std::vector<Action>& actions);
+
+}  // namespace yanc::flow

@@ -1,0 +1,131 @@
+// FlowBuilder: a fluent way to assemble FlowSpecs in application code.
+//
+//   auto spec = FlowBuilder()
+//                   .dl_type(0x0800).nw_proto(6).tp_dst(22)
+//                   .output(2).priority(100).idle_timeout(30)
+//                   .build();
+//
+// Purely a convenience over FlowSpec — everything it produces can equally
+// be written as match.* / action.* files by hand (§3.4).
+#pragma once
+
+#include "yanc/flow/flowspec.hpp"
+
+namespace yanc::flow {
+
+class FlowBuilder {
+ public:
+  // --- match fields -----------------------------------------------------
+  FlowBuilder& in_port(std::uint16_t port) {
+    spec_.match.in_port = port;
+    return *this;
+  }
+  FlowBuilder& dl_src(const MacAddress& mac) {
+    spec_.match.dl_src = mac;
+    return *this;
+  }
+  FlowBuilder& dl_dst(const MacAddress& mac) {
+    spec_.match.dl_dst = mac;
+    return *this;
+  }
+  FlowBuilder& dl_type(std::uint16_t ethertype) {
+    spec_.match.dl_type = ethertype;
+    return *this;
+  }
+  FlowBuilder& dl_vlan(std::uint16_t vid) {
+    spec_.match.dl_vlan = vid;
+    return *this;
+  }
+  FlowBuilder& nw_src(const Cidr& cidr) {
+    spec_.match.nw_src = cidr;
+    return *this;
+  }
+  FlowBuilder& nw_dst(const Cidr& cidr) {
+    spec_.match.nw_dst = cidr;
+    return *this;
+  }
+  FlowBuilder& nw_proto(std::uint8_t proto) {
+    spec_.match.nw_proto = proto;
+    return *this;
+  }
+  FlowBuilder& tp_src(std::uint16_t port) {
+    spec_.match.tp_src = port;
+    return *this;
+  }
+  FlowBuilder& tp_dst(std::uint16_t port) {
+    spec_.match.tp_dst = port;
+    return *this;
+  }
+
+  // --- actions --------------------------------------------------------------
+  FlowBuilder& output(std::uint16_t port) {
+    spec_.actions.push_back(Action::output(port));
+    return *this;
+  }
+  FlowBuilder& flood() {
+    spec_.actions.push_back(Action::flood());
+    return *this;
+  }
+  FlowBuilder& to_controller() {
+    spec_.actions.push_back(Action::to_controller());
+    return *this;
+  }
+  FlowBuilder& set_dl_dst(const MacAddress& mac) {
+    spec_.actions.push_back(Action{ActionKind::set_dl_dst, mac});
+    return *this;
+  }
+  FlowBuilder& set_dl_src(const MacAddress& mac) {
+    spec_.actions.push_back(Action{ActionKind::set_dl_src, mac});
+    return *this;
+  }
+  FlowBuilder& set_nw_dst(const Ipv4Address& ip) {
+    spec_.actions.push_back(Action{ActionKind::set_nw_dst, ip});
+    return *this;
+  }
+  FlowBuilder& set_nw_src(const Ipv4Address& ip) {
+    spec_.actions.push_back(Action{ActionKind::set_nw_src, ip});
+    return *this;
+  }
+  FlowBuilder& set_tp_dst(std::uint16_t port) {
+    spec_.actions.push_back(Action{ActionKind::set_tp_dst, port});
+    return *this;
+  }
+  /// Drop = no actions; clears anything added so far.
+  FlowBuilder& drop() {
+    spec_.actions.clear();
+    return *this;
+  }
+
+  // --- entry metadata ---------------------------------------------------------
+  FlowBuilder& priority(std::uint16_t p) {
+    spec_.priority = p;
+    return *this;
+  }
+  FlowBuilder& idle_timeout(std::uint16_t seconds) {
+    spec_.idle_timeout = seconds;
+    return *this;
+  }
+  FlowBuilder& hard_timeout(std::uint16_t seconds) {
+    spec_.hard_timeout = seconds;
+    return *this;
+  }
+  FlowBuilder& cookie(std::uint64_t value) {
+    spec_.cookie = value;
+    return *this;
+  }
+  FlowBuilder& table(std::uint8_t id) {
+    spec_.table_id = id;
+    return *this;
+  }
+  FlowBuilder& goto_table(std::uint8_t id) {
+    spec_.goto_table = id;
+    return *this;
+  }
+
+  FlowSpec build() const { return spec_; }
+
+ private:
+  FlowSpec spec_;
+};
+
+}  // namespace yanc::flow

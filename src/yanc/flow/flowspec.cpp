@@ -1,0 +1,19 @@
+#include "yanc/flow/flowspec.hpp"
+
+#include <sstream>
+
+namespace yanc::flow {
+
+std::string FlowSpec::to_string() const {
+  std::ostringstream out;
+  out << "prio=" << priority;
+  if (table_id) out << " table=" << static_cast<int>(table_id);
+  std::string m = match.to_string();
+  out << " match=[" << (m.empty() ? "*" : m) << "]";
+  out << " actions=[" << actions_to_string(actions) << "]";
+  if (idle_timeout) out << " idle=" << idle_timeout;
+  if (hard_timeout) out << " hard=" << hard_timeout;
+  return out.str();
+}
+
+}  // namespace yanc::flow

@@ -1,0 +1,39 @@
+// FlowSpec: one complete flow entry — what a flow directory (§3.4, Fig. 3)
+// denotes once its version file is committed.  The single source of truth
+// passed between the yanc FS, drivers, views, and the software switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "yanc/flow/action.hpp"
+#include "yanc/flow/match.hpp"
+
+namespace yanc::flow {
+
+inline constexpr std::uint16_t kDefaultPriority = 32768;
+
+struct FlowSpec {
+  Match match;
+  std::vector<Action> actions;  // empty list = drop
+  std::uint16_t priority = kDefaultPriority;
+  std::uint16_t idle_timeout = 0;  // seconds; 0 = never
+  std::uint16_t hard_timeout = 0;
+  std::uint64_t cookie = 0;
+  std::uint8_t table_id = 0;   // OpenFlow 1.3 only; table 0 under 1.0
+  int goto_table = -1;         // OpenFlow 1.3 goto-table instruction; -1 = none
+  std::uint64_t version = 0;   // commit counter from the version file
+
+  bool operator==(const FlowSpec&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Statistics mirrored into a flow's counters/ directory.
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace yanc::flow

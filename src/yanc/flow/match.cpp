@@ -1,0 +1,176 @@
+#include "yanc/flow/match.hpp"
+
+#include <sstream>
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::flow {
+namespace {
+
+template <typename T>
+bool field_matches(const std::optional<T>& want, const T& have) {
+  return !want || *want == have;
+}
+
+// Narrower-or-equal for scalar (exact) fields.
+template <typename T>
+bool field_subsumes(const std::optional<T>& wide,
+                    const std::optional<T>& narrow) {
+  if (!wide) return true;          // wildcard subsumes anything
+  if (!narrow) return false;       // exact cannot subsume wildcard
+  return *wide == *narrow;
+}
+
+bool cidr_subsumes(const std::optional<Cidr>& wide,
+                   const std::optional<Cidr>& narrow) {
+  if (!wide) return true;
+  if (!narrow) return false;
+  return wide->contains(*narrow);
+}
+
+// Intersects two optional exact fields; returns false when disjoint.
+template <typename T>
+bool intersect_field(const std::optional<T>& a, const std::optional<T>& b,
+                     std::optional<T>& out) {
+  if (!a) {
+    out = b;
+    return true;
+  }
+  if (!b) {
+    out = a;
+    return true;
+  }
+  if (*a != *b) return false;
+  out = a;
+  return true;
+}
+
+bool intersect_cidr(const std::optional<Cidr>& a, const std::optional<Cidr>& b,
+                    std::optional<Cidr>& out) {
+  if (!a) {
+    out = b;
+    return true;
+  }
+  if (!b) {
+    out = a;
+    return true;
+  }
+  if (a->contains(*b)) {
+    out = b;  // the narrower prefix
+    return true;
+  }
+  if (b->contains(*a)) {
+    out = a;
+    return true;
+  }
+  return false;  // disjoint prefixes
+}
+
+}  // namespace
+
+bool Match::matches(const FieldValues& f) const {
+  return field_matches(in_port, f.in_port) &&
+         field_matches(dl_src, f.dl_src) &&
+         field_matches(dl_dst, f.dl_dst) &&
+         field_matches(dl_type, f.dl_type) &&
+         field_matches(dl_vlan, f.dl_vlan) &&
+         field_matches(dl_vlan_pcp, f.dl_vlan_pcp) &&
+         (!nw_src || nw_src->contains(f.nw_src)) &&
+         (!nw_dst || nw_dst->contains(f.nw_dst)) &&
+         field_matches(nw_proto, f.nw_proto) &&
+         field_matches(nw_tos, f.nw_tos) &&
+         field_matches(tp_src, f.tp_src) &&
+         field_matches(tp_dst, f.tp_dst);
+}
+
+bool Match::subsumes(const Match& other) const {
+  return field_subsumes(in_port, other.in_port) &&
+         field_subsumes(dl_src, other.dl_src) &&
+         field_subsumes(dl_dst, other.dl_dst) &&
+         field_subsumes(dl_type, other.dl_type) &&
+         field_subsumes(dl_vlan, other.dl_vlan) &&
+         field_subsumes(dl_vlan_pcp, other.dl_vlan_pcp) &&
+         cidr_subsumes(nw_src, other.nw_src) &&
+         cidr_subsumes(nw_dst, other.nw_dst) &&
+         field_subsumes(nw_proto, other.nw_proto) &&
+         field_subsumes(nw_tos, other.nw_tos) &&
+         field_subsumes(tp_src, other.tp_src) &&
+         field_subsumes(tp_dst, other.tp_dst);
+}
+
+std::optional<Match> Match::intersect(const Match& other) const {
+  Match out;
+  if (!intersect_field(in_port, other.in_port, out.in_port) ||
+      !intersect_field(dl_src, other.dl_src, out.dl_src) ||
+      !intersect_field(dl_dst, other.dl_dst, out.dl_dst) ||
+      !intersect_field(dl_type, other.dl_type, out.dl_type) ||
+      !intersect_field(dl_vlan, other.dl_vlan, out.dl_vlan) ||
+      !intersect_field(dl_vlan_pcp, other.dl_vlan_pcp, out.dl_vlan_pcp) ||
+      !intersect_cidr(nw_src, other.nw_src, out.nw_src) ||
+      !intersect_cidr(nw_dst, other.nw_dst, out.nw_dst) ||
+      !intersect_field(nw_proto, other.nw_proto, out.nw_proto) ||
+      !intersect_field(nw_tos, other.nw_tos, out.nw_tos) ||
+      !intersect_field(tp_src, other.tp_src, out.tp_src) ||
+      !intersect_field(tp_dst, other.tp_dst, out.tp_dst))
+    return std::nullopt;
+  return out;
+}
+
+int Match::wildcard_count() const {
+  int n = 0;
+  n += !in_port;
+  n += !dl_src;
+  n += !dl_dst;
+  n += !dl_type;
+  n += !dl_vlan;
+  n += !dl_vlan_pcp;
+  n += !nw_src;
+  n += !nw_dst;
+  n += !nw_proto;
+  n += !nw_tos;
+  n += !tp_src;
+  n += !tp_dst;
+  return n;
+}
+
+Match Match::exact_from(const FieldValues& f) {
+  Match m;
+  m.in_port = f.in_port;
+  m.dl_src = f.dl_src;
+  m.dl_dst = f.dl_dst;
+  m.dl_type = f.dl_type;
+  m.dl_vlan = f.dl_vlan;
+  m.dl_vlan_pcp = f.dl_vlan_pcp;
+  m.nw_src = Cidr(f.nw_src, 32);
+  m.nw_dst = Cidr(f.nw_dst, 32);
+  m.nw_proto = f.nw_proto;
+  m.nw_tos = f.nw_tos;
+  m.tp_src = f.tp_src;
+  m.tp_dst = f.tp_dst;
+  return m;
+}
+
+std::string Match::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  auto emit = [&](const char* name, const std::string& value) {
+    if (!first) out << ',';
+    first = false;
+    out << name << '=' << value;
+  };
+  if (in_port) emit("in_port", std::to_string(*in_port));
+  if (dl_src) emit("dl_src", dl_src->to_string());
+  if (dl_dst) emit("dl_dst", dl_dst->to_string());
+  if (dl_type) emit("dl_type", "0x" + to_hex(*dl_type, 2));
+  if (dl_vlan) emit("dl_vlan", std::to_string(*dl_vlan));
+  if (dl_vlan_pcp) emit("dl_vlan_pcp", std::to_string(*dl_vlan_pcp));
+  if (nw_src) emit("nw_src", nw_src->to_string());
+  if (nw_dst) emit("nw_dst", nw_dst->to_string());
+  if (nw_proto) emit("nw_proto", std::to_string(*nw_proto));
+  if (nw_tos) emit("nw_tos", std::to_string(*nw_tos));
+  if (tp_src) emit("tp_src", std::to_string(*tp_src));
+  if (tp_dst) emit("tp_dst", std::to_string(*tp_dst));
+  return out.str();
+}
+
+}  // namespace yanc::flow

@@ -1,0 +1,67 @@
+#include "yanc/net/channel.hpp"
+
+namespace yanc::net {
+
+std::pair<Channel, Channel> Channel::make_pair() {
+  auto shared = std::make_shared<Shared>();
+  return {Channel(shared, 0), Channel(shared, 1)};
+}
+
+bool Channel::connected() const {
+  if (!shared_) return false;
+  std::lock_guard lock(shared_->mu);
+  return !shared_->closed;
+}
+
+void Channel::send(Message message) {
+  if (!shared_) return;
+  std::lock_guard lock(shared_->mu);
+  if (shared_->closed) return;
+  shared_->queues[1 - side_].push_back(std::move(message));
+}
+
+std::optional<Message> Channel::try_recv() {
+  if (!shared_) return std::nullopt;
+  std::lock_guard lock(shared_->mu);
+  auto& q = shared_->queues[side_];
+  if (q.empty()) return std::nullopt;
+  Message m = std::move(q.front());
+  q.pop_front();
+  return m;
+}
+
+std::size_t Channel::pending() const {
+  if (!shared_) return 0;
+  std::lock_guard lock(shared_->mu);
+  return shared_->queues[side_].size();
+}
+
+void Channel::close() {
+  if (!shared_) return;
+  std::lock_guard lock(shared_->mu);
+  shared_->closed = true;
+}
+
+Channel Listener::connect() {
+  auto [a, b] = Channel::make_pair();
+  {
+    std::lock_guard lock(mu_);
+    pending_.push_back(std::move(b));
+  }
+  return a;
+}
+
+std::optional<Channel> Listener::accept() {
+  std::lock_guard lock(mu_);
+  if (pending_.empty()) return std::nullopt;
+  Channel c = std::move(pending_.front());
+  pending_.pop_front();
+  return c;
+}
+
+std::size_t Listener::backlog() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace yanc::net

@@ -1,0 +1,76 @@
+// In-memory message channels: the stand-in for the TCP connections between
+// OpenFlow switches and the controller's drivers.
+//
+// A channel pair is two endpoints over shared queues; each send() enqueues
+// one complete message (OpenFlow messages are length-framed by their own
+// header, so message-granularity is what a driver would reassemble anyway).
+// A Listener models the controller's accept socket: switches connect, the
+// driver accepts the peer endpoint.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace yanc::net {
+
+using Message = std::vector<std::uint8_t>;
+
+class Channel {
+ public:
+  /// Creates a connected pair of endpoints.
+  static std::pair<Channel, Channel> make_pair();
+
+  Channel() = default;
+
+  /// True when this endpoint is usable and the peer has not closed.
+  bool connected() const;
+  explicit operator bool() const { return connected(); }
+
+  /// Enqueues a message toward the peer; fails silently once closed.
+  void send(Message message);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv();
+
+  /// Number of queued inbound messages.
+  std::size_t pending() const;
+
+  /// Closes both directions (peer sees connected() == false after
+  /// draining its queue).
+  void close();
+
+ private:
+  struct Shared {
+    mutable std::mutex mu;
+    std::deque<Message> queues[2];
+    bool closed = false;
+  };
+  Channel(std::shared_ptr<Shared> shared, int side)
+      : shared_(std::move(shared)), side_(side) {}
+
+  std::shared_ptr<Shared> shared_;
+  int side_ = 0;
+};
+
+/// Accept queue for incoming switch connections.
+class Listener {
+ public:
+  /// Switch side: creates a channel pair, queues one end for accept(),
+  /// returns the other to the caller.
+  Channel connect();
+
+  /// Controller side: next pending connection, if any.
+  std::optional<Channel> accept();
+
+  std::size_t backlog() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Channel> pending_;
+};
+
+}  // namespace yanc::net

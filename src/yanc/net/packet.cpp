@@ -1,0 +1,419 @@
+#include "yanc/net/packet.hpp"
+
+#include "yanc/util/bytes.hpp"
+
+namespace yanc::net {
+namespace {
+
+constexpr std::size_t kEthHeader = 14;
+
+MacAddress read_mac(BufReader& r) {
+  std::array<std::uint8_t, 6> b{};
+  r.bytes(b);
+  return MacAddress(b);
+}
+
+void write_mac(BufWriter& w, const MacAddress& mac) {
+  w.bytes(mac.bytes());
+}
+
+std::uint16_t ipv4_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2)
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (len & 1) sum += static_cast<std::uint32_t>(data[len - 1]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+// Offset of the IPv4 header within the frame, accounting for a VLAN tag.
+std::size_t l3_offset(const Frame& frame) {
+  if (frame.size() >= kEthHeader) {
+    std::uint16_t type =
+        (static_cast<std::uint16_t>(frame[12]) << 8) | frame[13];
+    if (type == ethertype::vlan) return kEthHeader + 4;
+  }
+  return kEthHeader;
+}
+
+void refresh_ipv4_checksum(Frame& frame) {
+  std::size_t off = l3_offset(frame);
+  if (frame.size() < off + 20) return;
+  std::size_t ihl = (frame[off] & 0x0f) * 4u;
+  if (frame.size() < off + ihl) return;
+  frame[off + 10] = 0;
+  frame[off + 11] = 0;
+  std::uint16_t sum = ipv4_checksum(frame.data() + off, ihl);
+  frame[off + 10] = static_cast<std::uint8_t>(sum >> 8);
+  frame[off + 11] = static_cast<std::uint8_t>(sum);
+}
+
+}  // namespace
+
+flow::FieldValues ParsedFrame::fields(std::uint16_t in_port) const {
+  flow::FieldValues f;
+  f.in_port = in_port;
+  f.dl_src = dl_src;
+  f.dl_dst = dl_dst;
+  f.dl_type = dl_type;
+  f.dl_vlan = vlan_id;
+  f.dl_vlan_pcp = vlan_pcp;
+  if (arp) {
+    // OpenFlow 1.0 maps ARP SPA/TPA onto nw_src/nw_dst and the opcode
+    // onto nw_proto.
+    f.nw_src = arp->sender_ip;
+    f.nw_dst = arp->target_ip;
+    f.nw_proto = static_cast<std::uint8_t>(arp->op);
+  }
+  if (ipv4) {
+    f.nw_src = ipv4->src;
+    f.nw_dst = ipv4->dst;
+    f.nw_proto = ipv4->proto;
+    f.nw_tos = ipv4->tos;
+  }
+  if (l4) {
+    f.tp_src = l4->src_port;
+    f.tp_dst = l4->dst_port;
+  }
+  return f;
+}
+
+Result<ParsedFrame> parse_frame(const Frame& frame) {
+  if (frame.size() < kEthHeader) return Errc::protocol_error;
+  BufReader r(frame);
+  ParsedFrame p;
+  p.dl_dst = read_mac(r);
+  p.dl_src = read_mac(r);
+  p.dl_type = r.u16();
+  if (p.dl_type == ethertype::vlan) {
+    std::uint16_t tci = r.u16();
+    p.vlan_id = tci & 0x0fff;
+    p.vlan_pcp = static_cast<std::uint8_t>(tci >> 13);
+    p.dl_type = r.u16();
+    if (!r.ok()) return p;  // truncated after the tag
+  }
+
+  if (p.dl_type == ethertype::arp) {
+    BufReader a = r;
+    a.skip(6);  // htype, ptype, hlen, plen
+    ParsedFrame::Arp arp;
+    arp.op = a.u16();
+    arp.sender_mac = read_mac(a);
+    arp.sender_ip = Ipv4Address(a.u32());
+    arp.target_mac = read_mac(a);
+    arp.target_ip = Ipv4Address(a.u32());
+    if (a.ok()) p.arp = arp;
+    return p;
+  }
+
+  if (p.dl_type != ethertype::ipv4) return p;
+
+  BufReader ip = r;
+  std::uint8_t ver_ihl = ip.u8();
+  if (!ip.ok() || (ver_ihl >> 4) != 4) return p;
+  std::size_t ihl = (ver_ihl & 0x0f) * 4u;
+  ParsedFrame::Ipv4 v4;
+  v4.tos = ip.u8();
+  std::uint16_t total_len = ip.u16();
+  ip.skip(4);  // id, flags+frag
+  v4.ttl = ip.u8();
+  v4.proto = ip.u8();
+  ip.skip(2);  // checksum
+  v4.src = Ipv4Address(ip.u32());
+  v4.dst = Ipv4Address(ip.u32());
+  if (!ip.ok()) return p;
+  if (ihl > 20) ip.skip(ihl - 20);
+  p.ipv4 = v4;
+  (void)total_len;
+
+  if (v4.proto == ipproto::tcp || v4.proto == ipproto::udp) {
+    ParsedFrame::L4 l4;
+    l4.src_port = ip.u16();
+    l4.dst_port = ip.u16();
+    if (ip.ok()) {
+      p.l4 = l4;
+      // Skip the rest of the L4 header to the payload.
+      if (v4.proto == ipproto::udp) {
+        ip.skip(4);  // length + checksum
+      } else {
+        ip.skip(8);   // seq + ack
+        std::uint8_t off = ip.u8();
+        std::size_t hdr = (off >> 4) * 4u;
+        if (hdr >= 13) ip.skip(hdr - 13);
+        ip.skip(0);
+      }
+      if (ip.ok()) p.l4_payload = ip.bytes(ip.remaining());
+    }
+  } else if (v4.proto == ipproto::icmp) {
+    ParsedFrame::IcmpEcho icmp;
+    icmp.type = ip.u8();
+    std::uint8_t code = ip.u8();
+    ip.skip(2);  // checksum
+    icmp.id = ip.u16();
+    icmp.seq = ip.u16();
+    if (ip.ok()) {
+      p.icmp = icmp;
+      p.l4 = ParsedFrame::L4{icmp.type, code};
+      p.l4_payload = ip.bytes(ip.remaining());
+    }
+  }
+  return p;
+}
+
+Frame build_ethernet(const MacAddress& dst, const MacAddress& src,
+                     std::uint16_t type,
+                     const std::vector<std::uint8_t>& payload) {
+  BufWriter w;
+  write_mac(w, dst);
+  write_mac(w, src);
+  w.u16(type);
+  w.bytes(payload);
+  return w.take();
+}
+
+Frame build_arp(std::uint16_t op, const MacAddress& sender_mac,
+                const Ipv4Address& sender_ip, const MacAddress& target_mac,
+                const Ipv4Address& target_ip) {
+  BufWriter w;
+  w.u16(1);  // htype: ethernet
+  w.u16(ethertype::ipv4);
+  w.u8(6);
+  w.u8(4);
+  w.u16(op);
+  write_mac(w, sender_mac);
+  w.u32(sender_ip.value());
+  write_mac(w, target_mac);
+  w.u32(target_ip.value());
+  MacAddress dst = op == arp_op::request
+                       ? MacAddress::from_u64(0xffffffffffffull)
+                       : target_mac;
+  return build_ethernet(dst, sender_mac, ethertype::arp, w.take());
+}
+
+Frame build_ipv4(const MacAddress& dst_mac, const MacAddress& src_mac,
+                 const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                 std::uint8_t proto, const std::vector<std::uint8_t>& l4,
+                 std::uint8_t tos, std::uint8_t ttl) {
+  BufWriter w;
+  w.u8(0x45);  // v4, ihl 5
+  w.u8(tos);
+  w.u16(static_cast<std::uint16_t>(20 + l4.size()));
+  w.u32(0);  // id, flags, frag
+  w.u8(ttl);
+  w.u8(proto);
+  w.u16(0);  // checksum placeholder
+  w.u32(src_ip.value());
+  w.u32(dst_ip.value());
+  auto header = w.take();
+  std::uint16_t sum = ipv4_checksum(header.data(), header.size());
+  header[10] = static_cast<std::uint8_t>(sum >> 8);
+  header[11] = static_cast<std::uint8_t>(sum);
+  header.insert(header.end(), l4.begin(), l4.end());
+  return build_ethernet(dst_mac, src_mac, ethertype::ipv4, header);
+}
+
+Frame build_udp(const MacAddress& dst_mac, const MacAddress& src_mac,
+                const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                const std::vector<std::uint8_t>& payload) {
+  BufWriter w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(8 + payload.size()));
+  w.u16(0);  // checksum 0: legal for UDP over IPv4
+  w.bytes(payload);
+  return build_ipv4(dst_mac, src_mac, src_ip, dst_ip, ipproto::udp, w.take());
+}
+
+Frame build_tcp(const MacAddress& dst_mac, const MacAddress& src_mac,
+                const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                const std::vector<std::uint8_t>& payload) {
+  BufWriter w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(0);      // seq
+  w.u32(0);      // ack
+  w.u8(5 << 4);  // data offset 5 words
+  w.u8(0x18);    // PSH|ACK
+  w.u16(0xffff); // window
+  w.u16(0);      // checksum (simplified)
+  w.u16(0);      // urgent
+  w.bytes(payload);
+  return build_ipv4(dst_mac, src_mac, src_ip, dst_ip, ipproto::tcp, w.take());
+}
+
+Frame build_icmp_echo(const MacAddress& dst_mac, const MacAddress& src_mac,
+                      const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                      std::uint8_t type, std::uint16_t id, std::uint16_t seq,
+                      const std::vector<std::uint8_t>& payload) {
+  BufWriter w;
+  w.u8(type);
+  w.u8(0);   // code
+  w.u16(0);  // checksum placeholder
+  w.u16(id);
+  w.u16(seq);
+  w.bytes(payload);
+  auto icmp = w.take();
+  std::uint16_t sum = ipv4_checksum(icmp.data(), icmp.size());
+  icmp[2] = static_cast<std::uint8_t>(sum >> 8);
+  icmp[3] = static_cast<std::uint8_t>(sum);
+  return build_ipv4(dst_mac, src_mac, src_ip, dst_ip, ipproto::icmp, icmp);
+}
+
+Frame build_lldp(const std::string& chassis_id, const std::string& port_id,
+                 std::uint16_t ttl_seconds) {
+  BufWriter w;
+  auto tlv = [&](std::uint8_t type, const std::string& value,
+                 std::uint8_t subtype) {
+    std::uint16_t len = static_cast<std::uint16_t>(value.size() + 1);
+    w.u16(static_cast<std::uint16_t>((type << 9) | len));
+    w.u8(subtype);
+    w.bytes({reinterpret_cast<const std::uint8_t*>(value.data()),
+             value.size()});
+  };
+  tlv(1, chassis_id, 7);  // chassis id, locally assigned
+  tlv(2, port_id, 7);     // port id, locally assigned
+  w.u16(static_cast<std::uint16_t>((3 << 9) | 2));  // ttl tlv
+  w.u16(ttl_seconds);
+  w.u16(0);  // end of LLDPDU
+  // 01:80:c2:00:00:0e is the LLDP multicast address.
+  return build_ethernet(MacAddress::from_u64(0x0180c200000eull),
+                        MacAddress{}, ethertype::lldp, w.take());
+}
+
+Result<LldpInfo> parse_lldp(const Frame& frame) {
+  auto parsed = parse_frame(frame);
+  if (!parsed) return parsed.error();
+  if (parsed->dl_type != ethertype::lldp) return Errc::protocol_error;
+  BufReader r(frame);
+  r.skip(kEthHeader);
+  LldpInfo info;
+  bool saw_chassis = false, saw_port = false;
+  while (r.ok() && r.remaining() >= 2) {
+    std::uint16_t head = r.u16();
+    std::uint8_t type = static_cast<std::uint8_t>(head >> 9);
+    std::uint16_t len = head & 0x1ff;
+    if (type == 0) break;  // end of LLDPDU
+    BufReader body = r.sub(len);
+    if (!r.ok()) break;
+    if (type == 1 && len >= 1) {
+      body.u8();  // subtype
+      auto bytes = body.bytes(len - 1);
+      info.chassis_id.assign(bytes.begin(), bytes.end());
+      saw_chassis = true;
+    } else if (type == 2 && len >= 1) {
+      body.u8();
+      auto bytes = body.bytes(len - 1);
+      info.port_id.assign(bytes.begin(), bytes.end());
+      saw_port = true;
+    } else if (type == 3 && len >= 2) {
+      info.ttl = body.u16();
+    }
+  }
+  if (!saw_chassis || !saw_port) return Errc::protocol_error;
+  return info;
+}
+
+Frame with_vlan_tag(const Frame& frame, std::uint16_t vlan_id,
+                    std::uint8_t pcp) {
+  if (frame.size() < kEthHeader) return frame;
+  Frame out(frame.begin(), frame.begin() + 12);
+  std::uint16_t tci =
+      static_cast<std::uint16_t>((pcp << 13) | (vlan_id & 0x0fff));
+  bool tagged =
+      ((static_cast<std::uint16_t>(frame[12]) << 8) | frame[13]) ==
+      ethertype::vlan;
+  out.push_back(ethertype::vlan >> 8);
+  out.push_back(ethertype::vlan & 0xff);
+  out.push_back(static_cast<std::uint8_t>(tci >> 8));
+  out.push_back(static_cast<std::uint8_t>(tci));
+  // Keep the original ethertype+payload (replacing an existing tag).
+  std::size_t rest = tagged ? 16 : 12;
+  out.insert(out.end(), frame.begin() + static_cast<long>(rest), frame.end());
+  return out;
+}
+
+Frame without_vlan_tag(const Frame& frame) {
+  if (frame.size() < kEthHeader + 4) return frame;
+  bool tagged =
+      ((static_cast<std::uint16_t>(frame[12]) << 8) | frame[13]) ==
+      ethertype::vlan;
+  if (!tagged) return frame;
+  Frame out(frame.begin(), frame.begin() + 12);
+  out.insert(out.end(), frame.begin() + 16, frame.end());
+  return out;
+}
+
+Status apply_rewrite(Frame& frame, const flow::Action& action) {
+  using flow::ActionKind;
+  if (frame.size() < kEthHeader)
+    return make_error_code(Errc::protocol_error);
+  std::size_t ip_off = l3_offset(frame);
+  auto have_ipv4 = [&] {
+    return frame.size() >= ip_off + 20 &&
+           ((static_cast<std::uint16_t>(frame[ip_off - 2]) << 8) |
+            frame[ip_off - 1]) == ethertype::ipv4;
+  };
+  auto l4_off = [&]() -> std::size_t {
+    return ip_off + (frame[ip_off] & 0x0f) * 4u;
+  };
+  switch (action.kind) {
+    case ActionKind::set_dl_src:
+    case ActionKind::set_dl_dst: {
+      // Copy the MAC out first: mac() returns by value and two separate
+      // calls would yield iterators into two different temporaries.
+      const MacAddress mac = action.mac();
+      auto dst = frame.begin() +
+                 (action.kind == ActionKind::set_dl_src ? 6 : 0);
+      std::copy(mac.bytes().begin(), mac.bytes().end(), dst);
+      return ok_status();
+    }
+    case ActionKind::set_vlan:
+      frame = with_vlan_tag(frame, action.port(), 0);
+      return ok_status();
+    case ActionKind::strip_vlan:
+      frame = without_vlan_tag(frame);
+      return ok_status();
+    case ActionKind::set_nw_src:
+    case ActionKind::set_nw_dst: {
+      if (!have_ipv4()) return make_error_code(Errc::protocol_error);
+      std::size_t off =
+          ip_off + (action.kind == ActionKind::set_nw_src ? 12 : 16);
+      std::uint32_t v = action.ip().value();
+      for (int i = 3; i >= 0; --i) {
+        frame[off + static_cast<std::size_t>(3 - i)] =
+            static_cast<std::uint8_t>(v >> (i * 8));
+      }
+      refresh_ipv4_checksum(frame);
+      return ok_status();
+    }
+    case ActionKind::set_nw_tos: {
+      if (!have_ipv4()) return make_error_code(Errc::protocol_error);
+      frame[ip_off + 1] = std::get<std::uint8_t>(action.value);
+      refresh_ipv4_checksum(frame);
+      return ok_status();
+    }
+    case ActionKind::set_tp_src:
+    case ActionKind::set_tp_dst: {
+      if (!have_ipv4()) return make_error_code(Errc::protocol_error);
+      std::uint8_t proto = frame[ip_off + 9];
+      if (proto != ipproto::tcp && proto != ipproto::udp)
+        return make_error_code(Errc::protocol_error);
+      std::size_t off =
+          l4_off() + (action.kind == ActionKind::set_tp_src ? 0 : 2);
+      if (frame.size() < off + 2)
+        return make_error_code(Errc::protocol_error);
+      frame[off] = static_cast<std::uint8_t>(action.port() >> 8);
+      frame[off + 1] = static_cast<std::uint8_t>(action.port());
+      return ok_status();
+    }
+    case ActionKind::output:
+    case ActionKind::enqueue:
+    case ActionKind::drop:
+      return make_error_code(Errc::invalid_argument);
+  }
+  return make_error_code(Errc::invalid_argument);
+}
+
+}  // namespace yanc::net

@@ -1,0 +1,153 @@
+// Packet library: build and parse the frames the simulated data plane
+// carries.  Ethernet (+802.1Q), ARP, IPv4, TCP, UDP, ICMP echo, and LLDP —
+// everything the paper's system applications need (topology discovery via
+// LLDP §4.3, ARP/DHCP daemons §2, the reactive router §8).
+//
+// Simplifications, documented: IPv4 header checksums are computed and
+// verified; L4 checksums are set to 0 (legal for UDP, tolerated by our
+// simulated hosts) to keep action-driven header rewrites cheap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "yanc/flow/action.hpp"
+#include "yanc/flow/match.hpp"
+#include "yanc/util/net_types.hpp"
+#include "yanc/util/result.hpp"
+
+namespace yanc::net {
+
+using Frame = std::vector<std::uint8_t>;
+
+namespace ethertype {
+inline constexpr std::uint16_t ipv4 = 0x0800;
+inline constexpr std::uint16_t arp = 0x0806;
+inline constexpr std::uint16_t vlan = 0x8100;
+inline constexpr std::uint16_t lldp = 0x88cc;
+}  // namespace ethertype
+
+namespace ipproto {
+inline constexpr std::uint8_t icmp = 1;
+inline constexpr std::uint8_t tcp = 6;
+inline constexpr std::uint8_t udp = 17;
+}  // namespace ipproto
+
+namespace arp_op {
+inline constexpr std::uint16_t request = 1;
+inline constexpr std::uint16_t reply = 2;
+}  // namespace arp_op
+
+namespace icmp_type {
+inline constexpr std::uint8_t echo_reply = 0;
+inline constexpr std::uint8_t echo_request = 8;
+}  // namespace icmp_type
+
+/// Decoded view of one frame.  Optional sections are present when the
+/// corresponding ethertype/protocol was recognized.
+struct ParsedFrame {
+  MacAddress dl_dst;
+  MacAddress dl_src;
+  std::uint16_t dl_type = 0;
+  std::uint16_t vlan_id = 0xffff;  // 0xffff = untagged
+  std::uint8_t vlan_pcp = 0;
+
+  struct Arp {
+    std::uint16_t op = 0;
+    MacAddress sender_mac;
+    Ipv4Address sender_ip;
+    MacAddress target_mac;
+    Ipv4Address target_ip;
+  };
+  std::optional<Arp> arp;
+
+  struct Ipv4 {
+    std::uint8_t tos = 0;
+    std::uint8_t ttl = 0;
+    std::uint8_t proto = 0;
+    Ipv4Address src;
+    Ipv4Address dst;
+  };
+  std::optional<Ipv4> ipv4;
+
+  struct L4 {
+    std::uint16_t src_port = 0;  // ICMP: type in src_port, code in dst_port
+    std::uint16_t dst_port = 0;
+  };
+  std::optional<L4> l4;
+
+  struct IcmpEcho {
+    std::uint8_t type = 0;
+    std::uint16_t id = 0;
+    std::uint16_t seq = 0;
+  };
+  std::optional<IcmpEcho> icmp;
+
+  std::vector<std::uint8_t> l4_payload;
+
+  /// The flow-match field values of this frame (given its ingress port).
+  flow::FieldValues fields(std::uint16_t in_port) const;
+};
+
+/// Parses a frame; fails only when the Ethernet header is truncated
+/// (deeper truncation just leaves optional sections empty).
+Result<ParsedFrame> parse_frame(const Frame& frame);
+
+// --- builders -----------------------------------------------------------------
+
+Frame build_ethernet(const MacAddress& dst, const MacAddress& src,
+                     std::uint16_t ethertype,
+                     const std::vector<std::uint8_t>& payload);
+
+Frame build_arp(std::uint16_t op, const MacAddress& sender_mac,
+                const Ipv4Address& sender_ip, const MacAddress& target_mac,
+                const Ipv4Address& target_ip);
+
+/// Builds Ethernet+IPv4 around an L4 payload.
+Frame build_ipv4(const MacAddress& dst_mac, const MacAddress& src_mac,
+                 const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                 std::uint8_t proto, const std::vector<std::uint8_t>& l4,
+                 std::uint8_t tos = 0, std::uint8_t ttl = 64);
+
+Frame build_udp(const MacAddress& dst_mac, const MacAddress& src_mac,
+                const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                const std::vector<std::uint8_t>& payload);
+
+Frame build_tcp(const MacAddress& dst_mac, const MacAddress& src_mac,
+                const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                const std::vector<std::uint8_t>& payload);
+
+Frame build_icmp_echo(const MacAddress& dst_mac, const MacAddress& src_mac,
+                      const Ipv4Address& src_ip, const Ipv4Address& dst_ip,
+                      std::uint8_t type, std::uint16_t id, std::uint16_t seq,
+                      const std::vector<std::uint8_t>& payload = {});
+
+/// LLDP frame carrying (chassis id, port id, ttl) — what the topology
+/// daemon floods out every port (§4.3).
+Frame build_lldp(const std::string& chassis_id, const std::string& port_id,
+                 std::uint16_t ttl_seconds = 120);
+
+struct LldpInfo {
+  std::string chassis_id;
+  std::string port_id;
+  std::uint16_t ttl = 0;
+};
+Result<LldpInfo> parse_lldp(const Frame& frame);
+
+// --- rewriting ------------------------------------------------------------------
+
+/// Applies a header-rewrite action in place (set_dl_*, set_nw_*, set_tp_*,
+/// set_vlan, strip_vlan).  Output/enqueue/drop are not rewrites and return
+/// EINVAL.  IPv4 checksum is recomputed when IP fields change.
+Status apply_rewrite(Frame& frame, const flow::Action& action);
+
+/// 802.1Q helpers used by set_vlan/strip_vlan.
+Frame with_vlan_tag(const Frame& frame, std::uint16_t vlan_id,
+                    std::uint8_t pcp);
+Frame without_vlan_tag(const Frame& frame);
+
+}  // namespace yanc::net

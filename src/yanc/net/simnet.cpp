@@ -1,0 +1,206 @@
+#include "yanc/net/simnet.hpp"
+
+namespace yanc::net {
+
+// --- Scheduler ----------------------------------------------------------------
+
+void Scheduler::schedule_after(VirtualClock::duration delay, Task task) {
+  std::uint64_t at =
+      clock_.now_ns() +
+      static_cast<std::uint64_t>(delay.count() > 0 ? delay.count() : 0);
+  queue_.push(Entry{at, next_seq_++, std::move(task)});
+}
+
+std::size_t Scheduler::run_until_idle(std::size_t max_tasks) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_tasks) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    clock_.advance_to(VirtualClock::duration(
+        static_cast<std::int64_t>(entry.at_ns)));
+    entry.task();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Scheduler::run_for(VirtualClock::duration window) {
+  std::uint64_t deadline =
+      clock_.now_ns() +
+      static_cast<std::uint64_t>(window.count() > 0 ? window.count() : 0);
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at_ns <= deadline) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    clock_.advance_to(VirtualClock::duration(
+        static_cast<std::int64_t>(entry.at_ns)));
+    entry.task();
+    ++executed;
+  }
+  clock_.advance_to(VirtualClock::duration(static_cast<std::int64_t>(deadline)));
+  return executed;
+}
+
+// --- Network ------------------------------------------------------------------
+
+Result<Network::LinkId> Network::add_link(Device& a, std::uint16_t a_port,
+                                          Device& b, std::uint16_t b_port,
+                                          VirtualClock::duration latency) {
+  bool is_a;
+  if (find_link(a, a_port, &is_a) || find_link(b, b_port, &is_a))
+    return Errc::busy;
+  links_.push_back(Link{{&a, a_port}, {&b, b_port}, latency, true, false});
+  return links_.size() - 1;
+}
+
+Status Network::remove_link(LinkId id) {
+  if (id >= links_.size() || links_[id].removed)
+    return make_error_code(Errc::not_found);
+  links_[id].removed = true;
+  return ok_status();
+}
+
+Status Network::set_link_up(LinkId id, bool up) {
+  if (id >= links_.size() || links_[id].removed)
+    return make_error_code(Errc::not_found);
+  Link& link = links_[id];
+  if (link.up == up) return ok_status();
+  link.up = up;
+  // Notify both endpoints asynchronously (like a PHY interrupt).
+  scheduler_.schedule_now([link]() {
+    link.a.device->handle_link_status(link.a.port, link.up);
+    link.b.device->handle_link_status(link.b.port, link.up);
+  });
+  return ok_status();
+}
+
+const Network::Link* Network::find_link(const Device& device,
+                                        std::uint16_t port,
+                                        bool* is_a) const {
+  for (const auto& link : links_) {
+    if (link.removed) continue;
+    if (link.a.device == &device && link.a.port == port) {
+      *is_a = true;
+      return &link;
+    }
+    if (link.b.device == &device && link.b.port == port) {
+      *is_a = false;
+      return &link;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Network::Endpoint> Network::peer_of(const Device& device,
+                                                  std::uint16_t port) const {
+  bool is_a;
+  const Link* link = find_link(device, port, &is_a);
+  if (!link || !link->up) return std::nullopt;
+  return is_a ? link->b : link->a;
+}
+
+void Network::transmit(const Device& from, std::uint16_t port, Frame frame) {
+  bool is_a;
+  const Link* link = find_link(from, port, &is_a);
+  if (!link || !link->up) {
+    ++dropped_;
+    return;
+  }
+  Endpoint to = is_a ? link->b : link->a;
+  ++delivered_;
+  scheduler_.schedule_after(
+      link->latency, [to, frame = std::move(frame)]() mutable {
+        to.device->handle_frame(to.port, frame);
+      });
+}
+
+// --- Host ---------------------------------------------------------------------
+
+Host::Host(std::string name, MacAddress mac, Ipv4Address ip, Network& network)
+    : Device(std::move(name)), mac_(mac), ip_(ip), network_(network) {}
+
+void Host::handle_frame(std::uint16_t /*port*/, const Frame& frame) {
+  ++frames_received_;
+  log_.push_back(frame);
+  auto parsed = parse_frame(frame);
+  if (!parsed) return;
+
+  if (parsed->arp) {
+    const auto& arp = *parsed->arp;
+    arp_cache_[arp.sender_ip.value()] = arp.sender_mac;
+    // Flush packets that were waiting on this resolution.
+    auto pending = arp_pending_.find(arp.sender_ip.value());
+    if (pending != arp_pending_.end()) {
+      for (auto& queued : pending->second) {
+        // Fill in the now-known destination MAC.
+        std::copy(arp.sender_mac.bytes().begin(),
+                  arp.sender_mac.bytes().end(), queued.begin());
+        send_frame(std::move(queued));
+      }
+      arp_pending_.erase(pending);
+    }
+    if (arp.op == arp_op::request && arp.target_ip == ip_) {
+      send_frame(build_arp(arp_op::reply, mac_, ip_, arp.sender_mac,
+                           arp.sender_ip));
+    }
+    return;
+  }
+
+  if (parsed->ipv4 && parsed->icmp && parsed->ipv4->dst == ip_) {
+    if (parsed->icmp->type == icmp_type::echo_request) {
+      ++echo_requests_;
+      send_frame(build_icmp_echo(parsed->dl_src, mac_, ip_, parsed->ipv4->src,
+                                 icmp_type::echo_reply, parsed->icmp->id,
+                                 parsed->icmp->seq, parsed->l4_payload));
+    } else if (parsed->icmp->type == icmp_type::echo_reply) {
+      ++echo_replies_;
+    }
+    return;
+  }
+
+  if (parsed->ipv4 && parsed->l4 && parsed->ipv4->proto == ipproto::udp &&
+      parsed->ipv4->dst == ip_) {
+    udp_payloads_.push_back(parsed->l4_payload);
+  }
+}
+
+void Host::send_frame(Frame frame) { network_.transmit(*this, 0, std::move(frame)); }
+
+void Host::send_arp_request(Ipv4Address target) {
+  send_frame(build_arp(arp_op::request, mac_, ip_, MacAddress{}, target));
+}
+
+void Host::deliver_or_queue(Ipv4Address next_hop, Frame frame) {
+  auto it = arp_cache_.find(next_hop.value());
+  if (it != arp_cache_.end()) {
+    std::copy(it->second.bytes().begin(), it->second.bytes().end(),
+              frame.begin());
+    send_frame(std::move(frame));
+    return;
+  }
+  arp_pending_[next_hop.value()].push_back(std::move(frame));
+  send_arp_request(next_hop);
+}
+
+void Host::ping(Ipv4Address target, std::uint16_t seq) {
+  // Destination MAC is patched in by deliver_or_queue once resolved.
+  Frame frame = build_icmp_echo(MacAddress{}, mac_, ip_, target,
+                                icmp_type::echo_request, 0x77, seq);
+  deliver_or_queue(target, std::move(frame));
+}
+
+void Host::send_udp(Ipv4Address dst, std::uint16_t src_port,
+                    std::uint16_t dst_port,
+                    std::vector<std::uint8_t> payload) {
+  Frame frame = build_udp(MacAddress{}, mac_, ip_, dst, src_port, dst_port,
+                          payload);
+  deliver_or_queue(dst, std::move(frame));
+}
+
+std::optional<MacAddress> Host::arp_lookup(Ipv4Address ip) const {
+  auto it = arp_cache_.find(ip.value());
+  if (it == arp_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace yanc::net

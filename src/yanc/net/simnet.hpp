@@ -1,0 +1,178 @@
+// Simulated data plane: devices, links, hosts, and a deterministic
+// discrete-event scheduler on virtual time.
+//
+// This replaces the physical network the paper's controller would manage.
+// Software switches (yanc::sw) and Hosts are Devices; Links connect
+// (device, port) pairs with a configurable latency; the Scheduler delivers
+// frames in timestamp order so every test and benchmark is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "yanc/net/packet.hpp"
+#include "yanc/util/clock.hpp"
+#include "yanc/util/result.hpp"
+
+namespace yanc::net {
+
+/// Deterministic discrete-event executor over a VirtualClock.
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  VirtualClock::duration now() const { return clock_.now(); }
+
+  void schedule_after(VirtualClock::duration delay, Task task);
+  void schedule_now(Task task) { schedule_after({}, std::move(task)); }
+
+  /// Runs tasks in time order until none remain (or the safety cap hits).
+  /// Returns the number of tasks executed.
+  std::size_t run_until_idle(std::size_t max_tasks = 1'000'000);
+
+  /// Runs tasks scheduled up to now()+window, advancing the clock.
+  std::size_t run_for(VirtualClock::duration window);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t at_ns;
+    std::uint64_t seq;  // FIFO among same-time entries
+    Task task;
+    bool operator>(const Entry& other) const {
+      return at_ns != other.at_ns ? at_ns > other.at_ns : seq > other.seq;
+    }
+  };
+  VirtualClock clock_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Anything attached to the simulated network (switch, host, middlebox).
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// A frame arrived on `port`.
+  virtual void handle_frame(std::uint16_t port, const Frame& frame) = 0;
+
+  /// The link on `port` changed state.
+  virtual void handle_link_status(std::uint16_t /*port*/, bool /*up*/) {}
+
+ private:
+  std::string name_;
+};
+
+/// The wiring: point-to-point links between (device, port) endpoints.
+class Network {
+ public:
+  explicit Network(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  struct Endpoint {
+    Device* device = nullptr;
+    std::uint16_t port = 0;
+  };
+  using LinkId = std::size_t;
+
+  /// Connects two endpoints.  Either side may already be linked -> EBUSY.
+  Result<LinkId> add_link(Device& a, std::uint16_t a_port, Device& b,
+                          std::uint16_t b_port,
+                          VirtualClock::duration latency = {});
+  Status remove_link(LinkId id);
+  Status set_link_up(LinkId id, bool up);
+
+  /// The endpoint at the far side of (device, port), if linked and up.
+  std::optional<Endpoint> peer_of(const Device& device,
+                                  std::uint16_t port) const;
+
+  /// Sends a frame out of (device, port); it arrives at the peer after the
+  /// link latency.  Silently dropped when there is no live link (like a
+  /// real unplugged NIC).
+  void transmit(const Device& from, std::uint16_t port, Frame frame);
+
+  Scheduler& scheduler() noexcept { return scheduler_; }
+
+  std::uint64_t frames_delivered() const noexcept { return delivered_; }
+  std::uint64_t frames_dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Link {
+    Endpoint a, b;
+    VirtualClock::duration latency{};
+    bool up = true;
+    bool removed = false;
+  };
+  const Link* find_link(const Device& device, std::uint16_t port,
+                        bool* is_a) const;
+
+  Scheduler& scheduler_;
+  std::vector<Link> links_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// A simulated end host with one NIC (port 0): answers ARP for its own
+/// address, replies to ICMP echo, and records everything it receives.
+class Host : public Device {
+ public:
+  Host(std::string name, MacAddress mac, Ipv4Address ip, Network& network);
+
+  MacAddress mac() const noexcept { return mac_; }
+  Ipv4Address ip() const noexcept { return ip_; }
+
+  void handle_frame(std::uint16_t port, const Frame& frame) override;
+
+  /// Sends an ARP request for `target` (reply populates the ARP cache).
+  void send_arp_request(Ipv4Address target);
+  /// Sends an ICMP echo request; ARPs first when the MAC is unknown
+  /// (queued packets go out when the reply arrives).
+  void ping(Ipv4Address target, std::uint16_t seq = 1);
+  /// Sends a UDP datagram.
+  void send_udp(Ipv4Address dst, std::uint16_t src_port,
+                std::uint16_t dst_port, std::vector<std::uint8_t> payload);
+  /// Sends a raw frame out the NIC.
+  void send_frame(Frame frame);
+
+  /// Resolved MAC for an IP, if the ARP cache knows it.
+  std::optional<MacAddress> arp_lookup(Ipv4Address ip) const;
+
+  // Observability for tests.
+  std::uint64_t frames_received() const noexcept { return frames_received_; }
+  std::uint64_t echo_replies_received() const noexcept {
+    return echo_replies_;
+  }
+  std::uint64_t echo_requests_received() const noexcept {
+    return echo_requests_;
+  }
+  const std::vector<Frame>& received_log() const noexcept { return log_; }
+  /// UDP payloads received, most recent last.
+  const std::vector<std::vector<std::uint8_t>>& udp_received()
+      const noexcept {
+    return udp_payloads_;
+  }
+
+ private:
+  void deliver_or_queue(Ipv4Address next_hop, Frame frame);
+
+  MacAddress mac_;
+  Ipv4Address ip_;
+  Network& network_;
+  std::map<std::uint32_t, MacAddress> arp_cache_;
+  std::map<std::uint32_t, std::vector<Frame>> arp_pending_;
+  std::vector<Frame> log_;
+  std::vector<std::vector<std::uint8_t>> udp_payloads_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t echo_replies_ = 0;
+  std::uint64_t echo_requests_ = 0;
+};
+
+}  // namespace yanc::net

@@ -1,0 +1,212 @@
+// Typed convenience handles over the yanc file system — the non-shared-
+// memory half of "libyanc" (§8.1): network-centric calls that compile down
+// to ordinary file I/O, so applications using them still interoperate with
+// shell scripts, cron jobs and every other process poking the same files.
+//
+// A NetDir points at a yanc root: "/net" for the master view, or
+// "/net/views/<v>" for any nested view — the API is identical either way,
+// which is how view transparency (§4.2) manifests in code.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "yanc/flow/flowspec.hpp"
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::netfs {
+
+class SwitchHandle;
+class PortHandle;
+class FlowHandle;
+class HostHandle;
+class EventBufferHandle;
+
+/// One decoded packet-in event (§3.5): the files of a pkt_* directory.
+struct PacketInInfo {
+  std::string name;      // directory name inside the buffer
+  std::string datapath;  // switch name
+  std::uint16_t in_port = 0;
+  std::string reason;    // "no_match" | "action"
+  std::uint32_t buffer_id = 0;
+  std::string data;      // raw frame bytes
+};
+
+class NetDir {
+ public:
+  NetDir(std::shared_ptr<vfs::Vfs> vfs, std::string base = "/net",
+         vfs::Credentials creds = {});
+
+  const std::string& base() const noexcept { return base_; }
+  vfs::Vfs& vfs() noexcept { return *vfs_; }
+  const vfs::Credentials& credentials() const noexcept { return creds_; }
+
+  // switches/
+  Result<std::vector<std::string>> switch_names() const;
+  Status add_switch(const std::string& name);
+  Status remove_switch(const std::string& name);
+  SwitchHandle switch_at(const std::string& name) const;
+
+  // hosts/
+  Result<std::vector<std::string>> host_names() const;
+  Status add_host(const std::string& name, const MacAddress& mac,
+                  const Ipv4Address& ip);
+  HostHandle host_at(const std::string& name) const;
+
+  // views/ — a view is just another NetDir rooted deeper (§4.2).
+  Result<std::vector<std::string>> view_names() const;
+  Status create_view(const std::string& name);
+  NetDir view(const std::string& name) const;
+
+  // events/ — private packet-in buffers (§3.5).
+  Result<EventBufferHandle> open_events(const std::string& app_name);
+
+ private:
+  std::shared_ptr<vfs::Vfs> vfs_;
+  std::string base_;
+  vfs::Credentials creds_;
+};
+
+/// A switch directory (Fig. 3 left).
+class SwitchHandle {
+ public:
+  SwitchHandle(std::shared_ptr<vfs::Vfs> vfs, std::string path,
+               vfs::Credentials creds);
+
+  const std::string& path() const noexcept { return path_; }
+  bool exists() const;
+
+  Result<std::uint64_t> datapath_id() const;
+  Status set_datapath_id(std::uint64_t id);
+  Result<bool> connected() const;
+  Status set_connected(bool up);
+  Result<std::string> protocol_version() const;
+  Status set_protocol_version(const std::string& version);
+
+  // ports/
+  Result<std::vector<std::string>> port_names() const;
+  Status add_port(std::uint16_t port_no, const MacAddress& mac,
+                  const std::string& if_name);
+  PortHandle port_at(const std::string& name) const;
+  PortHandle port_at(std::uint16_t port_no) const;
+
+  // flows/
+  Result<std::vector<std::string>> flow_names() const;
+  FlowHandle flow_at(const std::string& name) const;
+  /// Creates flows/<name> and writes `spec` (committed when commit=true).
+  Status add_flow(const std::string& name, const flow::FlowSpec& spec,
+                  bool commit = true);
+  Status remove_flow(const std::string& name);
+
+  /// Reads a file directly under the switch dir ("capabilities", ...).
+  Result<std::string> read_field(const std::string& file) const;
+  Status write_field(const std::string& file, const std::string& value);
+
+ private:
+  std::shared_ptr<vfs::Vfs> vfs_;
+  std::string path_;
+  vfs::Credentials creds_;
+};
+
+/// A port directory (§3.3).
+class PortHandle {
+ public:
+  PortHandle(std::shared_ptr<vfs::Vfs> vfs, std::string path,
+             vfs::Credentials creds);
+
+  const std::string& path() const noexcept { return path_; }
+  bool exists() const;
+
+  Result<std::uint16_t> port_no() const;
+  Result<MacAddress> hw_addr() const;
+
+  /// Topology: the `peer` symlink (§3.3).
+  Status set_peer(const std::string& peer_port_path);
+  Result<std::string> peer() const;  // ENOENT when no link
+  Status clear_peer();
+
+  Result<bool> link_down() const;
+  Status set_link_down(bool down);
+  Status set_port_down(bool down);
+  Result<bool> port_down() const;
+
+  Result<std::uint64_t> counter(const std::string& name) const;
+  Status bump_counter(const std::string& name, std::uint64_t delta);
+
+ private:
+  std::shared_ptr<vfs::Vfs> vfs_;
+  std::string path_;
+  vfs::Credentials creds_;
+};
+
+/// A flow directory (Fig. 3 right) with the §3.4 commit protocol.
+class FlowHandle {
+ public:
+  FlowHandle(std::shared_ptr<vfs::Vfs> vfs, std::string path,
+             vfs::Credentials creds);
+
+  const std::string& path() const noexcept { return path_; }
+  bool exists() const;
+
+  Result<flow::FlowSpec> read() const;
+  Status write(const flow::FlowSpec& spec, bool commit = true);
+  Result<std::uint64_t> commit();
+  Result<std::uint64_t> version() const;
+  Result<flow::FlowStats> stats() const;
+
+ private:
+  std::shared_ptr<vfs::Vfs> vfs_;
+  std::string path_;
+  vfs::Credentials creds_;
+};
+
+/// A host directory with its `location` link.
+class HostHandle {
+ public:
+  HostHandle(std::shared_ptr<vfs::Vfs> vfs, std::string path,
+             vfs::Credentials creds);
+
+  const std::string& path() const noexcept { return path_; }
+  bool exists() const;
+  Result<MacAddress> mac() const;
+  Result<Ipv4Address> ip() const;
+  Status set_location(const std::string& port_path);
+  Result<std::string> location() const;
+
+ private:
+  std::shared_ptr<vfs::Vfs> vfs_;
+  std::string path_;
+  vfs::Credentials creds_;
+};
+
+/// An application's private packet-in buffer (events/<app>/, §3.5).
+/// Drivers deposit pkt_* directories; the application polls or watches,
+/// then consumes them.
+class EventBufferHandle {
+ public:
+  EventBufferHandle() = default;
+  EventBufferHandle(std::shared_ptr<vfs::Vfs> vfs, std::string path,
+                    vfs::Credentials creds);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Names of pending packet-in directories (oldest-first by name).
+  Result<std::vector<std::string>> pending() const;
+  /// Reads one packet-in.
+  Result<PacketInInfo> read(const std::string& name) const;
+  /// Removes a consumed packet-in.
+  Status consume(const std::string& name);
+  /// Reads and consumes everything pending.
+  Result<std::vector<PacketInInfo>> drain();
+  /// Registers a watch for new packet-ins.
+  Result<std::shared_ptr<vfs::WatchHandle>> watch(vfs::WatchQueuePtr queue);
+
+ private:
+  std::shared_ptr<vfs::Vfs> vfs_;
+  std::string path_;
+  vfs::Credentials creds_;
+};
+
+}  // namespace yanc::netfs

@@ -1,0 +1,181 @@
+#include "yanc/netfs/yancfs.hpp"
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::netfs {
+
+using vfs::Credentials;
+using vfs::NodeId;
+
+YancFs::YancFs(vfs::MemFsOptions options) : MemFs(options) {
+  std::lock_guard lock(mu_);
+  dir_specs_[root()] = &root_spec();
+  populate_locked(root(), root_spec(), Credentials::root());
+}
+
+const ObjectSpec* YancFs::spec_of(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = dir_specs_.find(node);
+  return it == dir_specs_.end() ? nullptr : it->second;
+}
+
+void YancFs::populate_locked(NodeId node, const ObjectSpec& spec,
+                             const Credentials& creds) {
+  for (const auto& fd : spec.fixed_dirs) {
+    // mkdir_locked fires on_mkdir, which registers the child's spec and
+    // recursively populates it.
+    (void)mkdir_locked(node, fd.name, 0755, creds);
+  }
+  for (const auto& f : spec.files) {
+    if (!f.default_value) continue;
+    auto id = create_locked(node, f.name, 0644, creds);
+    if (!id) continue;
+    file_specs_[*id] = &f;
+    (void)write_locked(*id, 0, f.default_value, creds);
+  }
+}
+
+void YancFs::on_mkdir(NodeId node, NodeId parent, const std::string& name,
+                      const Credentials& creds) {
+  auto parent_it = dir_specs_.find(parent);
+  if (parent_it == dir_specs_.end()) return;  // plain directory territory
+  const ObjectSpec* parent_spec = parent_it->second;
+
+  for (const auto& fd : parent_spec->fixed_dirs) {
+    if (name == fd.name) {
+      dir_specs_[node] = fd.spec;
+      fixed_nodes_[node] = true;
+      populate_locked(node, *fd.spec, creds);
+      return;
+    }
+  }
+  if (parent_spec->mkdir_child) {
+    dir_specs_[node] = parent_spec->mkdir_child;
+    populate_locked(node, *parent_spec->mkdir_child, creds);
+  }
+}
+
+Result<NodeId> YancFs::mkdir(NodeId parent, const std::string& name,
+                             std::uint32_t mode, const Credentials& creds) {
+  std::lock_guard lock(mu_);
+  auto it = dir_specs_.find(parent);
+  if (it != dir_specs_.end()) {
+    const ObjectSpec* spec = it->second;
+    bool is_fixed_name = false;
+    for (const auto& fd : spec->fixed_dirs)
+      if (name == fd.name) is_fixed_name = true;
+    // Only collections admit new objects; recreating a (deleted) fixed dir
+    // is also allowed so the schema can be repaired.
+    if (!spec->mkdir_child && !is_fixed_name)
+      return Errc::not_permitted;
+  }
+  return mkdir_locked(parent, name, mode, creds);
+}
+
+Result<NodeId> YancFs::create(NodeId parent, const std::string& name,
+                              std::uint32_t mode, const Credentials& creds) {
+  std::lock_guard lock(mu_);
+  auto it = dir_specs_.find(parent);
+  const FileSpec* fspec = nullptr;
+  if (it != dir_specs_.end()) {
+    const ObjectSpec* spec = it->second;
+    fspec = spec->find_file(name);
+    if (!fspec && spec->strict_files) return Errc::not_permitted;
+  }
+  auto id = create_locked(parent, name, mode, creds);
+  if (id && fspec) file_specs_[*id] = fspec;
+  return id;
+}
+
+Status YancFs::on_write(NodeId node, const std::string& content) {
+  auto it = file_specs_.find(node);
+  if (it == file_specs_.end()) return ok_status();
+  // Empty content is always acceptable: O_TRUNC makes every write-file
+  // sequence pass through the empty state (echo x > file truncates first).
+  // Readers treat an empty typed file as unset.
+  if (content.empty()) return ok_status();
+  return validate_field(it->second->type, content);
+}
+
+bool YancFs::rmdir_recursive_allowed(NodeId node) {
+  auto it = dir_specs_.find(node);
+  return it != dir_specs_.end() && it->second->recursive_rmdir;
+}
+
+Status YancFs::rmdir(NodeId parent, const std::string& name,
+                     const Credentials& creds) {
+  std::lock_guard lock(mu_);
+  auto victim = lookup_locked(parent, name);
+  if (victim && is_fixed_dir(*victim))
+    return make_error_code(Errc::not_permitted);
+  return rmdir_locked(parent, name, creds);
+}
+
+Status YancFs::unlink(NodeId parent, const std::string& name,
+                      const Credentials& creds) {
+  std::lock_guard lock(mu_);
+  // Files are always removable: deleting a match.* file widens the flow to
+  // a wildcard (§3.4); deleting an auto-created file reverts it to its
+  // schema default on the next read.
+  return unlink_locked(parent, name, creds);
+}
+
+Status YancFs::rename(NodeId old_parent, const std::string& old_name,
+                      NodeId new_parent, const std::string& new_name,
+                      const Credentials& creds) {
+  std::lock_guard lock(mu_);
+  auto moving = lookup_locked(old_parent, old_name);
+  if (moving) {
+    if (is_fixed_dir(*moving)) return make_error_code(Errc::not_permitted);
+    // Typed files keep their meaning through their name; renaming one
+    // would silently change its type, so forbid it.
+    if (file_specs_.count(*moving))
+      return make_error_code(Errc::not_permitted);
+    // An object directory may only move into a place that accepts its
+    // type (a switch stays among switches, a view among views, §3.2).
+    auto spec_it = dir_specs_.find(*moving);
+    if (spec_it != dir_specs_.end()) {
+      auto dest_it = dir_specs_.find(new_parent);
+      const ObjectSpec* accepts =
+          dest_it == dir_specs_.end() ? nullptr : dest_it->second->mkdir_child;
+      if (accepts != spec_it->second)
+        return make_error_code(Errc::not_permitted);
+    }
+  }
+  auto target = lookup_locked(new_parent, new_name);
+  if (target && (is_fixed_dir(*target) || file_specs_.count(*target) ||
+                 dir_specs_.count(*target)))
+    // Never clobber schema objects implicitly; delete them first.
+    return make_error_code(Errc::exists);
+  return rename_locked(old_parent, old_name, new_parent, new_name, creds);
+}
+
+Status YancFs::on_symlink(NodeId parent, const std::string& name,
+                          const std::string& target) {
+  auto it = dir_specs_.find(parent);
+  if (it == dir_specs_.end()) return ok_status();
+  const ObjectSpec* spec = it->second;
+  if (!spec->symlink_allowed(name))
+    return make_error_code(Errc::not_permitted);
+  // `peer` and `location` must point at a port: .../ports/<port> (§3.3).
+  auto comps = split_nonempty(target, '/');
+  if (comps.size() < 2 || comps[comps.size() - 2] != paths::ports)
+    return make_error_code(Errc::invalid_argument);
+  return ok_status();
+}
+
+void YancFs::on_remove_node(NodeId node) {
+  dir_specs_.erase(node);
+  file_specs_.erase(node);
+  fixed_nodes_.erase(node);
+}
+
+Result<std::shared_ptr<YancFs>> mount_yanc_fs(vfs::Vfs& vfs,
+                                              const std::string& mount_path) {
+  auto fs = std::make_shared<YancFs>();
+  if (auto ec = vfs.mkdir_p(mount_path); ec) return ec;
+  if (auto ec = vfs.mount(mount_path, fs); ec) return ec;
+  return fs;
+}
+
+}  // namespace yanc::netfs

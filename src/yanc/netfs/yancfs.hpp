@@ -1,0 +1,81 @@
+// YancFs: the yanc file system (§3) — MemFs plus network-object semantics
+// driven by the schema in schema.hpp.
+//
+// Behaviour beyond a plain filesystem:
+//   * mkdir in a collection creates a fully-populated object: the paper's
+//     "each directory which contains a list of objects automatically
+//     creates an object of the appropriate type on mkdir()" (§3.1).
+//     `mkdir views/new_view` therefore yields hosts/, switches/, views/
+//     inside it.
+//   * writes to typed files are validated atomically against the schema
+//     (priority is a u16, match.nw_src takes CIDR, §3.4) — a bad value
+//     never becomes visible.
+//   * rmdir on an object is automatically recursive (§3.2); fixed schema
+//     directories (ports/, flows/, counters/) cannot be removed or
+//     renamed away.
+//   * the `peer` symlink of a port may only point at another port (§3.3);
+//     a host's `location` likewise.
+//
+// Typically constructed via make_yanc_root() and mounted at /net.
+#pragma once
+
+#include <unordered_map>
+
+#include "yanc/netfs/schema.hpp"
+#include "yanc/vfs/memfs.hpp"
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::netfs {
+
+class YancFs : public vfs::MemFs {
+ public:
+  explicit YancFs(vfs::MemFsOptions options = {});
+
+  /// Object/collection spec governing a directory node (nullptr = plain).
+  const ObjectSpec* spec_of(vfs::NodeId node) const;
+
+  // Overridden namespace operations enforcing schema rules.
+  Result<vfs::NodeId> mkdir(vfs::NodeId parent, const std::string& name,
+                            std::uint32_t mode,
+                            const vfs::Credentials& creds) override;
+  Result<vfs::NodeId> create(vfs::NodeId parent, const std::string& name,
+                             std::uint32_t mode,
+                             const vfs::Credentials& creds) override;
+  Status rename(vfs::NodeId old_parent, const std::string& old_name,
+                vfs::NodeId new_parent, const std::string& new_name,
+                const vfs::Credentials& creds) override;
+  Status unlink(vfs::NodeId parent, const std::string& name,
+                const vfs::Credentials& creds) override;
+  Status rmdir(vfs::NodeId parent, const std::string& name,
+               const vfs::Credentials& creds) override;
+
+ protected:
+  Status on_write(vfs::NodeId node, const std::string& content) override;
+  void on_mkdir(vfs::NodeId node, vfs::NodeId parent, const std::string& name,
+                const vfs::Credentials& creds) override;
+  bool rmdir_recursive_allowed(vfs::NodeId node) override;
+  Status on_symlink(vfs::NodeId parent, const std::string& name,
+                    const std::string& target) override;
+  void on_remove_node(vfs::NodeId node) override;
+
+ private:
+  /// Creates the fixed dirs and default files of `spec` inside `node`.
+  /// Called with mu_ held.
+  void populate_locked(vfs::NodeId node, const ObjectSpec& spec,
+                       const vfs::Credentials& creds);
+  bool is_fixed_dir(vfs::NodeId node) const {
+    return fixed_nodes_.count(node) != 0;
+  }
+
+  std::unordered_map<vfs::NodeId, const ObjectSpec*> dir_specs_;
+  std::unordered_map<vfs::NodeId, const FileSpec*> file_specs_;
+  std::unordered_map<vfs::NodeId, bool> fixed_nodes_;  // schema-owned dirs
+};
+
+/// Creates a YancFs and mounts it at `mount_path` (default "/net").
+/// Returns the filesystem so callers can also reach it directly.
+Result<std::shared_ptr<YancFs>> mount_yanc_fs(vfs::Vfs& vfs,
+                                              const std::string& mount_path =
+                                                  "/net");
+
+}  // namespace yanc::netfs

@@ -1,0 +1,28 @@
+// OpenFlow codec: serialize/deserialize Message values for a given wire
+// version.  One decoded model, two wire dialects — the per-version delta
+// lives here and in the thin drivers, nowhere else (§4.1).
+#pragma once
+
+#include <span>
+
+#include "yanc/ofp/messages.hpp"
+
+namespace yanc::ofp {
+
+/// Serializes `message` as version `v` with transaction id `xid`.
+/// Fails with ENOTSUP for combinations the dialect cannot express.
+Result<std::vector<std::uint8_t>> encode(Version v, std::uint32_t xid,
+                                         const Message& message);
+
+struct Decoded {
+  Header header;
+  Message message;
+};
+
+/// Decodes one complete message (the buffer must hold exactly one).
+Result<Decoded> decode(std::span<const std::uint8_t> bytes);
+
+/// Peeks at the header without decoding the body.
+Result<Header> peek_header(std::span<const std::uint8_t> bytes);
+
+}  // namespace yanc::ofp

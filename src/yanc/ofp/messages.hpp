@@ -1,0 +1,242 @@
+// OpenFlow message model.
+//
+// Decoded, version-neutral representations of the control messages the
+// yanc drivers (§4.1) exchange with switches.  The same Message value can
+// be serialized as OpenFlow 1.0 or OpenFlow 1.3 wire bytes by the codec —
+// that is precisely the paper's driver argument: protocol (and protocol
+// version) differences live entirely inside thin drivers, while the file
+// system above sees one model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "yanc/flow/flowspec.hpp"
+#include "yanc/util/result.hpp"
+
+namespace yanc::ofp {
+
+enum class Version : std::uint8_t {
+  of10 = 0x01,
+  of13 = 0x04,
+};
+
+std::string version_name(Version v);  // "1.0" / "1.3"
+
+/// Message type ids (identical across 1.0/1.3 for everything we use,
+/// except stats/multipart and barrier which the codec maps per version).
+enum class MsgType : std::uint8_t {
+  hello = 0,
+  error = 1,
+  echo_request = 2,
+  echo_reply = 3,
+  features_request = 5,
+  features_reply = 6,
+  packet_in = 10,
+  flow_removed = 11,
+  port_status = 12,
+  packet_out = 13,
+  flow_mod = 14,
+  stats_request = 16,  // OF1.3: multipart_request (18); codec translates
+  stats_reply = 17,    // OF1.3: multipart_reply (19)
+  barrier_request = 18,  // OF1.3: 20
+  barrier_reply = 19,    // OF1.3: 21
+};
+
+struct Header {
+  Version version = Version::of10;
+  std::uint8_t type = 0;
+  std::uint16_t length = 0;
+  std::uint32_t xid = 0;
+};
+inline constexpr std::size_t kHeaderSize = 8;
+
+/// No buffered packet (OFP_NO_BUFFER).
+inline constexpr std::uint32_t kNoBuffer = 0xffffffff;
+
+// --- payloads --------------------------------------------------------------
+
+struct Hello {};
+
+struct Error {
+  std::uint16_t type = 0;
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;  // first bytes of the offending message
+};
+
+struct EchoRequest {
+  std::vector<std::uint8_t> data;
+};
+struct EchoReply {
+  std::vector<std::uint8_t> data;
+};
+
+struct FeaturesRequest {};
+
+/// Port description — ofp_phy_port (1.0) / ofp_port (1.3).
+struct PortDesc {
+  std::uint16_t port_no = 0;
+  MacAddress hw_addr;
+  std::string name;
+  bool port_down = false;  // config: administratively down
+  bool no_flood = false;   // config (1.0 only on the wire)
+  bool link_down = false;  // state
+  std::uint32_t curr_speed_kbps = 10'000'000;
+  std::uint32_t max_speed_kbps = 10'000'000;
+
+  bool operator==(const PortDesc&) const = default;
+};
+
+struct FeaturesReply {
+  std::uint64_t datapath_id = 0;
+  std::uint32_t n_buffers = 0;
+  std::uint8_t n_tables = 1;
+  std::uint32_t capabilities = 0;
+  std::uint32_t actions = 0;  // 1.0 only
+  /// 1.0 carries ports in the features reply; 1.3 reports them via the
+  /// port-desc multipart instead.  The decoded model always uses this
+  /// field; the codec puts them where each version wants them.
+  std::vector<PortDesc> ports;
+};
+
+struct FlowMod {
+  enum class Command : std::uint8_t {
+    add = 0,
+    modify = 1,
+    modify_strict = 2,
+    remove = 3,
+    remove_strict = 4,
+  };
+  Command command = Command::add;
+  flow::FlowSpec spec;
+  std::uint32_t buffer_id = kNoBuffer;
+  std::uint16_t out_port = 0xffff;  // filter for delete commands
+  std::uint16_t flags = 0;          // OFPFF_SEND_FLOW_REM = 1
+};
+inline constexpr std::uint16_t kFlagSendFlowRemoved = 1;
+
+struct PacketIn {
+  enum class Reason : std::uint8_t { no_match = 0, action = 1 };
+  std::uint32_t buffer_id = kNoBuffer;
+  std::uint16_t total_len = 0;
+  std::uint16_t in_port = 0;
+  Reason reason = Reason::no_match;
+  std::uint8_t table_id = 0;  // 1.3 only
+  std::vector<std::uint8_t> data;
+};
+
+struct PacketOut {
+  std::uint32_t buffer_id = kNoBuffer;
+  std::uint16_t in_port = 0xfff8;  // OFPP_CONTROLLER semantics: none
+  std::vector<flow::Action> actions;
+  std::vector<std::uint8_t> data;  // used when buffer_id == kNoBuffer
+};
+
+struct PortStatus {
+  enum class Reason : std::uint8_t { add = 0, remove = 1, modify = 2 };
+  Reason reason = Reason::add;
+  PortDesc desc;
+};
+
+struct FlowRemoved {
+  enum class Reason : std::uint8_t {
+    idle_timeout = 0,
+    hard_timeout = 1,
+    removed = 2,
+  };
+  flow::Match match;
+  std::uint64_t cookie = 0;
+  std::uint16_t priority = 0;
+  Reason reason = Reason::idle_timeout;
+  std::uint8_t table_id = 0;
+  std::uint32_t duration_sec = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// Stats (1.0) / multipart (1.3).
+enum class StatsKind : std::uint16_t {
+  desc = 0,
+  flow = 1,
+  port = 4,
+  queue = 5,       // wire id 5 under 1.0, 9 under 1.3 (codec maps)
+  port_desc = 13,  // 1.3 only on the wire; 1.0 answers from features
+};
+
+struct StatsRequest {
+  StatsKind kind = StatsKind::desc;
+  // flow stats filter:
+  flow::Match match;
+  std::uint8_t table_id = 0xff;  // all tables
+  // port stats filter (also used by queue stats):
+  std::uint16_t port_no = 0xffff;  // all ports
+  // queue stats filter:
+  std::uint32_t queue_id = 0xffffffff;  // OFPQ_ALL
+};
+
+struct FlowStatsEntry {
+  std::uint8_t table_id = 0;
+  flow::FlowSpec spec;
+  std::uint32_t duration_sec = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+struct PortStatsEntry {
+  std::uint16_t port_no = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+  std::uint64_t rx_errors = 0;
+  std::uint64_t tx_errors = 0;
+};
+
+struct QueueStatsEntry {
+  std::uint16_t port_no = 0;
+  std::uint32_t queue_id = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_errors = 0;
+};
+
+struct StatsReply {
+  StatsKind kind = StatsKind::desc;
+  // desc:
+  std::string manufacturer, hw_desc, sw_desc, serial, dp_desc;
+  // flow:
+  std::vector<FlowStatsEntry> flows;
+  // port:
+  std::vector<PortStatsEntry> ports;
+  // queue:
+  std::vector<QueueStatsEntry> queues;
+  // port_desc:
+  std::vector<PortDesc> port_descs;
+};
+
+struct BarrierRequest {};
+struct BarrierReply {};
+
+/// Port configuration change (how the driver propagates a write to
+/// config.port_down, §3.1).
+struct PortMod {
+  std::uint16_t port_no = 0;
+  MacAddress hw_addr;
+  bool port_down = false;
+  bool no_flood = false;
+};
+
+using Message =
+    std::variant<Hello, Error, EchoRequest, EchoReply, FeaturesRequest,
+                 FeaturesReply, FlowMod, PacketIn, PacketOut, PortStatus,
+                 FlowRemoved, StatsRequest, StatsReply, BarrierRequest,
+                 BarrierReply, PortMod>;
+
+/// Human-readable name of the active alternative ("flow_mod", ...).
+std::string message_name(const Message& m);
+
+}  // namespace yanc::ofp

@@ -1,0 +1,481 @@
+#include "yanc/ofp/oxm.hpp"
+
+#include <functional>
+#include <optional>
+
+namespace yanc::ofp::oxm {
+
+using flow::Action;
+using flow::ActionKind;
+using flow::Match;
+
+namespace {
+
+// 1.3 action type ids.
+enum ActType : std::uint16_t {
+  kOutput = 0,
+  kSetQueue = 21,
+  kPopVlan = 18,
+  kPushVlan = 17,
+  kSetField = 25,
+};
+
+// 1.3 instruction type ids.
+enum InstrType : std::uint16_t {
+  kGotoTable = 1,
+  kApplyActions = 4,
+};
+
+void oxm_header(BufWriter& w, Field field, std::uint8_t payload_len,
+                bool has_mask = false) {
+  w.u16(kOpenFlowBasic);
+  w.u8(static_cast<std::uint8_t>((field << 1) | (has_mask ? 1 : 0)));
+  w.u8(payload_len);
+}
+
+void pad_to_8(BufWriter& w, std::size_t content_start) {
+  std::size_t len = w.size() - content_start;
+  w.zeros((8 - len % 8) % 8);
+}
+
+// Writes one set-field action (header + OXM + pad to 8).
+void set_field_action(BufWriter& w, Field field,
+                      const std::function<void()>& write_value,
+                      std::uint8_t value_len) {
+  std::size_t start = w.size();
+  w.u16(kSetField);
+  std::size_t len_pos = w.size();
+  w.u16(0);  // patched
+  oxm_header(w, field, value_len);
+  write_value();
+  pad_to_8(w, start);
+  w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - start));
+}
+
+}  // namespace
+
+std::uint32_t port_to_of13(std::uint16_t port) {
+  return port >= 0xff00 ? 0xffffff00u | (port & 0xff)
+                        : static_cast<std::uint32_t>(port);
+}
+
+std::uint16_t port_from_of13(std::uint32_t port) {
+  return port >= 0xffffff00u
+             ? static_cast<std::uint16_t>(0xff00 | (port & 0xff))
+             : static_cast<std::uint16_t>(port & 0xffff);
+}
+
+void encode_match(BufWriter& w, const Match& m) {
+  std::size_t start = w.size();
+  w.u16(1);  // OFPMT_OXM
+  std::size_t len_pos = w.size();
+  w.u16(0);  // patched below (length includes this 4-byte preamble)
+
+  if (m.in_port) {
+    oxm_header(w, in_port, 4);
+    w.u32(port_to_of13(*m.in_port));
+  }
+  if (m.dl_dst) {
+    oxm_header(w, eth_dst, 6);
+    w.bytes(m.dl_dst->bytes());
+  }
+  if (m.dl_src) {
+    oxm_header(w, eth_src, 6);
+    w.bytes(m.dl_src->bytes());
+  }
+  if (m.dl_type) {
+    oxm_header(w, eth_type, 2);
+    w.u16(*m.dl_type);
+  }
+  if (m.dl_vlan) {
+    oxm_header(w, vlan_vid, 2);
+    // 0xffff in our model = untagged = OFPVID_NONE (0x0000).
+    w.u16(*m.dl_vlan == 0xffff
+              ? 0
+              : static_cast<std::uint16_t>(kVidPresent | *m.dl_vlan));
+  }
+  if (m.dl_vlan_pcp) {
+    oxm_header(w, vlan_pcp, 1);
+    w.u8(*m.dl_vlan_pcp);
+  }
+  if (m.nw_tos) {
+    oxm_header(w, ip_dscp, 1);
+    w.u8(static_cast<std::uint8_t>(*m.nw_tos >> 2));
+  }
+  if (m.nw_proto) {
+    oxm_header(w, ip_proto, 1);
+    w.u8(*m.nw_proto);
+  }
+  if (m.nw_src) {
+    bool masked = m.nw_src->prefix_len() < 32;
+    oxm_header(w, ipv4_src, masked ? 8 : 4, masked);
+    w.u32(m.nw_src->address().value());
+    if (masked) w.u32(m.nw_src->mask());
+  }
+  if (m.nw_dst) {
+    bool masked = m.nw_dst->prefix_len() < 32;
+    oxm_header(w, ipv4_dst, masked ? 8 : 4, masked);
+    w.u32(m.nw_dst->address().value());
+    if (masked) w.u32(m.nw_dst->mask());
+  }
+  bool udp = m.nw_proto && *m.nw_proto == 17;
+  if (m.tp_src) {
+    oxm_header(w, udp ? udp_src : tcp_src, 2);
+    w.u16(*m.tp_src);
+  }
+  if (m.tp_dst) {
+    oxm_header(w, udp ? udp_dst : tcp_dst, 2);
+    w.u16(*m.tp_dst);
+  }
+
+  w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - start));
+  pad_to_8(w, start);
+}
+
+namespace {
+
+int mask_to_prefix(std::uint32_t mask) {
+  int bits = 0;
+  while (mask & 0x80000000u) {
+    ++bits;
+    mask <<= 1;
+  }
+  return mask == 0 ? bits : -1;  // -1: non-contiguous (rejected)
+}
+
+}  // namespace
+
+Result<Match> decode_match(BufReader& r) {
+  std::size_t start_pos = r.pos();
+  std::uint16_t type = r.u16();
+  std::uint16_t total_len = r.u16();
+  if (!r.ok() || type != 1 || total_len < 4) return Errc::protocol_error;
+  BufReader fields = r.sub(total_len - 4);
+  if (!r.ok()) return Errc::protocol_error;
+  // Consume pad to 8.
+  std::size_t consumed = r.pos() - start_pos;
+  r.skip((8 - consumed % 8) % 8);
+
+  Match m;
+  while (fields.remaining() >= 4) {
+    std::uint16_t oxm_class = fields.u16();
+    std::uint8_t field_hm = fields.u8();
+    std::uint8_t len = fields.u8();
+    BufReader value = fields.sub(len);
+    if (!fields.ok()) return Errc::protocol_error;
+    if (oxm_class != kOpenFlowBasic) continue;  // skip experimenter fields
+    Field field = static_cast<Field>(field_hm >> 1);
+    bool has_mask = field_hm & 1;
+    switch (field) {
+      case in_port:
+        m.in_port = port_from_of13(value.u32());
+        break;
+      case eth_dst:
+      case eth_src: {
+        std::array<std::uint8_t, 6> b{};
+        value.bytes(b);
+        if (field == eth_dst)
+          m.dl_dst = MacAddress(b);
+        else
+          m.dl_src = MacAddress(b);
+        break;
+      }
+      case eth_type:
+        m.dl_type = value.u16();
+        break;
+      case vlan_vid: {
+        std::uint16_t vid = value.u16();
+        m.dl_vlan = (vid & kVidPresent) ? (vid & 0x0fff) : 0xffff;
+        break;
+      }
+      case vlan_pcp:
+        m.dl_vlan_pcp = value.u8();
+        break;
+      case ip_dscp:
+        m.nw_tos = static_cast<std::uint8_t>(value.u8() << 2);
+        break;
+      case ip_proto:
+        m.nw_proto = value.u8();
+        break;
+      case ipv4_src:
+      case ipv4_dst: {
+        std::uint32_t addr = value.u32();
+        int prefix = 32;
+        if (has_mask) {
+          prefix = mask_to_prefix(value.u32());
+          if (prefix < 0) return Errc::protocol_error;
+        }
+        Cidr cidr(Ipv4Address(addr), prefix);
+        if (field == ipv4_src)
+          m.nw_src = cidr;
+        else
+          m.nw_dst = cidr;
+        break;
+      }
+      case tcp_src:
+      case udp_src:
+        m.tp_src = value.u16();
+        break;
+      case tcp_dst:
+      case udp_dst:
+        m.tp_dst = value.u16();
+        break;
+      default:
+        break;  // tolerate unknown basic fields
+    }
+    if (!value.ok()) return Errc::protocol_error;
+  }
+  return m;
+}
+
+Result<std::uint16_t> encode_actions(BufWriter& w,
+                                     const std::vector<Action>& actions) {
+  std::size_t start = w.size();
+  for (const auto& a : actions) {
+    switch (a.kind) {
+      case ActionKind::output:
+        w.u16(kOutput);
+        w.u16(16);
+        w.u32(port_to_of13(a.port()));
+        w.u16(0xffff);  // max_len
+        w.zeros(6);
+        break;
+      case ActionKind::set_vlan:
+        // 1.3 models VLAN id rewrite as push (if untagged) + set-field;
+        // we emit push_vlan followed by set_field(VLAN_VID), the common
+        // controller idiom.
+        w.u16(kPushVlan);
+        w.u16(8);
+        w.u16(0x8100);
+        w.zeros(2);
+        set_field_action(
+            w, vlan_vid,
+            [&] { w.u16(static_cast<std::uint16_t>(kVidPresent | a.port())); },
+            2);
+        break;
+      case ActionKind::strip_vlan:
+        w.u16(kPopVlan);
+        w.u16(8);
+        w.zeros(4);
+        break;
+      case ActionKind::set_dl_src:
+        set_field_action(w, eth_src, [&] { w.bytes(a.mac().bytes()); }, 6);
+        break;
+      case ActionKind::set_dl_dst:
+        set_field_action(w, eth_dst, [&] { w.bytes(a.mac().bytes()); }, 6);
+        break;
+      case ActionKind::set_nw_src:
+        set_field_action(w, ipv4_src, [&] { w.u32(a.ip().value()); }, 4);
+        break;
+      case ActionKind::set_nw_dst:
+        set_field_action(w, ipv4_dst, [&] { w.u32(a.ip().value()); }, 4);
+        break;
+      case ActionKind::set_nw_tos:
+        set_field_action(
+            w, ip_dscp,
+            [&] { w.u8(static_cast<std::uint8_t>(
+                      std::get<std::uint8_t>(a.value) >> 2)); },
+            1);
+        break;
+      case ActionKind::set_tp_src:
+        set_field_action(w, tcp_src, [&] { w.u16(a.port()); }, 2);
+        break;
+      case ActionKind::set_tp_dst:
+        set_field_action(w, tcp_dst, [&] { w.u16(a.port()); }, 2);
+        break;
+      case ActionKind::enqueue: {
+        std::uint32_t packed = std::get<std::uint32_t>(a.value);
+        w.u16(kSetQueue);
+        w.u16(8);
+        w.u32(packed & 0xffff);
+        // Follow with the output to the port half.
+        w.u16(kOutput);
+        w.u16(16);
+        w.u32(port_to_of13(static_cast<std::uint16_t>(packed >> 16)));
+        w.u16(0xffff);
+        w.zeros(6);
+        break;
+      }
+      case ActionKind::drop:
+        break;  // drop = no actions
+    }
+  }
+  return static_cast<std::uint16_t>(w.size() - start);
+}
+
+Result<std::vector<Action>> decode_actions(BufReader& r,
+                                           std::size_t byte_len) {
+  BufReader body = r.sub(byte_len);
+  if (!r.ok()) return Errc::protocol_error;
+  std::vector<Action> out;
+  std::optional<std::uint16_t> pending_queue;
+  while (body.remaining() >= 4) {
+    std::uint16_t type = body.u16();
+    std::uint16_t len = body.u16();
+    if (len < 4 || static_cast<std::size_t>(len - 4) > body.remaining()) return Errc::protocol_error;
+    BufReader payload = body.sub(len - 4);
+    switch (type) {
+      case kOutput: {
+        std::uint16_t port = port_from_of13(payload.u32());
+        if (pending_queue) {
+          out.push_back(Action{
+              ActionKind::enqueue,
+              static_cast<std::uint32_t>((static_cast<std::uint32_t>(port)
+                                          << 16) |
+                                         *pending_queue)});
+          pending_queue.reset();
+        } else {
+          out.push_back(Action::output(port));
+        }
+        break;
+      }
+      case kSetQueue:
+        pending_queue = static_cast<std::uint16_t>(payload.u32() & 0xffff);
+        break;
+      case kPushVlan:
+        break;  // folded into the following set_field(VLAN_VID)
+      case kPopVlan:
+        out.push_back(Action{ActionKind::strip_vlan, std::monostate{}});
+        break;
+      case kSetField: {
+        std::uint16_t oxm_class = payload.u16();
+        std::uint8_t field_hm = payload.u8();
+        std::uint8_t vlen = payload.u8();
+        (void)vlen;
+        if (oxm_class != kOpenFlowBasic) break;
+        switch (static_cast<Field>(field_hm >> 1)) {
+          case vlan_vid:
+            out.push_back(Action{
+                ActionKind::set_vlan,
+                static_cast<std::uint16_t>(payload.u16() & 0x0fff)});
+            break;
+          case eth_src:
+          case eth_dst: {
+            std::array<std::uint8_t, 6> b{};
+            payload.bytes(b);
+            out.push_back(
+                Action{(field_hm >> 1) == eth_src ? ActionKind::set_dl_src
+                                                  : ActionKind::set_dl_dst,
+                       MacAddress(b)});
+            break;
+          }
+          case ipv4_src:
+          case ipv4_dst:
+            out.push_back(Action{(field_hm >> 1) == ipv4_src
+                                     ? ActionKind::set_nw_src
+                                     : ActionKind::set_nw_dst,
+                                 Ipv4Address(payload.u32())});
+            break;
+          case ip_dscp:
+            out.push_back(Action{
+                ActionKind::set_nw_tos,
+                static_cast<std::uint8_t>(payload.u8() << 2)});
+            break;
+          case tcp_src:
+          case udp_src:
+            out.push_back(Action{ActionKind::set_tp_src, payload.u16()});
+            break;
+          case tcp_dst:
+          case udp_dst:
+            out.push_back(Action{ActionKind::set_tp_dst, payload.u16()});
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+      default:
+        return Errc::protocol_error;
+    }
+    if (!payload.ok()) return Errc::protocol_error;
+  }
+  return out;
+}
+
+Result<std::uint16_t> encode_instructions(BufWriter& w,
+                                          const std::vector<Action>& actions,
+                                          int goto_table) {
+  std::size_t start = w.size();
+  {
+    std::size_t instr_start = w.size();
+    w.u16(kApplyActions);
+    std::size_t len_pos = w.size();
+    w.u16(0);
+    w.zeros(4);
+    auto alen = encode_actions(w, actions);
+    if (!alen) return alen.error();
+    w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - instr_start));
+  }
+  if (goto_table >= 0) {
+    w.u16(kGotoTable);
+    w.u16(8);
+    w.u8(static_cast<std::uint8_t>(goto_table));
+    w.zeros(3);
+  }
+  return static_cast<std::uint16_t>(w.size() - start);
+}
+
+Result<std::vector<Action>> decode_instructions(BufReader& r,
+                                                std::size_t byte_len,
+                                                int* goto_table) {
+  if (goto_table) *goto_table = -1;
+  BufReader body = r.sub(byte_len);
+  if (!r.ok()) return Errc::protocol_error;
+  std::vector<Action> out;
+  while (body.remaining() >= 4) {
+    std::uint16_t type = body.u16();
+    std::uint16_t len = body.u16();
+    if (len < 4 || static_cast<std::size_t>(len - 4) > body.remaining()) return Errc::protocol_error;
+    BufReader payload = body.sub(len - 4);
+    if (type == kApplyActions) {
+      payload.skip(4);  // pad
+      auto actions = decode_actions(payload, payload.remaining());
+      if (!actions) return actions.error();
+      out.insert(out.end(), actions->begin(), actions->end());
+    } else if (type == kGotoTable) {
+      std::uint8_t table = payload.u8();
+      if (goto_table) *goto_table = table;
+    }
+    // Other instruction kinds tolerated and ignored.
+  }
+  return out;
+}
+
+void encode_port(BufWriter& w, const PortDesc& port) {
+  w.u32(port_to_of13(port.port_no));
+  w.zeros(4);
+  w.bytes(port.hw_addr.bytes());
+  w.zeros(2);
+  w.padded_string(port.name, 16);
+  std::uint32_t config = port.port_down ? 1u : 0u;
+  w.u32(config);
+  w.u32(port.link_down ? 1u : 0u);
+  w.u32(1u << 6);  // curr features
+  w.u32(1u << 6);  // advertised
+  w.u32(1u << 6);  // supported
+  w.u32(1u << 6);  // peer
+  w.u32(port.curr_speed_kbps);
+  w.u32(port.max_speed_kbps);
+}
+
+Result<PortDesc> decode_port(BufReader& r) {
+  PortDesc port;
+  port.port_no = port_from_of13(r.u32());
+  r.skip(4);
+  std::array<std::uint8_t, 6> mac{};
+  r.bytes(mac);
+  port.hw_addr = MacAddress(mac);
+  r.skip(2);
+  port.name = r.padded_string(16);
+  std::uint32_t config = r.u32();
+  std::uint32_t state = r.u32();
+  r.skip(16);
+  port.curr_speed_kbps = r.u32();
+  port.max_speed_kbps = r.u32();
+  if (!r.ok()) return Errc::protocol_error;
+  port.port_down = config & 1u;
+  port.link_down = state & 1u;
+  return port;
+}
+
+}  // namespace yanc::ofp::oxm

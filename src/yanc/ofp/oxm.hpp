@@ -1,0 +1,65 @@
+// OpenFlow 1.3 wire building blocks: OXM TLV matches, instruction/action
+// lists, and the 64-byte ofp_port.  Used by the codec; exposed for tests.
+#pragma once
+
+#include "yanc/ofp/messages.hpp"
+#include "yanc/util/bytes.hpp"
+
+namespace yanc::ofp::oxm {
+
+inline constexpr std::uint16_t kOpenFlowBasic = 0x8000;
+
+/// OXM field ids (class OFPXMC_OPENFLOW_BASIC).
+enum Field : std::uint8_t {
+  in_port = 0,
+  eth_dst = 3,
+  eth_src = 4,
+  eth_type = 5,
+  vlan_vid = 6,
+  vlan_pcp = 7,
+  ip_dscp = 8,  // upper 6 bits of nw_tos
+  ip_proto = 10,
+  ipv4_src = 11,
+  ipv4_dst = 12,
+  tcp_src = 13,
+  tcp_dst = 14,
+  udp_src = 15,
+  udp_dst = 16,
+};
+
+/// OFPVID_PRESENT: set in VLAN_VID values for tagged traffic.
+inline constexpr std::uint16_t kVidPresent = 0x1000;
+
+/// Encodes `match` as an ofp_match (type=OXM), including the trailing
+/// pad-to-8.  tp_src/tp_dst compile to TCP or UDP port fields depending on
+/// match.nw_proto (TCP when absent).
+void encode_match(BufWriter& w, const flow::Match& match);
+
+/// Decodes an ofp_match (consumes padding).
+Result<flow::Match> decode_match(BufReader& r);
+
+/// Encodes an apply-actions instruction list (plus goto-table when
+/// `goto_table` >= 0).  Returns the byte length written.
+Result<std::uint16_t> encode_instructions(
+    BufWriter& w, const std::vector<flow::Action>& actions,
+    int goto_table = -1);
+
+Result<std::vector<flow::Action>> decode_instructions(BufReader& r,
+                                                      std::size_t byte_len,
+                                                      int* goto_table);
+
+/// Bare action list (packet-out uses actions without instructions).
+Result<std::uint16_t> encode_actions(BufWriter& w,
+                                     const std::vector<flow::Action>& actions);
+Result<std::vector<flow::Action>> decode_actions(BufReader& r,
+                                                 std::size_t byte_len);
+
+inline constexpr std::size_t kPortSize = 64;
+void encode_port(BufWriter& w, const PortDesc& port);
+Result<PortDesc> decode_port(BufReader& r);
+
+/// 16-bit reserved port numbers (flood/controller/...) <-> 32-bit OF1.3.
+std::uint32_t port_to_of13(std::uint16_t port);
+std::uint16_t port_from_of13(std::uint32_t port);
+
+}  // namespace yanc::ofp::oxm

@@ -1,0 +1,278 @@
+#include "yanc/ofp/wire10.hpp"
+
+namespace yanc::ofp::wire10 {
+
+using flow::Action;
+using flow::ActionKind;
+using flow::Match;
+
+namespace {
+
+// OF1.0 action type ids.
+enum ActType : std::uint16_t {
+  kOutput = 0,
+  kSetVlanVid = 1,
+  kSetVlanPcp = 2,
+  kStripVlan = 3,
+  kSetDlSrc = 4,
+  kSetDlDst = 5,
+  kSetNwSrc = 6,
+  kSetNwDst = 7,
+  kSetNwTos = 8,
+  kSetTpSrc = 9,
+  kSetTpDst = 10,
+  kEnqueue = 11,
+};
+
+void write_mac(BufWriter& w, const MacAddress& mac) { w.bytes(mac.bytes()); }
+
+MacAddress read_mac(BufReader& r) {
+  std::array<std::uint8_t, 6> b{};
+  r.bytes(b);
+  return MacAddress(b);
+}
+
+}  // namespace
+
+void encode_match(BufWriter& w, const Match& m) {
+  std::uint32_t wc = 0;
+  if (!m.in_port) wc |= wildcard::in_port;
+  if (!m.dl_vlan) wc |= wildcard::dl_vlan;
+  if (!m.dl_src) wc |= wildcard::dl_src;
+  if (!m.dl_dst) wc |= wildcard::dl_dst;
+  if (!m.dl_type) wc |= wildcard::dl_type;
+  if (!m.nw_proto) wc |= wildcard::nw_proto;
+  if (!m.tp_src) wc |= wildcard::tp_src;
+  if (!m.tp_dst) wc |= wildcard::tp_dst;
+  if (!m.dl_vlan_pcp) wc |= wildcard::dl_vlan_pcp;
+  if (!m.nw_tos) wc |= wildcard::nw_tos;
+  // nw_src/nw_dst wildcard the *low* (32 - prefix) bits; 32+ = full wild.
+  std::uint32_t src_wild = m.nw_src ? 32u - static_cast<std::uint32_t>(
+                                                m.nw_src->prefix_len())
+                                    : 32u;
+  std::uint32_t dst_wild = m.nw_dst ? 32u - static_cast<std::uint32_t>(
+                                                m.nw_dst->prefix_len())
+                                    : 32u;
+  wc |= src_wild << wildcard::nw_src_shift;
+  wc |= dst_wild << wildcard::nw_dst_shift;
+
+  w.u32(wc);
+  w.u16(m.in_port.value_or(0));
+  write_mac(w, m.dl_src.value_or(MacAddress{}));
+  write_mac(w, m.dl_dst.value_or(MacAddress{}));
+  w.u16(m.dl_vlan.value_or(0));
+  w.u8(m.dl_vlan_pcp.value_or(0));
+  w.zeros(1);
+  w.u16(m.dl_type.value_or(0));
+  w.u8(m.nw_tos.value_or(0));
+  w.u8(m.nw_proto.value_or(0));
+  w.zeros(2);
+  w.u32(m.nw_src ? m.nw_src->address().value() : 0);
+  w.u32(m.nw_dst ? m.nw_dst->address().value() : 0);
+  w.u16(m.tp_src.value_or(0));
+  w.u16(m.tp_dst.value_or(0));
+}
+
+Result<Match> decode_match(BufReader& r) {
+  std::uint32_t wc = r.u32();
+  std::uint16_t in_port = r.u16();
+  MacAddress dl_src = read_mac(r);
+  MacAddress dl_dst = read_mac(r);
+  std::uint16_t dl_vlan = r.u16();
+  std::uint8_t dl_vlan_pcp = r.u8();
+  r.skip(1);
+  std::uint16_t dl_type = r.u16();
+  std::uint8_t nw_tos = r.u8();
+  std::uint8_t nw_proto = r.u8();
+  r.skip(2);
+  std::uint32_t nw_src = r.u32();
+  std::uint32_t nw_dst = r.u32();
+  std::uint16_t tp_src = r.u16();
+  std::uint16_t tp_dst = r.u16();
+  if (!r.ok()) return Errc::protocol_error;
+
+  Match m;
+  if (!(wc & wildcard::in_port)) m.in_port = in_port;
+  if (!(wc & wildcard::dl_vlan)) m.dl_vlan = dl_vlan;
+  if (!(wc & wildcard::dl_src)) m.dl_src = dl_src;
+  if (!(wc & wildcard::dl_dst)) m.dl_dst = dl_dst;
+  if (!(wc & wildcard::dl_type)) m.dl_type = dl_type;
+  if (!(wc & wildcard::nw_proto)) m.nw_proto = nw_proto;
+  if (!(wc & wildcard::tp_src)) m.tp_src = tp_src;
+  if (!(wc & wildcard::tp_dst)) m.tp_dst = tp_dst;
+  if (!(wc & wildcard::dl_vlan_pcp)) m.dl_vlan_pcp = dl_vlan_pcp;
+  if (!(wc & wildcard::nw_tos)) m.nw_tos = nw_tos;
+  std::uint32_t src_wild = (wc >> wildcard::nw_src_shift) & 0x3f;
+  std::uint32_t dst_wild = (wc >> wildcard::nw_dst_shift) & 0x3f;
+  if (src_wild < 32)
+    m.nw_src = Cidr(Ipv4Address(nw_src), static_cast<int>(32 - src_wild));
+  if (dst_wild < 32)
+    m.nw_dst = Cidr(Ipv4Address(nw_dst), static_cast<int>(32 - dst_wild));
+  return m;
+}
+
+Result<std::uint16_t> encode_actions(BufWriter& w,
+                                     const std::vector<Action>& actions) {
+  std::size_t start = w.size();
+  for (const auto& a : actions) {
+    switch (a.kind) {
+      case ActionKind::output:
+        w.u16(kOutput);
+        w.u16(8);
+        w.u16(a.port());
+        w.u16(0xffff);  // max_len for controller sends
+        break;
+      case ActionKind::set_vlan:
+        w.u16(kSetVlanVid);
+        w.u16(8);
+        w.u16(a.port());
+        w.zeros(2);
+        break;
+      case ActionKind::strip_vlan:
+        w.u16(kStripVlan);
+        w.u16(8);
+        w.zeros(4);
+        break;
+      case ActionKind::set_dl_src:
+      case ActionKind::set_dl_dst:
+        w.u16(a.kind == ActionKind::set_dl_src ? kSetDlSrc : kSetDlDst);
+        w.u16(16);
+        w.bytes(a.mac().bytes());
+        w.zeros(6);
+        break;
+      case ActionKind::set_nw_src:
+      case ActionKind::set_nw_dst:
+        w.u16(a.kind == ActionKind::set_nw_src ? kSetNwSrc : kSetNwDst);
+        w.u16(8);
+        w.u32(a.ip().value());
+        break;
+      case ActionKind::set_nw_tos:
+        w.u16(kSetNwTos);
+        w.u16(8);
+        w.u8(std::get<std::uint8_t>(a.value));
+        w.zeros(3);
+        break;
+      case ActionKind::set_tp_src:
+      case ActionKind::set_tp_dst:
+        w.u16(a.kind == ActionKind::set_tp_src ? kSetTpSrc : kSetTpDst);
+        w.u16(8);
+        w.u16(a.port());
+        w.zeros(2);
+        break;
+      case ActionKind::enqueue: {
+        std::uint32_t packed = std::get<std::uint32_t>(a.value);
+        w.u16(kEnqueue);
+        w.u16(16);
+        w.u16(static_cast<std::uint16_t>(packed >> 16));
+        w.zeros(6);
+        w.u32(packed & 0xffff);
+        break;
+      }
+      case ActionKind::drop:
+        // Drop is the absence of actions in OpenFlow; nothing on the wire.
+        break;
+    }
+  }
+  return static_cast<std::uint16_t>(w.size() - start);
+}
+
+Result<std::vector<Action>> decode_actions(BufReader& r,
+                                           std::size_t byte_len) {
+  BufReader body = r.sub(byte_len);
+  if (!r.ok()) return Errc::protocol_error;
+  std::vector<Action> out;
+  while (body.remaining() >= 4) {
+    std::uint16_t type = body.u16();
+    std::uint16_t len = body.u16();
+    if (len < 4 || static_cast<std::size_t>(len - 4) > body.remaining()) return Errc::protocol_error;
+    BufReader payload = body.sub(len - 4);
+    switch (type) {
+      case kOutput: {
+        std::uint16_t port = payload.u16();
+        out.push_back(Action::output(port));
+        break;
+      }
+      case kSetVlanVid:
+        out.push_back(Action{ActionKind::set_vlan, payload.u16()});
+        break;
+      case kSetVlanPcp:
+        // PCP-only rewrite is not in our model; ignore (valid per spec to
+        // skip unknown processing in a soft switch reproduction).
+        break;
+      case kStripVlan:
+        out.push_back(Action{ActionKind::strip_vlan, std::monostate{}});
+        break;
+      case kSetDlSrc:
+      case kSetDlDst: {
+        std::array<std::uint8_t, 6> b{};
+        payload.bytes(b);
+        out.push_back(Action{type == kSetDlSrc ? ActionKind::set_dl_src
+                                               : ActionKind::set_dl_dst,
+                             MacAddress(b)});
+        break;
+      }
+      case kSetNwSrc:
+      case kSetNwDst:
+        out.push_back(Action{type == kSetNwSrc ? ActionKind::set_nw_src
+                                               : ActionKind::set_nw_dst,
+                             Ipv4Address(payload.u32())});
+        break;
+      case kSetNwTos:
+        out.push_back(Action{ActionKind::set_nw_tos, payload.u8()});
+        break;
+      case kSetTpSrc:
+      case kSetTpDst:
+        out.push_back(Action{type == kSetTpSrc ? ActionKind::set_tp_src
+                                               : ActionKind::set_tp_dst,
+                             payload.u16()});
+        break;
+      case kEnqueue: {
+        std::uint16_t port = payload.u16();
+        payload.skip(6);
+        std::uint32_t queue = payload.u32();
+        out.push_back(Action{
+            ActionKind::enqueue,
+            static_cast<std::uint32_t>((static_cast<std::uint32_t>(port)
+                                        << 16) |
+                                       (queue & 0xffff))});
+        break;
+      }
+      default:
+        return Errc::protocol_error;
+    }
+    if (!payload.ok()) return Errc::protocol_error;
+  }
+  return out;
+}
+
+void encode_phy_port(BufWriter& w, const PortDesc& port) {
+  w.u16(port.port_no);
+  w.bytes(port.hw_addr.bytes());
+  w.padded_string(port.name, 16);
+  std::uint32_t config = 0;
+  if (port.port_down) config |= 1u;       // OFPPC_PORT_DOWN
+  if (port.no_flood) config |= 1u << 4;   // OFPPC_NO_FLOOD
+  w.u32(config);
+  w.u32(port.link_down ? 1u : 0u);  // OFPPS_LINK_DOWN
+  // curr/advertised/supported/peer feature bitmaps: report 10GbE-FD.
+  for (int i = 0; i < 4; ++i) w.u32(1u << 6);
+}
+
+Result<PortDesc> decode_phy_port(BufReader& r) {
+  PortDesc port;
+  port.port_no = r.u16();
+  std::array<std::uint8_t, 6> mac{};
+  r.bytes(mac);
+  port.hw_addr = MacAddress(mac);
+  port.name = r.padded_string(16);
+  std::uint32_t config = r.u32();
+  std::uint32_t state = r.u32();
+  r.skip(16);
+  if (!r.ok()) return Errc::protocol_error;
+  port.port_down = config & 1u;
+  port.no_flood = config & (1u << 4);
+  port.link_down = state & 1u;
+  return port;
+}
+
+}  // namespace yanc::ofp::wire10

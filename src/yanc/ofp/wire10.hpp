@@ -1,0 +1,43 @@
+// OpenFlow 1.0 wire building blocks: the 40-byte ofp_match, the action
+// list encoding, and the 48-byte ofp_phy_port.  Used by the codec; exposed
+// for the wire-level tests.
+#pragma once
+
+#include "yanc/ofp/messages.hpp"
+#include "yanc/util/bytes.hpp"
+
+namespace yanc::ofp::wire10 {
+
+inline constexpr std::size_t kMatchSize = 40;
+inline constexpr std::size_t kPhyPortSize = 48;
+
+// ofp_flow_wildcards bits.
+namespace wildcard {
+inline constexpr std::uint32_t in_port = 1u << 0;
+inline constexpr std::uint32_t dl_vlan = 1u << 1;
+inline constexpr std::uint32_t dl_src = 1u << 2;
+inline constexpr std::uint32_t dl_dst = 1u << 3;
+inline constexpr std::uint32_t dl_type = 1u << 4;
+inline constexpr std::uint32_t nw_proto = 1u << 5;
+inline constexpr std::uint32_t tp_src = 1u << 6;
+inline constexpr std::uint32_t tp_dst = 1u << 7;
+inline constexpr int nw_src_shift = 8;   // 6-bit "ignored bits" count
+inline constexpr int nw_dst_shift = 14;
+inline constexpr std::uint32_t dl_vlan_pcp = 1u << 20;
+inline constexpr std::uint32_t nw_tos = 1u << 21;
+inline constexpr std::uint32_t all = 0x3fffff;
+}  // namespace wildcard
+
+void encode_match(BufWriter& w, const flow::Match& match);
+Result<flow::Match> decode_match(BufReader& r);
+
+/// Encodes an action list; returns its byte length.
+Result<std::uint16_t> encode_actions(BufWriter& w,
+                                     const std::vector<flow::Action>& actions);
+Result<std::vector<flow::Action>> decode_actions(BufReader& r,
+                                                 std::size_t byte_len);
+
+void encode_phy_port(BufWriter& w, const PortDesc& port);
+Result<PortDesc> decode_phy_port(BufReader& r);
+
+}  // namespace yanc::ofp::wire10

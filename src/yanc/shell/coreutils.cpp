@@ -1,0 +1,224 @@
+#include "yanc/shell/coreutils.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::shell {
+
+using vfs::Credentials;
+using vfs::Vfs;
+
+namespace {
+
+char type_char(vfs::FileType type) {
+  switch (type) {
+    case vfs::FileType::directory: return 'd';
+    case vfs::FileType::symlink: return 'l';
+    case vfs::FileType::regular: return '-';
+  }
+  return '?';
+}
+
+std::string mode_string(std::uint32_t mode) {
+  std::string out = "---------";
+  static const char* bits = "rwxrwxrwx";
+  for (int i = 0; i < 9; ++i)
+    if (mode & (1u << (8 - i))) out[static_cast<std::size_t>(i)] = bits[i];
+  return out;
+}
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  return dir == "/" ? "/" + name : dir + "/" + name;
+}
+
+Status walk(Vfs& vfs, const std::string& path, const Credentials& creds,
+            const std::function<void(const std::string&, const vfs::Stat&)>&
+                visit) {
+  auto st = vfs.lstat(path, creds);
+  if (!st) return st.error();
+  visit(path, *st);
+  if (!st->is_dir()) return ok_status();
+  auto entries = vfs.readdir(path, creds);
+  if (!entries) return entries.error();
+  for (const auto& e : *entries)
+    if (auto ec = walk(vfs, join_path(path, e.name), creds, visit); ec)
+      return ec;
+  return ok_status();
+}
+
+}  // namespace
+
+Result<std::string> ls(Vfs& vfs, const std::string& path, bool long_format,
+                       const Credentials& creds) {
+  auto st = vfs.stat(path, creds);
+  if (!st) return st.error();
+  std::ostringstream out;
+  auto emit = [&](const std::string& name, const vfs::Stat& stat) {
+    if (long_format) {
+      out << type_char(stat.type) << mode_string(stat.mode) << ' '
+          << stat.nlink << ' ' << stat.uid << ':' << stat.gid << ' '
+          << stat.size << ' ';
+    }
+    out << name << '\n';
+  };
+  if (!st->is_dir()) {
+    emit(path, *st);
+    return out.str();
+  }
+  auto entries = vfs.readdir(path, creds);
+  if (!entries) return entries.error();
+  for (const auto& e : *entries) {
+    auto child = vfs.lstat(join_path(path, e.name), creds);
+    emit(e.name, child ? *child : vfs::Stat{});
+  }
+  return out.str();
+}
+
+Result<std::string> cat(Vfs& vfs, const std::string& path,
+                        const Credentials& creds) {
+  return vfs.read_file(path, creds);
+}
+
+Status echo_to(Vfs& vfs, const std::string& path, std::string_view text,
+               const Credentials& creds) {
+  return vfs.write_file(path, text, creds);
+}
+
+namespace {
+
+Status tree_walk(Vfs& vfs, const std::string& path, const Credentials& creds,
+                 const std::string& prefix, std::ostringstream& out) {
+  auto entries = vfs.readdir(path, creds);
+  if (!entries) return entries.error();
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    const auto& e = (*entries)[i];
+    bool last = i + 1 == entries->size();
+    out << prefix << (last ? "└── " : "├── ") << e.name;
+    std::string child = join_path(path, e.name);
+    auto st = vfs.lstat(child, creds);
+    if (st && st->is_symlink()) {
+      if (auto target = vfs.readlink(child, creds))
+        out << " -> " << *target;
+      out << '\n';
+      continue;
+    }
+    out << '\n';
+    if (st && st->is_dir()) {
+      if (auto ec = tree_walk(vfs, child, creds,
+                              prefix + (last ? "    " : "│   "), out);
+          ec)
+        return ec;
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+Result<std::string> tree(Vfs& vfs, const std::string& path,
+                         const Credentials& creds) {
+  auto st = vfs.stat(path, creds);
+  if (!st) return st.error();
+  std::ostringstream out;
+  out << path << '\n';
+  if (st->is_dir())
+    if (auto ec = tree_walk(vfs, path, creds, "", out); ec) return ec;
+  return out.str();
+}
+
+Result<std::vector<std::string>> find_name(Vfs& vfs, const std::string& root,
+                                           const std::string& name_glob,
+                                           const Credentials& creds) {
+  std::vector<std::string> hits;
+  auto ec = walk(vfs, vfs::normalize_path(root), creds,
+                 [&](const std::string& path, const vfs::Stat&) {
+                   auto slash = path.rfind('/');
+                   std::string name = path.substr(slash + 1);
+                   if (glob_match(name_glob, name)) hits.push_back(path);
+                 });
+  if (ec) return ec;
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+Result<std::vector<GrepHit>> grep(Vfs& vfs,
+                                  const std::vector<std::string>& files,
+                                  const std::string& pattern,
+                                  const Credentials& creds) {
+  std::vector<GrepHit> hits;
+  for (const auto& file : files) {
+    auto content = vfs.read_file(file, creds);
+    if (!content) continue;  // like grep: skip unreadable
+    for (const auto& line : split(*content, '\n')) {
+      if (line.find(pattern) != std::string::npos)
+        hits.push_back(GrepHit{file, line});
+    }
+  }
+  return hits;
+}
+
+Result<std::vector<GrepHit>> grep_recursive(Vfs& vfs, const std::string& root,
+                                            const std::string& pattern,
+                                            const Credentials& creds) {
+  std::vector<std::string> files;
+  auto ec = walk(vfs, vfs::normalize_path(root), creds,
+                 [&](const std::string& path, const vfs::Stat& st) {
+                   if (st.is_file()) files.push_back(path);
+                 });
+  if (ec) return ec;
+  return grep(vfs, files, pattern, creds);
+}
+
+Status cp(Vfs& vfs, const std::string& from, const std::string& to,
+          const Credentials& creds) {
+  auto st = vfs.lstat(from, creds);
+  if (!st) return st.error();
+  if (st->is_symlink()) {
+    auto target = vfs.readlink(from, creds);
+    if (!target) return target.error();
+    return vfs.symlink(*target, to, creds);
+  }
+  if (st->is_file()) {
+    auto data = vfs.read_file(from, creds);
+    if (!data) return data.error();
+    return vfs.write_file(to, *data, creds);
+  }
+  if (auto ec = vfs.mkdir(to, st->mode, creds);
+      ec && ec != make_error_code(Errc::exists))
+    return ec;
+  auto entries = vfs.readdir(from, creds);
+  if (!entries) return entries.error();
+  for (const auto& e : *entries) {
+    if (auto ec = cp(vfs, join_path(from, e.name), join_path(to, e.name),
+                     creds);
+        ec)
+      return ec;
+  }
+  return ok_status();
+}
+
+Status mv(Vfs& vfs, const std::string& from, const std::string& to,
+          const Credentials& creds) {
+  return vfs.rename(from, to, creds);
+}
+
+Result<std::vector<std::string>> flows_matching_port(
+    Vfs& vfs, const std::string& net_root, std::uint16_t port,
+    const Credentials& creds) {
+  // find <net_root> -name match.tp_dst -exec grep <port>
+  auto files = find_name(vfs, net_root, "match.tp_dst", creds);
+  if (!files) return files.error();
+  auto hits = grep(vfs, *files, std::to_string(port), creds);
+  if (!hits) return hits.error();
+  std::vector<std::string> flow_dirs;
+  for (const auto& hit : *hits) {
+    auto slash = hit.path.rfind('/');
+    flow_dirs.push_back(hit.path.substr(0, slash));
+  }
+  return flow_dirs;
+}
+
+}  // namespace yanc::shell

@@ -1,0 +1,75 @@
+// Coreutils over the yanc file system (§5.4): "From simple one-liners to
+// more elaborate shell scripts, these common utilities are tools that
+// system administrators use and know."
+//
+// These are the in-process equivalents of ls/cat/tree/find/grep running
+// against a Vfs — usable from examples, tests, and the yancsh example
+// binary.  They take Credentials so permission checks behave exactly as
+// they would for a real process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::shell {
+
+/// `ls [-l] path` — names one per line; long format adds type/mode/size
+/// ("drwxr-xr-x  3 sw1" style).
+Result<std::string> ls(vfs::Vfs& vfs, const std::string& path,
+                       bool long_format = false,
+                       const vfs::Credentials& creds = {});
+
+/// `cat path`.
+Result<std::string> cat(vfs::Vfs& vfs, const std::string& path,
+                        const vfs::Credentials& creds = {});
+
+/// `echo text > path` (creates or truncates).
+Status echo_to(vfs::Vfs& vfs, const std::string& path, std::string_view text,
+               const vfs::Credentials& creds = {});
+
+/// `tree path` — recursive pretty listing; symlinks shown as "name -> tgt".
+Result<std::string> tree(vfs::Vfs& vfs, const std::string& path,
+                         const vfs::Credentials& creds = {});
+
+/// `find root -name glob` — paths of every entry whose *name* matches the
+/// shell glob, depth-first, sorted.
+Result<std::vector<std::string>> find_name(
+    vfs::Vfs& vfs, const std::string& root, const std::string& name_glob,
+    const vfs::Credentials& creds = {});
+
+/// One grep hit: the file and the matching content.
+struct GrepHit {
+  std::string path;
+  std::string line;
+};
+
+/// `grep pattern file...` over regular files; `pattern` is a substring.
+Result<std::vector<GrepHit>> grep(vfs::Vfs& vfs,
+                                  const std::vector<std::string>& files,
+                                  const std::string& pattern,
+                                  const vfs::Credentials& creds = {});
+
+/// `grep -r pattern root` — recursive grep over a subtree.
+Result<std::vector<GrepHit>> grep_recursive(
+    vfs::Vfs& vfs, const std::string& root, const std::string& pattern,
+    const vfs::Credentials& creds = {});
+
+/// `cp [-r] from to` — copies a file (or, recursively, a directory tree,
+/// including symlinks).  `to` names the destination itself, not a parent.
+Status cp(vfs::Vfs& vfs, const std::string& from, const std::string& to,
+          const vfs::Credentials& creds = {});
+
+/// `mv from to` — rename(2) wrapper.
+Status mv(vfs::Vfs& vfs, const std::string& from, const std::string& to,
+          const vfs::Credentials& creds = {});
+
+/// The paper's §5.4 example: "find /net -name tp.dst -exec grep 22" —
+/// flows matching ssh traffic.  Returns the flow directories whose
+/// `match.tp_dst` file contains `port`.
+Result<std::vector<std::string>> flows_matching_port(
+    vfs::Vfs& vfs, const std::string& net_root, std::uint16_t port,
+    const vfs::Credentials& creds = {});
+
+}  // namespace yanc::shell

@@ -1,0 +1,113 @@
+#include "yanc/sw/flow_table.hpp"
+
+#include <algorithm>
+
+namespace yanc::sw {
+
+namespace {
+
+bool outputs_to(const flow::FlowSpec& spec, std::uint16_t port) {
+  if (port == 0xffff) return true;
+  for (const auto& a : spec.actions)
+    if (a.kind == flow::ActionKind::output && a.port() == port) return true;
+  return false;
+}
+
+}  // namespace
+
+void FlowTable::add(const flow::FlowSpec& spec, std::uint16_t flags,
+                    std::uint64_t now_ns) {
+  // Identical (match, priority) replaces in place, counters reset.
+  for (auto& e : entries_) {
+    if (e.spec.priority == spec.priority && e.spec.match == spec.match) {
+      e.spec = spec;
+      e.flags = flags;
+      e.packet_count = e.byte_count = 0;
+      e.installed_at_ns = e.last_hit_ns = now_ns;
+      return;
+    }
+  }
+  FlowEntry entry;
+  entry.spec = spec;
+  entry.flags = flags;
+  entry.installed_at_ns = entry.last_hit_ns = now_ns;
+  // Insert before the first strictly-lower priority so lookup can stop at
+  // the first match (stable among equals: earlier adds win ties).
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [&](const FlowEntry& e) {
+                            return e.spec.priority < spec.priority;
+                          });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::size_t FlowTable::modify(const flow::FlowSpec& spec, bool strict) {
+  std::size_t changed = 0;
+  for (auto& e : entries_) {
+    bool match = strict ? (e.spec.match == spec.match &&
+                           e.spec.priority == spec.priority)
+                        : spec.match.subsumes(e.spec.match);
+    if (!match) continue;
+    e.spec.actions = spec.actions;
+    e.spec.goto_table = spec.goto_table;
+    ++changed;
+  }
+  return changed;
+}
+
+std::vector<FlowEntry> FlowTable::remove(const flow::Match& match,
+                                         std::uint16_t priority, bool strict,
+                                         std::uint16_t out_port) {
+  std::vector<FlowEntry> removed;
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    bool hit = strict ? (it->spec.match == match &&
+                         it->spec.priority == priority)
+                      : match.subsumes(it->spec.match);
+    if (hit && outputs_to(it->spec, out_port)) {
+      removed.push_back(std::move(*it));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const FlowEntry* FlowTable::lookup(const flow::FieldValues& fields,
+                                   std::uint64_t now_ns, std::uint64_t bytes,
+                                   bool count) {
+  for (auto& e : entries_) {
+    if (e.spec.match.matches(fields)) {
+      if (count) {
+        ++e.packet_count;
+        e.byte_count += bytes;
+        e.last_hit_ns = now_ns;
+      }
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ExpiredEntry> FlowTable::expire(std::uint64_t now_ns) {
+  std::vector<ExpiredEntry> expired;
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    const auto& spec = it->spec;
+    std::uint64_t hard_ns =
+        static_cast<std::uint64_t>(spec.hard_timeout) * 1'000'000'000ull;
+    std::uint64_t idle_ns =
+        static_cast<std::uint64_t>(spec.idle_timeout) * 1'000'000'000ull;
+    bool hard = spec.hard_timeout && now_ns >= it->installed_at_ns + hard_ns;
+    bool idle = spec.idle_timeout && now_ns >= it->last_hit_ns + idle_ns;
+    if (hard || idle) {
+      expired.push_back(ExpiredEntry{std::move(*it), hard});
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace yanc::sw

@@ -1,0 +1,61 @@
+// A single OpenFlow flow table: priority-ordered matching with OpenFlow
+// add/modify/delete semantics, per-entry counters, and idle/hard timeout
+// expiry on virtual time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "yanc/flow/flowspec.hpp"
+
+namespace yanc::sw {
+
+struct FlowEntry {
+  flow::FlowSpec spec;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  std::uint64_t installed_at_ns = 0;
+  std::uint64_t last_hit_ns = 0;
+  std::uint16_t flags = 0;  // OFPFF_* from the flow_mod
+};
+
+struct ExpiredEntry {
+  FlowEntry entry;
+  bool hard;  // true: hard timeout; false: idle timeout
+};
+
+class FlowTable {
+ public:
+  /// Adds an entry (OFPFC_ADD): replaces an entry with identical match and
+  /// priority, per the OpenFlow overlap rule.
+  void add(const flow::FlowSpec& spec, std::uint16_t flags,
+           std::uint64_t now_ns);
+
+  /// OFPFC_MODIFY / MODIFY_STRICT: updates actions of matching entries
+  /// (strict also requires equal priority).  Returns entries changed.
+  std::size_t modify(const flow::FlowSpec& spec, bool strict);
+
+  /// OFPFC_DELETE / DELETE_STRICT.  `out_port` filters to entries that
+  /// output to that port (0xffff = no filter).  Returns removed entries.
+  std::vector<FlowEntry> remove(const flow::Match& match,
+                                std::uint16_t priority, bool strict,
+                                std::uint16_t out_port = 0xffff);
+
+  /// Highest-priority entry matching the packet; ties broken by insertion
+  /// order (first added wins).  Bumps counters when `count` is set.
+  const FlowEntry* lookup(const flow::FieldValues& fields,
+                          std::uint64_t now_ns, std::uint64_t bytes,
+                          bool count = true);
+
+  /// Removes entries whose idle/hard timeout elapsed at `now_ns`.
+  std::vector<ExpiredEntry> expire(std::uint64_t now_ns);
+
+  const std::vector<FlowEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+};
+
+}  // namespace yanc::sw

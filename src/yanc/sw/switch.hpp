@@ -1,0 +1,110 @@
+// The software OpenFlow switch: the data-plane device the yanc controller
+// manages.  Speaks real OpenFlow 1.0 or 1.3 bytes over a net::Channel,
+// executes match/action semantics on simulated frames, buffers table-miss
+// packets, ages flows on virtual time, and reports stats.
+//
+// Nothing above the channel can tell this is not a hardware switch behind
+// TCP — which is the point of the substitution (see DESIGN.md).
+#pragma once
+
+#include <map>
+
+#include "yanc/net/channel.hpp"
+#include "yanc/net/simnet.hpp"
+#include "yanc/ofp/codec.hpp"
+#include "yanc/sw/flow_table.hpp"
+
+namespace yanc::sw {
+
+struct SwitchOptions {
+  std::uint64_t datapath_id = 0;
+  ofp::Version version = ofp::Version::of10;
+  std::uint8_t n_tables = 1;  // >1 meaningful only for OF1.3
+  std::uint32_t n_buffers = 256;
+  std::string manufacturer = "yanc project";
+  std::string hw_desc = "software switch";
+  std::string sw_desc = "yanc-sw";
+};
+
+class Switch : public net::Device {
+ public:
+  Switch(std::string name, SwitchOptions options, net::Network& network);
+
+  const SwitchOptions& options() const noexcept { return options_; }
+  std::uint64_t datapath_id() const noexcept { return options_.datapath_id; }
+
+  /// Declares a local port (wire it up separately via Network::add_link).
+  void add_port(std::uint16_t port_no, MacAddress hw_addr,
+                std::string if_name);
+
+  /// Attaches the control channel (switch-side endpoint) and sends HELLO.
+  void connect(net::Channel channel);
+  bool connected() const { return channel_.connected(); }
+
+  /// Processes pending control messages; returns how many were handled.
+  /// The simulation harness calls this between events (a real switch would
+  /// be woken by the socket).
+  std::size_t pump();
+
+  /// Ages flow tables; emits flow_removed for expired entries that asked
+  /// for it.  Driven from the harness/scheduler.
+  void expire_flows();
+
+  // --- data plane -------------------------------------------------------
+  void handle_frame(std::uint16_t port, const net::Frame& frame) override;
+  void handle_link_status(std::uint16_t port, bool up) override;
+
+  // --- introspection (tests/benches) ------------------------------------
+  const FlowTable& table(std::uint8_t id = 0) const { return tables_.at(id); }
+  FlowTable& mutable_table(std::uint8_t id = 0) { return tables_.at(id); }
+  std::uint64_t packet_ins_sent() const noexcept { return packet_ins_; }
+  std::uint64_t flow_mods_received() const noexcept { return flow_mods_; }
+  std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
+  std::uint64_t frames_dropped() const noexcept { return dropped_; }
+
+  struct PortState {
+    ofp::PortDesc desc;
+  };
+  const std::map<std::uint16_t, PortState>& ports() const { return ports_; }
+
+ private:
+  void send(const ofp::Message& message, std::uint32_t xid = 0);
+  void handle_message(const ofp::Decoded& decoded);
+  void handle_flow_mod(const ofp::FlowMod& fm);
+  void handle_packet_out(const ofp::PacketOut& po);
+  void handle_stats(const ofp::StatsRequest& sr, std::uint32_t xid);
+  void handle_port_mod(const ofp::PortMod& pm);
+
+  /// Runs the action list on `frame` (rewrites mutate it in place so a
+  /// later pipeline table matches the rewritten packet).
+  void execute_actions(const std::vector<flow::Action>& actions,
+                       net::Frame& frame, std::uint16_t in_port);
+  void output_frame(std::uint16_t out_port, const net::Frame& frame,
+                    std::uint16_t in_port);
+  void send_packet_in(const net::Frame& frame, std::uint16_t in_port,
+                      ofp::PacketIn::Reason reason);
+  void send_flow_removed(const ExpiredEntry& expired);
+  std::uint64_t now_ns() const;
+
+  SwitchOptions options_;
+  net::Network& network_;
+  net::Channel channel_;
+  std::map<std::uint8_t, FlowTable> tables_;
+  std::map<std::uint16_t, PortState> ports_;
+  std::map<std::uint32_t, net::Frame> buffers_;
+  std::uint32_t next_buffer_id_ = 1;
+  std::uint32_t next_xid_ = 1;
+  std::uint64_t packet_ins_ = 0;
+  std::uint64_t flow_mods_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+  // per-port (packets, bytes) counters
+  std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>>
+      port_counters_rx_, port_counters_tx_;
+  // per-(port, queue) (packets, bytes) counters for enqueue actions
+  std::map<std::pair<std::uint16_t, std::uint32_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      queue_counters_;
+};
+
+}  // namespace yanc::sw

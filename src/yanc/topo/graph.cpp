@@ -1,0 +1,153 @@
+#include "yanc/topo/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::topo {
+
+std::string PortRef::path(const std::string& net_root) const {
+  return net_root + "/switches/" + switch_name + "/ports/" +
+         std::to_string(port_no);
+}
+
+std::optional<PortRef> PortRef::from_path(std::string_view path) {
+  auto comps = split_nonempty(path, '/');
+  // ... switches <sw> ports <port>
+  if (comps.size() < 4) return std::nullopt;
+  std::size_t n = comps.size();
+  if (comps[n - 2] != "ports" || comps[n - 4] != "switches")
+    return std::nullopt;
+  auto port = parse_u64(comps[n - 1]);
+  if (!port || *port > 0xffff) return std::nullopt;
+  return PortRef{comps[n - 3], static_cast<std::uint16_t>(*port)};
+}
+
+void Graph::add_link(const PortRef& a, const PortRef& b) {
+  adjacency_[a.switch_name][a.port_no] = b;
+  adjacency_[b.switch_name][b.port_no] = a;
+  links_.push_back(Link{a, b});
+}
+
+void Graph::add_host(HostAttachment host) {
+  adjacency_[host.location.switch_name];
+  hosts_.push_back(std::move(host));
+}
+
+std::vector<std::string> Graph::switch_names() const {
+  std::vector<std::string> names;
+  names.reserve(adjacency_.size());
+  for (const auto& [name, edges] : adjacency_) names.push_back(name);
+  return names;
+}
+
+const HostAttachment* Graph::find_host(const MacAddress& mac) const {
+  for (const auto& h : hosts_)
+    if (h.mac == mac) return &h;
+  return nullptr;
+}
+
+const HostAttachment* Graph::find_host(const Ipv4Address& ip) const {
+  for (const auto& h : hosts_)
+    if (h.ip == ip) return &h;
+  return nullptr;
+}
+
+std::optional<Path> Graph::shortest_path(const std::string& from,
+                                         const std::string& to) const {
+  if (!adjacency_.count(from) || !adjacency_.count(to)) return std::nullopt;
+  if (from == to) return Path{};
+
+  // BFS over switches; remember the (switch, egress port) that discovered
+  // each node so the hop list can be reconstructed.
+  std::map<std::string, PortRef> discovered_via;
+  std::deque<std::string> frontier{from};
+  std::map<std::string, std::string> parent;
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    auto edges = adjacency_.find(current);
+    if (edges == adjacency_.end()) continue;
+    for (const auto& [port, peer] : edges->second) {
+      const std::string& next = peer.switch_name;
+      if (next == from || parent.count(next)) continue;
+      parent[next] = current;
+      discovered_via[next] = PortRef{current, port};
+      if (next == to) {
+        // Walk back to build the hop list.
+        Path path;
+        std::string node = to;
+        while (node != from) {
+          path.push_back(discovered_via[node]);
+          node = parent[node];
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> Graph::host_path(const HostAttachment& src,
+                                     const HostAttachment& dst) const {
+  auto inter = shortest_path(src.location.switch_name,
+                             dst.location.switch_name);
+  if (!inter) return std::nullopt;
+  Path path = *inter;
+  // The final hop delivers to the destination host's port.
+  path.push_back(dst.location);
+  return path;
+}
+
+Result<Graph> read_topology(vfs::Vfs& vfs, const std::string& net_root,
+                            const vfs::Credentials& creds) {
+  Graph graph;
+  auto switches = vfs.readdir(net_root + "/switches", creds);
+  if (!switches) return switches.error();
+
+  for (const auto& sw : *switches) {
+    if (sw.type != vfs::FileType::directory) continue;
+    graph.add_switch(sw.name);
+    std::string ports_dir = net_root + "/switches/" + sw.name + "/ports";
+    auto ports = vfs.readdir(ports_dir, creds);
+    if (!ports) continue;
+    for (const auto& port : *ports) {
+      auto target = vfs.readlink(ports_dir + "/" + port.name + "/peer",
+                                 creds);
+      if (!target) continue;
+      auto peer = PortRef::from_path(*target);
+      auto port_no = parse_u64(port.name);
+      if (!peer || !port_no) continue;
+      PortRef self{sw.name, static_cast<std::uint16_t>(*port_no)};
+      // Each link appears twice (once per direction); record it when seen
+      // from its lexicographically smaller end to avoid duplicates, but
+      // trust a one-sided link too (discovery may be half done).
+      if (self < *peer || !vfs.readlink(peer->path(net_root) + "/peer",
+                                        creds))
+        graph.add_link(self, *peer);
+    }
+  }
+
+  auto hosts = vfs.readdir(net_root + "/hosts", creds);
+  if (hosts) {
+    for (const auto& h : *hosts) {
+      if (h.type != vfs::FileType::directory) continue;
+      std::string host_dir = net_root + "/hosts/" + h.name;
+      auto mac_text = vfs.read_file(host_dir + "/mac", creds);
+      auto ip_text = vfs.read_file(host_dir + "/ip", creds);
+      auto loc = vfs.readlink(host_dir + "/location", creds);
+      if (!mac_text || !ip_text || !loc) continue;
+      auto mac = MacAddress::parse(trim(*mac_text));
+      auto ip = Ipv4Address::parse(trim(*ip_text));
+      auto port = PortRef::from_path(*loc);
+      if (!mac || !ip || !port) continue;
+      graph.add_host(HostAttachment{h.name, *mac, *ip, *port});
+    }
+  }
+  return graph;
+}
+
+}  // namespace yanc::topo

@@ -1,0 +1,90 @@
+// Network topology as read from the yanc file system (§3.3, §4.3).
+//
+// Topology is not a separate database: it *is* the peer symlinks between
+// port directories, plus host location links.  This module parses that
+// representation into a graph and computes paths for applications like the
+// reactive router.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "yanc/util/net_types.hpp"
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::topo {
+
+/// One end of a link: (switch directory name, port number).
+struct PortRef {
+  std::string switch_name;
+  std::uint16_t port_no = 0;
+
+  auto operator<=>(const PortRef&) const = default;
+
+  /// The port's directory path under `net_root`.
+  std::string path(const std::string& net_root) const;
+  /// Parses ".../switches/<sw>/ports/<port>" (absolute or relative).
+  static std::optional<PortRef> from_path(std::string_view path);
+};
+
+/// A bidirectional switch-to-switch link.
+struct Link {
+  PortRef a, b;
+};
+
+/// A host attachment: host name -> the port it hangs off.
+struct HostAttachment {
+  std::string host_name;
+  MacAddress mac;
+  Ipv4Address ip;
+  PortRef location;
+};
+
+/// One forwarding hop: leave `via.switch_name` through port `via.port_no`.
+using Path = std::vector<PortRef>;
+
+class Graph {
+ public:
+  void add_switch(const std::string& name) { adjacency_[name]; }
+  void add_link(const PortRef& a, const PortRef& b);
+  void add_host(HostAttachment host);
+
+  const std::vector<Link>& links() const noexcept { return links_; }
+  const std::vector<HostAttachment>& hosts() const noexcept {
+    return hosts_;
+  }
+  std::vector<std::string> switch_names() const;
+  bool has_switch(const std::string& name) const {
+    return adjacency_.count(name) != 0;
+  }
+
+  /// Host lookup by MAC / IP.
+  const HostAttachment* find_host(const MacAddress& mac) const;
+  const HostAttachment* find_host(const Ipv4Address& ip) const;
+
+  /// Shortest path (hop count, BFS) from one switch to another.  The
+  /// result lists the egress port per switch; empty when from == to;
+  /// nullopt when unreachable.
+  std::optional<Path> shortest_path(const std::string& from,
+                                    const std::string& to) const;
+
+  /// Full forwarding path between two attached hosts: egress ports on
+  /// every switch from src's switch to dst's, ending with dst's port.
+  std::optional<Path> host_path(const HostAttachment& src,
+                                const HostAttachment& dst) const;
+
+ private:
+  // switch -> (egress port -> peer)
+  std::map<std::string, std::map<std::uint16_t, PortRef>> adjacency_;
+  std::vector<Link> links_;
+  std::vector<HostAttachment> hosts_;
+};
+
+/// Builds the graph from the FS: switch dirs, peer symlinks, host
+/// locations.
+Result<Graph> read_topology(vfs::Vfs& vfs, const std::string& net_root = "/net",
+                            const vfs::Credentials& creds = {});
+
+}  // namespace yanc::topo

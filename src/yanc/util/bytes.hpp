@@ -1,0 +1,147 @@
+// Bounds-checked big-endian byte buffer codecs.
+//
+// The OpenFlow wire protocol (yanc::ofp) and the packet library (yanc::net)
+// both serialize network byte order; both go through these two classes so
+// every length check lives in one place.  A BufReader never reads out of
+// bounds: once any read fails, the reader is poisoned (ok() == false) and
+// subsequent reads return zeros, so codecs can decode a whole struct and
+// check ok() once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace yanc {
+
+/// Append-only big-endian writer backed by a growable byte vector.
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void zeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  /// Fixed-width field: copies up to `width` chars and zero-pads the rest.
+  void padded_string(const std::string& s, std::size_t width) {
+    std::size_t n = s.size() < width ? s.size() : width;
+    buf_.insert(buf_.end(), s.begin(), s.begin() + static_cast<long>(n));
+    zeros(width - n);
+  }
+
+  /// Patches a previously written big-endian u16 (used for length fields
+  /// whose value is only known after the body is serialized).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked big-endian reader over a borrowed byte span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return read_fail_ ? take_fail() : take<1>(); }
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(read_fail_ ? take_fail() : take<2>());
+  }
+  std::uint32_t u32() {
+    return static_cast<std::uint32_t>(read_fail_ ? take_fail() : take<4>());
+  }
+  std::uint64_t u64() { return read_fail_ ? take_fail() : take<8>(); }
+
+  void bytes(std::span<std::uint8_t> out) {
+    if (remaining() < out.size()) {
+      read_fail_ = true;
+      std::memset(out.data(), 0, out.size());
+      return;
+    }
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+  }
+
+  /// Reads `n` bytes into a fresh vector (empty + poisoned on underflow).
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (remaining() < n) {
+      read_fail_ = true;
+      return {};
+    }
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                  data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Fixed-width zero-padded string field.
+  std::string padded_string(std::size_t width) {
+    auto raw = bytes(width);
+    std::size_t len = 0;
+    while (len < raw.size() && raw[len] != 0) ++len;
+    return std::string(raw.begin(), raw.begin() + static_cast<long>(len));
+  }
+
+  void skip(std::size_t n) {
+    if (remaining() < n)
+      read_fail_ = true;
+    else
+      pos_ += n;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool ok() const noexcept { return !read_fail_; }
+
+  /// Sub-reader over the next n bytes (poisons on underflow).
+  BufReader sub(std::size_t n) {
+    if (remaining() < n) {
+      read_fail_ = true;
+      return BufReader({});
+    }
+    BufReader r(data_.subspan(pos_, n));
+    pos_ += n;
+    return r;
+  }
+
+ private:
+  template <std::size_t N>
+  std::uint64_t take() {
+    if (remaining() < N) return take_fail();
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < N; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += N;
+    return v;
+  }
+  std::uint64_t take_fail() {
+    read_fail_ = true;
+    return 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool read_fail_ = false;
+};
+
+}  // namespace yanc

@@ -1,0 +1,58 @@
+#include "yanc/util/error.hpp"
+
+namespace yanc {
+namespace {
+
+struct NameMessage {
+  const char* name;
+  const char* message;
+};
+
+NameMessage describe(Errc e) {
+  switch (e) {
+    case Errc::ok: return {"OK", "success"};
+    case Errc::not_found: return {"ENOENT", "no such file or directory"};
+    case Errc::exists: return {"EEXIST", "file exists"};
+    case Errc::not_dir: return {"ENOTDIR", "not a directory"};
+    case Errc::is_dir: return {"EISDIR", "is a directory"};
+    case Errc::not_empty: return {"ENOTEMPTY", "directory not empty"};
+    case Errc::access_denied: return {"EACCES", "permission denied"};
+    case Errc::not_permitted: return {"EPERM", "operation not permitted"};
+    case Errc::invalid_argument: return {"EINVAL", "invalid argument"};
+    case Errc::name_too_long: return {"ENAMETOOLONG", "file name too long"};
+    case Errc::symlink_loop:
+      return {"ELOOP", "too many levels of symbolic links"};
+    case Errc::cross_device: return {"EXDEV", "cross-device link"};
+    case Errc::no_space: return {"ENOSPC", "no space left on device"};
+    case Errc::bad_handle: return {"EBADF", "bad file descriptor"};
+    case Errc::busy: return {"EBUSY", "device or resource busy"};
+    case Errc::read_only: return {"EROFS", "read-only file system"};
+    case Errc::not_supported: return {"ENOTSUP", "operation not supported"};
+    case Errc::would_block: return {"EWOULDBLOCK", "operation would block"};
+    case Errc::overflow: return {"EOVERFLOW", "value too large"};
+    case Errc::timed_out: return {"ETIMEDOUT", "operation timed out"};
+    case Errc::not_connected: return {"ENOTCONN", "not connected"};
+    case Errc::protocol_error: return {"EPROTO", "protocol error"};
+    case Errc::io_error: return {"EIO", "input/output error"};
+  }
+  return {"EUNKNOWN", "unknown error"};
+}
+
+class YancCategory final : public std::error_category {
+ public:
+  const char* name() const noexcept override { return "yanc"; }
+  std::string message(int condition) const override {
+    return describe(static_cast<Errc>(condition)).message;
+  }
+};
+
+}  // namespace
+
+const std::error_category& yanc_category() noexcept {
+  static YancCategory category;
+  return category;
+}
+
+std::string errc_name(Errc e) { return describe(e).name; }
+
+}  // namespace yanc

@@ -1,0 +1,56 @@
+// Errno-style error vocabulary used across every yanc subsystem.
+//
+// The paper's whole premise is that network state behaves like a POSIX file
+// system, so the library speaks POSIX error semantics: ENOENT when a switch
+// directory is missing, EACCES when an application lacks permission on a
+// flow, ELOOP on symlink cycles in the topology, and so on.  Errors are
+// carried as std::error_code with a dedicated category so they compose with
+// the standard library and remain cheap to pass around.
+#pragma once
+
+#include <string>
+#include <system_error>
+
+namespace yanc {
+
+/// POSIX-flavoured error conditions used by the VFS and everything above it.
+enum class Errc : int {
+  ok = 0,
+  not_found,          // ENOENT
+  exists,             // EEXIST
+  not_dir,            // ENOTDIR
+  is_dir,             // EISDIR
+  not_empty,          // ENOTEMPTY
+  access_denied,      // EACCES
+  not_permitted,      // EPERM
+  invalid_argument,   // EINVAL
+  name_too_long,      // ENAMETOOLONG
+  symlink_loop,       // ELOOP
+  cross_device,       // EXDEV
+  no_space,           // ENOSPC
+  bad_handle,         // EBADF
+  busy,               // EBUSY
+  read_only,          // EROFS
+  not_supported,      // ENOTSUP
+  would_block,        // EWOULDBLOCK
+  overflow,           // EOVERFLOW
+  timed_out,          // ETIMEDOUT
+  not_connected,      // ENOTCONN
+  protocol_error,     // EPROTO
+  io_error,           // EIO
+};
+
+/// Category instance for yanc::Errc (singleton).
+const std::error_category& yanc_category() noexcept;
+
+inline std::error_code make_error_code(Errc e) noexcept {
+  return {static_cast<int>(e), yanc_category()};
+}
+
+/// Short uppercase POSIX-style name, e.g. "ENOENT", for diagnostics.
+std::string errc_name(Errc e);
+
+}  // namespace yanc
+
+template <>
+struct std::is_error_code_enum<yanc::Errc> : std::true_type {};

@@ -1,0 +1,38 @@
+#include "yanc/util/log.hpp"
+
+#include <atomic>
+
+namespace yanc {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::off)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::error: return "error";
+    case LogLevel::info: return "info";
+    case LogLevel::debug: return "debug";
+    default: return "off";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view component,
+         std::string_view message) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed))
+    return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace yanc

@@ -1,0 +1,30 @@
+// Minimal leveled logger.  Off by default so tests and benchmarks stay
+// quiet; examples turn it on to narrate what the controller is doing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace yanc {
+
+enum class LogLevel : int { off = 0, error = 1, info = 2, debug = 3 };
+
+/// Process-wide log threshold (defaults to off).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits "[level] component: message" to stderr when enabled.
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+inline void log_error(std::string_view component, std::string_view message) {
+  log(LogLevel::error, component, message);
+}
+inline void log_info(std::string_view component, std::string_view message) {
+  log(LogLevel::info, component, message);
+}
+inline void log_debug(std::string_view component, std::string_view message) {
+  log(LogLevel::debug, component, message);
+}
+
+}  // namespace yanc

@@ -1,0 +1,108 @@
+#include "yanc/util/net_types.hpp"
+
+#include <cstdio>
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc {
+
+MacAddress MacAddress::from_u64(std::uint64_t v) {
+  std::array<std::uint8_t, 6> b{};
+  for (int i = 5; i >= 0; --i) {
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return MacAddress(b);
+}
+
+Result<MacAddress> MacAddress::parse(std::string_view s) {
+  auto parts = split(trim(s), ':');
+  if (parts.size() != 6) return Errc::invalid_argument;
+  std::array<std::uint8_t, 6> b{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].empty() || parts[i].size() > 2)
+      return Errc::invalid_argument;
+    auto v = parse_hex_u64(parts[i]);
+    if (!v) return v.error();
+    b[i] = static_cast<std::uint8_t>(*v);
+  }
+  return MacAddress(b);
+}
+
+std::uint64_t MacAddress::to_u64() const noexcept {
+  std::uint64_t v = 0;
+  for (auto byte : bytes_) v = (v << 8) | byte;
+  return v;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+bool MacAddress::is_broadcast() const noexcept {
+  for (auto b : bytes_)
+    if (b != 0xff) return false;
+  return true;
+}
+
+Result<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  auto parts = split(trim(s), '.');
+  if (parts.size() != 4) return Errc::invalid_argument;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    auto octet = parse_u64(p);
+    if (!octet || *octet > 255) return Errc::invalid_argument;
+    v = (v << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Address(v);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Cidr::Cidr(Ipv4Address addr, int prefix_len)
+    : addr_(Ipv4Address(addr.value() &
+                        (prefix_len == 0
+                             ? 0u
+                             : ~0u << (32 - prefix_len)))),
+      prefix_len_(prefix_len) {}
+
+Result<Cidr> Cidr::parse(std::string_view s) {
+  s = trim(s);
+  auto slash = s.find('/');
+  std::string_view addr_part = s.substr(0, slash);
+  int prefix = 32;
+  if (slash != std::string_view::npos) {
+    auto p = parse_u64(s.substr(slash + 1));
+    if (!p || *p > 32) return Errc::invalid_argument;
+    prefix = static_cast<int>(*p);
+  }
+  auto addr = Ipv4Address::parse(addr_part);
+  if (!addr) return addr.error();
+  return Cidr(*addr, prefix);
+}
+
+std::uint32_t Cidr::mask() const noexcept {
+  return prefix_len_ == 0 ? 0u : ~0u << (32 - prefix_len_);
+}
+
+bool Cidr::contains(Ipv4Address a) const noexcept {
+  return (a.value() & mask()) == addr_.value();
+}
+
+bool Cidr::contains(const Cidr& other) const noexcept {
+  return other.prefix_len_ >= prefix_len_ && contains(other.addr_);
+}
+
+std::string Cidr::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace yanc

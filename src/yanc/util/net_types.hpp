@@ -1,0 +1,85 @@
+// Network address value types shared by the packet library, the OpenFlow
+// codecs, and the netfs typed-file parsers (match.dl_src is a MAC in text
+// form, match.nw_src takes CIDR notation per §3.4 of the paper).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "yanc/util/result.hpp"
+
+namespace yanc {
+
+/// 48-bit Ethernet MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> bytes)
+      : bytes_(bytes) {}
+
+  /// From the low 48 bits of an integer (byte 0 = most significant).
+  static MacAddress from_u64(std::uint64_t v);
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive).
+  static Result<MacAddress> parse(std::string_view s);
+
+  const std::array<std::uint8_t, 6>& bytes() const noexcept { return bytes_; }
+  std::uint64_t to_u64() const noexcept;
+  std::string to_string() const;
+
+  bool is_broadcast() const noexcept;
+  bool is_multicast() const noexcept { return bytes_[0] & 0x01; }
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+/// IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+
+  /// Parses dotted-quad "10.0.0.1".
+  static Result<Ipv4Address> parse(std::string_view s);
+
+  std::uint32_t value() const noexcept { return value_; }
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv4 prefix in CIDR notation; "10.0.0.0/8" or a bare address (/32).
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  Cidr(Ipv4Address addr, int prefix_len);
+
+  static Result<Cidr> parse(std::string_view s);
+
+  Ipv4Address address() const noexcept { return addr_; }
+  int prefix_len() const noexcept { return prefix_len_; }
+  std::uint32_t mask() const noexcept;
+
+  bool contains(Ipv4Address a) const noexcept;
+  /// True if every address in `other` is in *this.
+  bool contains(const Cidr& other) const noexcept;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Cidr&) const = default;
+
+ private:
+  Ipv4Address addr_;
+  int prefix_len_ = 32;
+};
+
+}  // namespace yanc

@@ -1,0 +1,66 @@
+// Result<T>: a minimal expected-like type (std::expected is C++23; this
+// project targets C++20).  A Result either holds a value or an
+// std::error_code from yanc_category().  Used as the return type of every
+// fallible operation in the library; exceptions are reserved for programmer
+// errors (precondition violations).
+#pragma once
+
+#include <cassert>
+#include <system_error>
+#include <utility>
+#include <variant>
+
+#include "yanc/util/error.hpp"
+
+namespace yanc {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Errc e) : state_(std::in_place_index<1>, make_error_code(e)) {
+    assert(e != Errc::ok && "use a value for success");
+  }
+  Result(std::error_code ec) : state_(std::in_place_index<1>, ec) {
+    assert(ec && "use a value for success");
+  }
+
+  bool ok() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Error code; default-constructed (falsy) when ok().
+  std::error_code error() const noexcept {
+    return ok() ? std::error_code{} : std::get<1>(state_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<0>(state_));
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  std::variant<T, std::error_code> state_;
+};
+
+/// Result<void> analogue: success or an error code.  Falsy error means ok.
+using Status = std::error_code;
+
+inline Status ok_status() noexcept { return {}; }
+
+}  // namespace yanc

@@ -1,0 +1,193 @@
+#include "yanc/vfs/acl.hpp"
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::vfs {
+namespace {
+
+constexpr std::uint8_t kAclEncodingVersion = 1;
+
+std::string perms_text(std::uint8_t p) {
+  std::string s = "---";
+  if (p & 4) s[0] = 'r';
+  if (p & 2) s[1] = 'w';
+  if (p & 1) s[2] = 'x';
+  return s;
+}
+
+Result<std::uint8_t> parse_perms(std::string_view s) {
+  if (s.size() != 3) return Errc::invalid_argument;
+  std::uint8_t p = 0;
+  if (s[0] == 'r') p |= 4; else if (s[0] != '-') return Errc::invalid_argument;
+  if (s[1] == 'w') p |= 2; else if (s[1] != '-') return Errc::invalid_argument;
+  if (s[2] == 'x') p |= 1; else if (s[2] != '-') return Errc::invalid_argument;
+  return p;
+}
+
+const char* tag_name(AclTag t) {
+  switch (t) {
+    case AclTag::user_obj:
+    case AclTag::user: return "user";
+    case AclTag::group_obj:
+    case AclTag::group: return "group";
+    case AclTag::mask: return "mask";
+    case AclTag::other: return "other";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Acl Acl::from_mode(std::uint32_t m) {
+  Acl acl;
+  acl.add({AclTag::user_obj, 0, static_cast<std::uint8_t>((m >> 6) & 7)});
+  acl.add({AclTag::group_obj, 0, static_cast<std::uint8_t>((m >> 3) & 7)});
+  acl.add({AclTag::other, 0, static_cast<std::uint8_t>(m & 7)});
+  return acl;
+}
+
+Status Acl::validate() const {
+  int user_obj = 0, group_obj = 0, other = 0, mask = 0, named = 0;
+  for (const auto& e : entries_) {
+    if (e.perms > 7) return Errc::invalid_argument;
+    switch (e.tag) {
+      case AclTag::user_obj: ++user_obj; break;
+      case AclTag::group_obj: ++group_obj; break;
+      case AclTag::other: ++other; break;
+      case AclTag::mask: ++mask; break;
+      case AclTag::user:
+      case AclTag::group: ++named; break;
+    }
+  }
+  if (user_obj != 1 || group_obj != 1 || other != 1 || mask > 1)
+    return Errc::invalid_argument;
+  if (named > 0 && mask == 0) return Errc::invalid_argument;
+  return ok_status();
+}
+
+bool Acl::permits(const Credentials& creds, Uid owner, Gid group,
+                  std::uint8_t want) const {
+  if (creds.is_root()) return true;
+
+  std::uint8_t mask_perms = 7;
+  bool have_mask = false;
+  for (const auto& e : entries_) {
+    if (e.tag == AclTag::mask) {
+      mask_perms = e.perms;
+      have_mask = true;
+    }
+  }
+
+  // 1. Owner match: user_obj applies, no mask.
+  if (creds.uid == owner) {
+    for (const auto& e : entries_)
+      if (e.tag == AclTag::user_obj) return (e.perms & want) == want;
+    return false;
+  }
+  // 2. Named user entry (masked).
+  for (const auto& e : entries_) {
+    if (e.tag == AclTag::user && e.id == creds.uid)
+      return ((e.perms & mask_perms) & want) == want;
+  }
+  // 3. Owning-group / named-group entries: POSIX grants access if ANY
+  //    matching group entry grants all requested bits.
+  bool group_matched = false;
+  for (const auto& e : entries_) {
+    if (e.tag == AclTag::group_obj && creds.in_group(group)) {
+      group_matched = true;
+      std::uint8_t eff = have_mask ? (e.perms & mask_perms) : e.perms;
+      if ((eff & want) == want) return true;
+    } else if (e.tag == AclTag::group && creds.in_group(e.id)) {
+      group_matched = true;
+      if (((e.perms & mask_perms) & want) == want) return true;
+    }
+  }
+  if (group_matched) return false;
+  // 4. Other.
+  for (const auto& e : entries_)
+    if (e.tag == AclTag::other) return (e.perms & want) == want;
+  return false;
+}
+
+std::vector<std::uint8_t> Acl::encode() const {
+  std::vector<std::uint8_t> out;
+  out.push_back(kAclEncodingVersion);
+  for (const auto& e : entries_) {
+    out.push_back(static_cast<std::uint8_t>(e.tag));
+    out.push_back(e.perms);
+    for (int shift = 24; shift >= 0; shift -= 8)
+      out.push_back(static_cast<std::uint8_t>(e.id >> shift));
+  }
+  return out;
+}
+
+Result<Acl> Acl::decode(const std::vector<std::uint8_t>& data) {
+  if (data.empty() || data[0] != kAclEncodingVersion ||
+      (data.size() - 1) % 6 != 0)
+    return Errc::invalid_argument;
+  Acl acl;
+  for (std::size_t i = 1; i + 6 <= data.size(); i += 6) {
+    AclEntry e;
+    if (data[i] > static_cast<std::uint8_t>(AclTag::other))
+      return Errc::invalid_argument;
+    e.tag = static_cast<AclTag>(data[i]);
+    e.perms = data[i + 1];
+    e.id = (static_cast<std::uint32_t>(data[i + 2]) << 24) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 4]) << 8) |
+           static_cast<std::uint32_t>(data[i + 5]);
+    acl.add(e);
+  }
+  if (auto st = acl.validate(); st) return st;
+  return acl;
+}
+
+std::string Acl::to_text() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    if (!out.empty()) out += ',';
+    out += tag_name(e.tag);
+    out += ':';
+    if (e.tag == AclTag::user || e.tag == AclTag::group)
+      out += std::to_string(e.id);
+    out += ':';
+    out += perms_text(e.perms);
+  }
+  return out;
+}
+
+Result<Acl> Acl::parse_text(std::string_view text) {
+  Acl acl;
+  for (const auto& item : split_nonempty(text, ',')) {
+    auto fields = split(trim(item), ':');
+    if (fields.size() != 3) return Errc::invalid_argument;
+    auto perms = parse_perms(fields[2]);
+    if (!perms) return perms.error();
+    AclEntry e;
+    e.perms = *perms;
+    const std::string& kind = fields[0];
+    const std::string& qualifier = fields[1];
+    if (kind == "user") {
+      e.tag = qualifier.empty() ? AclTag::user_obj : AclTag::user;
+    } else if (kind == "group") {
+      e.tag = qualifier.empty() ? AclTag::group_obj : AclTag::group;
+    } else if (kind == "mask") {
+      e.tag = AclTag::mask;
+    } else if (kind == "other") {
+      e.tag = AclTag::other;
+    } else {
+      return Errc::invalid_argument;
+    }
+    if (!qualifier.empty() &&
+        (e.tag == AclTag::user || e.tag == AclTag::group)) {
+      auto id = parse_u64(qualifier);
+      if (!id || *id > 0xffffffffu) return Errc::invalid_argument;
+      e.id = static_cast<std::uint32_t>(*id);
+    }
+    acl.add(e);
+  }
+  if (auto st = acl.validate(); st) return st;
+  return acl;
+}
+
+}  // namespace yanc::vfs

@@ -1,0 +1,76 @@
+// POSIX-style access control lists (paper §5.1).
+//
+// An Acl augments the owner/group/other mode bits with per-user and
+// per-group entries plus a mask, following the POSIX.1e access-check
+// algorithm.  ACLs are serialized into the node's extended attribute
+// "system.posix_acl_access", exactly where Linux keeps them, so they
+// replicate through the distributed FS like any other metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "yanc/util/result.hpp"
+#include "yanc/vfs/types.hpp"
+
+namespace yanc::vfs {
+
+enum class AclTag : std::uint8_t {
+  user_obj,   // the file owner ("user::")
+  user,       // a named user ("user:alice:")
+  group_obj,  // the owning group ("group::")
+  group,      // a named group
+  mask,       // upper bound for user/group/group_obj entries
+  other,      // everyone else
+};
+
+struct AclEntry {
+  AclTag tag = AclTag::other;
+  std::uint32_t id = 0;  // uid or gid for named entries; unused otherwise
+  std::uint8_t perms = 0;  // rwx bits, values 0..7
+
+  bool operator==(const AclEntry&) const = default;
+};
+
+/// An access ACL.  A valid ACL has exactly one user_obj, group_obj and
+/// other entry, at most one mask, and a mask is required when named
+/// entries are present (mirrors acl_valid(3)).
+class Acl {
+ public:
+  Acl() = default;
+  explicit Acl(std::vector<AclEntry> entries) : entries_(std::move(entries)) {}
+
+  /// Minimal ACL equivalent to plain mode bits.
+  static Acl from_mode(std::uint32_t mode);
+
+  /// Validates structure per acl_valid(3).
+  Status validate() const;
+
+  const std::vector<AclEntry>& entries() const noexcept { return entries_; }
+  void add(AclEntry e) { entries_.push_back(e); }
+
+  /// POSIX.1e access check: returns true if `creds` is granted `want`
+  /// (rwx bits) on a file owned by uid/gid.
+  bool permits(const Credentials& creds, Uid owner, Gid group,
+               std::uint8_t want) const;
+
+  /// Compact binary encoding for xattr storage (versioned).
+  std::vector<std::uint8_t> encode() const;
+  static Result<Acl> decode(const std::vector<std::uint8_t>& data);
+
+  /// Human-readable "user::rw-,user:1000:r--,..." form (getfacl-like).
+  std::string to_text() const;
+  static Result<Acl> parse_text(std::string_view text);
+
+  bool operator==(const Acl&) const = default;
+
+ private:
+  std::vector<AclEntry> entries_;
+};
+
+/// Name of the xattr holding the access ACL.
+inline constexpr const char* kAclXattr = "system.posix_acl_access";
+
+}  // namespace yanc::vfs

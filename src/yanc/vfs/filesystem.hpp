@@ -1,0 +1,105 @@
+// The Filesystem interface: the contract between the mount layer (Vfs) and
+// any concrete file system.
+//
+// This is the load-bearing abstraction of the whole reproduction.  The
+// paper's architecture works *because* everything is a file system:
+//   - MemFs        : plain storage (the yanc FS's backing store)
+//   - YancFs       : MemFs + network-object schema semantics (§3)
+//   - ViewFs       : a slice/virtualization of another filesystem (§4.2)
+//   - ReplicatedFs : a distributed filesystem (§6)
+// All of them implement this one interface, so views stack on views, the
+// distributed layer slides underneath the yanc FS without anyone noticing,
+// and Linux-namespace-style isolation is just a different root NodeId.
+//
+// The interface is node-based (like the FUSE lowlevel API): the Vfs layer
+// owns path walking, symlink following and mount crossing; filesystems only
+// ever see (parent-node, name) pairs.  Calls are stateless — there are no
+// per-open server-side handles — which is what makes the replicated
+// implementation straightforward.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "yanc/util/result.hpp"
+#include "yanc/vfs/types.hpp"
+#include "yanc/vfs/watch.hpp"
+
+namespace yanc::vfs {
+
+class Filesystem {
+ public:
+  virtual ~Filesystem() = default;
+
+  /// Root directory node of this filesystem.
+  virtual NodeId root() const = 0;
+
+  // --- namespace operations -------------------------------------------
+  virtual Result<NodeId> lookup(NodeId parent, const std::string& name) = 0;
+  virtual Result<Stat> getattr(NodeId node) = 0;
+  virtual Result<std::vector<DirEntry>> readdir(NodeId dir) = 0;
+
+  virtual Result<NodeId> mkdir(NodeId parent, const std::string& name,
+                               std::uint32_t mode,
+                               const Credentials& creds) = 0;
+  virtual Result<NodeId> create(NodeId parent, const std::string& name,
+                                std::uint32_t mode,
+                                const Credentials& creds) = 0;
+  virtual Result<NodeId> symlink(NodeId parent, const std::string& name,
+                                 const std::string& target,
+                                 const Credentials& creds) = 0;
+  virtual Result<std::string> readlink(NodeId node) = 0;
+  /// Hard link `node` into `parent` as `name`.
+  virtual Status link(NodeId node, NodeId parent, const std::string& name,
+                      const Credentials& creds) = 0;
+
+  virtual Status unlink(NodeId parent, const std::string& name,
+                        const Credentials& creds) = 0;
+  virtual Status rmdir(NodeId parent, const std::string& name,
+                       const Credentials& creds) = 0;
+  virtual Status rename(NodeId old_parent, const std::string& old_name,
+                        NodeId new_parent, const std::string& new_name,
+                        const Credentials& creds) = 0;
+
+  // --- data operations --------------------------------------------------
+  virtual Result<std::string> read(NodeId node, std::uint64_t offset,
+                                   std::uint64_t size,
+                                   const Credentials& creds) = 0;
+  virtual Result<std::uint64_t> write(NodeId node, std::uint64_t offset,
+                                      std::string_view data,
+                                      const Credentials& creds) = 0;
+  virtual Status truncate(NodeId node, std::uint64_t size,
+                          const Credentials& creds) = 0;
+
+  // --- metadata ----------------------------------------------------------
+  virtual Status chmod(NodeId node, std::uint32_t mode,
+                       const Credentials& creds) = 0;
+  virtual Status chown(NodeId node, Uid uid, Gid gid,
+                       const Credentials& creds) = 0;
+
+  virtual Status setxattr(NodeId node, const std::string& name,
+                          std::vector<std::uint8_t> value,
+                          const Credentials& creds) = 0;
+  virtual Result<std::vector<std::uint8_t>> getxattr(
+      NodeId node, const std::string& name) = 0;
+  virtual Result<std::vector<std::string>> listxattr(NodeId node) = 0;
+  virtual Status removexattr(NodeId node, const std::string& name,
+                             const Credentials& creds) = 0;
+
+  // --- permissions --------------------------------------------------------
+  /// Checks rwx access on one node (POSIX mode bits + ACL if present).
+  virtual Status access(NodeId node, std::uint8_t want,
+                        const Credentials& creds) = 0;
+
+  // --- monitoring -----------------------------------------------------------
+  /// Registers `queue` for events matching `mask` on `node` (§5.2).
+  virtual Result<WatchRegistry::WatchId> watch(NodeId node, std::uint32_t mask,
+                                               WatchQueuePtr queue) = 0;
+  virtual void unwatch(WatchRegistry::WatchId id) = 0;
+};
+
+using FilesystemPtr = std::shared_ptr<Filesystem>;
+
+}  // namespace yanc::vfs

@@ -1,0 +1,199 @@
+// MemFs: the reference in-memory Filesystem implementation.
+//
+// This is the substitution for the kernel VFS + FUSE backing store the
+// paper's prototype uses (§8): full POSIX semantics — permissions with
+// sticky-bit deletion rules, ACL-aware access checks, hard links with nlink
+// accounting, symlinks, rename with all the edge cases, xattrs, quotas
+// (ENOSPC), and inotify-style change notification at every mutation point.
+// Thread-safe behind a single per-filesystem mutex; the libyanc fastpath
+// (yanc::fast) exists precisely to bypass that lock, and the benchmarks
+// measure the difference (EXP-2).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "yanc/vfs/acl.hpp"
+#include "yanc/vfs/filesystem.hpp"
+
+namespace yanc::vfs {
+
+struct MemFsOptions {
+  std::size_t max_inodes = 0;  // 0 = unlimited
+  std::size_t max_bytes = 0;   // total file payload quota; 0 = unlimited
+  std::size_t name_max = 255;  // per-component name limit (ENAMETOOLONG)
+};
+
+class MemFs : public Filesystem {
+ public:
+  explicit MemFs(MemFsOptions options = {});
+
+  NodeId root() const override { return kRootNode; }
+
+  Result<NodeId> lookup(NodeId parent, const std::string& name) override;
+  Result<Stat> getattr(NodeId node) override;
+  Result<std::vector<DirEntry>> readdir(NodeId dir) override;
+
+  Result<NodeId> mkdir(NodeId parent, const std::string& name,
+                       std::uint32_t mode, const Credentials& creds) override;
+  Result<NodeId> create(NodeId parent, const std::string& name,
+                        std::uint32_t mode, const Credentials& creds) override;
+  Result<NodeId> symlink(NodeId parent, const std::string& name,
+                         const std::string& target,
+                         const Credentials& creds) override;
+  Result<std::string> readlink(NodeId node) override;
+  Status link(NodeId node, NodeId parent, const std::string& name,
+              const Credentials& creds) override;
+
+  Status unlink(NodeId parent, const std::string& name,
+                const Credentials& creds) override;
+  Status rmdir(NodeId parent, const std::string& name,
+               const Credentials& creds) override;
+  Status rename(NodeId old_parent, const std::string& old_name,
+                NodeId new_parent, const std::string& new_name,
+                const Credentials& creds) override;
+
+  Result<std::string> read(NodeId node, std::uint64_t offset,
+                           std::uint64_t size,
+                           const Credentials& creds) override;
+  Result<std::uint64_t> write(NodeId node, std::uint64_t offset,
+                              std::string_view data,
+                              const Credentials& creds) override;
+  Status truncate(NodeId node, std::uint64_t size,
+                  const Credentials& creds) override;
+
+  Status chmod(NodeId node, std::uint32_t mode,
+               const Credentials& creds) override;
+  Status chown(NodeId node, Uid uid, Gid gid,
+               const Credentials& creds) override;
+
+  Status setxattr(NodeId node, const std::string& name,
+                  std::vector<std::uint8_t> value,
+                  const Credentials& creds) override;
+  Result<std::vector<std::uint8_t>> getxattr(NodeId node,
+                                             const std::string& name) override;
+  Result<std::vector<std::string>> listxattr(NodeId node) override;
+  Status removexattr(NodeId node, const std::string& name,
+                     const Credentials& creds) override;
+
+  Status access(NodeId node, std::uint8_t want,
+                const Credentials& creds) override;
+
+  Result<WatchRegistry::WatchId> watch(NodeId node, std::uint32_t mask,
+                                       WatchQueuePtr queue) override;
+  void unwatch(WatchRegistry::WatchId id) override;
+
+  // --- introspection (tests, quotas, benchmarks) -------------------------
+  std::size_t inode_count() const;
+  std::size_t bytes_used() const;
+
+  /// Canonical path of a node from parent hints ("/" for the root).
+  /// Used by layers that need a location-independent name for a node
+  /// (e.g. replication).
+  Result<std::string> path_of(NodeId node) const;
+
+  /// Value of xattr `name` on `node` or its nearest ancestor that has it.
+  std::optional<std::vector<std::uint8_t>> nearest_xattr(
+      NodeId node, const std::string& name) const;
+
+ protected:
+  static constexpr NodeId kRootNode = 1;
+
+  struct Inode {
+    FileType type = FileType::regular;
+    std::uint32_t mode = 0;
+    Uid uid = 0;
+    Gid gid = 0;
+    std::uint32_t nlink = 0;
+    std::uint64_t version = 0;
+    std::uint64_t mtime_ns = 0;
+    std::uint64_t ctime_ns = 0;
+    std::string data;                        // regular file content
+    std::map<std::string, NodeId> children;  // directory entries (sorted)
+    std::string target;                      // symlink target
+    std::map<std::string, std::vector<std::uint8_t>> xattrs;
+    std::optional<Acl> acl;  // parsed cache of the ACL xattr
+    // Canonical parent hint for directed notification (child-name events).
+    NodeId parent_hint = kInvalidNode;
+    std::string name_hint;
+  };
+
+  // All hooks below are called with mu_ held.
+
+  /// Lets subclasses (YancFs) veto or observe writes to typed files.
+  virtual Status on_write(NodeId /*node*/, const std::string& /*content*/) {
+    return ok_status();
+  }
+  /// Called after a directory was created; YancFs populates schema children
+  /// (as the creating identity, so applications own their own objects).
+  virtual void on_mkdir(NodeId /*node*/, NodeId /*parent*/,
+                        const std::string& /*name*/,
+                        const Credentials& /*creds*/) {}
+  /// Whether rmdir on this non-empty directory may recurse (paper §3.2:
+  /// removing a switch removes its subtree).
+  virtual bool rmdir_recursive_allowed(NodeId /*node*/) { return false; }
+  /// Lets subclasses veto symlink targets (e.g. `peer` must point at a
+  /// port, §3.3).  Called before the link is created.
+  virtual Status on_symlink(NodeId /*parent*/, const std::string& /*name*/,
+                            const std::string& /*target*/) {
+    return ok_status();
+  }
+  /// Called just before an inode is destroyed (nlink hit zero or subtree
+  /// teardown); lets subclasses drop bookkeeping keyed by NodeId.
+  virtual void on_remove_node(NodeId /*node*/) {}
+
+  // --- internals shared with subclasses ----------------------------------
+  mutable std::mutex mu_;
+  WatchRegistry watches_;
+
+  Inode* find(NodeId id);
+  const Inode* find(NodeId id) const;
+  Status check_access_locked(const Inode& node, std::uint8_t want,
+                             const Credentials& creds) const;
+  Result<NodeId> new_node_locked(FileType type, std::uint32_t mode,
+                                 const Credentials& creds);
+  Result<NodeId> add_child_locked(NodeId parent, const std::string& name,
+                                  FileType type, std::uint32_t mode,
+                                  const Credentials& creds);
+  /// Recursively destroys a subtree (no permission checks; caller checked).
+  void destroy_subtree_locked(NodeId node);
+  void touch_locked(Inode& node);
+  std::uint64_t now_ns_locked() { return ++tick_; }
+  /// Emits an event on the node and, when a parent hint exists, a matching
+  /// named event on the parent directory (inotify delivers both).
+  void emit_node_event_locked(NodeId node, std::uint32_t mask);
+
+  // Unlocked-entry helpers so subclass overrides can reuse base behaviour.
+  Result<NodeId> mkdir_locked(NodeId parent, const std::string& name,
+                              std::uint32_t mode, const Credentials& creds);
+  Result<NodeId> create_locked(NodeId parent, const std::string& name,
+                               std::uint32_t mode, const Credentials& creds);
+  Result<std::uint64_t> write_locked(NodeId node, std::uint64_t offset,
+                                     std::string_view data,
+                                     const Credentials& creds);
+  Result<std::string> read_locked(NodeId node, std::uint64_t offset,
+                                  std::uint64_t size,
+                                  const Credentials& creds);
+  Result<NodeId> lookup_locked(NodeId parent, const std::string& name) const;
+  Status unlink_locked(NodeId parent, const std::string& name,
+                       const Credentials& creds);
+  Status rmdir_locked(NodeId parent, const std::string& name,
+                      const Credentials& creds);
+  Status rename_locked(NodeId old_parent, const std::string& old_name,
+                       NodeId new_parent, const std::string& new_name,
+                       const Credentials& creds);
+  Result<NodeId> symlink_locked(NodeId parent, const std::string& name,
+                                const std::string& target,
+                                const Credentials& creds);
+
+  MemFsOptions options_;
+  std::unordered_map<NodeId, Inode> inodes_;
+  NodeId next_node_ = kRootNode + 1;
+  std::uint64_t tick_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::uint32_t next_cookie_ = 1;
+};
+
+}  // namespace yanc::vfs

@@ -1,0 +1,98 @@
+// Core value types of the VFS layer: node identifiers, file types, mode
+// bits, credentials, and stat results.  These mirror POSIX so that the yanc
+// file system behaves the way the paper assumes a Linux VFS behaves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yanc::vfs {
+
+/// Inode number, unique within one Filesystem instance.  0 is invalid.
+using NodeId = std::uint64_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+enum class FileType : std::uint8_t { regular, directory, symlink };
+
+/// POSIX permission bits (the low 12 bits of st_mode).
+namespace mode {
+inline constexpr std::uint32_t suid = 04000;
+inline constexpr std::uint32_t sgid = 02000;
+inline constexpr std::uint32_t sticky = 01000;
+inline constexpr std::uint32_t rusr = 0400;
+inline constexpr std::uint32_t wusr = 0200;
+inline constexpr std::uint32_t xusr = 0100;
+inline constexpr std::uint32_t rgrp = 0040;
+inline constexpr std::uint32_t wgrp = 0020;
+inline constexpr std::uint32_t xgrp = 0010;
+inline constexpr std::uint32_t roth = 0004;
+inline constexpr std::uint32_t woth = 0002;
+inline constexpr std::uint32_t xoth = 0001;
+inline constexpr std::uint32_t all = 07777;
+}  // namespace mode
+
+/// Access request bits for permission checks.
+enum class Access : std::uint8_t { read = 4, write = 2, execute = 1 };
+
+using Uid = std::uint32_t;
+using Gid = std::uint32_t;
+
+/// Identity under which an application performs file operations.  The paper
+/// (§5.1) uses Unix permissions to protect switches and flows per-process;
+/// Credentials is that process identity.
+struct Credentials {
+  Uid uid = 0;
+  Gid gid = 0;
+  std::vector<Gid> groups;  // supplementary groups
+
+  bool is_root() const noexcept { return uid == 0; }
+  bool in_group(Gid g) const noexcept {
+    if (g == gid) return true;
+    for (Gid s : groups)
+      if (s == g) return true;
+    return false;
+  }
+
+  static Credentials root() { return {}; }
+  static Credentials user(Uid uid, Gid gid) { return {uid, gid, {}}; }
+};
+
+/// Result of stat(): metadata snapshot of one inode.
+struct Stat {
+  NodeId ino = kInvalidNode;
+  FileType type = FileType::regular;
+  std::uint32_t mode = 0;  // permission bits only
+  Uid uid = 0;
+  Gid gid = 0;
+  std::uint32_t nlink = 0;
+  std::uint64_t size = 0;     // bytes (files), entries (dirs)
+  std::uint64_t version = 0;  // bumped on every content/metadata change
+  std::uint64_t mtime_ns = 0;
+  std::uint64_t ctime_ns = 0;
+
+  bool is_dir() const noexcept { return type == FileType::directory; }
+  bool is_file() const noexcept { return type == FileType::regular; }
+  bool is_symlink() const noexcept { return type == FileType::symlink; }
+};
+
+/// One directory entry as returned by readdir().
+struct DirEntry {
+  std::string name;
+  NodeId node = kInvalidNode;
+  FileType type = FileType::regular;
+};
+
+/// open() flags (subset of O_*).
+namespace open_flags {
+inline constexpr int read_only = 0x0;
+inline constexpr int write_only = 0x1;
+inline constexpr int read_write = 0x2;
+inline constexpr int accmode = 0x3;
+inline constexpr int create = 0x40;
+inline constexpr int excl = 0x80;
+inline constexpr int truncate = 0x200;
+inline constexpr int append = 0x400;
+}  // namespace open_flags
+
+}  // namespace yanc::vfs

@@ -1,0 +1,268 @@
+// Vfs: mount table, path resolution and the POSIX-flavoured call surface
+// that applications use.
+//
+// Responsibilities (mirroring the kernel VFS the paper leans on):
+//   - mounts: any Filesystem can be mounted at any directory; the yanc FS
+//     mounts at /net, a ReplicatedFs can mount *underneath* it (§6), and a
+//     ViewFs can mount a slice at /net/views/<v> for namespaced apps.
+//   - path walking: component-wise lookup with symlink following (ELOOP
+//     guard), ".." tracked through mount crossings, per-component execute
+//     permission checks against the caller's Credentials.
+//   - handles: open() returns a FileHandle implementing read/write with
+//     O_APPEND/O_TRUNC semantics on top of the stateless Filesystem API.
+//   - accounting: every public call increments an op counter; this is the
+//     "system call" count that §8.1's performance argument is about, and
+//     the benchmarks report it (EXP-1/2/3).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "yanc/vfs/acl.hpp"
+#include "yanc/vfs/filesystem.hpp"
+
+namespace yanc::vfs {
+
+struct MountOptions {
+  bool read_only = false;
+};
+
+/// Cumulative operation counters (the simulated syscall count).
+struct OpCounters {
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> metadata{0};  // stat/readdir/chmod/xattr/...
+  std::atomic<std::uint64_t> lookups{0};   // per-component resolutions
+};
+
+class FileHandle;
+class WatchHandle;
+
+class Vfs {
+ public:
+  /// A fresh Vfs has an empty MemFs mounted at "/".
+  Vfs();
+
+  // --- mounts ----------------------------------------------------------
+  Status mount(const std::string& path, FilesystemPtr fs,
+               MountOptions options = {});
+  Status umount(const std::string& path);
+  /// The filesystem mounted exactly at `path` (not resolved), if any.
+  FilesystemPtr mounted_at(const std::string& path) const;
+
+  // --- resolution --------------------------------------------------------
+  struct Resolved {
+    FilesystemPtr fs;
+    NodeId node = kInvalidNode;
+    bool read_only = false;
+  };
+  /// Resolves `path` to (filesystem, node).  `follow_final` controls
+  /// whether a trailing symlink is followed (stat vs lstat).
+  /// `root` confines resolution to a subtree (namespace support): ".."
+  /// cannot escape it and absolute symlink targets re-anchor at it.
+  Result<Resolved> resolve(std::string_view path, const Credentials& creds,
+                           bool follow_final = true,
+                           const std::string& root = "/");
+
+  // --- file I/O -----------------------------------------------------------
+  Result<std::shared_ptr<FileHandle>> open(std::string_view path, int flags,
+                                           std::uint32_t mode,
+                                           const Credentials& creds,
+                                           const std::string& root = "/");
+  /// Whole-file read.
+  Result<std::string> read_file(std::string_view path,
+                                const Credentials& creds = {},
+                                const std::string& root = "/");
+  /// Whole-file write: creates the file if absent, truncates otherwise.
+  Status write_file(std::string_view path, std::string_view data,
+                    const Credentials& creds = {},
+                    const std::string& root = "/");
+  Status append_file(std::string_view path, std::string_view data,
+                     const Credentials& creds = {},
+                     const std::string& root = "/");
+
+  // --- namespace ops --------------------------------------------------------
+  Result<Stat> stat(std::string_view path, const Credentials& creds = {},
+                    const std::string& root = "/");
+  Result<Stat> lstat(std::string_view path, const Credentials& creds = {},
+                     const std::string& root = "/");
+  Result<std::vector<DirEntry>> readdir(std::string_view path,
+                                        const Credentials& creds = {},
+                                        const std::string& root = "/");
+  Status mkdir(std::string_view path, std::uint32_t mode = 0755,
+               const Credentials& creds = {}, const std::string& root = "/");
+  /// mkdir -p: creates missing ancestors; EEXIST only if the final path
+  /// exists and is not a directory.
+  Status mkdir_p(std::string_view path, std::uint32_t mode = 0755,
+                 const Credentials& creds = {}, const std::string& root = "/");
+  Status unlink(std::string_view path, const Credentials& creds = {},
+                const std::string& root = "/");
+  Status rmdir(std::string_view path, const Credentials& creds = {},
+               const std::string& root = "/");
+  /// rm -r: recursive removal (used by tests and the shell's `rm -r`).
+  Status remove_all(std::string_view path, const Credentials& creds = {},
+                    const std::string& root = "/");
+  Status rename(std::string_view from, std::string_view to,
+                const Credentials& creds = {}, const std::string& root = "/");
+  Status symlink(std::string_view target, std::string_view linkpath,
+                 const Credentials& creds = {}, const std::string& root = "/");
+  Result<std::string> readlink(std::string_view path,
+                               const Credentials& creds = {},
+                               const std::string& root = "/");
+  Status link(std::string_view existing, std::string_view linkpath,
+              const Credentials& creds = {}, const std::string& root = "/");
+
+  // --- metadata ------------------------------------------------------------
+  Status chmod(std::string_view path, std::uint32_t mode,
+               const Credentials& creds = {}, const std::string& root = "/");
+  Status chown(std::string_view path, Uid uid, Gid gid,
+               const Credentials& creds = {}, const std::string& root = "/");
+  Status truncate(std::string_view path, std::uint64_t size,
+                  const Credentials& creds = {},
+                  const std::string& root = "/");
+  Status setxattr(std::string_view path, const std::string& name,
+                  std::vector<std::uint8_t> value,
+                  const Credentials& creds = {},
+                  const std::string& root = "/");
+  Result<std::vector<std::uint8_t>> getxattr(std::string_view path,
+                                             const std::string& name,
+                                             const Credentials& creds = {},
+                                             const std::string& root = "/");
+  Result<std::vector<std::string>> listxattr(std::string_view path,
+                                             const Credentials& creds = {},
+                                             const std::string& root = "/");
+  Status removexattr(std::string_view path, const std::string& name,
+                     const Credentials& creds = {},
+                     const std::string& root = "/");
+
+  /// ACL convenience: stores/reads the ACL via its system xattr.
+  Status set_acl(std::string_view path, const Acl& acl,
+                 const Credentials& creds = {}, const std::string& root = "/");
+  Result<Acl> get_acl(std::string_view path, const Credentials& creds = {},
+                      const std::string& root = "/");
+
+  /// access(2)-style probe.
+  Status access(std::string_view path, std::uint8_t want,
+                const Credentials& creds = {}, const std::string& root = "/");
+
+  // --- monitoring ------------------------------------------------------------
+  /// Registers a watch on the node `path` resolves to.  The returned handle
+  /// unregisters on destruction.
+  Result<std::shared_ptr<WatchHandle>> watch(std::string_view path,
+                                             std::uint32_t mask,
+                                             WatchQueuePtr queue,
+                                             const Credentials& creds = {},
+                                             const std::string& root = "/");
+
+  const OpCounters& counters() const noexcept { return counters_; }
+  void reset_counters();
+
+ private:
+  struct Mount {
+    FilesystemPtr fs;
+    MountOptions options;
+  };
+  struct Frame;  // resolver walk frame (defined in vfs.cpp)
+
+  Result<Resolved> walk_components(std::vector<Frame>& stack,
+                                   std::deque<std::string>& components,
+                                   const Credentials& creds, bool follow_final,
+                                   std::size_t base_depth, int& symlinks_left);
+  Result<Resolved> resolve_parent(std::string_view path,
+                                  const Credentials& creds, std::string* leaf,
+                                  const std::string& root);
+  bool is_mount_point(const std::string& logical_path) const;
+  void count_op(std::atomic<std::uint64_t>& kind);
+
+  mutable std::shared_mutex mounts_mu_;
+  std::map<std::string, Mount> mounts_;  // normalized path -> mount
+  OpCounters counters_;
+};
+
+/// An open file: stateful offset + O_* semantics over the stateless
+/// Filesystem API.
+class FileHandle {
+ public:
+  FileHandle(FilesystemPtr fs, NodeId node, int flags, Credentials creds,
+             Vfs* vfs);
+
+  Result<std::string> read(std::uint64_t size);
+  Result<std::uint64_t> write(std::string_view data);
+  Result<std::string> pread(std::uint64_t offset, std::uint64_t size);
+  Result<std::uint64_t> pwrite(std::uint64_t offset, std::string_view data);
+  Result<Stat> stat();
+  void seek(std::uint64_t offset) { offset_ = offset; }
+  std::uint64_t offset() const noexcept { return offset_; }
+  NodeId node() const noexcept { return node_; }
+
+ private:
+  bool readable() const noexcept;
+  bool writable() const noexcept;
+
+  FilesystemPtr fs_;
+  NodeId node_;
+  int flags_;
+  Credentials creds_;
+  Vfs* vfs_;
+  std::uint64_t offset_ = 0;
+};
+
+/// RAII watch registration.
+class WatchHandle {
+ public:
+  WatchHandle(FilesystemPtr fs, WatchRegistry::WatchId id)
+      : fs_(std::move(fs)), id_(id) {}
+  ~WatchHandle() { fs_->unwatch(id_); }
+  WatchHandle(const WatchHandle&) = delete;
+  WatchHandle& operator=(const WatchHandle&) = delete;
+
+ private:
+  FilesystemPtr fs_;
+  WatchRegistry::WatchId id_;
+};
+
+/// Normalizes a path: makes it absolute, squeezes slashes, resolves "."
+/// lexically (".." is left for the resolver, which must follow symlinks).
+std::string normalize_path(std::string_view path);
+
+/// A Linux-mount-namespace stand-in (§5.3): the same Vfs seen through a
+/// different root directory.  Applications given a Namespace cannot name,
+/// and therefore cannot touch, anything outside their subtree — this is how
+/// yanc isolates per-view applications.
+class Namespace {
+ public:
+  Namespace(std::shared_ptr<Vfs> vfs, std::string root, Credentials creds);
+
+  /// The process-visible API: identical shape to Vfs, paths interpreted
+  /// inside the namespace root.
+  Result<std::string> read_file(std::string_view path);
+  Status write_file(std::string_view path, std::string_view data);
+  Status append_file(std::string_view path, std::string_view data);
+  Result<Stat> stat(std::string_view path);
+  Result<std::vector<DirEntry>> readdir(std::string_view path);
+  Status mkdir(std::string_view path, std::uint32_t mode = 0755);
+  Status unlink(std::string_view path);
+  Status rmdir(std::string_view path);
+  Status rename(std::string_view from, std::string_view to);
+  Status symlink(std::string_view target, std::string_view linkpath);
+  Result<std::string> readlink(std::string_view path);
+  Result<std::shared_ptr<WatchHandle>> watch(std::string_view path,
+                                             std::uint32_t mask,
+                                             WatchQueuePtr queue);
+
+  const std::string& root() const noexcept { return root_; }
+  const Credentials& credentials() const noexcept { return creds_; }
+  Vfs& vfs() noexcept { return *vfs_; }
+
+ private:
+  std::shared_ptr<Vfs> vfs_;
+  std::string root_;
+  Credentials creds_;
+};
+
+}  // namespace yanc::vfs

@@ -1,0 +1,118 @@
+#include "yanc/vfs/watch.hpp"
+
+#include <algorithm>
+
+namespace yanc::vfs {
+
+void WatchQueue::push(Event e) {
+  {
+    std::lock_guard lock(mu_);
+    if (events_.size() >= capacity_) {
+      if (!overflow_pending_) {
+        overflow_pending_ = true;
+        // Replace the tail with a single overflow marker, like inotify's
+        // IN_Q_OVERFLOW: the consumer learns it must rescan.
+        events_.push_back(Event{event::overflow, e.node, {}, 0});
+      }
+      return;
+    }
+    events_.push_back(std::move(e));
+  }
+  cv_.notify_one();
+}
+
+std::optional<Event> WatchQueue::try_pop() {
+  std::lock_guard lock(mu_);
+  if (events_.empty()) return std::nullopt;
+  Event e = std::move(events_.front());
+  events_.pop_front();
+  if (events_.empty()) overflow_pending_ = false;
+  return e;
+}
+
+std::optional<Event> WatchQueue::pop_wait(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return !events_.empty(); }))
+    return std::nullopt;
+  Event e = std::move(events_.front());
+  events_.pop_front();
+  if (events_.empty()) overflow_pending_ = false;
+  return e;
+}
+
+std::vector<Event> WatchQueue::drain() {
+  std::lock_guard lock(mu_);
+  std::vector<Event> out(events_.begin(), events_.end());
+  events_.clear();
+  overflow_pending_ = false;
+  return out;
+}
+
+std::size_t WatchQueue::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+bool WatchQueue::overflowed() const {
+  std::lock_guard lock(mu_);
+  return overflow_pending_;
+}
+
+WatchRegistry::WatchId WatchRegistry::add(NodeId node, std::uint32_t mask,
+                                          WatchQueuePtr queue) {
+  std::lock_guard lock(mu_);
+  WatchId id = next_id_++;
+  subs_.emplace(id, Subscription{node, mask, std::move(queue)});
+  by_node_[node].push_back(id);
+  return id;
+}
+
+void WatchRegistry::remove(WatchId id) {
+  std::lock_guard lock(mu_);
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  auto node_it = by_node_.find(it->second.node);
+  if (node_it != by_node_.end()) {
+    auto& ids = node_it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) by_node_.erase(node_it);
+  }
+  subs_.erase(it);
+}
+
+void WatchRegistry::drop_node(NodeId node) {
+  std::lock_guard lock(mu_);
+  auto node_it = by_node_.find(node);
+  if (node_it == by_node_.end()) return;
+  for (WatchId id : node_it->second) subs_.erase(id);
+  by_node_.erase(node_it);
+}
+
+void WatchRegistry::emit(NodeId node, std::uint32_t mask,
+                         const std::string& name, std::uint32_t cookie) {
+  // Snapshot matching queues under the lock, push outside it so a slow
+  // consumer cannot stall registry mutation.
+  std::vector<WatchQueuePtr> targets;
+  {
+    std::lock_guard lock(mu_);
+    auto node_it = by_node_.find(node);
+    if (node_it == by_node_.end()) return;
+    for (WatchId id : node_it->second) {
+      const auto& sub = subs_.at(id);
+      if (sub.mask & mask) targets.push_back(sub.queue);
+    }
+  }
+  for (auto& q : targets) q->push(Event{mask, node, name, cookie});
+}
+
+bool WatchRegistry::watched(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return by_node_.count(node) != 0;
+}
+
+std::size_t WatchRegistry::watch_count() const {
+  std::lock_guard lock(mu_);
+  return subs_.size();
+}
+
+}  // namespace yanc::vfs

@@ -1,0 +1,118 @@
+// File-system monitoring, modelled on Linux inotify (paper §5.2).
+//
+// Applications create a WatchQueue, register it on nodes they care about
+// (a flow's `version` file, the `switches/` directory, a packet-in event
+// buffer), and consume Events.  Like inotify, queues are bounded: when a
+// slow consumer falls behind, a single `overflow` event replaces the
+// dropped tail, and applications are expected to rescan.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "yanc/vfs/types.hpp"
+
+namespace yanc::vfs {
+
+/// Event bit mask values (combinable).
+namespace event {
+inline constexpr std::uint32_t created = 1u << 0;   // child created in dir
+inline constexpr std::uint32_t deleted = 1u << 1;   // child removed from dir
+inline constexpr std::uint32_t modified = 1u << 2;  // file content changed
+inline constexpr std::uint32_t attrib = 1u << 3;    // metadata/xattr changed
+inline constexpr std::uint32_t moved_from = 1u << 4;
+inline constexpr std::uint32_t moved_to = 1u << 5;
+inline constexpr std::uint32_t delete_self = 1u << 6;
+inline constexpr std::uint32_t move_self = 1u << 7;
+inline constexpr std::uint32_t overflow = 1u << 8;  // queue overflowed
+inline constexpr std::uint32_t all =
+    created | deleted | modified | attrib | moved_from | moved_to |
+    delete_self | move_self;
+}  // namespace event
+
+/// One notification.  For directory watches, `name` is the child entry the
+/// event refers to; for watches on the node itself it is empty.  Rename
+/// emits a moved_from/moved_to pair sharing a `cookie`.
+struct Event {
+  std::uint32_t mask = 0;
+  NodeId node = kInvalidNode;  // the watched node the event fired on
+  std::string name;
+  std::uint32_t cookie = 0;
+
+  bool is(std::uint32_t bit) const noexcept { return (mask & bit) != 0; }
+};
+
+/// Bounded MPMC event queue with inotify-style overflow semantics.
+class WatchQueue {
+ public:
+  explicit WatchQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Producer side (called by filesystems).  Never blocks: drops to a single
+  /// overflow marker when full.
+  void push(Event e);
+
+  /// Non-blocking consume.
+  std::optional<Event> try_pop();
+
+  /// Blocking consume with timeout; nullopt on timeout.
+  std::optional<Event> pop_wait(std::chrono::milliseconds timeout);
+
+  /// Drains everything currently queued.
+  std::vector<Event> drain();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool overflowed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> events_;
+  std::size_t capacity_;
+  bool overflow_pending_ = false;
+};
+
+using WatchQueuePtr = std::shared_ptr<WatchQueue>;
+
+/// Registry of (node, mask, queue) subscriptions owned by a Filesystem.
+/// Filesystems call emit() at each mutation point.
+class WatchRegistry {
+ public:
+  /// Identifier for removing a subscription.
+  using WatchId = std::uint64_t;
+
+  WatchId add(NodeId node, std::uint32_t mask, WatchQueuePtr queue);
+  void remove(WatchId id);
+  /// Drops every subscription on `node` (used when a node is destroyed).
+  void drop_node(NodeId node);
+
+  /// Fans the event out to every queue watching `node` whose mask matches.
+  void emit(NodeId node, std::uint32_t mask, const std::string& name = {},
+            std::uint32_t cookie = 0);
+
+  /// True if anyone watches this node (lets hot paths skip event building).
+  bool watched(NodeId node) const;
+
+  std::size_t watch_count() const;
+
+ private:
+  struct Subscription {
+    NodeId node;
+    std::uint32_t mask;
+    WatchQueuePtr queue;
+  };
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  // watch id -> subscription; node -> watch ids (small fan-out expected)
+  std::unordered_map<WatchId, Subscription> subs_;
+  std::unordered_map<NodeId, std::vector<WatchId>> by_node_;
+};
+
+}  // namespace yanc::vfs

@@ -1,0 +1,334 @@
+// Tests for the system applications — and the Figure-1 architecture
+// integration: switches <-> driver <-> yanc fs <-> {topology daemon,
+// router, ARP responder, DHCP, auditor}, every box from the paper's
+// diagram wired together over the simulated data plane.
+#include <gtest/gtest.h>
+
+#include "yanc/apps/arp_responder.hpp"
+#include "yanc/apps/auditor.hpp"
+#include "yanc/apps/dhcp_server.hpp"
+#include "yanc/apps/learning_switch.hpp"
+#include "yanc/apps/router.hpp"
+#include "yanc/apps/static_flow_pusher.hpp"
+#include "yanc/driver/of_driver.hpp"
+#include "yanc/netfs/yancfs.hpp"
+#include "yanc/sw/switch.hpp"
+#include "yanc/topo/discovery.hpp"
+
+namespace yanc::apps {
+namespace {
+
+using flow::Action;
+using flow::FlowSpec;
+
+/// Full controller harness: N switches on a line topology, a host on the
+/// first port of the first switch and the last port of the last switch.
+class ControlPlane : public ::testing::Test {
+ protected:
+  ControlPlane() : network(scheduler) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+    driver = std::make_unique<driver::OfDriver>(vfs);
+  }
+
+  sw::Switch* add_switch(std::uint64_t dpid, int ports = 3) {
+    sw::SwitchOptions opts;
+    opts.datapath_id = dpid;
+    auto s = std::make_unique<sw::Switch>("dp" + std::to_string(dpid), opts,
+                                          network);
+    for (int p = 1; p <= ports; ++p)
+      s->add_port(static_cast<std::uint16_t>(p),
+                  MacAddress::from_u64((dpid << 8) | p), "eth");
+    s->connect(driver->listener().connect());
+    switches.push_back(std::move(s));
+    return switches.back().get();
+  }
+
+  net::Host* add_host(const char* name, const char* mac, const char* ip,
+                      sw::Switch* sw, std::uint16_t port) {
+    hosts.push_back(std::make_unique<net::Host>(
+        name, *MacAddress::parse(mac), *Ipv4Address::parse(ip), network));
+    EXPECT_TRUE(network.add_link(*sw, port, *hosts.back(), 0).ok());
+    return hosts.back().get();
+  }
+
+  /// Runs everything (driver, switches, apps hooked via `apps_poll`) to
+  /// quiescence.
+  void settle(const std::function<std::size_t()>& apps_poll = {}) {
+    for (int round = 0; round < 60; ++round) {
+      std::size_t work = driver->poll();
+      for (auto& s : switches) work += s->pump();
+      work += scheduler.run_until_idle();
+      if (apps_poll) work += apps_poll();
+      if (work == 0) break;
+    }
+  }
+
+  /// Runs LLDP discovery to convergence.
+  void discover() {
+    topo::DiscoveryDaemon daemon(vfs);
+    ASSERT_TRUE(daemon.step(0).ok());
+    settle();
+    ASSERT_TRUE(daemon.consume(0).ok());
+    settle();
+  }
+
+  std::shared_ptr<vfs::Vfs> vfs = std::make_shared<vfs::Vfs>();
+  net::Scheduler scheduler;
+  net::Network network;
+  std::unique_ptr<driver::OfDriver> driver;
+  std::vector<std::unique_ptr<sw::Switch>> switches;
+  std::vector<std::unique_ptr<net::Host>> hosts;
+};
+
+// --- static flow pusher ---------------------------------------------------------
+
+TEST_F(ControlPlane, StaticFlowPusherSpecFormat) {
+  auto* s1 = add_switch(1);
+  settle();
+  const char* spec = R"(
+# comments and blank lines are skipped
+
+switch=sw1 flow=arp match.dl_type=0x0806 action.out=flood priority=5
+switch=sw1 flow=ssh-block match.tp_dst=22 action.drop=1 priority=200
+bogus-line-without-equals switch=sw1
+switch=sw1 flow=bad match.tp_dst=notanumber
+)";
+  auto report = push_flows(*vfs, spec);
+  EXPECT_EQ(report.flows_written, 2u);
+  EXPECT_EQ(report.lines_skipped, 4u);  // 2 blanks + comment + trailing
+  EXPECT_EQ(report.errors.size(), 2u);
+  settle();
+  // Both good flows reached the switch.
+  EXPECT_EQ(s1->table().size(), 2u);
+  // The drop flow wins on priority for ssh.
+  flow::FieldValues ssh;
+  ssh.dl_type = 0x0800;
+  ssh.nw_proto = 6;
+  ssh.tp_dst = 22;
+  const auto* hit = s1->mutable_table().lookup(ssh, 0, 64, false);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->spec.actions.empty());  // drop
+}
+
+// --- router end to end -------------------------------------------------------------
+
+TEST_F(ControlPlane, Fig1Architecture_ReactiveRouterPingAcrossFabric) {
+  // sw1:3 <-> sw2:3; h1 on sw1:1, h2 on sw2:2.
+  auto* s1 = add_switch(1);
+  auto* s2 = add_switch(2);
+  ASSERT_TRUE(network.add_link(*s1, 3, *s2, 3).ok());
+  auto* h1 = add_host("h1", "0a:00:00:00:00:01", "10.0.0.1", s1, 1);
+  auto* h2 = add_host("h2", "0a:00:00:00:00:02", "10.0.0.2", s2, 2);
+  settle();
+  discover();
+
+  RouterDaemon router(vfs);
+  auto apps_poll = [&]() -> std::size_t {
+    auto handled = router.poll();
+    return handled ? *handled : 0;
+  };
+  // Prime the router's event buffer before traffic flows.
+  ASSERT_TRUE(router.poll().ok());
+
+  h1->ping(h2->ip());
+  settle(apps_poll);
+
+  EXPECT_EQ(h2->echo_requests_received(), 1u);
+  EXPECT_EQ(h1->echo_replies_received(), 1u);
+  EXPECT_GE(router.hosts_learned(), 2u);
+  EXPECT_GE(router.paths_installed(), 1u);
+  // The learned hosts are in hosts/ with resolvable locations.
+  auto hosts_list = vfs->readdir("/net/hosts");
+  ASSERT_TRUE(hosts_list.ok());
+  EXPECT_EQ(hosts_list->size(), 2u);
+  // Flows were installed on both switches (reactive exact-match paths).
+  EXPECT_GE(s1->table().size(), 1u);
+  EXPECT_GE(s2->table().size(), 1u);
+
+  // A second ping rides the installed flows with no new controller work.
+  auto floods_before = router.floods();
+  h1->ping(h2->ip(), 2);
+  settle(apps_poll);
+  EXPECT_EQ(h1->echo_replies_received(), 2u);
+  EXPECT_EQ(router.floods(), floods_before);
+}
+
+// --- ARP responder -------------------------------------------------------------------
+
+TEST_F(ControlPlane, ArpResponderAnswersFromRegistry) {
+  auto* s1 = add_switch(1);
+  auto* h1 = add_host("h1", "0a:00:00:00:00:01", "10.0.0.1", s1, 1);
+  settle();
+  // h2 is known administratively (not attached anywhere near h1).
+  netfs::NetDir net(vfs);
+  ASSERT_FALSE(net.add_host("h2", *MacAddress::parse("0a:00:00:00:00:02"),
+                            *Ipv4Address::parse("10.0.0.2")));
+
+  ArpResponder responder(vfs);
+  ASSERT_TRUE(responder.poll().ok());  // open the buffer
+  h1->send_arp_request(*Ipv4Address::parse("10.0.0.2"));
+  settle([&]() -> std::size_t {
+    auto n = responder.poll();
+    return n ? *n : 0;
+  });
+  EXPECT_EQ(responder.replies_sent(), 1u);
+  EXPECT_EQ(h1->arp_lookup(*Ipv4Address::parse("10.0.0.2"))->to_string(),
+            "0a:00:00:00:00:02");
+  // Requests for unknown addresses are ignored.
+  h1->send_arp_request(*Ipv4Address::parse("10.0.0.99"));
+  settle([&]() -> std::size_t {
+    auto n = responder.poll();
+    return n ? *n : 0;
+  });
+  EXPECT_EQ(responder.replies_sent(), 1u);
+}
+
+// --- learning switch --------------------------------------------------------------------
+
+TEST_F(ControlPlane, LearningSwitchLearnsAndInstalls) {
+  auto* s1 = add_switch(1);
+  auto* h1 = add_host("h1", "0a:00:00:00:00:01", "10.0.0.1", s1, 1);
+  auto* h2 = add_host("h2", "0a:00:00:00:00:02", "10.0.0.2", s1, 2);
+  settle();
+
+  LearningSwitch l2(vfs);
+  ASSERT_TRUE(l2.poll().ok());
+  auto apps_poll = [&]() -> std::size_t {
+    auto n = l2.poll();
+    return n ? *n : 0;
+  };
+
+  h1->ping(h2->ip());
+  settle(apps_poll);
+  EXPECT_EQ(h1->echo_replies_received(), 1u);
+  EXPECT_GE(l2.table_size(), 2u);       // learned both MACs
+  EXPECT_GE(l2.flows_installed(), 1u);  // installed at least one flow
+  EXPECT_GE(s1->table().size(), 1u);
+}
+
+// --- DHCP ------------------------------------------------------------------------------
+
+TEST(DhcpCodec, RoundTrip) {
+  DhcpMessage m;
+  m.op = 1;
+  m.xid = 0x12345678;
+  m.chaddr = *MacAddress::parse("0a:00:00:00:00:07");
+  m.msg_type = dhcp_type::request;
+  m.requested_ip = *Ipv4Address::parse("10.0.0.100");
+  auto decoded = decode_dhcp(encode_dhcp(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->xid, 0x12345678u);
+  EXPECT_EQ(decoded->chaddr, m.chaddr);
+  EXPECT_EQ(decoded->msg_type, dhcp_type::request);
+  ASSERT_TRUE(decoded->requested_ip.has_value());
+  EXPECT_EQ(decoded->requested_ip->to_string(), "10.0.0.100");
+  // Garbage rejected.
+  EXPECT_FALSE(decode_dhcp(std::vector<std::uint8_t>(10, 0)).ok());
+}
+
+TEST_F(ControlPlane, DhcpDiscoverOfferRequestAck) {
+  auto* s1 = add_switch(1);
+  auto* h1 = add_host("h1", "0a:00:00:00:00:01", "0.0.0.0", s1, 1);
+  settle();
+
+  DhcpServer server(vfs);
+  ASSERT_TRUE(server.poll().ok());
+  auto apps_poll = [&]() -> std::size_t {
+    auto n = server.poll();
+    return n ? *n : 0;
+  };
+
+  // The client broadcasts DISCOVER then REQUEST (hand-built frames).
+  DhcpMessage discover;
+  discover.op = 1;
+  discover.xid = 0xaa;
+  discover.chaddr = h1->mac();
+  discover.msg_type = dhcp_type::discover;
+  auto bcast = MacAddress::from_u64(0xffffffffffffull);
+  h1->send_frame(net::build_udp(bcast, h1->mac(),
+                                *Ipv4Address::parse("0.0.0.0"),
+                                *Ipv4Address::parse("255.255.255.255"), 68,
+                                67, encode_dhcp(discover)));
+  settle(apps_poll);
+  EXPECT_EQ(server.offers_sent(), 1u);
+
+  DhcpMessage request = discover;
+  request.msg_type = dhcp_type::request;
+  request.requested_ip = *Ipv4Address::parse("10.0.0.100");
+  h1->send_frame(net::build_udp(bcast, h1->mac(),
+                                *Ipv4Address::parse("0.0.0.0"),
+                                *Ipv4Address::parse("255.255.255.255"), 68,
+                                67, encode_dhcp(request)));
+  settle(apps_poll);
+  EXPECT_EQ(server.acks_sent(), 1u);
+  ASSERT_EQ(server.leases().size(), 1u);
+  EXPECT_EQ(server.leases().begin()->second.to_string(), "10.0.0.100");
+  // The lease registered a host object for the rest of the control plane.
+  auto hosts_list = vfs->readdir("/net/hosts");
+  ASSERT_TRUE(hosts_list.ok());
+  ASSERT_EQ(hosts_list->size(), 1u);
+  EXPECT_EQ(*vfs->read_file("/net/hosts/" + (*hosts_list)[0].name + "/ip"),
+            "10.0.0.100");
+}
+
+// --- auditor -----------------------------------------------------------------------------
+
+TEST_F(ControlPlane, AuditorCleanOnHealthyNetwork) {
+  auto* s1 = add_switch(1);
+  auto* s2 = add_switch(2);
+  ASSERT_TRUE(network.add_link(*s1, 3, *s2, 3).ok());
+  settle();
+  discover();
+  FlowSpec spec;
+  spec.actions = {Action::output(3)};
+  netfs::NetDir net(vfs);
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("good", spec));
+  settle();
+
+  auto report = run_audit(*vfs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->to_text();
+  EXPECT_EQ(report->switches, 2u);
+  EXPECT_EQ(report->flows, 1u);
+  EXPECT_EQ(report->committed_flows, 1u);
+  EXPECT_EQ(report->links, 2u);  // both directions counted
+}
+
+TEST_F(ControlPlane, AuditorFindsProblems) {
+  add_switch(1);
+  settle();
+  netfs::NetDir net(vfs);
+  // Flow outputs to a port that does not exist.
+  FlowSpec bad;
+  bad.actions = {Action::output(99)};
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("bad-port", bad));
+  // One-sided topology link.
+  ASSERT_FALSE(vfs->mkdir("/net/switches/sw1/ports/9"));
+  ASSERT_FALSE(vfs->symlink("/net/switches/sw1/ports/1",
+                            "/net/switches/sw1/ports/9/peer"));
+  settle();
+
+  auto report = run_audit(*vfs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean());
+  bool saw_port = false, saw_link = false;
+  for (const auto& f : report->findings) {
+    if (f.message.find("nonexistent port") != std::string::npos)
+      saw_port = true;
+    if (f.message.find("one-sided") != std::string::npos) saw_link = true;
+  }
+  EXPECT_TRUE(saw_port);
+  EXPECT_TRUE(saw_link);
+
+  // Cron-style: write the report into the filesystem.
+  auto written = run_audit_to_file(*vfs);
+  ASSERT_TRUE(written.ok());
+  auto text = vfs->read_file("/var/log/yanc-audit.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace yanc::apps

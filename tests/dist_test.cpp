@@ -1,0 +1,291 @@
+// Tests for the distributed file system (§6): transport behaviour,
+// strict/eventual replication, per-subtree consistency via xattr,
+// conflicts, partitions, and the flagship scenario — a flow written on one
+// controller node appearing on another.
+#include <gtest/gtest.h>
+
+#include "yanc/dist/replicated.hpp"
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/netfs/handles.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc::dist {
+namespace {
+
+using flow::Action;
+using flow::FlowSpec;
+
+TEST(TransportTest, DeliversWithLatency) {
+  net::Scheduler scheduler;
+  Transport transport(scheduler, std::chrono::milliseconds(5));
+  std::vector<std::string> received;
+  auto a = transport.join([&](auto, const auto& m) {
+    received.push_back(std::string(m.begin(), m.end()));
+  });
+  auto b = transport.join([&](auto, const auto&) {});
+  transport.send(b, a, {'h', 'i'});
+  EXPECT_TRUE(received.empty());  // not yet: latency
+  scheduler.run_for(std::chrono::milliseconds(4));
+  EXPECT_TRUE(received.empty());
+  scheduler.run_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hi");
+  EXPECT_EQ(transport.messages_sent(), 1u);
+  EXPECT_EQ(transport.bytes_sent(), 2u);
+}
+
+TEST(TransportTest, PartitionQueuesAndHealsInOrder) {
+  net::Scheduler scheduler;
+  Transport transport(scheduler, {});
+  std::vector<std::string> received;
+  auto a = transport.join([&](auto, const auto& m) {
+    received.push_back(std::string(m.begin(), m.end()));
+  });
+  auto b = transport.join([&](auto, const auto&) {});
+  transport.set_partitioned(a, b, true);
+  transport.send(b, a, {'1'});
+  transport.send(b, a, {'2'});
+  scheduler.run_until_idle();
+  EXPECT_TRUE(received.empty());
+  transport.set_partitioned(a, b, false);
+  scheduler.run_until_idle();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "1");
+  EXPECT_EQ(received[1], "2");
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest()
+      : cluster(scheduler, ClusterOptions{.nodes = 3,
+                                          .link_latency =
+                                              std::chrono::microseconds(100),
+                                          .default_mode = Mode::strict}) {}
+
+  void settle() { scheduler.run_until_idle(); }
+
+  /// Convenience: file content on a node's replica, "" when missing.
+  std::string content(std::size_t node, const std::string& path) {
+    auto fs = cluster.fs(node);
+    vfs::NodeId id = fs->root();
+    for (const auto& comp : split_nonempty(path, '/')) {
+      auto next = fs->lookup(id, comp);
+      if (!next) return "<missing>";
+      id = *next;
+    }
+    auto data = fs->read(id, 0, 1 << 20, {});
+    return data ? *data : "<unreadable>";
+  }
+
+  net::Scheduler scheduler;
+  Cluster cluster;
+};
+
+TEST_F(ClusterTest, MkdirReplicatesWithSchema) {
+  auto fs0 = cluster.fs(0);
+  // Creating a switch on the primary...
+  auto switches = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(switches.ok());
+  ASSERT_TRUE(fs0->mkdir(*switches, "sw1", 0755, {}).ok());
+  settle();
+  // ...materializes on every node, with its schema children auto-created
+  // locally (the op log carries one mkdir, not the whole subtree).
+  for (std::size_t node : {1u, 2u}) {
+    auto fs = cluster.fs(node);
+    auto sw = fs->lookup(*fs->lookup(fs->root(), "switches"), "sw1");
+    ASSERT_TRUE(sw.ok()) << "node " << node;
+    EXPECT_TRUE(fs->lookup(*sw, "flows").ok());
+    EXPECT_TRUE(fs->lookup(*sw, "id").ok());
+  }
+  EXPECT_EQ(cluster.fs(1)->remote_ops_applied(), 1u);
+}
+
+TEST_F(ClusterTest, WritesReplicateContent) {
+  auto fs0 = cluster.fs(0);
+  auto switches = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*switches, "sw1", 0755, {}).ok());
+  settle();
+  auto sw = fs0->lookup(*switches, "sw1");
+  auto id_file = fs0->lookup(*sw, "id");
+  ASSERT_TRUE(fs0->write(*id_file, 0, "0xabc", {}).ok());
+  settle();
+  EXPECT_EQ(content(1, "/switches/sw1/id"), "0xabc");
+  EXPECT_EQ(content(2, "/switches/sw1/id"), "0xabc");
+}
+
+TEST_F(ClusterTest, StrictModeChargesRoundTripOnSecondary) {
+  auto fs1 = cluster.fs(1);  // not the primary
+  auto switches = fs1->lookup(fs1->root(), "switches");
+  ASSERT_TRUE(fs1->mkdir(*switches, "sw9", 0755, {}).ok());
+  // 2 x 100us round trip charged to the writer.
+  EXPECT_EQ(fs1->sync_delay_ns(), 200'000u);
+  // The primary never pays it.
+  auto fs0 = cluster.fs(0);
+  ASSERT_TRUE(fs0->mkdir(*fs0->lookup(fs0->root(), "switches"), "sw8", 0755,
+                         {}).ok());
+  EXPECT_EQ(fs0->sync_delay_ns(), 0u);
+  settle();
+  // Both objects visible everywhere (secondary's op routed via primary).
+  for (std::size_t node = 0; node < 3; ++node) {
+    EXPECT_NE(content(node, "/switches/sw9/id"), "<missing>") << node;
+    EXPECT_NE(content(node, "/switches/sw8/id"), "<missing>") << node;
+  }
+}
+
+TEST_F(ClusterTest, EventualSubtreeSkipsPrimaryRoundTrip) {
+  auto fs1 = cluster.fs(1);
+  // Mark the events subtree eventual on every replica (xattrs replicate,
+  // but set it locally first so the mode applies to the next op).
+  auto events = fs1->lookup(fs1->root(), "events");
+  ASSERT_TRUE(events.ok());
+  std::string value = "eventual";
+  ASSERT_FALSE(fs1->setxattr(*events, kConsistencyXattr,
+                             {value.begin(), value.end()}, {}));
+  auto before = fs1->sync_delay_ns();
+  ASSERT_TRUE(fs1->mkdir(*events, "app1", 0755, {}).ok());
+  EXPECT_EQ(fs1->sync_delay_ns(), before);  // no round trip charged
+  settle();
+  // Still replicated.
+  auto fs2 = cluster.fs(2);
+  EXPECT_TRUE(
+      fs2->lookup(*fs2->lookup(fs2->root(), "events"), "app1").ok());
+}
+
+TEST_F(ClusterTest, LastWriterWinsOnConflict) {
+  net::Scheduler s2;
+  Cluster eventual(s2, ClusterOptions{.nodes = 2,
+                                      .link_latency =
+                                          std::chrono::microseconds(100),
+                                      .default_mode = Mode::eventual});
+  auto fs0 = eventual.fs(0);
+  auto fs1 = eventual.fs(1);
+  auto sw0 = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*sw0, "sw1", 0755, {}).ok());
+  s2.run_until_idle();
+
+  // Concurrent writes to the same file on both nodes (before either
+  // replica saw the other's op).
+  auto id0 = fs0->lookup(*fs0->lookup(*sw0, "sw1"), "id");
+  auto sw1 = fs1->lookup(fs1->root(), "switches");
+  auto id1 = fs1->lookup(*fs1->lookup(*sw1, "sw1"), "id");
+  ASSERT_TRUE(fs0->write(*id0, 0, "0xa", {}).ok());
+  ASSERT_TRUE(fs1->write(*id1, 0, "0xb", {}).ok());
+  s2.run_until_idle();
+
+  // Both converge on the same value (the later Lamport ts wins; ties break
+  // toward the higher node id).
+  auto read = [&](std::size_t n) {
+    auto fs = eventual.fs(n);
+    auto id = fs->lookup(*fs->lookup(*fs->lookup(fs->root(), "switches"),
+                                     "sw1"),
+                         "id");
+    return *fs->read(*id, 0, 100, {});
+  };
+  EXPECT_EQ(read(0), read(1));
+  EXPECT_EQ(eventual.fs(0)->conflicts_ignored() +
+                eventual.fs(1)->conflicts_ignored(),
+            1u);
+}
+
+TEST_F(ClusterTest, PartitionDivergesThenConverges) {
+  net::Scheduler s2;
+  Cluster eventual(s2, ClusterOptions{.nodes = 2,
+                                      .link_latency = {},
+                                      .default_mode = Mode::eventual});
+  auto fs0 = eventual.fs(0);
+  auto fs1 = eventual.fs(1);
+  eventual.partition(0, 1);
+
+  auto sw0 = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*sw0, "only-on-0", 0755, {}).ok());
+  s2.run_until_idle();
+  auto sw1 = fs1->lookup(fs1->root(), "switches");
+  EXPECT_FALSE(fs1->lookup(*sw1, "only-on-0").ok());  // diverged
+
+  eventual.heal(0, 1);
+  s2.run_until_idle();
+  EXPECT_TRUE(fs1->lookup(*sw1, "only-on-0").ok());  // converged
+}
+
+TEST_F(ClusterTest, RmdirReplicatesRecursiveRemoval) {
+  auto fs0 = cluster.fs(0);
+  auto switches = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*switches, "sw1", 0755, {}).ok());
+  settle();
+  ASSERT_FALSE(fs0->rmdir(*switches, "sw1", {}));
+  settle();
+  auto fs1 = cluster.fs(1);
+  EXPECT_FALSE(
+      fs1->lookup(*fs1->lookup(fs1->root(), "switches"), "sw1").ok());
+}
+
+TEST_F(ClusterTest, SymlinkAndRenameReplicate) {
+  auto fs0 = cluster.fs(0);
+  auto switches = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*switches, "sw1", 0755, {}).ok());
+  ASSERT_TRUE(fs0->mkdir(*switches, "sw2", 0755, {}).ok());
+  settle();
+  // Topology symlink on node 0...
+  auto sw1 = fs0->lookup(*switches, "sw1");
+  auto ports = fs0->lookup(*sw1, "ports");
+  ASSERT_TRUE(fs0->mkdir(*ports, "1", 0755, {}).ok());
+  settle();
+  auto port1 = fs0->lookup(*ports, "1");
+  ASSERT_TRUE(
+      fs0->symlink(*port1, "peer", "/switches/sw2/ports/9", {}).ok());
+  settle();
+  auto fs2 = cluster.fs(2);
+  auto r_ports = fs2->lookup(
+      *fs2->lookup(*fs2->lookup(fs2->root(), "switches"), "sw1"), "ports");
+  auto r_port1 = fs2->lookup(*r_ports, "1");
+  auto r_peer = fs2->lookup(*r_port1, "peer");
+  ASSERT_TRUE(r_peer.ok());
+  EXPECT_EQ(*fs2->readlink(*r_peer), "/switches/sw2/ports/9");
+
+  // Rename replicates too (switch renamed, §3.2).
+  ASSERT_FALSE(fs0->rename(*switches, "sw2", *switches, "edge-2", {}));
+  settle();
+  auto r_switches = fs2->lookup(fs2->root(), "switches");
+  EXPECT_TRUE(fs2->lookup(*r_switches, "edge-2").ok());
+  EXPECT_FALSE(fs2->lookup(*r_switches, "sw2").ok());
+}
+
+// --- the §6 flagship: distributed controller ----------------------------------
+
+TEST(DistributedController, FlowWrittenOnNodeAVisibleOnNodeB) {
+  net::Scheduler scheduler;
+  Cluster cluster(scheduler,
+                  ClusterOptions{.nodes = 2,
+                                 .link_latency = std::chrono::milliseconds(1),
+                                 .default_mode = Mode::strict});
+  // Each controller node mounts ITS replica at /net in its own Vfs —
+  // applications on each node are oblivious to the replication.
+  auto vfs_a = std::make_shared<vfs::Vfs>();
+  auto vfs_b = std::make_shared<vfs::Vfs>();
+  ASSERT_FALSE(vfs_a->mkdir("/net"));
+  ASSERT_FALSE(vfs_b->mkdir("/net"));
+  ASSERT_FALSE(vfs_a->mount("/net", cluster.fs(0)));
+  ASSERT_FALSE(vfs_b->mount("/net", cluster.fs(1)));
+
+  // Node A's administrator writes a flow with plain file I/O.
+  netfs::NetDir net_a(vfs_a);
+  ASSERT_FALSE(net_a.add_switch("sw1"));
+  FlowSpec spec;
+  spec.match.tp_dst = 22;
+  spec.actions = {Action::output(2)};
+  ASSERT_FALSE(net_a.switch_at("sw1").add_flow("ssh", spec));
+  scheduler.run_until_idle();
+
+  // Node B's driver (or shell user) sees the committed flow.
+  netfs::NetDir net_b(vfs_b);
+  auto names = net_b.switch_at("sw1").flow_names();
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(*names, std::vector<std::string>{"ssh"});
+  auto got = net_b.switch_at("sw1").flow_at("ssh").read();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->match.tp_dst, 22);
+  EXPECT_GE(got->version, 1u);
+}
+
+}  // namespace
+}  // namespace yanc::dist

@@ -1,0 +1,177 @@
+// Tests for libyanc (§8.1): arena, SPSC ring, atomic flow batches, the
+// zero-copy packet pool, and the driver-side consumer — including the
+// property that a published batch reaches the wire *and* the mirror FS.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "yanc/fast/arena.hpp"
+#include "yanc/fast/consumer.hpp"
+#include "yanc/fast/packet_pool.hpp"
+#include "yanc/fast/ring.hpp"
+#include "yanc/fast/syscall_model.hpp"
+#include "yanc/netfs/flowio.hpp"
+#include "yanc/netfs/yancfs.hpp"
+
+namespace yanc::fast {
+namespace {
+
+using flow::Action;
+using flow::FlowSpec;
+
+TEST(ArenaTest, BumpAllocatesAligned) {
+  ShmArena arena(1024);
+  auto* a = arena.alloc(10);
+  auto* b = arena.alloc(10, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Alignment is relative to the arena base (a real shm segment is mapped
+  // page-aligned, so offset alignment is the meaningful contract).  `a`
+  // sits at offset 0.
+  EXPECT_EQ(static_cast<std::size_t>(b - a) % 64, 0u);
+  EXPECT_GE(arena.used(), 20u);
+  EXPECT_EQ(arena.alloc(2000), nullptr);  // exhausted
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_NE(arena.alloc(1000), nullptr);
+}
+
+TEST(RingTest, FifoOrder) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));  // full
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(*ring.pop(), i);
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(RingTest, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(RingTest, CrossThreadStress) {
+  SpscRing<std::uint64_t> ring(256);
+  constexpr std::uint64_t kCount = 100'000;
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    while (received < kCount) {
+      if (auto v = ring.pop()) {
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kCount;) {
+    if (ring.push(i)) ++i;
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(FlowChannelTest, BatchesArriveInOrder) {
+  FlowChannel channel(8);
+  FlowBatch b1{"sw1", {{"f1", FlowSpec{}}}};
+  FlowBatch b2{"sw2", {{"f2", FlowSpec{}}, {"f3", FlowSpec{}}}};
+  EXPECT_TRUE(channel.submit(std::move(b1)));
+  EXPECT_TRUE(channel.submit(std::move(b2)));
+  EXPECT_EQ(channel.pending(), 2u);
+  auto got1 = channel.take();
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_EQ(got1->switch_name, "sw1");
+  auto got2 = channel.take();
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(got2->entries.size(), 2u);
+  EXPECT_EQ(channel.submitted(), 2u);
+  EXPECT_EQ(channel.taken(), 2u);
+}
+
+TEST(PacketPoolTest, ZeroCopyFanOut) {
+  PacketPool pool(4, 256);
+  std::vector<std::uint8_t> frame{1, 2, 3, 4};
+  auto ref = pool.emplace(frame, /*datapath=*/7, /*in_port=*/3);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(pool.slots_free(), 3u);
+
+  // Fan out to three "applications": all see the same bytes at the same
+  // address (zero copies).
+  PacketRef a = *ref, b = *ref, c = *ref;
+  EXPECT_EQ(a.data().data(), b.data().data());
+  EXPECT_EQ(b.data().data(), c.data().data());
+  EXPECT_EQ(a.in_port(), 3);
+  EXPECT_EQ(a.datapath(), 7u);
+  EXPECT_EQ(std::vector<std::uint8_t>(a.data().begin(), a.data().end()),
+            frame);
+
+  // The slot is reclaimed only when the last reference drops.
+  *ref = PacketRef{};
+  a = PacketRef{};
+  b = PacketRef{};
+  EXPECT_EQ(pool.slots_free(), 3u);
+  c = PacketRef{};
+  EXPECT_EQ(pool.slots_free(), 4u);
+}
+
+TEST(PacketPoolTest, ExhaustionAndOversize) {
+  PacketPool pool(1, 16);
+  std::vector<std::uint8_t> small{1};
+  auto first = pool.emplace(small, 0, 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(pool.emplace(small, 0, 0).error(),
+            make_error_code(Errc::no_space));
+  std::vector<std::uint8_t> big(17, 0);
+  EXPECT_EQ(pool.emplace(big, 0, 0).error(),
+            make_error_code(Errc::no_space));
+  *first = PacketRef{};
+  EXPECT_TRUE(pool.emplace(small, 0, 0).ok());
+}
+
+TEST(ConsumerTest, DrainsEncodesAndMirrors) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+  ASSERT_FALSE(vfs->mkdir("/net/switches/sw1"));
+
+  FlowChannel channel;
+  FlowSpec spec;
+  spec.match.tp_dst = 22;
+  spec.actions = {Action::output(2)};
+  ASSERT_TRUE(channel.submit(FlowBatch{"sw1", {{"ssh", spec}}}));
+
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> wire;
+  auto stats = drain_flow_channel(
+      channel, ofp::Version::of10,
+      [&](const std::string& sw, std::vector<std::uint8_t> bytes) {
+        wire.emplace_back(sw, std::move(bytes));
+      },
+      vfs.get());
+
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.flows, 1u);
+  EXPECT_EQ(stats.encode_failures, 0u);
+  ASSERT_EQ(wire.size(), 1u);
+  EXPECT_EQ(wire[0].first, "sw1");
+  // The bytes are a decodable FLOW_MOD carrying the spec.
+  auto decoded = ofp::decode(wire[0].second);
+  ASSERT_TRUE(decoded.ok());
+  auto& fm = std::get<ofp::FlowMod>(decoded->message);
+  EXPECT_EQ(fm.spec.match.tp_dst, 22);
+  // And the mirror made the flow visible to FS users.
+  auto mirrored = netfs::read_flow(*vfs, "/net/switches/sw1/flows/ssh");
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(mirrored->match.tp_dst, 22);
+  EXPECT_GE(mirrored->version, 1u);
+}
+
+TEST(SyscallModelTest, OverheadScalesWithOps) {
+  SyscallCostModel model{.cost_ns = 700};
+  EXPECT_EQ(model.overhead_ns(10), 7000u);
+  vfs::Vfs v;
+  v.reset_counters();
+  (void)v.write_file("/f", "x");
+  (void)v.read_file("/f");
+  EXPECT_GT(model.overhead_ns(v.counters()), 0u);
+}
+
+}  // namespace
+}  // namespace yanc::fast

@@ -1,0 +1,291 @@
+// Tests for the simulated data plane: packet build/parse round trips,
+// header rewrites, channels, the event scheduler, links, and host
+// behaviours (ARP resolution, ping).
+#include <gtest/gtest.h>
+
+#include "yanc/net/channel.hpp"
+#include "yanc/net/simnet.hpp"
+
+namespace yanc::net {
+namespace {
+
+MacAddress mac(const char* s) { return *MacAddress::parse(s); }
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+
+// --- packets -----------------------------------------------------------------
+
+TEST(Packet, EthernetRoundTrip) {
+  auto frame = build_ethernet(mac("02:00:00:00:00:02"),
+                              mac("02:00:00:00:00:01"), 0x88b5, {1, 2, 3});
+  auto p = parse_frame(frame);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->dl_dst.to_string(), "02:00:00:00:00:02");
+  EXPECT_EQ(p->dl_src.to_string(), "02:00:00:00:00:01");
+  EXPECT_EQ(p->dl_type, 0x88b5);
+  EXPECT_EQ(p->vlan_id, 0xffff);  // untagged
+  EXPECT_FALSE(p->ipv4.has_value());
+}
+
+TEST(Packet, TruncatedFrameRejected) {
+  Frame tiny{1, 2, 3};
+  EXPECT_FALSE(parse_frame(tiny).ok());
+}
+
+TEST(Packet, ArpRoundTrip) {
+  auto frame = build_arp(arp_op::request, mac("02:00:00:00:00:01"),
+                         ip("10.0.0.1"), MacAddress{}, ip("10.0.0.2"));
+  auto p = parse_frame(frame);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->dl_type, ethertype::arp);
+  EXPECT_TRUE(p->dl_dst.is_broadcast());  // requests broadcast
+  ASSERT_TRUE(p->arp.has_value());
+  EXPECT_EQ(p->arp->op, arp_op::request);
+  EXPECT_EQ(p->arp->sender_ip.to_string(), "10.0.0.1");
+  EXPECT_EQ(p->arp->target_ip.to_string(), "10.0.0.2");
+  // ARP maps onto nw_src/nw_dst/nw_proto for OpenFlow matching.
+  auto fields = p->fields(4);
+  EXPECT_EQ(fields.in_port, 4);
+  EXPECT_EQ(fields.nw_src.to_string(), "10.0.0.1");
+  EXPECT_EQ(fields.nw_proto, arp_op::request);
+}
+
+TEST(Packet, UdpRoundTrip) {
+  auto frame = build_udp(mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"),
+                         ip("10.0.0.1"), ip("10.0.0.2"), 5000, 53,
+                         {0xca, 0xfe});
+  auto p = parse_frame(frame);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(p->ipv4.has_value());
+  EXPECT_EQ(p->ipv4->proto, ipproto::udp);
+  ASSERT_TRUE(p->l4.has_value());
+  EXPECT_EQ(p->l4->src_port, 5000);
+  EXPECT_EQ(p->l4->dst_port, 53);
+  EXPECT_EQ(p->l4_payload, (std::vector<std::uint8_t>{0xca, 0xfe}));
+}
+
+TEST(Packet, TcpRoundTrip) {
+  auto frame = build_tcp(mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"),
+                         ip("10.0.0.1"), ip("10.0.0.2"), 49152, 22, {'s'});
+  auto p = parse_frame(frame);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ipv4->proto, ipproto::tcp);
+  EXPECT_EQ(p->l4->dst_port, 22);
+  EXPECT_EQ(p->l4_payload, std::vector<std::uint8_t>{'s'});
+  auto fields = p->fields(1);
+  EXPECT_EQ(fields.tp_dst, 22);
+  EXPECT_EQ(fields.nw_proto, 6);
+}
+
+TEST(Packet, IcmpEchoRoundTrip) {
+  auto frame =
+      build_icmp_echo(mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"),
+                      ip("10.0.0.1"), ip("10.0.0.2"), icmp_type::echo_request,
+                      0x77, 3, {9, 9});
+  auto p = parse_frame(frame);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(p->icmp.has_value());
+  EXPECT_EQ(p->icmp->type, icmp_type::echo_request);
+  EXPECT_EQ(p->icmp->id, 0x77);
+  EXPECT_EQ(p->icmp->seq, 3);
+}
+
+TEST(Packet, LldpRoundTrip) {
+  auto frame = build_lldp("0000000000000042", "3", 120);
+  auto info = parse_lldp(frame);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->chassis_id, "0000000000000042");
+  EXPECT_EQ(info->port_id, "3");
+  EXPECT_EQ(info->ttl, 120);
+  // Non-LLDP frames are rejected.
+  auto other = build_ethernet(MacAddress{}, MacAddress{}, 0x0800, {});
+  EXPECT_FALSE(parse_lldp(other).ok());
+}
+
+TEST(Packet, VlanTagInsertAndStrip) {
+  auto frame = build_udp(mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"),
+                         ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, {});
+  auto tagged = with_vlan_tag(frame, 100, 5);
+  auto p = parse_frame(tagged);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->vlan_id, 100);
+  EXPECT_EQ(p->vlan_pcp, 5);
+  EXPECT_EQ(p->dl_type, ethertype::ipv4);  // inner type preserved
+  EXPECT_TRUE(p->ipv4.has_value());        // l3 parse crosses the tag
+  // Retagging replaces rather than stacks.
+  auto retagged = with_vlan_tag(tagged, 200, 0);
+  EXPECT_EQ(parse_frame(retagged)->vlan_id, 200);
+  EXPECT_EQ(retagged.size(), tagged.size());
+  // Strip restores the original bytes.
+  EXPECT_EQ(without_vlan_tag(tagged), frame);
+  EXPECT_EQ(without_vlan_tag(frame), frame);  // no-op when untagged
+}
+
+TEST(Packet, RewritesApplyAndFixChecksum) {
+  auto frame = build_udp(mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"),
+                         ip("10.0.0.1"), ip("10.0.0.2"), 1000, 2000, {1});
+  ASSERT_FALSE(apply_rewrite(
+      frame, flow::Action{flow::ActionKind::set_nw_dst, ip("10.9.9.9")}));
+  ASSERT_FALSE(apply_rewrite(
+      frame, flow::Action{flow::ActionKind::set_tp_dst, std::uint16_t{53}}));
+  ASSERT_FALSE(apply_rewrite(
+      frame,
+      flow::Action{flow::ActionKind::set_dl_src, mac("02:aa:aa:aa:aa:aa")}));
+  auto p = parse_frame(frame);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ipv4->dst.to_string(), "10.9.9.9");
+  EXPECT_EQ(p->l4->dst_port, 53);
+  EXPECT_EQ(p->dl_src.to_string(), "02:aa:aa:aa:aa:aa");
+  // Output is not a rewrite.
+  EXPECT_TRUE(apply_rewrite(frame, flow::Action::output(1)));
+  // L4 rewrite on an ARP frame fails cleanly.
+  auto arp = build_arp(arp_op::request, MacAddress{}, ip("1.1.1.1"),
+                       MacAddress{}, ip("2.2.2.2"));
+  EXPECT_TRUE(apply_rewrite(
+      arp, flow::Action{flow::ActionKind::set_tp_dst, std::uint16_t{1}}));
+}
+
+// --- channels -----------------------------------------------------------------
+
+TEST(ChannelTest, PairDelivery) {
+  auto [a, b] = Channel::make_pair();
+  a.send({1, 2});
+  b.send({3});
+  EXPECT_EQ(*b.try_recv(), (Message{1, 2}));
+  EXPECT_EQ(*a.try_recv(), (Message{3}));
+  EXPECT_FALSE(a.try_recv().has_value());
+}
+
+TEST(ChannelTest, CloseStopsTraffic) {
+  auto [a, b] = Channel::make_pair();
+  a.send({1});
+  a.close();
+  EXPECT_FALSE(a.connected());
+  EXPECT_FALSE(b.connected());
+  b.send({2});                          // dropped
+  EXPECT_TRUE(b.try_recv().has_value());  // already-queued drains
+}
+
+TEST(ChannelTest, ListenerAcceptQueue) {
+  Listener listener;
+  EXPECT_FALSE(listener.accept().has_value());
+  Channel sw_end = listener.connect();
+  EXPECT_EQ(listener.backlog(), 1u);
+  auto ctrl_end = listener.accept();
+  ASSERT_TRUE(ctrl_end.has_value());
+  sw_end.send({42});
+  EXPECT_EQ(*ctrl_end->try_recv(), Message{42});
+}
+
+// --- scheduler ------------------------------------------------------------------
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(std::chrono::microseconds(10), [&] { order.push_back(2); });
+  s.schedule_after(std::chrono::microseconds(5), [&] { order.push_back(1); });
+  s.schedule_after(std::chrono::microseconds(10), [&] { order.push_back(3); });
+  EXPECT_EQ(s.run_until_idle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));  // FIFO among equal times
+  EXPECT_EQ(s.now(), std::chrono::microseconds(10));
+}
+
+TEST(SchedulerTest, NestedScheduling) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_now([&] {
+    s.schedule_after(std::chrono::nanoseconds(1), [&] { ++fired; });
+  });
+  s.run_until_idle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, RunForStopsAtWindow) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(std::chrono::seconds(1), [&] { ++fired; });
+  s.schedule_after(std::chrono::seconds(10), [&] { ++fired; });
+  EXPECT_EQ(s.run_for(std::chrono::seconds(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), std::chrono::seconds(5));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+// --- network + hosts ------------------------------------------------------------
+
+class SimNetTest : public ::testing::Test {
+ protected:
+  SimNetTest() : network(scheduler) {}
+  Scheduler scheduler;
+  Network network;
+};
+
+TEST_F(SimNetTest, LinkDeliversBothWays) {
+  Host a("a", mac("0a:00:00:00:00:01"), ip("10.0.0.1"), network);
+  Host b("b", mac("0a:00:00:00:00:02"), ip("10.0.0.2"), network);
+  ASSERT_TRUE(network.add_link(a, 0, b, 0).ok());
+  a.send_frame(build_ethernet(b.mac(), a.mac(), 0x1234, {}));
+  b.send_frame(build_ethernet(a.mac(), b.mac(), 0x1234, {}));
+  scheduler.run_until_idle();
+  EXPECT_EQ(a.frames_received(), 1u);
+  EXPECT_EQ(b.frames_received(), 1u);
+}
+
+TEST_F(SimNetTest, DoubleLinkRefused) {
+  Host a("a", MacAddress{}, Ipv4Address{}, network);
+  Host b("b", MacAddress{}, Ipv4Address{}, network);
+  Host c("c", MacAddress{}, Ipv4Address{}, network);
+  ASSERT_TRUE(network.add_link(a, 0, b, 0).ok());
+  EXPECT_FALSE(network.add_link(a, 0, c, 0).ok());
+}
+
+TEST_F(SimNetTest, DownLinkDropsFrames) {
+  Host a("a", MacAddress{}, Ipv4Address{}, network);
+  Host b("b", MacAddress{}, Ipv4Address{}, network);
+  auto link = network.add_link(a, 0, b, 0);
+  ASSERT_TRUE(link.ok());
+  ASSERT_FALSE(network.set_link_up(*link, false));
+  scheduler.run_until_idle();
+  a.send_frame(build_ethernet(MacAddress{}, MacAddress{}, 0x1234, {}));
+  scheduler.run_until_idle();
+  EXPECT_EQ(b.frames_received(), 0u);
+  EXPECT_EQ(network.frames_dropped(), 1u);
+  EXPECT_FALSE(network.peer_of(a, 0).has_value());  // down link hides peer
+}
+
+TEST_F(SimNetTest, LatencyOrdersDelivery) {
+  Host a("a", MacAddress{}, Ipv4Address{}, network);
+  Host b("b", MacAddress{}, Ipv4Address{}, network);
+  ASSERT_TRUE(
+      network.add_link(a, 0, b, 0, std::chrono::microseconds(100)).ok());
+  a.send_frame(build_ethernet(MacAddress{}, MacAddress{}, 0x1234, {}));
+  EXPECT_EQ(scheduler.run_for(std::chrono::microseconds(99)), 0u);
+  EXPECT_EQ(b.frames_received(), 0u);
+  scheduler.run_for(std::chrono::microseconds(1));
+  EXPECT_EQ(b.frames_received(), 1u);
+}
+
+TEST_F(SimNetTest, ArpResolutionAndPing) {
+  Host a("a", mac("0a:00:00:00:00:01"), ip("10.0.0.1"), network);
+  Host b("b", mac("0a:00:00:00:00:02"), ip("10.0.0.2"), network);
+  ASSERT_TRUE(network.add_link(a, 0, b, 0).ok());
+  // Ping with a cold ARP cache: a ARPs, b replies, the queued echo goes
+  // out, b answers it.
+  a.ping(b.ip());
+  scheduler.run_until_idle();
+  EXPECT_EQ(a.arp_lookup(b.ip())->to_string(), "0a:00:00:00:00:02");
+  EXPECT_EQ(b.echo_requests_received(), 1u);
+  EXPECT_EQ(a.echo_replies_received(), 1u);
+}
+
+TEST_F(SimNetTest, UdpBetweenHosts) {
+  Host a("a", mac("0a:00:00:00:00:01"), ip("10.0.0.1"), network);
+  Host b("b", mac("0a:00:00:00:00:02"), ip("10.0.0.2"), network);
+  ASSERT_TRUE(network.add_link(a, 0, b, 0).ok());
+  a.send_udp(b.ip(), 1111, 2222, {'h', 'i'});
+  scheduler.run_until_idle();
+  ASSERT_EQ(b.udp_received().size(), 1u);
+  EXPECT_EQ(b.udp_received()[0], (std::vector<std::uint8_t>{'h', 'i'}));
+}
+
+}  // namespace
+}  // namespace yanc::net

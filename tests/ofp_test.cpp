@@ -1,0 +1,497 @@
+// OpenFlow codec tests: encode/decode round trips for every message type
+// under both protocol versions, plus wire-level invariants (header length,
+// padding, wildcard bits, OXM TLVs) and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "yanc/ofp/codec.hpp"
+#include "yanc/ofp/oxm.hpp"
+#include "yanc/ofp/wire10.hpp"
+
+namespace yanc::ofp {
+namespace {
+
+using flow::Action;
+using flow::ActionKind;
+using flow::Match;
+
+class CodecBothVersions : public ::testing::TestWithParam<Version> {
+ protected:
+  Version v = GetParam();
+
+  /// Encodes, checks header invariants, decodes, returns the message.
+  Message round_trip(const Message& m, std::uint32_t xid = 42) {
+    auto bytes = encode(v, xid, m);
+    EXPECT_TRUE(bytes.ok()) << message_name(m) << ": " << bytes.error().message();
+    if (!bytes.ok()) return Hello{};
+    auto header = peek_header(*bytes);
+    EXPECT_TRUE(header.ok());
+    EXPECT_EQ(header->version, v);
+    EXPECT_EQ(header->length, bytes->size());
+    EXPECT_EQ(header->xid, xid);
+    auto decoded = decode(*bytes);
+    EXPECT_TRUE(decoded.ok())
+        << message_name(m) << ": " << decoded.error().message();
+    if (!decoded.ok()) return Hello{};
+    return decoded->message;
+  }
+
+  Match rich_match() {
+    Match m;
+    m.in_port = 3;
+    m.dl_src = *MacAddress::parse("02:00:00:00:00:01");
+    m.dl_dst = *MacAddress::parse("02:00:00:00:00:02");
+    m.dl_type = 0x0800;
+    m.nw_src = *Cidr::parse("10.0.0.0/8");
+    m.nw_dst = *Cidr::parse("192.168.1.5");
+    m.nw_proto = 6;
+    m.tp_dst = 22;
+    return m;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Versions, CodecBothVersions,
+                         ::testing::Values(Version::of10, Version::of13),
+                         [](const auto& info) {
+                           return info.param == Version::of10 ? "of10"
+                                                              : "of13";
+                         });
+
+TEST_P(CodecBothVersions, Hello) {
+  auto m = round_trip(Hello{});
+  EXPECT_TRUE(std::holds_alternative<Hello>(m));
+}
+
+TEST_P(CodecBothVersions, Error) {
+  auto m = round_trip(Error{3, 7, {0xde, 0xad}});
+  auto& e = std::get<Error>(m);
+  EXPECT_EQ(e.type, 3);
+  EXPECT_EQ(e.code, 7);
+  EXPECT_EQ(e.data, (std::vector<std::uint8_t>{0xde, 0xad}));
+}
+
+TEST_P(CodecBothVersions, Echo) {
+  auto m = round_trip(EchoRequest{{1, 2, 3}});
+  EXPECT_EQ(std::get<EchoRequest>(m).data, (std::vector<std::uint8_t>{1, 2, 3}));
+  auto r = round_trip(EchoReply{{9}});
+  EXPECT_EQ(std::get<EchoReply>(r).data, std::vector<std::uint8_t>{9});
+}
+
+TEST_P(CodecBothVersions, FeaturesReply) {
+  FeaturesReply f;
+  f.datapath_id = 0x00000000cafef00dull;
+  f.n_buffers = 256;
+  f.n_tables = 4;
+  f.capabilities = 0x5;
+  PortDesc p;
+  p.port_no = 1;
+  p.hw_addr = *MacAddress::parse("02:00:00:00:01:01");
+  p.name = "eth1";
+  p.link_down = true;
+  f.ports = {p};
+  auto m = round_trip(f);
+  auto& got = std::get<FeaturesReply>(m);
+  EXPECT_EQ(got.datapath_id, f.datapath_id);
+  EXPECT_EQ(got.n_buffers, 256u);
+  EXPECT_EQ(got.n_tables, 4);
+  if (v == Version::of10) {
+    // 1.0 carries ports inline.
+    ASSERT_EQ(got.ports.size(), 1u);
+    EXPECT_EQ(got.ports[0].port_no, 1);
+    EXPECT_EQ(got.ports[0].name, "eth1");
+    EXPECT_TRUE(got.ports[0].link_down);
+  } else {
+    EXPECT_TRUE(got.ports.empty());  // 1.3: via port_desc multipart
+  }
+}
+
+TEST_P(CodecBothVersions, FlowModRoundTrip) {
+  FlowMod fm;
+  fm.command = FlowMod::Command::add;
+  fm.spec.match = rich_match();
+  fm.spec.actions = {Action{ActionKind::set_dl_dst,
+                            *MacAddress::parse("02:00:00:00:00:09")},
+                     Action::output(7)};
+  fm.spec.priority = 100;
+  fm.spec.idle_timeout = 30;
+  fm.spec.hard_timeout = 300;
+  fm.spec.cookie = 0xabcdef;
+  fm.flags = kFlagSendFlowRemoved;
+  auto m = round_trip(fm);
+  auto& got = std::get<FlowMod>(m);
+  EXPECT_EQ(got.command, FlowMod::Command::add);
+  EXPECT_EQ(got.spec.match, fm.spec.match);
+  EXPECT_EQ(got.spec.actions, fm.spec.actions);
+  EXPECT_EQ(got.spec.priority, 100);
+  EXPECT_EQ(got.spec.idle_timeout, 30);
+  EXPECT_EQ(got.spec.hard_timeout, 300);
+  EXPECT_EQ(got.spec.cookie, 0xabcdefu);
+  EXPECT_EQ(got.flags, kFlagSendFlowRemoved);
+}
+
+TEST_P(CodecBothVersions, FlowModAllActionKinds) {
+  FlowMod fm;
+  fm.spec.actions = {
+      Action{ActionKind::set_vlan, std::uint16_t{100}},
+      Action{ActionKind::strip_vlan, std::monostate{}},
+      Action{ActionKind::set_dl_src, *MacAddress::parse("02:aa:00:00:00:01")},
+      Action{ActionKind::set_nw_src, *Ipv4Address::parse("10.0.0.9")},
+      Action{ActionKind::set_nw_tos, std::uint8_t{0x20}},
+      Action{ActionKind::set_tp_dst, std::uint16_t{8080}},
+      Action{ActionKind::enqueue, std::uint32_t{(5u << 16) | 2u}},
+      Action::flood(),
+  };
+  auto m = round_trip(fm);
+  auto& got = std::get<FlowMod>(m);
+  // strip_vlan order: 1.3 re-orders nothing; compare as sets of kinds.
+  ASSERT_EQ(got.spec.actions.size(), fm.spec.actions.size());
+  EXPECT_EQ(got.spec.actions, fm.spec.actions);
+}
+
+TEST_P(CodecBothVersions, FlowModMatchAll) {
+  FlowMod fm;  // match-all, drop
+  auto m = round_trip(fm);
+  auto& got = std::get<FlowMod>(m);
+  EXPECT_TRUE(got.spec.match.is_match_all());
+  EXPECT_TRUE(got.spec.actions.empty());
+}
+
+TEST_P(CodecBothVersions, PacketInRoundTrip) {
+  PacketIn pi;
+  pi.buffer_id = 77;
+  pi.total_len = 64;
+  pi.in_port = 5;
+  pi.reason = PacketIn::Reason::action;
+  pi.data = {0xca, 0xfe, 0xba, 0xbe};
+  auto m = round_trip(pi);
+  auto& got = std::get<PacketIn>(m);
+  EXPECT_EQ(got.buffer_id, 77u);
+  EXPECT_EQ(got.total_len, 64);
+  EXPECT_EQ(got.in_port, 5);
+  EXPECT_EQ(got.reason, PacketIn::Reason::action);
+  EXPECT_EQ(got.data, pi.data);
+}
+
+TEST_P(CodecBothVersions, PacketOutRoundTrip) {
+  PacketOut po;
+  po.buffer_id = kNoBuffer;
+  po.in_port = 2;
+  po.actions = {Action::output(3), Action::output(flow::port_no::flood)};
+  po.data = {1, 2, 3, 4, 5};
+  auto m = round_trip(po);
+  auto& got = std::get<PacketOut>(m);
+  EXPECT_EQ(got.in_port, 2);
+  EXPECT_EQ(got.actions, po.actions);
+  EXPECT_EQ(got.data, po.data);
+}
+
+TEST_P(CodecBothVersions, PortStatusRoundTrip) {
+  PortStatus ps;
+  ps.reason = PortStatus::Reason::modify;
+  ps.desc.port_no = 9;
+  ps.desc.hw_addr = *MacAddress::parse("02:00:00:00:00:09");
+  ps.desc.name = "sw1-eth9";
+  ps.desc.port_down = true;
+  auto m = round_trip(ps);
+  auto& got = std::get<PortStatus>(m);
+  EXPECT_EQ(got.reason, PortStatus::Reason::modify);
+  EXPECT_EQ(got.desc.port_no, 9);
+  EXPECT_EQ(got.desc.name, "sw1-eth9");
+  EXPECT_TRUE(got.desc.port_down);
+}
+
+TEST_P(CodecBothVersions, FlowRemovedRoundTrip) {
+  FlowRemoved fr;
+  fr.match = rich_match();
+  fr.cookie = 0x1234;
+  fr.priority = 7;
+  fr.reason = FlowRemoved::Reason::hard_timeout;
+  fr.duration_sec = 17;
+  fr.packet_count = 1000;
+  fr.byte_count = 64000;
+  auto m = round_trip(fr);
+  auto& got = std::get<FlowRemoved>(m);
+  EXPECT_EQ(got.match, fr.match);
+  EXPECT_EQ(got.cookie, 0x1234u);
+  EXPECT_EQ(got.priority, 7);
+  EXPECT_EQ(got.reason, FlowRemoved::Reason::hard_timeout);
+  EXPECT_EQ(got.duration_sec, 17u);
+  EXPECT_EQ(got.packet_count, 1000u);
+  EXPECT_EQ(got.byte_count, 64000u);
+}
+
+TEST_P(CodecBothVersions, StatsDescRoundTrip) {
+  StatsRequest req;
+  req.kind = StatsKind::desc;
+  auto m = round_trip(req);
+  EXPECT_EQ(std::get<StatsRequest>(m).kind, StatsKind::desc);
+
+  StatsReply rep;
+  rep.kind = StatsKind::desc;
+  rep.manufacturer = "yanc project";
+  rep.sw_desc = "yanc-sw 1.0";
+  auto r = round_trip(rep);
+  auto& got = std::get<StatsReply>(r);
+  EXPECT_EQ(got.manufacturer, "yanc project");
+  EXPECT_EQ(got.sw_desc, "yanc-sw 1.0");
+}
+
+TEST_P(CodecBothVersions, StatsFlowRoundTrip) {
+  StatsRequest req;
+  req.kind = StatsKind::flow;
+  req.match.dl_type = 0x0800;
+  req.table_id = 0xff;
+  auto m = round_trip(req);
+  auto& got_req = std::get<StatsRequest>(m);
+  EXPECT_EQ(got_req.match.dl_type, 0x0800);
+
+  StatsReply rep;
+  rep.kind = StatsKind::flow;
+  FlowStatsEntry e;
+  e.spec.match = rich_match();
+  e.spec.actions = {Action::output(1)};
+  e.spec.priority = 5;
+  e.packet_count = 42;
+  e.byte_count = 4200;
+  e.duration_sec = 9;
+  rep.flows = {e, e};
+  auto r = round_trip(rep);
+  auto& got = std::get<StatsReply>(r);
+  ASSERT_EQ(got.flows.size(), 2u);
+  EXPECT_EQ(got.flows[0].spec.match, e.spec.match);
+  EXPECT_EQ(got.flows[0].spec.actions, e.spec.actions);
+  EXPECT_EQ(got.flows[0].packet_count, 42u);
+  EXPECT_EQ(got.flows[1].byte_count, 4200u);
+}
+
+TEST_P(CodecBothVersions, StatsPortRoundTrip) {
+  StatsReply rep;
+  rep.kind = StatsKind::port;
+  PortStatsEntry p;
+  p.port_no = 4;
+  p.rx_packets = 11;
+  p.tx_bytes = 2222;
+  rep.ports = {p};
+  auto r = round_trip(rep);
+  auto& got = std::get<StatsReply>(r);
+  ASSERT_EQ(got.ports.size(), 1u);
+  EXPECT_EQ(got.ports[0].port_no, 4);
+  EXPECT_EQ(got.ports[0].rx_packets, 11u);
+  EXPECT_EQ(got.ports[0].tx_bytes, 2222u);
+}
+
+TEST_P(CodecBothVersions, StatsQueueRoundTrip) {
+  StatsRequest req;
+  req.kind = StatsKind::queue;
+  req.port_no = 3;
+  req.queue_id = 1;
+  auto m = round_trip(req);
+  auto& got_req = std::get<StatsRequest>(m);
+  EXPECT_EQ(got_req.kind, StatsKind::queue);
+  EXPECT_EQ(got_req.port_no, 3);
+  EXPECT_EQ(got_req.queue_id, 1u);
+
+  StatsReply rep;
+  rep.kind = StatsKind::queue;
+  QueueStatsEntry q;
+  q.port_no = 3;
+  q.queue_id = 1;
+  q.tx_packets = 42;
+  q.tx_bytes = 4200;
+  rep.queues = {q};
+  auto r = round_trip(rep);
+  auto& got = std::get<StatsReply>(r);
+  ASSERT_EQ(got.queues.size(), 1u);
+  EXPECT_EQ(got.queues[0].port_no, 3);
+  EXPECT_EQ(got.queues[0].queue_id, 1u);
+  EXPECT_EQ(got.queues[0].tx_packets, 42u);
+  EXPECT_EQ(got.queues[0].tx_bytes, 4200u);
+}
+
+TEST(Codec, QueueStatsWireIdDiffersAcrossVersions) {
+  // OFPST_QUEUE is 5 in 1.0 but OFPMP_QUEUE is 9 in 1.3.
+  StatsRequest req;
+  req.kind = StatsKind::queue;
+  auto b10 = encode(Version::of10, 1, req);
+  auto b13 = encode(Version::of13, 1, req);
+  ASSERT_TRUE(b10.ok() && b13.ok());
+  EXPECT_EQ((*b10)[kHeaderSize + 1], 5);  // stats body kind (u16 low byte)
+  EXPECT_EQ((*b13)[kHeaderSize + 1], 9);
+}
+
+TEST_P(CodecBothVersions, Barrier) {
+  EXPECT_TRUE(std::holds_alternative<BarrierRequest>(
+      round_trip(BarrierRequest{})));
+  EXPECT_TRUE(std::holds_alternative<BarrierReply>(
+      round_trip(BarrierReply{})));
+}
+
+TEST_P(CodecBothVersions, PortModRoundTrip) {
+  PortMod pm;
+  pm.port_no = 2;
+  pm.hw_addr = *MacAddress::parse("02:00:00:00:00:02");
+  pm.port_down = true;
+  auto m = round_trip(pm);
+  auto& got = std::get<PortMod>(m);
+  EXPECT_EQ(got.port_no, 2);
+  EXPECT_TRUE(got.port_down);
+  EXPECT_FALSE(got.no_flood);
+}
+
+// --- version-specific behaviours ---------------------------------------------
+
+TEST(Codec10, MultiTableFlowModRejected) {
+  FlowMod fm;
+  fm.spec.table_id = 3;
+  auto bytes = encode(Version::of10, 1, fm);
+  EXPECT_EQ(bytes.error(), make_error_code(Errc::not_supported));
+}
+
+TEST(Codec13, MultiTableAndGotoSurvive) {
+  FlowMod fm;
+  fm.spec.table_id = 2;
+  fm.spec.goto_table = 3;
+  fm.spec.actions = {Action::output(1)};
+  auto bytes = encode(Version::of13, 1, fm);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = decode(*bytes);
+  ASSERT_TRUE(decoded.ok());
+  auto& got = std::get<FlowMod>(decoded->message);
+  EXPECT_EQ(got.spec.table_id, 2);
+  EXPECT_EQ(got.spec.goto_table, 3);
+}
+
+TEST(Codec13, PortDescMultipart) {
+  StatsReply rep;
+  rep.kind = StatsKind::port_desc;
+  PortDesc p;
+  p.port_no = 1;
+  p.name = "eth1";
+  p.curr_speed_kbps = 1'000'000;
+  rep.port_descs = {p};
+  auto bytes = encode(Version::of13, 5, rep);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = decode(*bytes);
+  ASSERT_TRUE(decoded.ok());
+  auto& got = std::get<StatsReply>(decoded->message);
+  ASSERT_EQ(got.port_descs.size(), 1u);
+  EXPECT_EQ(got.port_descs[0].name, "eth1");
+  EXPECT_EQ(got.port_descs[0].curr_speed_kbps, 1'000'000u);
+  // 1.0 cannot express it.
+  EXPECT_FALSE(encode(Version::of10, 5, rep).ok());
+}
+
+TEST(Codec, WireTypeNumbersDifferAcrossVersions) {
+  // Barrier is type 18 in 1.0 and 20 in 1.3 — a classic driver bug source.
+  auto b10 = encode(Version::of10, 1, BarrierRequest{});
+  auto b13 = encode(Version::of13, 1, BarrierRequest{});
+  ASSERT_TRUE(b10.ok() && b13.ok());
+  EXPECT_EQ((*b10)[1], 18);
+  EXPECT_EQ((*b13)[1], 20);
+}
+
+TEST(Codec, RejectsMalformedInput) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}).ok());
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{1, 2, 3}).ok());
+  // Bad version byte.
+  std::vector<std::uint8_t> bad_version{0x09, 0, 0, 8, 0, 0, 0, 1};
+  EXPECT_EQ(decode(bad_version).error(),
+            make_error_code(Errc::not_supported));
+  // Header length disagrees with buffer size.
+  auto hello = encode(Version::of10, 1, Hello{});
+  ASSERT_TRUE(hello.ok());
+  hello->push_back(0);
+  EXPECT_EQ(decode(*hello).error(), make_error_code(Errc::protocol_error));
+  // Truncated flow_mod body.
+  auto fm = encode(Version::of10, 1, FlowMod{});
+  ASSERT_TRUE(fm.ok());
+  std::vector<std::uint8_t> truncated(fm->begin(), fm->begin() + 20);
+  truncated[2] = 0;
+  truncated[3] = 20;
+  EXPECT_FALSE(decode(truncated).ok());
+}
+
+// --- wire-level details --------------------------------------------------------
+
+TEST(Wire10, MatchWildcardBits) {
+  BufWriter w;
+  wire10::encode_match(w, Match{});  // match-all
+  ASSERT_EQ(w.size(), wire10::kMatchSize);
+  BufReader r(w.data());
+  std::uint32_t wildcards = r.u32();
+  // All flag bits set, 32-bit wildcard counts in both prefix fields.
+  EXPECT_EQ(wildcards & 0xff, 0xffu);
+  EXPECT_EQ((wildcards >> wire10::wildcard::nw_src_shift) & 0x3f, 32u);
+  EXPECT_EQ((wildcards >> wire10::wildcard::nw_dst_shift) & 0x3f, 32u);
+}
+
+TEST(Wire10, CidrPrefixEncodesAsWildcardBits) {
+  Match m;
+  m.nw_src = *Cidr::parse("10.0.0.0/8");
+  BufWriter w;
+  wire10::encode_match(w, m);
+  BufReader r(w.data());
+  std::uint32_t wildcards = r.u32();
+  EXPECT_EQ((wildcards >> wire10::wildcard::nw_src_shift) & 0x3f, 24u);
+  BufReader rt(w.data());
+  auto decoded = wire10::decode_match(rt);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->nw_src->to_string(), "10.0.0.0/8");
+}
+
+TEST(Oxm, MatchPaddedToEight) {
+  BufWriter w;
+  Match m;
+  m.in_port = 1;
+  oxm::encode_match(w, m);
+  EXPECT_EQ(w.size() % 8, 0u);
+}
+
+TEST(Oxm, VlanNoneEncoding) {
+  Match m;
+  m.dl_vlan = 0xffff;  // untagged
+  BufWriter w;
+  oxm::encode_match(w, m);
+  BufReader r(w.data());
+  auto decoded = oxm::decode_match(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->dl_vlan, 0xffff);
+}
+
+TEST(Oxm, UdpPortsUseUdpFields) {
+  Match m;
+  m.nw_proto = 17;
+  m.tp_dst = 53;
+  BufWriter w;
+  oxm::encode_match(w, m);
+  BufReader r(w.data());
+  auto decoded = oxm::decode_match(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tp_dst, 53);
+  EXPECT_EQ(decoded->nw_proto, 17);
+}
+
+TEST(Oxm, ReservedPortMapping) {
+  EXPECT_EQ(oxm::port_to_of13(flow::port_no::controller), 0xfffffffdu);
+  EXPECT_EQ(oxm::port_from_of13(0xfffffffbu), flow::port_no::flood);
+  EXPECT_EQ(oxm::port_to_of13(5), 5u);
+  EXPECT_EQ(oxm::port_from_of13(5), 5);
+}
+
+TEST(Oxm, NonContiguousMaskRejected) {
+  BufWriter w;
+  std::size_t start = w.size();
+  w.u16(1);  // OXM match type
+  w.u16(4 + 4 + 8);
+  w.u16(oxm::kOpenFlowBasic);
+  w.u8((oxm::ipv4_src << 1) | 1);  // has_mask
+  w.u8(8);
+  w.u32(0x0a000000);
+  w.u32(0xff00ff00);  // non-contiguous
+  (void)start;
+  w.zeros((8 - w.size() % 8) % 8);
+  BufReader r(w.data());
+  EXPECT_FALSE(oxm::decode_match(r).ok());
+}
+
+}  // namespace
+}  // namespace yanc::ofp

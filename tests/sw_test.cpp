@@ -1,0 +1,509 @@
+// Tests for the software switch and flow table: priority matching,
+// OpenFlow add/modify/delete semantics, timeouts on virtual time, the
+// packet pipeline (flood, controller, rewrites, goto-table), buffering,
+// and the control-channel behaviours (handshake, echo, stats, port_mod).
+#include <gtest/gtest.h>
+
+#include "yanc/net/simnet.hpp"
+#include "yanc/sw/switch.hpp"
+
+namespace yanc::sw {
+namespace {
+
+using flow::Action;
+using flow::ActionKind;
+using flow::FieldValues;
+using flow::FlowSpec;
+using flow::Match;
+
+FieldValues tcp_packet_fields(std::uint16_t in_port, std::uint16_t tp_dst) {
+  FieldValues f;
+  f.in_port = in_port;
+  f.dl_type = 0x0800;
+  f.nw_proto = 6;
+  f.tp_dst = tp_dst;
+  return f;
+}
+
+// --- FlowTable ----------------------------------------------------------------
+
+TEST(FlowTableTest, PriorityOrderWins) {
+  FlowTable t;
+  FlowSpec low;
+  low.priority = 1;
+  low.actions = {Action::output(1)};
+  FlowSpec high;
+  high.priority = 100;
+  high.match.tp_dst = 22;
+  high.actions = {Action::output(2)};
+  t.add(low, 0, 0);
+  t.add(high, 0, 0);
+  auto* hit = t.lookup(tcp_packet_fields(1, 22), 0, 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->spec.actions[0].port(), 2);
+  // Non-ssh traffic falls to the low-priority match-all.
+  hit = t.lookup(tcp_packet_fields(1, 80), 0, 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->spec.actions[0].port(), 1);
+}
+
+TEST(FlowTableTest, TieBrokenByInsertionOrder) {
+  FlowTable t;
+  FlowSpec a, b;
+  a.actions = {Action::output(1)};
+  b.actions = {Action::output(2)};
+  b.match.tp_dst = 22;  // different match, same priority
+  t.add(a, 0, 0);
+  t.add(b, 0, 0);
+  auto* hit = t.lookup(tcp_packet_fields(1, 22), 0, 64);
+  EXPECT_EQ(hit->spec.actions[0].port(), 1);  // first added wins
+}
+
+TEST(FlowTableTest, AddIdenticalReplacesAndResetsCounters) {
+  FlowTable t;
+  FlowSpec spec;
+  spec.match.tp_dst = 22;
+  spec.actions = {Action::output(1)};
+  t.add(spec, 0, 0);
+  (void)t.lookup(tcp_packet_fields(1, 22), 0, 100);
+  EXPECT_EQ(t.entries()[0].packet_count, 1u);
+  spec.actions = {Action::output(9)};
+  t.add(spec, 0, 5);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.entries()[0].packet_count, 0u);
+  EXPECT_EQ(t.entries()[0].spec.actions[0].port(), 9);
+}
+
+TEST(FlowTableTest, CountersAccumulate) {
+  FlowTable t;
+  FlowSpec spec;
+  spec.actions = {Action::output(1)};
+  t.add(spec, 0, 0);
+  (void)t.lookup(tcp_packet_fields(1, 80), 1, 100);
+  (void)t.lookup(tcp_packet_fields(1, 81), 2, 50);
+  EXPECT_EQ(t.entries()[0].packet_count, 2u);
+  EXPECT_EQ(t.entries()[0].byte_count, 150u);
+  EXPECT_EQ(t.entries()[0].last_hit_ns, 2u);
+}
+
+TEST(FlowTableTest, ModifyNonStrictUpdatesSubsumed) {
+  FlowTable t;
+  FlowSpec narrow;
+  narrow.match.tp_dst = 22;
+  narrow.priority = 10;
+  narrow.actions = {Action::output(1)};
+  t.add(narrow, 0, 0);
+  FlowSpec wide;  // match-all modify hits everything
+  wide.actions = {Action::output(5)};
+  EXPECT_EQ(t.modify(wide, false), 1u);
+  EXPECT_EQ(t.entries()[0].spec.actions[0].port(), 5);
+  // Strict modify with different priority misses.
+  FlowSpec strict = narrow;
+  strict.priority = 11;
+  strict.actions = {Action::output(7)};
+  EXPECT_EQ(t.modify(strict, true), 0u);
+}
+
+TEST(FlowTableTest, RemoveStrictAndNonStrict) {
+  FlowTable t;
+  FlowSpec a;
+  a.match.tp_dst = 22;
+  a.priority = 10;
+  a.actions = {Action::output(1)};
+  FlowSpec b;
+  b.match.tp_dst = 80;
+  b.priority = 20;
+  b.actions = {Action::output(2)};
+  t.add(a, 0, 0);
+  t.add(b, 0, 0);
+  // Strict with wrong priority removes nothing.
+  EXPECT_TRUE(t.remove(a.match, 11, true).empty());
+  // Non-strict match-all removes everything.
+  auto removed = t.remove(Match{}, 0, false);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTableTest, RemoveFilteredByOutPort) {
+  FlowTable t;
+  FlowSpec a;
+  a.actions = {Action::output(1)};
+  FlowSpec b;
+  b.match.tp_dst = 80;
+  b.actions = {Action::output(2)};
+  t.add(a, 0, 0);
+  t.add(b, 0, 0);
+  auto removed = t.remove(Match{}, 0, false, /*out_port=*/2);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].spec.actions[0].port(), 2);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTableTest, HardTimeoutExpires) {
+  FlowTable t;
+  FlowSpec spec;
+  spec.hard_timeout = 10;  // seconds
+  spec.actions = {Action::output(1)};
+  t.add(spec, 0, 0);
+  EXPECT_TRUE(t.expire(9'999'999'999ull).empty());
+  auto expired = t.expire(10'000'000'000ull);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_TRUE(expired[0].hard);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTableTest, IdleTimeoutResetsOnHit) {
+  FlowTable t;
+  FlowSpec spec;
+  spec.idle_timeout = 5;
+  spec.actions = {Action::output(1)};
+  t.add(spec, 0, 0);
+  // Traffic at t=4s keeps it alive past t=5s.
+  (void)t.lookup(tcp_packet_fields(1, 80), 4'000'000'000ull, 64);
+  EXPECT_TRUE(t.expire(8'999'999'999ull).empty());
+  auto expired = t.expire(9'000'000'000ull);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_FALSE(expired[0].hard);
+}
+
+// --- Switch harness -----------------------------------------------------------
+
+class SwitchTest : public ::testing::Test {
+ protected:
+  SwitchTest() : network(scheduler) {}
+
+  std::unique_ptr<Switch> make_switch(ofp::Version version,
+                                      std::uint8_t n_tables = 1) {
+    SwitchOptions opts;
+    opts.datapath_id = 0x42;
+    opts.version = version;
+    opts.n_tables = n_tables;
+    auto sw = std::make_unique<Switch>("sw1", opts, network);
+    sw->add_port(1, *MacAddress::parse("02:00:00:00:01:01"), "eth1");
+    sw->add_port(2, *MacAddress::parse("02:00:00:00:01:02"), "eth2");
+    sw->add_port(3, *MacAddress::parse("02:00:00:00:01:03"), "eth3");
+    auto [controller_end, switch_end] = net::Channel::make_pair();
+    controller = controller_end;
+    sw->connect(switch_end);
+    return sw;
+  }
+
+  /// Drains and decodes everything the switch sent to the controller.
+  std::vector<ofp::Decoded> recv_all() {
+    std::vector<ofp::Decoded> out;
+    while (auto msg = controller.try_recv()) {
+      auto d = ofp::decode(*msg);
+      if (d.ok()) out.push_back(std::move(*d));
+    }
+    return out;
+  }
+
+  void send(Switch& sw, const ofp::Message& m, std::uint32_t xid = 1) {
+    auto bytes = ofp::encode(sw.options().version, xid, m);
+    ASSERT_TRUE(bytes.ok());
+    controller.send(std::move(*bytes));
+    sw.pump();
+  }
+
+  net::Scheduler scheduler;
+  net::Network network;
+  net::Channel controller;
+};
+
+TEST_F(SwitchTest, HandshakeFeatures) {
+  auto sw = make_switch(ofp::Version::of10);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);  // HELLO on connect
+  EXPECT_TRUE(std::holds_alternative<ofp::Hello>(msgs[0].message));
+
+  send(*sw, ofp::FeaturesRequest{}, 9);
+  msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].header.xid, 9u);
+  auto& feats = std::get<ofp::FeaturesReply>(msgs[0].message);
+  EXPECT_EQ(feats.datapath_id, 0x42u);
+  EXPECT_EQ(feats.ports.size(), 3u);  // 1.0 carries ports inline
+}
+
+TEST_F(SwitchTest, EchoReplyPreservesPayloadAndXid) {
+  auto sw = make_switch(ofp::Version::of13);
+  recv_all();
+  send(*sw, ofp::EchoRequest{{7, 8}}, 123);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].header.xid, 123u);
+  EXPECT_EQ(std::get<ofp::EchoReply>(msgs[0].message).data,
+            (std::vector<std::uint8_t>{7, 8}));
+}
+
+TEST_F(SwitchTest, TableMissSendsPacketIn) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  auto frame = net::build_arp(net::arp_op::request,
+                              *MacAddress::parse("0a:00:00:00:00:01"),
+                              *Ipv4Address::parse("10.0.0.1"), MacAddress{},
+                              *Ipv4Address::parse("10.0.0.2"));
+  sw->handle_frame(1, frame);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  auto& pi = std::get<ofp::PacketIn>(msgs[0].message);
+  EXPECT_EQ(pi.in_port, 1);
+  EXPECT_EQ(pi.reason, ofp::PacketIn::Reason::no_match);
+  EXPECT_EQ(pi.data, frame);
+  EXPECT_NE(pi.buffer_id, ofp::kNoBuffer);
+}
+
+TEST_F(SwitchTest, FlowModThenForwards) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  ofp::FlowMod fm;
+  fm.spec.match.dl_type = 0x0806;
+  fm.spec.actions = {Action::output(2)};
+  send(*sw, fm);
+  EXPECT_EQ(sw->table().size(), 1u);
+
+  // Wire port 2 to a host so forwarding is observable.
+  net::Host h2("h2", *MacAddress::parse("0a:00:00:00:00:02"),
+               *Ipv4Address::parse("10.0.0.2"), network);
+  ASSERT_TRUE(network.add_link(*sw, 2, h2, 0).ok());
+
+  // Target an address h2 does not own, so it does not ARP-reply back
+  // through the switch.
+  auto frame = net::build_arp(net::arp_op::request,
+                              *MacAddress::parse("0a:00:00:00:00:01"),
+                              *Ipv4Address::parse("10.0.0.1"), MacAddress{},
+                              *Ipv4Address::parse("10.0.0.9"));
+  sw->handle_frame(1, frame);
+  scheduler.run_until_idle();
+  EXPECT_EQ(h2.frames_received(), 1u);
+  EXPECT_TRUE(recv_all().empty());  // no packet-in: it matched
+  EXPECT_EQ(sw->table().entries()[0].packet_count, 1u);
+}
+
+TEST_F(SwitchTest, FloodSkipsIngressAndDownPorts) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  ofp::FlowMod fm;
+  fm.spec.actions = {Action::flood()};
+  send(*sw, fm);
+
+  net::Host h1("h1", MacAddress{}, Ipv4Address{}, network);
+  net::Host h2("h2", MacAddress{}, Ipv4Address{}, network);
+  net::Host h3("h3", MacAddress{}, Ipv4Address{}, network);
+  ASSERT_TRUE(network.add_link(*sw, 1, h1, 0).ok());
+  ASSERT_TRUE(network.add_link(*sw, 2, h2, 0).ok());
+  ASSERT_TRUE(network.add_link(*sw, 3, h3, 0).ok());
+
+  // Bring port 3 administratively down first.
+  ofp::PortMod pm;
+  pm.port_no = 3;
+  pm.port_down = true;
+  send(*sw, pm);
+
+  auto frame = net::build_ethernet(MacAddress::from_u64(0xffffffffffffull),
+                                   MacAddress{}, 0x1234, {1, 2, 3});
+  sw->handle_frame(1, frame);
+  scheduler.run_until_idle();
+  EXPECT_EQ(h1.frames_received(), 0u);  // ingress excluded
+  EXPECT_EQ(h2.frames_received(), 1u);
+  EXPECT_EQ(h3.frames_received(), 0u);  // port down
+}
+
+TEST_F(SwitchTest, OutputToControllerIsActionPacketIn) {
+  auto sw = make_switch(ofp::Version::of13);
+  recv_all();
+  ofp::FlowMod fm;
+  fm.spec.actions = {Action::to_controller()};
+  send(*sw, fm);
+  auto frame = net::build_ethernet(MacAddress{}, MacAddress{}, 0x1234, {});
+  sw->handle_frame(2, frame);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  auto& pi = std::get<ofp::PacketIn>(msgs[0].message);
+  EXPECT_EQ(pi.reason, ofp::PacketIn::Reason::action);
+  EXPECT_EQ(pi.in_port, 2);
+}
+
+TEST_F(SwitchTest, RewriteActionsChangeForwardedFrame) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  ofp::FlowMod fm;
+  fm.spec.match.dl_type = 0x0800;
+  fm.spec.actions = {
+      Action{ActionKind::set_nw_dst, *Ipv4Address::parse("192.168.9.9")},
+      Action{ActionKind::set_dl_dst, *MacAddress::parse("02:00:00:00:00:99")},
+      Action::output(2)};
+  send(*sw, fm);
+
+  net::Host h2("h2", *MacAddress::parse("02:00:00:00:00:99"),
+               *Ipv4Address::parse("192.168.9.9"), network);
+  ASSERT_TRUE(network.add_link(*sw, 2, h2, 0).ok());
+
+  auto frame = net::build_udp(*MacAddress::parse("02:00:00:00:00:02"),
+                              *MacAddress::parse("02:00:00:00:00:01"),
+                              *Ipv4Address::parse("10.0.0.1"),
+                              *Ipv4Address::parse("10.0.0.2"), 1000, 2000,
+                              {0xaa});
+  sw->handle_frame(1, frame);
+  scheduler.run_until_idle();
+  ASSERT_EQ(h2.frames_received(), 1u);
+  auto got = net::parse_frame(h2.received_log()[0]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ipv4->dst.to_string(), "192.168.9.9");
+  EXPECT_EQ(got->dl_dst.to_string(), "02:00:00:00:00:99");
+  // The host accepted it as UDP addressed to itself.
+  EXPECT_EQ(h2.udp_received().size(), 1u);
+}
+
+TEST_F(SwitchTest, PacketOutWithBufferId) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  net::Host h2("h2", MacAddress{}, Ipv4Address{}, network);
+  ASSERT_TRUE(network.add_link(*sw, 2, h2, 0).ok());
+
+  // Cause a buffered packet-in.
+  auto frame = net::build_ethernet(MacAddress{}, MacAddress{}, 0x1234, {9});
+  sw->handle_frame(1, frame);
+  auto msgs = recv_all();
+  auto& pi = std::get<ofp::PacketIn>(msgs[0].message);
+  ASSERT_NE(pi.buffer_id, ofp::kNoBuffer);
+
+  // Release the buffer out port 2.
+  ofp::PacketOut po;
+  po.buffer_id = pi.buffer_id;
+  po.in_port = pi.in_port;
+  po.actions = {Action::output(2)};
+  send(*sw, po);
+  scheduler.run_until_idle();
+  EXPECT_EQ(h2.frames_received(), 1u);
+  EXPECT_EQ(h2.received_log()[0], frame);
+
+  // Reusing the consumed buffer is an error.
+  send(*sw, po);
+  msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<ofp::Error>(msgs[0].message));
+}
+
+TEST_F(SwitchTest, FlowModReleasesBufferedPacket) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  net::Host h2("h2", MacAddress{}, Ipv4Address{}, network);
+  ASSERT_TRUE(network.add_link(*sw, 2, h2, 0).ok());
+
+  auto frame = net::build_ethernet(MacAddress{}, MacAddress{}, 0x1234, {7});
+  sw->handle_frame(1, frame);
+  auto pi = std::get<ofp::PacketIn>(recv_all()[0].message);
+
+  ofp::FlowMod fm;
+  fm.spec.match.in_port = 1;
+  fm.spec.actions = {Action::output(2)};
+  fm.buffer_id = pi.buffer_id;
+  send(*sw, fm);
+  scheduler.run_until_idle();
+  EXPECT_EQ(h2.frames_received(), 1u);
+  EXPECT_EQ(sw->table().entries()[0].packet_count, 1u);
+}
+
+TEST_F(SwitchTest, GotoTablePipeline13) {
+  auto sw = make_switch(ofp::Version::of13, /*n_tables=*/2);
+  recv_all();
+  net::Host h2("h2", MacAddress{}, Ipv4Address{}, network);
+  ASSERT_TRUE(network.add_link(*sw, 2, h2, 0).ok());
+
+  // Table 0 rewrites dl_dst then sends to table 1; table 1 matches on the
+  // rewritten address and outputs.
+  ofp::FlowMod t0;
+  t0.spec.table_id = 0;
+  t0.spec.goto_table = 1;
+  t0.spec.actions = {
+      Action{ActionKind::set_dl_dst, *MacAddress::parse("02:00:00:00:00:aa")}};
+  send(*sw, t0);
+  ofp::FlowMod t1;
+  t1.spec.table_id = 1;
+  t1.spec.match.dl_dst = *MacAddress::parse("02:00:00:00:00:aa");
+  t1.spec.actions = {Action::output(2)};
+  send(*sw, t1);
+
+  auto frame = net::build_ethernet(*MacAddress::parse("02:00:00:00:00:bb"),
+                                   MacAddress{}, 0x1234, {});
+  sw->handle_frame(1, frame);
+  scheduler.run_until_idle();
+  ASSERT_EQ(h2.frames_received(), 1u);
+  EXPECT_EQ(net::parse_frame(h2.received_log()[0])->dl_dst.to_string(),
+            "02:00:00:00:00:aa");
+}
+
+TEST_F(SwitchTest, ExpiredFlowSendsFlowRemoved) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  ofp::FlowMod fm;
+  fm.spec.hard_timeout = 1;
+  fm.spec.actions = {Action::output(2)};
+  fm.flags = ofp::kFlagSendFlowRemoved;
+  send(*sw, fm);
+
+  scheduler.schedule_after(std::chrono::seconds(2), [] {});
+  scheduler.run_until_idle();
+  sw->expire_flows();
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  auto& fr = std::get<ofp::FlowRemoved>(msgs[0].message);
+  EXPECT_EQ(fr.reason, ofp::FlowRemoved::Reason::hard_timeout);
+  EXPECT_EQ(sw->table().size(), 0u);
+}
+
+TEST_F(SwitchTest, StatsDescAndFlow) {
+  auto sw = make_switch(ofp::Version::of13);
+  recv_all();
+  ofp::FlowMod fm;
+  fm.spec.match.dl_type = 0x0800;
+  fm.spec.actions = {Action::output(2)};
+  send(*sw, fm);
+
+  ofp::StatsRequest desc;
+  desc.kind = ofp::StatsKind::desc;
+  send(*sw, desc, 5);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(std::get<ofp::StatsReply>(msgs[0].message).manufacturer,
+            "yanc project");
+
+  ofp::StatsRequest flows;
+  flows.kind = ofp::StatsKind::flow;
+  send(*sw, flows, 6);
+  msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  auto& reply = std::get<ofp::StatsReply>(msgs[0].message);
+  ASSERT_EQ(reply.flows.size(), 1u);
+  EXPECT_EQ(reply.flows[0].spec.match.dl_type, 0x0800);
+}
+
+TEST_F(SwitchTest, PortDescMultipart13) {
+  auto sw = make_switch(ofp::Version::of13);
+  recv_all();
+  ofp::StatsRequest req;
+  req.kind = ofp::StatsKind::port_desc;
+  send(*sw, req, 7);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(std::get<ofp::StatsReply>(msgs[0].message).port_descs.size(), 3u);
+}
+
+TEST_F(SwitchTest, LinkStatusEmitsPortStatus) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  net::Host h1("h1", MacAddress{}, Ipv4Address{}, network);
+  auto link = network.add_link(*sw, 1, h1, 0);
+  ASSERT_TRUE(link.ok());
+  ASSERT_FALSE(network.set_link_up(*link, false));
+  scheduler.run_until_idle();
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  auto& ps = std::get<ofp::PortStatus>(msgs[0].message);
+  EXPECT_EQ(ps.desc.port_no, 1);
+  EXPECT_TRUE(ps.desc.link_down);
+}
+
+}  // namespace
+}  // namespace yanc::sw

@@ -1,0 +1,188 @@
+// Tests for the topology module: graph reading from peer symlinks, path
+// computation, and the LLDP discovery daemon running against a live
+// simulated network through the driver.
+#include <gtest/gtest.h>
+
+#include "yanc/driver/of_driver.hpp"
+#include "yanc/netfs/yancfs.hpp"
+#include "yanc/sw/switch.hpp"
+#include "yanc/topo/discovery.hpp"
+
+namespace yanc::topo {
+namespace {
+
+TEST(PortRefTest, PathRoundTrip) {
+  PortRef ref{"sw1", 3};
+  EXPECT_EQ(ref.path("/net"), "/net/switches/sw1/ports/3");
+  auto parsed = PortRef::from_path("/net/switches/sw1/ports/3");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ref);
+  // Relative form also parses.
+  EXPECT_TRUE(PortRef::from_path("switches/sw2/ports/1").has_value());
+  // Non-port paths do not.
+  EXPECT_FALSE(PortRef::from_path("/net/switches/sw1/flows/f").has_value());
+  EXPECT_FALSE(PortRef::from_path("/net/switches/sw1/ports/x").has_value());
+  EXPECT_FALSE(PortRef::from_path("ports/1").has_value());
+}
+
+TEST(GraphTest, ShortestPathLinear) {
+  Graph g;
+  // sw1:2 -- 1:sw2:2 -- 1:sw3
+  g.add_link({"sw1", 2}, {"sw2", 1});
+  g.add_link({"sw2", 2}, {"sw3", 1});
+  auto path = g.shortest_path("sw1", "sw3");
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0], (PortRef{"sw1", 2}));
+  EXPECT_EQ((*path)[1], (PortRef{"sw2", 2}));
+  EXPECT_TRUE(g.shortest_path("sw1", "sw1")->empty());
+}
+
+TEST(GraphTest, ShortestPathPrefersFewerHops) {
+  Graph g;
+  // Triangle: sw1-sw2, sw2-sw3, sw1-sw3 (direct).
+  g.add_link({"sw1", 1}, {"sw2", 1});
+  g.add_link({"sw2", 2}, {"sw3", 1});
+  g.add_link({"sw1", 2}, {"sw3", 2});
+  auto path = g.shortest_path("sw1", "sw3");
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0], (PortRef{"sw1", 2}));
+}
+
+TEST(GraphTest, UnreachableIsNullopt) {
+  Graph g;
+  g.add_switch("island");
+  g.add_link({"sw1", 1}, {"sw2", 1});
+  EXPECT_FALSE(g.shortest_path("sw1", "island").has_value());
+  EXPECT_FALSE(g.shortest_path("sw1", "nowhere").has_value());
+}
+
+TEST(GraphTest, HostPathEndsAtHostPort) {
+  Graph g;
+  g.add_link({"sw1", 2}, {"sw2", 1});
+  HostAttachment h1{"h1", MacAddress::from_u64(1), Ipv4Address(1),
+                    {"sw1", 10}};
+  HostAttachment h2{"h2", MacAddress::from_u64(2), Ipv4Address(2),
+                    {"sw2", 10}};
+  g.add_host(h1);
+  g.add_host(h2);
+  auto path = g.host_path(h1, h2);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0], (PortRef{"sw1", 2}));
+  EXPECT_EQ((*path)[1], (PortRef{"sw2", 10}));
+  EXPECT_EQ(g.find_host(h1.mac)->host_name, "h1");
+  EXPECT_EQ(g.find_host(h2.ip)->host_name, "h2");
+  EXPECT_EQ(g.find_host(Ipv4Address(99)), nullptr);
+}
+
+TEST(ReadTopologyTest, ParsesPeerSymlinksAndHosts) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+  for (const char* sw : {"sw1", "sw2"})
+    ASSERT_FALSE(vfs->mkdir(std::string("/net/switches/") + sw));
+  ASSERT_FALSE(vfs->mkdir("/net/switches/sw1/ports/2"));
+  ASSERT_FALSE(vfs->mkdir("/net/switches/sw2/ports/1"));
+  ASSERT_FALSE(vfs->mkdir("/net/switches/sw1/ports/10"));
+  ASSERT_FALSE(vfs->symlink("/net/switches/sw2/ports/1",
+                            "/net/switches/sw1/ports/2/peer"));
+  ASSERT_FALSE(vfs->symlink("/net/switches/sw1/ports/2",
+                            "/net/switches/sw2/ports/1/peer"));
+  ASSERT_FALSE(vfs->mkdir("/net/hosts/h1"));
+  ASSERT_FALSE(vfs->write_file("/net/hosts/h1/mac", "0a:00:00:00:00:01"));
+  ASSERT_FALSE(vfs->write_file("/net/hosts/h1/ip", "10.0.0.1"));
+  ASSERT_FALSE(vfs->symlink("/net/switches/sw1/ports/10",
+                            "/net/hosts/h1/location"));
+
+  auto graph = read_topology(*vfs);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->links().size(), 1u);  // bidirectional pair = one link
+  EXPECT_EQ(graph->hosts().size(), 1u);
+  EXPECT_EQ(graph->hosts()[0].location, (PortRef{"sw1", 10}));
+  auto path = graph->shortest_path("sw1", "sw2");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+// --- discovery end to end ------------------------------------------------------
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  DiscoveryTest() : network(scheduler) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+    driver = std::make_unique<driver::OfDriver>(vfs);
+    // Two switches, linked sw1:2 <-> sw2:1, each with an edge port.
+    s1 = make_switch(1);
+    s2 = make_switch(2);
+    ASSERT_TRUE(network.add_link(*s1, 2, *s2, 1).ok());
+    settle();
+  }
+
+  std::unique_ptr<sw::Switch> make_switch(std::uint64_t dpid) {
+    sw::SwitchOptions opts;
+    opts.datapath_id = dpid;
+    auto s = std::make_unique<sw::Switch>("dp" + std::to_string(dpid), opts,
+                                          network);
+    for (int p = 1; p <= 3; ++p)
+      s->add_port(static_cast<std::uint16_t>(p), MacAddress::from_u64(p),
+                  "eth");
+    s->connect(driver->listener().connect());
+    return s;
+  }
+
+  void settle() {
+    for (int i = 0; i < 30; ++i) {
+      std::size_t w = driver->poll() + s1->pump() + s2->pump() +
+                      scheduler.run_until_idle();
+      if (!w) break;
+    }
+  }
+
+  std::shared_ptr<vfs::Vfs> vfs = std::make_shared<vfs::Vfs>();
+  net::Scheduler scheduler;
+  net::Network network;
+  std::unique_ptr<driver::OfDriver> driver;
+  std::unique_ptr<sw::Switch> s1, s2;
+};
+
+TEST_F(DiscoveryTest, LldpProbesCreatePeerSymlinks) {
+  DiscoveryDaemon daemon(vfs);
+  ASSERT_TRUE(daemon.step(0).ok());  // send probes
+  settle();                          // probes traverse, packet-ins deliver
+  auto links = daemon.consume(0);
+  ASSERT_TRUE(links.ok());
+  EXPECT_EQ(*links, 2u);  // both directions confirmed
+
+  EXPECT_EQ(*vfs->readlink("/net/switches/sw1/ports/2/peer"),
+            "/net/switches/sw2/ports/1");
+  EXPECT_EQ(*vfs->readlink("/net/switches/sw2/ports/1/peer"),
+            "/net/switches/sw1/ports/2");
+  // Edge ports got no links.
+  EXPECT_FALSE(vfs->readlink("/net/switches/sw1/ports/1/peer").ok());
+
+  auto graph = read_topology(*vfs);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->links().size(), 1u);
+}
+
+TEST_F(DiscoveryTest, StaleLinksExpire) {
+  DiscoveryDaemon daemon(vfs);
+  ASSERT_TRUE(daemon.step(0).ok());
+  settle();
+  ASSERT_TRUE(daemon.consume(0).ok());
+  ASSERT_EQ(daemon.known_links(), 2u);
+
+  // The physical link goes away; probes stop confirming it.
+  // (Remove by tearing the simulated link down.)
+  // Advance virtual time past the TTL without reconfirmation.
+  auto links = daemon.consume(20'000'000'000ull);  // 20s later
+  ASSERT_TRUE(links.ok());
+  EXPECT_EQ(*links, 0u);
+  EXPECT_FALSE(vfs->readlink("/net/switches/sw1/ports/2/peer").ok());
+}
+
+}  // namespace
+}  // namespace yanc::topo

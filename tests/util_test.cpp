@@ -1,0 +1,219 @@
+// Unit tests for yanc::util — parsing, globbing, byte codecs, errors.
+#include <gtest/gtest.h>
+
+#include "yanc/util/bytes.hpp"
+#include "yanc/util/clock.hpp"
+#include "yanc/util/error.hpp"
+#include "yanc/util/net_types.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc {
+namespace {
+
+TEST(Error, CategoryRoundTrip) {
+  std::error_code ec = make_error_code(Errc::not_found);
+  EXPECT_TRUE(ec);
+  EXPECT_EQ(ec.category().name(), std::string("yanc"));
+  EXPECT_EQ(ec.message(), "no such file or directory");
+  EXPECT_EQ(errc_name(Errc::not_found), "ENOENT");
+  EXPECT_EQ(errc_name(Errc::symlink_loop), "ELOOP");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_FALSE(good.error());
+
+  Result<int> bad(Errc::exists);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), make_error_code(Errc::exists));
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_nonempty("/a//b/", '/'),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_nonempty("", '/'), std::vector<std::string>{});
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, '/'), "a/b");
+  EXPECT_EQ(join({}, '/'), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("noop"), "noop");
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(*parse_u64("0"), 0u);
+  EXPECT_EQ(*parse_u64(" 123 \n"), 123u);
+  EXPECT_EQ(*parse_u64("18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_FALSE(parse_u64("18446744073709551616").ok());  // overflow
+  EXPECT_FALSE(parse_u64("-1").ok());
+  EXPECT_FALSE(parse_u64("12x").ok());
+  EXPECT_FALSE(parse_u64("").ok());
+}
+
+TEST(Strings, ParseHex) {
+  EXPECT_EQ(*parse_hex_u64("0xff"), 0xffu);
+  EXPECT_EQ(*parse_hex_u64("DEADbeef"), 0xdeadbeefu);
+  EXPECT_FALSE(parse_hex_u64("0x").ok());
+  EXPECT_FALSE(parse_hex_u64("12345678901234567").ok());  // >16 digits
+  EXPECT_FALSE(parse_hex_u64("zz").ok());
+}
+
+TEST(Strings, ToHex) {
+  EXPECT_EQ(to_hex(0xabc, 2), "0abc");
+  EXPECT_EQ(to_hex(0, 8), "0000000000000000");
+  EXPECT_EQ(to_hex(0x0000000000000001ull, 8), "0000000000000001");
+}
+
+TEST(Strings, GlobBasics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("match.*", "match.nw_src"));
+  EXPECT_FALSE(glob_match("match.*", "action.out"));
+  EXPECT_TRUE(glob_match("sw?", "sw1"));
+  EXPECT_FALSE(glob_match("sw?", "sw12"));
+  EXPECT_TRUE(glob_match("*.dst", "tp.dst"));
+  EXPECT_TRUE(glob_match("a*b*c", "axxbyyc"));
+  EXPECT_FALSE(glob_match("a*b*c", "axxbyy"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Strings, GlobSets) {
+  EXPECT_TRUE(glob_match("sw[0-9]", "sw5"));
+  EXPECT_FALSE(glob_match("sw[0-9]", "swx"));
+  EXPECT_TRUE(glob_match("[!a]x", "bx"));
+  EXPECT_FALSE(glob_match("[!a]x", "ax"));
+  EXPECT_TRUE(glob_match("f[kl]ow*", "flow_7"));
+  EXPECT_FALSE(glob_match("f[abc]ow*", "flow_7"));
+}
+
+TEST(Mac, ParseFormat) {
+  auto mac = MacAddress::parse("aa:BB:0c:00:01:ff");
+  ASSERT_TRUE(mac.ok());
+  EXPECT_EQ(mac->to_string(), "aa:bb:0c:00:01:ff");
+  EXPECT_EQ(mac->to_u64(), 0xaabb0c0001ffull);
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee").ok());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee:gg").ok());
+  EXPECT_FALSE(MacAddress::parse("aabbccddeeff").ok());
+}
+
+TEST(Mac, Properties) {
+  EXPECT_TRUE(MacAddress::parse("ff:ff:ff:ff:ff:ff")->is_broadcast());
+  EXPECT_TRUE(MacAddress::parse("01:00:5e:00:00:01")->is_multicast());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44:55")->is_multicast());
+  EXPECT_EQ(MacAddress::from_u64(0x0000010203040506ull & 0xffffffffffffull)
+                .to_string(),
+            "01:02:03:04:05:06");
+}
+
+TEST(Ipv4, ParseFormat) {
+  auto ip = Ipv4Address::parse("10.0.0.1");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->value(), 0x0a000001u);
+  EXPECT_EQ(ip->to_string(), "10.0.0.1");
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0").ok());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.256").ok());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.1.2").ok());
+}
+
+TEST(Cidr, ParseContains) {
+  auto net = Cidr::parse("10.1.0.0/16");
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->to_string(), "10.1.0.0/16");
+  EXPECT_TRUE(net->contains(*Ipv4Address::parse("10.1.2.3")));
+  EXPECT_FALSE(net->contains(*Ipv4Address::parse("10.2.0.0")));
+  // Bare address means /32.
+  auto host = Cidr::parse("192.168.1.1");
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host->prefix_len(), 32);
+  // Non-canonical base address is masked down.
+  EXPECT_EQ(Cidr::parse("10.1.2.3/16")->to_string(), "10.1.0.0/16");
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33").ok());
+}
+
+TEST(Cidr, NestedContainment) {
+  auto wide = *Cidr::parse("10.0.0.0/8");
+  auto narrow = *Cidr::parse("10.5.0.0/16");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  auto zero = *Cidr::parse("0.0.0.0/0");
+  EXPECT_TRUE(zero.contains(wide));
+}
+
+TEST(Clock, AdvanceMonotonic) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.advance(std::chrono::microseconds(5));
+  EXPECT_EQ(clock.now_ns(), 5000u);
+  clock.advance(std::chrono::nanoseconds(-10));  // ignored
+  EXPECT_EQ(clock.now_ns(), 5000u);
+  clock.advance_to(std::chrono::nanoseconds(4000));  // in the past: no-op
+  EXPECT_EQ(clock.now_ns(), 5000u);
+  clock.advance_to(std::chrono::nanoseconds(9000));
+  EXPECT_EQ(clock.now_ns(), 9000u);
+}
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  BufWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x1122334455667788ull);
+  w.padded_string("eth0", 8);
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  w.bytes(payload);
+  ASSERT_EQ(w.size(), 1u + 2 + 4 + 8 + 8 + 3);
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.padded_string(8), "eth0");
+  EXPECT_EQ(r.bytes(3), payload);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderPoisonsOnUnderflow) {
+  std::vector<std::uint8_t> two{0xab, 0xcd};
+  BufReader r(two);
+  EXPECT_EQ(r.u32(), 0u);  // underflow -> zero
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // stays poisoned
+}
+
+TEST(Bytes, PatchU16) {
+  BufWriter w;
+  w.u16(0);  // placeholder length
+  w.u32(0xdeadbeef);
+  w.patch_u16(0, static_cast<std::uint16_t>(w.size()));
+  BufReader r(w.data());
+  EXPECT_EQ(r.u16(), 6u);
+}
+
+TEST(Bytes, SubReader) {
+  BufWriter w;
+  w.u16(0x0102);
+  w.u16(0x0304);
+  BufReader r(w.data());
+  BufReader inner = r.sub(2);
+  EXPECT_EQ(inner.u16(), 0x0102u);
+  EXPECT_EQ(r.u16(), 0x0304u);
+  BufReader bad = r.sub(10);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(bad.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace yanc

@@ -1,0 +1,891 @@
+// Tests for the VFS substrate: MemFs POSIX semantics, ACLs, watches, the
+// mount/resolution layer, namespaces, and file handles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "yanc/vfs/memfs.hpp"
+#include "yanc/vfs/vfs.hpp"
+
+namespace yanc::vfs {
+namespace {
+
+Credentials alice() { return Credentials::user(1000, 100); }
+Credentials bob() { return Credentials::user(1001, 100); }
+Credentials carol() {
+  Credentials c = Credentials::user(1002, 200);
+  c.groups = {300};
+  return c;
+}
+
+std::error_code err(Errc e) { return make_error_code(e); }
+
+// --- MemFs basics ----------------------------------------------------------
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  // Tests exercise non-root identities directly in "/", so make it
+  // world-writable (like /tmp without the sticky bit).
+  void SetUp() override { ASSERT_FALSE(fs.chmod(fs.root(), 0777, root)); }
+  MemFs fs;
+  Credentials root = Credentials::root();
+};
+
+TEST_F(MemFsTest, RootExists) {
+  auto st = fs.getattr(fs.root());
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir());
+  EXPECT_EQ(st->nlink, 2u);
+}
+
+TEST_F(MemFsTest, CreateLookupReadWrite) {
+  auto file = fs.create(fs.root(), "hello", 0644, root);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(*fs.lookup(fs.root(), "hello"), *file);
+
+  auto n = fs.write(*file, 0, "world", root);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_EQ(*fs.read(*file, 0, 100, root), "world");
+  EXPECT_EQ(*fs.read(*file, 2, 2, root), "rl");
+  EXPECT_EQ(*fs.read(*file, 10, 5, root), "");  // past EOF
+}
+
+TEST_F(MemFsTest, SparseWriteZeroFills) {
+  auto file = fs.create(fs.root(), "sparse", 0644, root);
+  ASSERT_TRUE(fs.write(*file, 4, "x", root).ok());
+  auto data = fs.read(*file, 0, 100, root);
+  EXPECT_EQ(*data, std::string("\0\0\0\0x", 5));
+}
+
+TEST_F(MemFsTest, DuplicateCreateFails) {
+  ASSERT_TRUE(fs.create(fs.root(), "a", 0644, root).ok());
+  EXPECT_EQ(fs.create(fs.root(), "a", 0644, root).error(), err(Errc::exists));
+  EXPECT_EQ(fs.mkdir(fs.root(), "a", 0755, root).error(), err(Errc::exists));
+}
+
+TEST_F(MemFsTest, InvalidNamesRejected) {
+  EXPECT_EQ(fs.create(fs.root(), "", 0644, root).error(),
+            err(Errc::invalid_argument));
+  EXPECT_EQ(fs.create(fs.root(), ".", 0644, root).error(),
+            err(Errc::invalid_argument));
+  EXPECT_EQ(fs.create(fs.root(), "..", 0644, root).error(),
+            err(Errc::invalid_argument));
+  EXPECT_EQ(fs.create(fs.root(), "a/b", 0644, root).error(),
+            err(Errc::invalid_argument));
+  EXPECT_EQ(fs.create(fs.root(), std::string(300, 'x'), 0644, root).error(),
+            err(Errc::name_too_long));
+}
+
+TEST_F(MemFsTest, MkdirNlinkAccounting) {
+  auto dir = fs.mkdir(fs.root(), "d", 0755, root);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(fs.getattr(fs.root())->nlink, 3u);  // root, root/., d/..
+  auto sub = fs.mkdir(*dir, "sub", 0755, root);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(fs.getattr(*dir)->nlink, 3u);
+  ASSERT_FALSE(fs.rmdir(*dir, "sub", root));
+  EXPECT_EQ(fs.getattr(*dir)->nlink, 2u);
+}
+
+TEST_F(MemFsTest, ReaddirSorted) {
+  ASSERT_TRUE(fs.create(fs.root(), "b", 0644, root).ok());
+  ASSERT_TRUE(fs.create(fs.root(), "a", 0644, root).ok());
+  ASSERT_TRUE(fs.mkdir(fs.root(), "c", 0755, root).ok());
+  auto entries = fs.readdir(fs.root());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[1].name, "b");
+  EXPECT_EQ((*entries)[2].name, "c");
+  EXPECT_EQ((*entries)[2].type, FileType::directory);
+}
+
+TEST_F(MemFsTest, ReaddirOnFileFails) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  EXPECT_EQ(fs.readdir(*f).error(), err(Errc::not_dir));
+  EXPECT_EQ(fs.lookup(*f, "x").error(), err(Errc::not_dir));
+}
+
+TEST_F(MemFsTest, UnlinkFrees) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  ASSERT_TRUE(fs.write(*f, 0, "data", root).ok());
+  EXPECT_EQ(fs.bytes_used(), 4u);
+  ASSERT_FALSE(fs.unlink(fs.root(), "f", root));
+  EXPECT_EQ(fs.bytes_used(), 0u);
+  EXPECT_EQ(fs.getattr(*f).error(), err(Errc::not_found));
+  EXPECT_EQ(fs.unlink(fs.root(), "f", root), err(Errc::not_found));
+}
+
+TEST_F(MemFsTest, UnlinkDirectoryFails) {
+  ASSERT_TRUE(fs.mkdir(fs.root(), "d", 0755, root).ok());
+  EXPECT_EQ(fs.unlink(fs.root(), "d", root), err(Errc::is_dir));
+}
+
+TEST_F(MemFsTest, RmdirNonEmptyFails) {
+  auto d = fs.mkdir(fs.root(), "d", 0755, root);
+  ASSERT_TRUE(fs.create(*d, "f", 0644, root).ok());
+  EXPECT_EQ(fs.rmdir(fs.root(), "d", root), err(Errc::not_empty));
+  ASSERT_FALSE(fs.unlink(*d, "f", root));
+  EXPECT_FALSE(fs.rmdir(fs.root(), "d", root));
+}
+
+TEST_F(MemFsTest, HardLinks) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  auto d = fs.mkdir(fs.root(), "d", 0755, root);
+  ASSERT_FALSE(fs.link(*f, *d, "f2", root));
+  EXPECT_EQ(fs.getattr(*f)->nlink, 2u);
+  ASSERT_TRUE(fs.write(*f, 0, "shared", root).ok());
+  EXPECT_EQ(*fs.read(*fs.lookup(*d, "f2"), 0, 100, root), "shared");
+  // Unlinking one name keeps the inode alive.
+  ASSERT_FALSE(fs.unlink(fs.root(), "f", root));
+  EXPECT_EQ(fs.getattr(*f)->nlink, 1u);
+  EXPECT_EQ(*fs.read(*f, 0, 100, root), "shared");
+  // Hard links to directories are forbidden.
+  EXPECT_EQ(fs.link(*d, fs.root(), "d2", root), err(Errc::not_permitted));
+}
+
+TEST_F(MemFsTest, SymlinkReadlink) {
+  auto link = fs.symlink(fs.root(), "l", "/target/path", root);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(*fs.readlink(*link), "/target/path");
+  EXPECT_TRUE(fs.getattr(*link)->is_symlink());
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  EXPECT_EQ(fs.readlink(*f).error(), err(Errc::invalid_argument));
+}
+
+TEST_F(MemFsTest, RenameBasic) {
+  auto f = fs.create(fs.root(), "a", 0644, root);
+  ASSERT_TRUE(fs.write(*f, 0, "x", root).ok());
+  ASSERT_FALSE(fs.rename(fs.root(), "a", fs.root(), "b", root));
+  EXPECT_EQ(fs.lookup(fs.root(), "a").error(), err(Errc::not_found));
+  EXPECT_EQ(*fs.lookup(fs.root(), "b"), *f);
+}
+
+TEST_F(MemFsTest, RenameReplacesFile) {
+  auto a = fs.create(fs.root(), "a", 0644, root);
+  auto b = fs.create(fs.root(), "b", 0644, root);
+  ASSERT_TRUE(fs.write(*b, 0, "old", root).ok());
+  ASSERT_FALSE(fs.rename(fs.root(), "a", fs.root(), "b", root));
+  EXPECT_EQ(*fs.lookup(fs.root(), "b"), *a);
+  EXPECT_EQ(fs.getattr(*b).error(), err(Errc::not_found));
+}
+
+TEST_F(MemFsTest, RenameDirOverNonEmptyDirFails) {
+  auto a = fs.mkdir(fs.root(), "a", 0755, root);
+  auto b = fs.mkdir(fs.root(), "b", 0755, root);
+  ASSERT_TRUE(fs.create(*b, "f", 0644, root).ok());
+  EXPECT_EQ(fs.rename(fs.root(), "a", fs.root(), "b", root),
+            err(Errc::not_empty));
+  ASSERT_FALSE(fs.unlink(*b, "f", root));
+  EXPECT_FALSE(fs.rename(fs.root(), "a", fs.root(), "b", root));
+  EXPECT_EQ(*fs.lookup(fs.root(), "b"), *a);
+}
+
+TEST_F(MemFsTest, RenameTypeMismatch) {
+  ASSERT_TRUE(fs.mkdir(fs.root(), "d", 0755, root).ok());
+  ASSERT_TRUE(fs.create(fs.root(), "f", 0644, root).ok());
+  EXPECT_EQ(fs.rename(fs.root(), "d", fs.root(), "f", root),
+            err(Errc::not_dir));
+  EXPECT_EQ(fs.rename(fs.root(), "f", fs.root(), "d", root),
+            err(Errc::is_dir));
+}
+
+TEST_F(MemFsTest, RenameIntoOwnSubtreeFails) {
+  auto a = fs.mkdir(fs.root(), "a", 0755, root);
+  auto b = fs.mkdir(*a, "b", 0755, root);
+  EXPECT_EQ(fs.rename(fs.root(), "a", *b, "a2", root),
+            err(Errc::invalid_argument));
+}
+
+TEST_F(MemFsTest, RenameNoopSamePath) {
+  ASSERT_TRUE(fs.create(fs.root(), "a", 0644, root).ok());
+  EXPECT_FALSE(fs.rename(fs.root(), "a", fs.root(), "a", root));
+}
+
+TEST_F(MemFsTest, TruncateGrowsAndShrinks) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  ASSERT_TRUE(fs.write(*f, 0, "abcdef", root).ok());
+  ASSERT_FALSE(fs.truncate(*f, 3, root));
+  EXPECT_EQ(*fs.read(*f, 0, 100, root), "abc");
+  ASSERT_FALSE(fs.truncate(*f, 5, root));
+  EXPECT_EQ(*fs.read(*f, 0, 100, root), std::string("abc\0\0", 5));
+  EXPECT_EQ(fs.bytes_used(), 5u);
+}
+
+TEST_F(MemFsTest, VersionBumpsOnChange) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  auto v0 = fs.getattr(*f)->version;
+  ASSERT_TRUE(fs.write(*f, 0, "x", root).ok());
+  auto v1 = fs.getattr(*f)->version;
+  EXPECT_GT(v1, v0);
+  ASSERT_FALSE(fs.chmod(*f, 0600, root));
+  EXPECT_GT(fs.getattr(*f)->version, v1);
+}
+
+// --- permissions -------------------------------------------------------------
+
+TEST_F(MemFsTest, OwnerGroupOtherBits) {
+  auto f = fs.create(fs.root(), "f", 0640, alice());
+  ASSERT_TRUE(f.ok());
+  // Owner: read+write.
+  EXPECT_FALSE(fs.access(*f, 6, alice()));
+  // Same group (bob gid=100): read only.
+  EXPECT_FALSE(fs.access(*f, 4, bob()));
+  EXPECT_EQ(fs.access(*f, 2, bob()), err(Errc::access_denied));
+  // Other (carol): nothing.
+  EXPECT_EQ(fs.access(*f, 4, carol()), err(Errc::access_denied));
+  // Root bypasses.
+  EXPECT_FALSE(fs.access(*f, 7, root));
+}
+
+TEST_F(MemFsTest, SupplementaryGroups) {
+  auto f = fs.create(fs.root(), "f", 0040, Credentials{1000, 300, {}});
+  // carol has supplementary group 300.
+  EXPECT_FALSE(fs.access(*f, 4, carol()));
+  EXPECT_EQ(fs.access(*f, 4, bob()), err(Errc::access_denied));
+}
+
+TEST_F(MemFsTest, WriteDeniedWithoutPermission) {
+  auto f = fs.create(fs.root(), "f", 0444, alice());
+  EXPECT_EQ(fs.write(*f, 0, "x", bob()).error(), err(Errc::access_denied));
+  EXPECT_EQ(fs.truncate(*f, 0, bob()), err(Errc::access_denied));
+  // Even the owner respects mode bits (no write bit set).
+  EXPECT_EQ(fs.write(*f, 0, "x", alice()).error(), err(Errc::access_denied));
+}
+
+TEST_F(MemFsTest, CreateRequiresParentWrite) {
+  auto dir = fs.mkdir(fs.root(), "d", 0555, alice());
+  EXPECT_EQ(fs.create(*dir, "f", 0644, alice()).error(),
+            err(Errc::access_denied));
+  EXPECT_EQ(fs.mkdir(*dir, "sub", 0755, bob()).error(),
+            err(Errc::access_denied));
+}
+
+TEST_F(MemFsTest, ChmodOnlyOwnerOrRoot) {
+  auto f = fs.create(fs.root(), "f", 0644, alice());
+  EXPECT_EQ(fs.chmod(*f, 0600, bob()), err(Errc::not_permitted));
+  EXPECT_FALSE(fs.chmod(*f, 0600, alice()));
+  EXPECT_EQ(fs.getattr(*f)->mode, 0600u);
+  EXPECT_FALSE(fs.chmod(*f, 0644, root));
+}
+
+TEST_F(MemFsTest, ChownRules) {
+  auto f = fs.create(fs.root(), "f", 0644, alice());
+  // Non-root cannot give the file away.
+  EXPECT_EQ(fs.chown(*f, 1001, 100, alice()), err(Errc::not_permitted));
+  // Owner may change group to one of their groups.
+  Credentials alice_with_group = alice();
+  alice_with_group.groups = {250};
+  EXPECT_FALSE(fs.chown(*f, 1000, 250, alice_with_group));
+  EXPECT_EQ(fs.getattr(*f)->gid, 250u);
+  // Root can do anything.
+  EXPECT_FALSE(fs.chown(*f, 1, 2, root));
+}
+
+TEST_F(MemFsTest, StickyDirectoryDeletion) {
+  auto shared = fs.mkdir(fs.root(), "tmp", 01777, root);
+  auto f = fs.create(*shared, "af", 0644, alice());
+  ASSERT_TRUE(f.ok());
+  // bob cannot delete alice's file from a sticky dir.
+  EXPECT_EQ(fs.unlink(*shared, "af", bob()), err(Errc::not_permitted));
+  // alice (file owner) can.
+  EXPECT_FALSE(fs.unlink(*shared, "af", alice()));
+}
+
+// --- ACLs -----------------------------------------------------------------
+
+TEST(AclTest, FromModeMatchesModeBits) {
+  Acl acl = Acl::from_mode(0640);
+  EXPECT_FALSE(acl.validate());
+  EXPECT_TRUE(acl.permits(Credentials::user(10, 20), 10, 20, 6));
+  EXPECT_TRUE(acl.permits(Credentials::user(11, 20), 10, 20, 4));
+  EXPECT_FALSE(acl.permits(Credentials::user(11, 20), 10, 20, 2));
+  EXPECT_FALSE(acl.permits(Credentials::user(11, 21), 10, 20, 4));
+}
+
+TEST(AclTest, NamedUserEntryWithMask) {
+  auto acl = Acl::parse_text("user::rw-,group::r--,other::---,"
+                             "user:1000:rw-,mask::r--");
+  ASSERT_TRUE(acl.ok());
+  // Named user is capped by the mask: rw- & r-- = r--.
+  EXPECT_TRUE(acl->permits(Credentials::user(1000, 5), 1, 2, 4));
+  EXPECT_FALSE(acl->permits(Credentials::user(1000, 5), 1, 2, 2));
+}
+
+TEST(AclTest, GroupEntriesAnyMatchGrants) {
+  auto acl = Acl::parse_text("user::rwx,group::---,other::---,"
+                             "group:300:rw-,mask::rwx");
+  ASSERT_TRUE(acl.ok());
+  Credentials c = Credentials::user(50, 200);
+  c.groups = {300};
+  EXPECT_TRUE(acl->permits(c, 1, 200, 6));
+  // Group matched (group_obj with ---), so "other" is NOT consulted.
+  auto acl2 = Acl::parse_text("user::rwx,group::---,other::rwx");
+  ASSERT_TRUE(acl2.ok());
+  EXPECT_FALSE(acl2->permits(Credentials::user(50, 7), 1, 7, 4));
+}
+
+TEST(AclTest, ValidationRules) {
+  EXPECT_TRUE(Acl::parse_text("user::rw-").error());  // missing entries
+  EXPECT_TRUE(
+      Acl::parse_text("user::rw-,group::r--,other::r--,user:5:rw-").error());
+  EXPECT_FALSE(Acl::parse_text(
+      "user::rw-,group::r--,other::r--,user:5:rw-,mask::rw-").error());
+  EXPECT_TRUE(Acl::parse_text("bogus::rw-").error());
+  EXPECT_TRUE(Acl::parse_text("user::rwz").error());
+}
+
+TEST(AclTest, EncodeDecodeRoundTrip) {
+  auto acl = *Acl::parse_text("user::rwx,group::r-x,other::--x,"
+                              "user:42:rw-,mask::rwx");
+  auto decoded = Acl::decode(acl.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, acl);
+  EXPECT_EQ(decoded->to_text(), acl.to_text());
+  EXPECT_TRUE(Acl::decode({9, 9, 9}).error());
+}
+
+TEST_F(MemFsTest, AclOverridesModeBits) {
+  auto f = fs.create(fs.root(), "f", 0600, alice());
+  Acl acl = Acl::from_mode(0600);
+  acl.add({AclTag::user, 1001, 6});  // grant bob rw
+  acl.add({AclTag::mask, 0, 7});
+  ASSERT_FALSE(fs.setxattr(*f, kAclXattr, acl.encode(), alice()));
+  EXPECT_FALSE(fs.access(*f, 6, bob()));
+  EXPECT_EQ(fs.access(*f, 4, carol()), err(Errc::access_denied));
+  // Removing the ACL restores plain mode checks.
+  ASSERT_FALSE(fs.removexattr(*f, kAclXattr, alice()));
+  EXPECT_EQ(fs.access(*f, 4, bob()), err(Errc::access_denied));
+}
+
+TEST_F(MemFsTest, InvalidAclRejected) {
+  auto f = fs.create(fs.root(), "f", 0600, alice());
+  EXPECT_EQ(fs.setxattr(*f, kAclXattr, {1, 2, 3}, alice()),
+            err(Errc::invalid_argument));
+}
+
+// --- xattrs ------------------------------------------------------------------
+
+TEST_F(MemFsTest, XattrCrud) {
+  auto f = fs.create(fs.root(), "f", 0644, alice());
+  ASSERT_FALSE(fs.setxattr(*f, "user.consistency", {'e', 'v'}, alice()));
+  ASSERT_FALSE(fs.setxattr(*f, "user.note", {'x'}, alice()));
+  auto v = fs.getxattr(*f, "user.consistency");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<std::uint8_t>{'e', 'v'}));
+  auto names = fs.listxattr(*f);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+  ASSERT_FALSE(fs.removexattr(*f, "user.note", alice()));
+  EXPECT_EQ(fs.getxattr(*f, "user.note").error(), err(Errc::not_found));
+}
+
+TEST_F(MemFsTest, SystemXattrNeedsOwnership) {
+  auto f = fs.create(fs.root(), "f", 0666, alice());
+  EXPECT_EQ(fs.setxattr(*f, "system.thing", {1}, bob()),
+            err(Errc::not_permitted));
+  EXPECT_FALSE(fs.setxattr(*f, "user.thing", {1}, bob()));  // has write perm
+}
+
+// --- quotas -------------------------------------------------------------------
+
+TEST(MemFsQuota, InodeLimit) {
+  MemFs fs(MemFsOptions{.max_inodes = 3});  // root + 2
+  Credentials root;
+  ASSERT_TRUE(fs.create(fs.root(), "a", 0644, root).ok());
+  ASSERT_TRUE(fs.create(fs.root(), "b", 0644, root).ok());
+  EXPECT_EQ(fs.create(fs.root(), "c", 0644, root).error(),
+            err(Errc::no_space));
+  // Deleting frees quota.
+  ASSERT_FALSE(fs.unlink(fs.root(), "a", root));
+  EXPECT_TRUE(fs.create(fs.root(), "c", 0644, root).ok());
+}
+
+TEST(MemFsQuota, ByteLimit) {
+  MemFs fs(MemFsOptions{.max_bytes = 10});
+  Credentials root;
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  ASSERT_TRUE(fs.write(*f, 0, "0123456789", root).ok());
+  EXPECT_EQ(fs.write(*f, 10, "x", root).error(), err(Errc::no_space));
+  // Overwrite in place is fine.
+  EXPECT_TRUE(fs.write(*f, 0, "abc", root).ok());
+}
+
+// --- watches ------------------------------------------------------------------
+
+TEST_F(MemFsTest, WatchCreateDelete) {
+  auto q = std::make_shared<WatchQueue>();
+  ASSERT_TRUE(fs.watch(fs.root(), event::created | event::deleted, q).ok());
+  ASSERT_TRUE(fs.create(fs.root(), "f", 0644, root).ok());
+  ASSERT_FALSE(fs.unlink(fs.root(), "f", root));
+  auto e1 = q->try_pop();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_TRUE(e1->is(event::created));
+  EXPECT_EQ(e1->name, "f");
+  auto e2 = q->try_pop();
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_TRUE(e2->is(event::deleted));
+  EXPECT_FALSE(q->try_pop().has_value());
+}
+
+TEST_F(MemFsTest, WatchMaskFilters) {
+  auto q = std::make_shared<WatchQueue>();
+  ASSERT_TRUE(fs.watch(fs.root(), event::deleted, q).ok());
+  ASSERT_TRUE(fs.create(fs.root(), "f", 0644, root).ok());  // not delivered
+  EXPECT_FALSE(q->try_pop().has_value());
+}
+
+TEST_F(MemFsTest, WatchModifyOnFileAndParent) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  auto qf = std::make_shared<WatchQueue>();
+  auto qd = std::make_shared<WatchQueue>();
+  ASSERT_TRUE(fs.watch(*f, event::modified, qf).ok());
+  ASSERT_TRUE(fs.watch(fs.root(), event::modified, qd).ok());
+  ASSERT_TRUE(fs.write(*f, 0, "x", root).ok());
+  auto ef = qf->try_pop();
+  ASSERT_TRUE(ef.has_value());
+  EXPECT_TRUE(ef->name.empty());
+  auto ed = qd->try_pop();
+  ASSERT_TRUE(ed.has_value());
+  EXPECT_EQ(ed->name, "f");  // directory watch names the child
+}
+
+TEST_F(MemFsTest, RenameEmitsPairedCookies) {
+  auto d1 = fs.mkdir(fs.root(), "d1", 0755, root);
+  auto d2 = fs.mkdir(fs.root(), "d2", 0755, root);
+  ASSERT_TRUE(fs.create(*d1, "f", 0644, root).ok());
+  auto q1 = std::make_shared<WatchQueue>();
+  auto q2 = std::make_shared<WatchQueue>();
+  ASSERT_TRUE(fs.watch(*d1, event::all, q1).ok());
+  ASSERT_TRUE(fs.watch(*d2, event::all, q2).ok());
+  ASSERT_FALSE(fs.rename(*d1, "f", *d2, "g", root));
+  auto from = q1->try_pop();
+  auto to = q2->try_pop();
+  ASSERT_TRUE(from.has_value());
+  ASSERT_TRUE(to.has_value());
+  EXPECT_TRUE(from->is(event::moved_from));
+  EXPECT_TRUE(to->is(event::moved_to));
+  EXPECT_EQ(from->cookie, to->cookie);
+  EXPECT_NE(from->cookie, 0u);
+  EXPECT_EQ(from->name, "f");
+  EXPECT_EQ(to->name, "g");
+}
+
+TEST_F(MemFsTest, DeleteSelfOnWatchedNode) {
+  auto f = fs.create(fs.root(), "f", 0644, root);
+  auto q = std::make_shared<WatchQueue>();
+  ASSERT_TRUE(fs.watch(*f, event::delete_self, q).ok());
+  ASSERT_FALSE(fs.unlink(fs.root(), "f", root));
+  auto e = q->try_pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->is(event::delete_self));
+}
+
+TEST(WatchQueueTest, OverflowCollapsesTail) {
+  WatchQueue q(2);
+  q.push({event::created, 1, "a", 0});
+  q.push({event::created, 1, "b", 0});
+  q.push({event::created, 1, "c", 0});  // overflow marker
+  q.push({event::created, 1, "d", 0});  // dropped silently
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.overflowed());
+  q.drain();
+  EXPECT_FALSE(q.overflowed());
+  q.push({event::created, 1, "e", 0});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(WatchQueueTest, PopWaitTimesOut) {
+  WatchQueue q;
+  EXPECT_FALSE(q.pop_wait(std::chrono::milliseconds(5)).has_value());
+  q.push({event::created, 1, "a", 0});
+  EXPECT_TRUE(q.pop_wait(std::chrono::milliseconds(5)).has_value());
+}
+
+TEST_F(MemFsTest, UnwatchStopsDelivery) {
+  auto q = std::make_shared<WatchQueue>();
+  auto id = fs.watch(fs.root(), event::all, q);
+  ASSERT_TRUE(id.ok());
+  fs.unwatch(*id);
+  ASSERT_TRUE(fs.create(fs.root(), "f", 0644, root).ok());
+  EXPECT_FALSE(q->try_pop().has_value());
+}
+
+// --- Vfs: mounts and resolution -------------------------------------------
+
+class VfsTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Vfs> vfs = std::make_shared<Vfs>();
+  Credentials root = Credentials::root();
+};
+
+TEST_F(VfsTest, NormalizePath) {
+  EXPECT_EQ(normalize_path(""), "/");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path("a/b"), "/a/b");
+  EXPECT_EQ(normalize_path("//a///b/"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/./b/."), "/a/b");
+  EXPECT_EQ(normalize_path("/a/../b"), "/a/../b");  // ".." kept for resolver
+}
+
+TEST_F(VfsTest, WriteReadFile) {
+  ASSERT_FALSE(vfs->mkdir("/etc"));
+  ASSERT_FALSE(vfs->write_file("/etc/conf", "hello"));
+  EXPECT_EQ(*vfs->read_file("/etc/conf"), "hello");
+  ASSERT_FALSE(vfs->write_file("/etc/conf", "shorter"));
+  EXPECT_EQ(*vfs->read_file("/etc/conf"), "shorter");  // truncated
+  ASSERT_FALSE(vfs->append_file("/etc/conf", "+x"));
+  EXPECT_EQ(*vfs->read_file("/etc/conf"), "shorter+x");
+}
+
+TEST_F(VfsTest, MissingPathsReportEnoent) {
+  EXPECT_EQ(vfs->read_file("/nope").error(), err(Errc::not_found));
+  EXPECT_EQ(vfs->stat("/a/b/c").error(), err(Errc::not_found));
+  EXPECT_EQ(vfs->mkdir("/a/b"), err(Errc::not_found));  // no /a
+}
+
+TEST_F(VfsTest, FileAsDirectoryReportsEnotdir) {
+  ASSERT_FALSE(vfs->write_file("/f", "x"));
+  EXPECT_EQ(vfs->read_file("/f/sub").error(), err(Errc::not_dir));
+}
+
+TEST_F(VfsTest, MkdirP) {
+  ASSERT_FALSE(vfs->mkdir_p("/a/b/c/d"));
+  EXPECT_TRUE(vfs->stat("/a/b/c/d")->is_dir());
+  // Idempotent.
+  EXPECT_FALSE(vfs->mkdir_p("/a/b/c/d"));
+  // Fails through a file.
+  ASSERT_FALSE(vfs->write_file("/a/file", "x"));
+  EXPECT_EQ(vfs->mkdir_p("/a/file/sub"), err(Errc::not_dir));
+}
+
+TEST_F(VfsTest, RemoveAll) {
+  ASSERT_FALSE(vfs->mkdir_p("/t/x/y"));
+  ASSERT_FALSE(vfs->write_file("/t/f1", "1"));
+  ASSERT_FALSE(vfs->write_file("/t/x/f2", "2"));
+  ASSERT_FALSE(vfs->symlink("/t/f1", "/t/x/l"));
+  ASSERT_FALSE(vfs->remove_all("/t"));
+  EXPECT_EQ(vfs->stat("/t").error(), err(Errc::not_found));
+}
+
+TEST_F(VfsTest, SymlinkResolution) {
+  ASSERT_FALSE(vfs->mkdir_p("/data/real"));
+  ASSERT_FALSE(vfs->write_file("/data/real/file", "payload"));
+  ASSERT_FALSE(vfs->symlink("/data/real", "/link-abs"));
+  ASSERT_FALSE(vfs->symlink("real/file", "/data/link-rel"));
+  EXPECT_EQ(*vfs->read_file("/link-abs/file"), "payload");
+  EXPECT_EQ(*vfs->read_file("/data/link-rel"), "payload");
+  // lstat does not follow, stat does.
+  EXPECT_TRUE(vfs->lstat("/link-abs")->is_symlink());
+  EXPECT_TRUE(vfs->stat("/link-abs")->is_dir());
+  EXPECT_EQ(*vfs->readlink("/link-abs"), "/data/real");
+}
+
+TEST_F(VfsTest, SymlinkLoopDetected) {
+  ASSERT_FALSE(vfs->symlink("/b", "/a"));
+  ASSERT_FALSE(vfs->symlink("/a", "/b"));
+  EXPECT_EQ(vfs->read_file("/a").error(), err(Errc::symlink_loop));
+}
+
+TEST_F(VfsTest, DotDotResolution) {
+  ASSERT_FALSE(vfs->mkdir_p("/a/b"));
+  ASSERT_FALSE(vfs->write_file("/a/f", "top"));
+  EXPECT_EQ(*vfs->read_file("/a/b/../f"), "top");
+  EXPECT_EQ(*vfs->read_file("/a/b/../../a/f"), "top");
+  // ".." above root stays at root.
+  EXPECT_EQ(*vfs->read_file("/../../a/f"), "top");
+}
+
+TEST_F(VfsTest, DotDotThroughSymlink) {
+  ASSERT_FALSE(vfs->mkdir_p("/x/deep"));
+  ASSERT_FALSE(vfs->mkdir_p("/y"));
+  ASSERT_FALSE(vfs->write_file("/x/marker", "in-x"));
+  ASSERT_FALSE(vfs->symlink("/x/deep", "/y/link"));
+  // POSIX: ".." applies to the symlink target's directory, not /y.
+  EXPECT_EQ(*vfs->read_file("/y/link/../marker"), "in-x");
+}
+
+TEST_F(VfsTest, MountAndCross) {
+  auto extra = std::make_shared<MemFs>();
+  ASSERT_FALSE(vfs->mkdir("/net"));
+  ASSERT_FALSE(vfs->mount("/net", extra));
+  ASSERT_FALSE(vfs->write_file("/net/inside", "net-data"));
+  EXPECT_EQ(*vfs->read_file("/net/inside"), "net-data");
+  // Data landed in the mounted fs, not the root fs.
+  EXPECT_TRUE(extra->lookup(extra->root(), "inside").ok());
+  // ".." crosses back out of the mount.
+  ASSERT_FALSE(vfs->write_file("/outside", "root-data"));
+  EXPECT_EQ(*vfs->read_file("/net/../outside"), "root-data");
+}
+
+TEST_F(VfsTest, MountRequiresExistingDirectory) {
+  auto extra = std::make_shared<MemFs>();
+  EXPECT_EQ(vfs->mount("/missing", extra), err(Errc::not_found));
+  ASSERT_FALSE(vfs->write_file("/file", "x"));
+  EXPECT_EQ(vfs->mount("/file", extra), err(Errc::not_dir));
+}
+
+TEST_F(VfsTest, MountPointBusyRules) {
+  auto extra = std::make_shared<MemFs>();
+  ASSERT_FALSE(vfs->mkdir("/net"));
+  ASSERT_FALSE(vfs->mount("/net", extra));
+  EXPECT_EQ(vfs->mount("/net", std::make_shared<MemFs>()), err(Errc::busy));
+  EXPECT_EQ(vfs->rmdir("/net"), err(Errc::busy));
+  EXPECT_EQ(vfs->rename("/net", "/net2"), err(Errc::busy));
+  ASSERT_FALSE(vfs->umount("/net"));
+  EXPECT_EQ(vfs->umount("/net"), err(Errc::not_found));
+  EXPECT_FALSE(vfs->rmdir("/net"));
+}
+
+TEST_F(VfsTest, UmountRefusedWithSubmount) {
+  ASSERT_FALSE(vfs->mkdir("/a"));
+  ASSERT_FALSE(vfs->mount("/a", std::make_shared<MemFs>()));
+  ASSERT_FALSE(vfs->mkdir("/a/b"));
+  ASSERT_FALSE(vfs->mount("/a/b", std::make_shared<MemFs>()));
+  EXPECT_EQ(vfs->umount("/a"), err(Errc::busy));
+  ASSERT_FALSE(vfs->umount("/a/b"));
+  EXPECT_FALSE(vfs->umount("/a"));
+}
+
+TEST_F(VfsTest, ReadOnlyMount) {
+  auto extra = std::make_shared<MemFs>();
+  // Pre-populate, then mount read-only.
+  ASSERT_TRUE(extra->create(extra->root(), "f", 0644, root).ok());
+  ASSERT_FALSE(vfs->mkdir("/ro"));
+  ASSERT_FALSE(vfs->mount("/ro", extra, MountOptions{.read_only = true}));
+  EXPECT_EQ(vfs->write_file("/ro/f", "x"), err(Errc::read_only));
+  EXPECT_EQ(vfs->mkdir("/ro/d"), err(Errc::read_only));
+  EXPECT_EQ(vfs->unlink("/ro/f"), err(Errc::read_only));
+  EXPECT_EQ(vfs->chmod("/ro/f", 0600), err(Errc::read_only));
+  EXPECT_TRUE(vfs->read_file("/ro/f").ok());
+}
+
+TEST_F(VfsTest, RenameAcrossMountsIsExdev) {
+  ASSERT_FALSE(vfs->mkdir("/m"));
+  ASSERT_FALSE(vfs->mount("/m", std::make_shared<MemFs>()));
+  ASSERT_FALSE(vfs->write_file("/src", "x"));
+  EXPECT_EQ(vfs->rename("/src", "/m/dst"), err(Errc::cross_device));
+  EXPECT_EQ(vfs->link("/src", "/m/l"), err(Errc::cross_device));
+}
+
+TEST_F(VfsTest, ExecutePermissionGatesTraversal) {
+  ASSERT_FALSE(vfs->mkdir("/locked", 0700, root));
+  ASSERT_FALSE(vfs->write_file("/locked/f", "secret", root));
+  EXPECT_EQ(vfs->read_file("/locked/f", alice()).error(),
+            err(Errc::access_denied));
+}
+
+TEST_F(VfsTest, OpenFlagsSemantics) {
+  namespace of = open_flags;
+  // O_CREAT|O_EXCL on existing file.
+  ASSERT_FALSE(vfs->write_file("/f", "abc"));
+  EXPECT_EQ(vfs->open("/f", of::write_only | of::create | of::excl, 0644,
+                      root).error(),
+            err(Errc::exists));
+  // O_TRUNC clears.
+  auto h = vfs->open("/f", of::write_only | of::truncate, 0644, root);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(vfs->stat("/f")->size, 0u);
+  // Write-only handle cannot read; read-only cannot write.
+  EXPECT_EQ((*h)->read(10).error(), err(Errc::bad_handle));
+  auto r = vfs->open("/f", of::read_only, 0, root);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->write("x").error(), err(Errc::bad_handle));
+  // Directories cannot be opened.
+  ASSERT_FALSE(vfs->mkdir("/d"));
+  EXPECT_EQ(vfs->open("/d", of::read_only, 0, root).error(),
+            err(Errc::is_dir));
+}
+
+TEST_F(VfsTest, AppendHandleSeeksToEnd) {
+  namespace of = open_flags;
+  ASSERT_FALSE(vfs->write_file("/log", "start:"));
+  auto h = vfs->open("/log", of::write_only | of::append, 0644, root);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE((*h)->write("a").ok());
+  // Another writer extends the file; append must still go to the new end.
+  ASSERT_FALSE(vfs->append_file("/log", "b"));
+  ASSERT_TRUE((*h)->write("c").ok());
+  EXPECT_EQ(*vfs->read_file("/log"), "start:abc");
+}
+
+TEST_F(VfsTest, HandleSequentialReads) {
+  namespace of = open_flags;
+  ASSERT_FALSE(vfs->write_file("/f", "abcdef"));
+  auto h = vfs->open("/f", of::read_only, 0, root);
+  EXPECT_EQ(*(*h)->read(2), "ab");
+  EXPECT_EQ(*(*h)->read(2), "cd");
+  EXPECT_EQ(*(*h)->pread(0, 3), "abc");  // pread does not move offset
+  EXPECT_EQ(*(*h)->read(10), "ef");
+}
+
+TEST_F(VfsTest, WatchThroughVfsPath) {
+  ASSERT_FALSE(vfs->mkdir("/w"));
+  auto q = std::make_shared<WatchQueue>();
+  auto handle = vfs->watch("/w", event::created, q);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_FALSE(vfs->write_file("/w/new", "x"));
+  auto e = q->try_pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->name, "new");
+  handle->reset();  // RAII unregister
+  ASSERT_FALSE(vfs->write_file("/w/new2", "x"));
+  EXPECT_FALSE(q->try_pop().has_value());
+}
+
+TEST_F(VfsTest, CountersTrackOps) {
+  vfs->reset_counters();
+  ASSERT_FALSE(vfs->mkdir_p("/a/b"));
+  ASSERT_FALSE(vfs->write_file("/a/b/f", "x"));
+  (void)vfs->read_file("/a/b/f");
+  EXPECT_GT(vfs->counters().total.load(), 0u);
+  EXPECT_GT(vfs->counters().lookups.load(), 0u);
+  EXPECT_GE(vfs->counters().writes.load(), 1u);
+  EXPECT_GE(vfs->counters().reads.load(), 1u);
+}
+
+TEST_F(VfsTest, AclRoundTripThroughVfs) {
+  ASSERT_FALSE(vfs->write_file("/f", "x"));
+  Acl acl = Acl::from_mode(0640);
+  acl.add({AclTag::user, 1000, 4});
+  acl.add({AclTag::mask, 0, 7});
+  ASSERT_FALSE(vfs->set_acl("/f", acl));
+  auto got = vfs->get_acl("/f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, acl);
+  EXPECT_FALSE(vfs->access("/f", 4, alice()));
+  EXPECT_EQ(vfs->access("/f", 2, alice()), err(Errc::access_denied));
+}
+
+TEST_F(VfsTest, RenameOverwriteEmitsDeleteSelfOnVictim) {
+  ASSERT_FALSE(vfs->write_file("/a", "new"));
+  ASSERT_FALSE(vfs->write_file("/b", "old"));
+  auto victim = vfs->resolve("/b", Credentials::root());
+  ASSERT_TRUE(victim.ok());
+  auto q = std::make_shared<WatchQueue>();
+  ASSERT_TRUE(victim->fs->watch(victim->node, event::delete_self, q).ok());
+  ASSERT_FALSE(vfs->rename("/a", "/b"));
+  auto e = q->try_pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->is(event::delete_self));
+  EXPECT_EQ(*vfs->read_file("/b"), "new");
+}
+
+TEST_F(VfsTest, HardLinkSurvivesRenameOfOtherName) {
+  ASSERT_FALSE(vfs->write_file("/f", "shared"));
+  ASSERT_FALSE(vfs->link("/f", "/g"));
+  ASSERT_FALSE(vfs->rename("/f", "/f2"));
+  EXPECT_EQ(*vfs->read_file("/g"), "shared");
+  EXPECT_EQ(*vfs->read_file("/f2"), "shared");
+  // Writing through one name is visible through the other.
+  ASSERT_FALSE(vfs->write_file("/g", "updated"));
+  EXPECT_EQ(*vfs->read_file("/f2"), "updated");
+}
+
+TEST_F(VfsTest, MkdirPThroughSymlink) {
+  ASSERT_FALSE(vfs->mkdir_p("/real/base"));
+  ASSERT_FALSE(vfs->symlink("/real/base", "/alias"));
+  ASSERT_FALSE(vfs->mkdir_p("/alias/x/y"));
+  EXPECT_TRUE(vfs->stat("/real/base/x/y")->is_dir());
+}
+
+TEST_F(VfsTest, ListxattrAfterRemoveStaysConsistent) {
+  ASSERT_FALSE(vfs->write_file("/f", "x"));
+  ASSERT_FALSE(vfs->setxattr("/f", "user.a", {1}));
+  ASSERT_FALSE(vfs->setxattr("/f", "user.b", {2}));
+  ASSERT_FALSE(vfs->removexattr("/f", "user.a"));
+  auto names = vfs->listxattr("/f");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"user.b"});
+  EXPECT_EQ(vfs->removexattr("/f", "user.a"), err(Errc::not_found));
+}
+
+TEST_F(VfsTest, NamespaceOverReadOnlyMount) {
+  auto extra = std::make_shared<MemFs>();
+  ASSERT_TRUE(extra->mkdir(extra->root(), "sub", 0755, root).ok());
+  ASSERT_FALSE(vfs->mkdir("/ro"));
+  ASSERT_FALSE(vfs->mount("/ro", extra, MountOptions{.read_only = true}));
+  Namespace ns(vfs, "/ro", Credentials::root());
+  EXPECT_TRUE(ns.stat("/sub")->is_dir());
+  EXPECT_EQ(ns.write_file("/sub/f", "x"), err(Errc::read_only));
+}
+
+TEST_F(VfsTest, ConcurrentMutationSmoke) {
+  // Two writers and a reader hammer one MemFs; nothing crashes, counts
+  // add up.  (The per-fs mutex is the concurrency story; this is a smoke
+  // test, not a linearizability proof.)
+  ASSERT_FALSE(vfs->mkdir("/t"));
+  constexpr int kPerThread = 500;
+  auto writer = [&](int id) {
+    for (int i = 0; i < kPerThread; ++i) {
+      std::string path =
+          "/t/w" + std::to_string(id) + "_" + std::to_string(i);
+      (void)vfs->write_file(path, "data");
+    }
+  };
+  std::thread a(writer, 0), b(writer, 1);
+  std::size_t reads = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto entries = vfs->readdir("/t");
+    if (entries) reads += entries->size();
+  }
+  a.join();
+  b.join();
+  auto entries = vfs->readdir("/t");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u * kPerThread);
+  EXPECT_GE(reads, 0u);
+}
+
+// --- namespaces ---------------------------------------------------------------
+
+class NamespaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(vfs->mkdir_p("/net/views/v1/switches"));
+    ASSERT_FALSE(vfs->write_file("/net/views/v1/inside", "view-data"));
+    ASSERT_FALSE(vfs->write_file("/net/secret", "master-only"));
+  }
+  std::shared_ptr<Vfs> vfs = std::make_shared<Vfs>();
+};
+
+TEST_F(NamespaceTest, SeesOwnSubtreeAtRoot) {
+  Namespace ns(vfs, "/net/views/v1", Credentials::root());
+  EXPECT_EQ(*ns.read_file("/inside"), "view-data");
+  EXPECT_TRUE(ns.stat("/switches")->is_dir());
+  auto entries = ns.readdir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST_F(NamespaceTest, CannotEscapeWithDotDot) {
+  Namespace ns(vfs, "/net/views/v1", Credentials::root());
+  EXPECT_EQ(ns.read_file("/../secret").error(), err(Errc::not_found));
+  EXPECT_EQ(ns.read_file("/../../net/secret").error(), err(Errc::not_found));
+}
+
+TEST_F(NamespaceTest, AbsoluteSymlinkReanchorsAtNamespaceRoot) {
+  // A symlink pointing at "/inside" must resolve inside the namespace even
+  // though the underlying path is /net/views/v1/inside.
+  ASSERT_FALSE(vfs->symlink("/inside", "/net/views/v1/alias"));
+  Namespace ns(vfs, "/net/views/v1", Credentials::root());
+  EXPECT_EQ(*ns.read_file("/alias"), "view-data");
+}
+
+TEST_F(NamespaceTest, WritesLandInSubtree) {
+  Namespace ns(vfs, "/net/views/v1", Credentials::root());
+  ASSERT_FALSE(ns.write_file("/newfile", "hello"));
+  EXPECT_EQ(*vfs->read_file("/net/views/v1/newfile"), "hello");
+}
+
+TEST_F(NamespaceTest, CarriesCredentials) {
+  ASSERT_FALSE(vfs->chmod("/net/views/v1/inside", 0600));
+  ASSERT_FALSE(vfs->chown("/net/views/v1/inside", 0, 0));
+  Namespace ns(vfs, "/net/views/v1", alice());
+  EXPECT_EQ(ns.read_file("/inside").error(), err(Errc::access_denied));
+}
+
+}  // namespace
+}  // namespace yanc::vfs
