@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bulk_push.dir/bench_bulk_push.cpp.o"
+  "CMakeFiles/bench_bulk_push.dir/bench_bulk_push.cpp.o.d"
+  "bench_bulk_push"
+  "bench_bulk_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bulk_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

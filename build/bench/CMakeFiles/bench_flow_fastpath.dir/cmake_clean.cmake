@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_fastpath.dir/bench_flow_fastpath.cpp.o"
+  "CMakeFiles/bench_flow_fastpath.dir/bench_flow_fastpath.cpp.o.d"
+  "bench_flow_fastpath"
+  "bench_flow_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

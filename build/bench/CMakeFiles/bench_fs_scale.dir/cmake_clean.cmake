@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fs_scale.dir/bench_fs_scale.cpp.o"
+  "CMakeFiles/bench_fs_scale.dir/bench_fs_scale.cpp.o.d"
+  "bench_fs_scale"
+  "bench_fs_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fs_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

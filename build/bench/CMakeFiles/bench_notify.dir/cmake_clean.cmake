@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_notify.dir/bench_notify.cpp.o"
+  "CMakeFiles/bench_notify.dir/bench_notify.cpp.o.d"
+  "bench_notify"
+  "bench_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packet_in.dir/bench_packet_in.cpp.o"
+  "CMakeFiles/bench_packet_in.dir/bench_packet_in.cpp.o.d"
+  "bench_packet_in"
+  "bench_packet_in.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_in.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_router.dir/reactive_router.cpp.o"
+  "CMakeFiles/reactive_router.dir/reactive_router.cpp.o.d"
+  "reactive_router"
+  "reactive_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliced_network.dir/sliced_network.cpp.o"
+  "CMakeFiles/sliced_network.dir/sliced_network.cpp.o.d"
+  "sliced_network"
+  "sliced_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliced_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

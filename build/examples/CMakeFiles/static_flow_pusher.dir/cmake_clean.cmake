@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_flow_pusher.dir/static_flow_pusher.cpp.o"
+  "CMakeFiles/static_flow_pusher.dir/static_flow_pusher.cpp.o.d"
+  "static_flow_pusher"
+  "static_flow_pusher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_flow_pusher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yancsh.dir/yancsh.cpp.o"
+  "CMakeFiles/yancsh.dir/yancsh.cpp.o.d"
+  "yancsh"
+  "yancsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yancsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yanc/apps/arp_responder.cpp" "src/CMakeFiles/yanc_apps.dir/yanc/apps/arp_responder.cpp.o" "gcc" "src/CMakeFiles/yanc_apps.dir/yanc/apps/arp_responder.cpp.o.d"
+  "/root/repo/src/yanc/apps/auditor.cpp" "src/CMakeFiles/yanc_apps.dir/yanc/apps/auditor.cpp.o" "gcc" "src/CMakeFiles/yanc_apps.dir/yanc/apps/auditor.cpp.o.d"
+  "/root/repo/src/yanc/apps/dhcp_server.cpp" "src/CMakeFiles/yanc_apps.dir/yanc/apps/dhcp_server.cpp.o" "gcc" "src/CMakeFiles/yanc_apps.dir/yanc/apps/dhcp_server.cpp.o.d"
+  "/root/repo/src/yanc/apps/learning_switch.cpp" "src/CMakeFiles/yanc_apps.dir/yanc/apps/learning_switch.cpp.o" "gcc" "src/CMakeFiles/yanc_apps.dir/yanc/apps/learning_switch.cpp.o.d"
+  "/root/repo/src/yanc/apps/router.cpp" "src/CMakeFiles/yanc_apps.dir/yanc/apps/router.cpp.o" "gcc" "src/CMakeFiles/yanc_apps.dir/yanc/apps/router.cpp.o.d"
+  "/root/repo/src/yanc/apps/static_flow_pusher.cpp" "src/CMakeFiles/yanc_apps.dir/yanc/apps/static_flow_pusher.cpp.o" "gcc" "src/CMakeFiles/yanc_apps.dir/yanc/apps/static_flow_pusher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yanc_netfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yanc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yanc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yanc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yanc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yanc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_apps.dir/yanc/apps/arp_responder.cpp.o"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/arp_responder.cpp.o.d"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/auditor.cpp.o"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/auditor.cpp.o.d"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/dhcp_server.cpp.o"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/dhcp_server.cpp.o.d"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/learning_switch.cpp.o"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/learning_switch.cpp.o.d"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/router.cpp.o"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/router.cpp.o.d"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/static_flow_pusher.cpp.o"
+  "CMakeFiles/yanc_apps.dir/yanc/apps/static_flow_pusher.cpp.o.d"
+  "libyanc_apps.a"
+  "libyanc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

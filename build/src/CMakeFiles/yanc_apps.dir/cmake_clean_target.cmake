@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyanc_apps.a"
+)

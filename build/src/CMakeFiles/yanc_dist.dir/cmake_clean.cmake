@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_dist.dir/yanc/dist/replicated.cpp.o"
+  "CMakeFiles/yanc_dist.dir/yanc/dist/replicated.cpp.o.d"
+  "CMakeFiles/yanc_dist.dir/yanc/dist/transport.cpp.o"
+  "CMakeFiles/yanc_dist.dir/yanc/dist/transport.cpp.o.d"
+  "libyanc_dist.a"
+  "libyanc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_driver.dir/yanc/driver/of_driver.cpp.o"
+  "CMakeFiles/yanc_driver.dir/yanc/driver/of_driver.cpp.o.d"
+  "CMakeFiles/yanc_driver.dir/yanc/driver/text_driver.cpp.o"
+  "CMakeFiles/yanc_driver.dir/yanc/driver/text_driver.cpp.o.d"
+  "libyanc_driver.a"
+  "libyanc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

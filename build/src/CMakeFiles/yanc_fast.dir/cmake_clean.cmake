@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_fast.dir/yanc/fast/consumer.cpp.o"
+  "CMakeFiles/yanc_fast.dir/yanc/fast/consumer.cpp.o.d"
+  "CMakeFiles/yanc_fast.dir/yanc/fast/syscall_model.cpp.o"
+  "CMakeFiles/yanc_fast.dir/yanc/fast/syscall_model.cpp.o.d"
+  "libyanc_fast.a"
+  "libyanc_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yanc/flow/action.cpp" "src/CMakeFiles/yanc_flow.dir/yanc/flow/action.cpp.o" "gcc" "src/CMakeFiles/yanc_flow.dir/yanc/flow/action.cpp.o.d"
+  "/root/repo/src/yanc/flow/flowspec.cpp" "src/CMakeFiles/yanc_flow.dir/yanc/flow/flowspec.cpp.o" "gcc" "src/CMakeFiles/yanc_flow.dir/yanc/flow/flowspec.cpp.o.d"
+  "/root/repo/src/yanc/flow/match.cpp" "src/CMakeFiles/yanc_flow.dir/yanc/flow/match.cpp.o" "gcc" "src/CMakeFiles/yanc_flow.dir/yanc/flow/match.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yanc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

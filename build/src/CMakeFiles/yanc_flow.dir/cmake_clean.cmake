@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_flow.dir/yanc/flow/action.cpp.o"
+  "CMakeFiles/yanc_flow.dir/yanc/flow/action.cpp.o.d"
+  "CMakeFiles/yanc_flow.dir/yanc/flow/flowspec.cpp.o"
+  "CMakeFiles/yanc_flow.dir/yanc/flow/flowspec.cpp.o.d"
+  "CMakeFiles/yanc_flow.dir/yanc/flow/match.cpp.o"
+  "CMakeFiles/yanc_flow.dir/yanc/flow/match.cpp.o.d"
+  "libyanc_flow.a"
+  "libyanc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yanc/net/channel.cpp" "src/CMakeFiles/yanc_net.dir/yanc/net/channel.cpp.o" "gcc" "src/CMakeFiles/yanc_net.dir/yanc/net/channel.cpp.o.d"
+  "/root/repo/src/yanc/net/packet.cpp" "src/CMakeFiles/yanc_net.dir/yanc/net/packet.cpp.o" "gcc" "src/CMakeFiles/yanc_net.dir/yanc/net/packet.cpp.o.d"
+  "/root/repo/src/yanc/net/simnet.cpp" "src/CMakeFiles/yanc_net.dir/yanc/net/simnet.cpp.o" "gcc" "src/CMakeFiles/yanc_net.dir/yanc/net/simnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yanc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_net.dir/yanc/net/channel.cpp.o"
+  "CMakeFiles/yanc_net.dir/yanc/net/channel.cpp.o.d"
+  "CMakeFiles/yanc_net.dir/yanc/net/packet.cpp.o"
+  "CMakeFiles/yanc_net.dir/yanc/net/packet.cpp.o.d"
+  "CMakeFiles/yanc_net.dir/yanc/net/simnet.cpp.o"
+  "CMakeFiles/yanc_net.dir/yanc/net/simnet.cpp.o.d"
+  "libyanc_net.a"
+  "libyanc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

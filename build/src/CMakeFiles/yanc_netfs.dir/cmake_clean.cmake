@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/flowio.cpp.o"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/flowio.cpp.o.d"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/handles.cpp.o"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/handles.cpp.o.d"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/schema.cpp.o"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/schema.cpp.o.d"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/yancfs.cpp.o"
+  "CMakeFiles/yanc_netfs.dir/yanc/netfs/yancfs.cpp.o.d"
+  "libyanc_netfs.a"
+  "libyanc_netfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_netfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for yanc_netfs.
+# This may be replaced when dependencies are built.

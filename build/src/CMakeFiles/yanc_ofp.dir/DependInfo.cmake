@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yanc/ofp/codec.cpp" "src/CMakeFiles/yanc_ofp.dir/yanc/ofp/codec.cpp.o" "gcc" "src/CMakeFiles/yanc_ofp.dir/yanc/ofp/codec.cpp.o.d"
+  "/root/repo/src/yanc/ofp/oxm.cpp" "src/CMakeFiles/yanc_ofp.dir/yanc/ofp/oxm.cpp.o" "gcc" "src/CMakeFiles/yanc_ofp.dir/yanc/ofp/oxm.cpp.o.d"
+  "/root/repo/src/yanc/ofp/wire10.cpp" "src/CMakeFiles/yanc_ofp.dir/yanc/ofp/wire10.cpp.o" "gcc" "src/CMakeFiles/yanc_ofp.dir/yanc/ofp/wire10.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yanc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/yanc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

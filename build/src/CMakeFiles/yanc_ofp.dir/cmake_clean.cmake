@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_ofp.dir/yanc/ofp/codec.cpp.o"
+  "CMakeFiles/yanc_ofp.dir/yanc/ofp/codec.cpp.o.d"
+  "CMakeFiles/yanc_ofp.dir/yanc/ofp/oxm.cpp.o"
+  "CMakeFiles/yanc_ofp.dir/yanc/ofp/oxm.cpp.o.d"
+  "CMakeFiles/yanc_ofp.dir/yanc/ofp/wire10.cpp.o"
+  "CMakeFiles/yanc_ofp.dir/yanc/ofp/wire10.cpp.o.d"
+  "libyanc_ofp.a"
+  "libyanc_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

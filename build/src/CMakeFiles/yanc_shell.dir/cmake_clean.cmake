@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_shell.dir/yanc/shell/coreutils.cpp.o"
+  "CMakeFiles/yanc_shell.dir/yanc/shell/coreutils.cpp.o.d"
+  "libyanc_shell.a"
+  "libyanc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

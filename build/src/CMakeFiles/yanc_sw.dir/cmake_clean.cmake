@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_sw.dir/yanc/sw/flow_table.cpp.o"
+  "CMakeFiles/yanc_sw.dir/yanc/sw/flow_table.cpp.o.d"
+  "CMakeFiles/yanc_sw.dir/yanc/sw/switch.cpp.o"
+  "CMakeFiles/yanc_sw.dir/yanc/sw/switch.cpp.o.d"
+  "libyanc_sw.a"
+  "libyanc_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_topo.dir/yanc/topo/discovery.cpp.o"
+  "CMakeFiles/yanc_topo.dir/yanc/topo/discovery.cpp.o.d"
+  "CMakeFiles/yanc_topo.dir/yanc/topo/graph.cpp.o"
+  "CMakeFiles/yanc_topo.dir/yanc/topo/graph.cpp.o.d"
+  "libyanc_topo.a"
+  "libyanc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yanc/util/error.cpp" "src/CMakeFiles/yanc_util.dir/yanc/util/error.cpp.o" "gcc" "src/CMakeFiles/yanc_util.dir/yanc/util/error.cpp.o.d"
+  "/root/repo/src/yanc/util/log.cpp" "src/CMakeFiles/yanc_util.dir/yanc/util/log.cpp.o" "gcc" "src/CMakeFiles/yanc_util.dir/yanc/util/log.cpp.o.d"
+  "/root/repo/src/yanc/util/net_types.cpp" "src/CMakeFiles/yanc_util.dir/yanc/util/net_types.cpp.o" "gcc" "src/CMakeFiles/yanc_util.dir/yanc/util/net_types.cpp.o.d"
+  "/root/repo/src/yanc/util/strings.cpp" "src/CMakeFiles/yanc_util.dir/yanc/util/strings.cpp.o" "gcc" "src/CMakeFiles/yanc_util.dir/yanc/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

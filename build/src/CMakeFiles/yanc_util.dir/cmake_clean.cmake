@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_util.dir/yanc/util/error.cpp.o"
+  "CMakeFiles/yanc_util.dir/yanc/util/error.cpp.o.d"
+  "CMakeFiles/yanc_util.dir/yanc/util/log.cpp.o"
+  "CMakeFiles/yanc_util.dir/yanc/util/log.cpp.o.d"
+  "CMakeFiles/yanc_util.dir/yanc/util/net_types.cpp.o"
+  "CMakeFiles/yanc_util.dir/yanc/util/net_types.cpp.o.d"
+  "CMakeFiles/yanc_util.dir/yanc/util/strings.cpp.o"
+  "CMakeFiles/yanc_util.dir/yanc/util/strings.cpp.o.d"
+  "libyanc_util.a"
+  "libyanc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

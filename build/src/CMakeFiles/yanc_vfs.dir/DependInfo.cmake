@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yanc/vfs/acl.cpp" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/acl.cpp.o" "gcc" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/acl.cpp.o.d"
+  "/root/repo/src/yanc/vfs/memfs.cpp" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/memfs.cpp.o" "gcc" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/memfs.cpp.o.d"
+  "/root/repo/src/yanc/vfs/vfs.cpp" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/vfs.cpp.o" "gcc" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/vfs.cpp.o.d"
+  "/root/repo/src/yanc/vfs/watch.cpp" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/watch.cpp.o" "gcc" "src/CMakeFiles/yanc_vfs.dir/yanc/vfs/watch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/yanc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/acl.cpp.o"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/acl.cpp.o.d"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/memfs.cpp.o"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/memfs.cpp.o.d"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/vfs.cpp.o"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/vfs.cpp.o.d"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/watch.cpp.o"
+  "CMakeFiles/yanc_vfs.dir/yanc/vfs/watch.cpp.o.d"
+  "libyanc_vfs.a"
+  "libyanc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

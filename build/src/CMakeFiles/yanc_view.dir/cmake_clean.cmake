@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yanc_view.dir/yanc/view/bigswitch.cpp.o"
+  "CMakeFiles/yanc_view.dir/yanc/view/bigswitch.cpp.o.d"
+  "CMakeFiles/yanc_view.dir/yanc/view/slicer.cpp.o"
+  "CMakeFiles/yanc_view.dir/yanc/view/slicer.cpp.o.d"
+  "libyanc_view.a"
+  "libyanc_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yanc_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_test.dir/fast_test.cpp.o"
+  "CMakeFiles/fast_test.dir/fast_test.cpp.o.d"
+  "fast_test"
+  "fast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

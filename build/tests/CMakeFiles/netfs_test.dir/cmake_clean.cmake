@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfs_test.dir/netfs_test.cpp.o"
+  "CMakeFiles/netfs_test.dir/netfs_test.cpp.o.d"
+  "netfs_test"
+  "netfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_test.dir/ofp_test.cpp.o"
+  "CMakeFiles/ofp_test.dir/ofp_test.cpp.o.d"
+  "ofp_test"
+  "ofp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

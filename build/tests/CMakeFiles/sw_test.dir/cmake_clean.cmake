@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_test.dir/sw_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw_test.cpp.o.d"
+  "sw_test"
+  "sw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
