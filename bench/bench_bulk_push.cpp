@@ -9,6 +9,8 @@
 // thousands" begins around a hundred switches.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/fast/consumer.hpp"
 #include "yanc/fast/syscall_model.hpp"
 #include "yanc/netfs/flowio.hpp"
@@ -97,4 +99,4 @@ BENCHMARK(BM_BulkPush_Libyanc)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

@@ -16,6 +16,8 @@
 // except strict@replica, where it is 2 x link latency per op.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/dist/replicated.hpp"
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/handles.hpp"
@@ -137,4 +139,4 @@ BENCHMARK(BM_PartitionHealBacklog)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

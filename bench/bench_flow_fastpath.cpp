@@ -19,6 +19,8 @@
 // `syscalls` counter shows why (EXP-2's modelled column).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/fast/consumer.hpp"
 #include "yanc/fast/syscall_model.hpp"
 #include "yanc/netfs/handles.hpp"
@@ -158,4 +160,4 @@ BENCHMARK(BM_Libyanc_WithMirror);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

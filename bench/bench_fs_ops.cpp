@@ -11,6 +11,8 @@
 //     counter), from which modelled overhead at ~500ns/crossing follows.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/fast/syscall_model.hpp"
 #include "yanc/netfs/yancfs.hpp"
 
@@ -116,4 +118,4 @@ BENCHMARK(BM_ValidatedWriteCidr);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

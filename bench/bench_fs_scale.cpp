@@ -10,6 +10,8 @@
 // (well under a second) even at 10k switches.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/yancfs.hpp"
 #include "yanc/shell/coreutils.hpp"
@@ -99,4 +101,4 @@ BENCHMARK(BM_SwitchCreation)->Arg(100)->Arg(1000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

@@ -1,0 +1,116 @@
+// Shared entry point for the bench_* binaries adding a --json mode.
+//
+// YANC_BENCH_MAIN() behaves exactly like BENCHMARK_MAIN() unless --json is
+// passed, in which case human console output is replaced by ONE JSON object
+// on stdout with stable keys, so CI and scripts can diff runs:
+//
+//   {"benchmarks":{"BM_WriteFile":{"iterations":1234,
+//     "real_time_ns":512.3,"cpu_time_ns":511.0,
+//     "counters":{"syscalls":3.0}}}}
+//
+// Times are per-iteration nanoseconds regardless of each benchmark's
+// display time unit; counters appear post-adjustment (rates already
+// divided by time, averages by iterations), matching the console columns.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yanc::bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+class JsonReporter : public ::benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // With --benchmark_repetitions the per-repetition runs share a name;
+      // keep the first plus the uniquely-named aggregates (mean/median/...).
+      if (run.run_type == Run::RT_Iteration && run.repetition_index > 0)
+        continue;
+      double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "{\"iterations\":%lld,\"real_time_ns\":%.3f,"
+                    "\"cpu_time_ns\":%.3f,\"counters\":{",
+                    static_cast<long long>(run.iterations),
+                    run.real_accumulated_time / iters * 1e9,
+                    run.cpu_accumulated_time / iters * 1e9);
+      std::string entry = buf;
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\":%.3f", first ? "" : ",",
+                      json_escape(name).c_str(),
+                      static_cast<double>(counter.value));
+        entry += buf;
+        first = false;
+      }
+      entry += "}}";
+      if (!entries_.empty()) entries_ += ',';
+      entries_ += '"';
+      entries_ += json_escape(run.benchmark_name());
+      entries_ += "\":";
+      entries_ += entry;
+    }
+  }
+
+  void Finalize() override {
+    std::printf("{\"benchmarks\":{%s}}\n", entries_.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string entries_;
+};
+
+inline int run_main(int argc, char** argv) {
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&filtered_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  if (json) {
+    JsonReporter reporter;
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    ::benchmark::RunSpecifiedBenchmarks();
+  }
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace yanc::bench
+
+#define YANC_BENCH_MAIN()          \
+  int main(int argc, char** argv) { \
+    return yanc::bench::run_main(argc, argv); \
+  }

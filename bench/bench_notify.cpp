@@ -6,6 +6,8 @@
 // the writer), event consumption throughput, and watch registration.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/netfs/yancfs.hpp"
 
 using namespace yanc;
@@ -112,4 +114,4 @@ BENCHMARK(BM_OverflowedQueuePush);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

@@ -7,6 +7,8 @@
 // is not the bottleneck, which is the §4.1 "thin driver" claim.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/driver/of_driver.hpp"
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/yancfs.hpp"
@@ -145,4 +147,4 @@ BENCHMARK(BM_SwitchLookup)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

@@ -7,6 +7,8 @@
 // zero-copy path is ~flat in M and independent of payload size.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
 
 #include "yanc/fast/packet_pool.hpp"
@@ -104,4 +106,4 @@ BENCHMARK(BM_FanOut_ZeroCopy)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

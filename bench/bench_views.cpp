@@ -8,6 +8,8 @@
 // level up).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "yanc/net/packet.hpp"
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/handles.hpp"
@@ -121,4 +123,4 @@ BENCHMARK(BM_EventFilterThroughSlice);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+YANC_BENCH_MAIN();

@@ -15,6 +15,7 @@
 
 #include "yanc/driver/of_driver.hpp"
 #include "yanc/netfs/yancfs.hpp"
+#include "yanc/obs/stats_fs.hpp"
 #include "yanc/shell/coreutils.hpp"
 #include "yanc/sw/switch.hpp"
 #include "yanc/util/strings.hpp"
@@ -38,7 +39,11 @@ constexpr const char* kDemoScript =
     "cp /net/switches/sw1/flows/ssh /net/switches/sw2/flows/ssh;"
     "echo 1 > /net/switches/sw2/flows/ssh/version;"
     "sync;"
-    "ls /net/switches/sw2/flows";
+    "ls /net/switches/sw2/flows;"
+    // The controller's own telemetry is a filesystem too (/yanc/.stats):
+    "cat /yanc/.stats/driver/of/packet_in_total;"
+    "cat /yanc/.stats/driver/of/flow_mod_total;"
+    "ls /yanc/.stats/vfs";
 
 struct World {
   std::shared_ptr<vfs::Vfs> vfs = std::make_shared<vfs::Vfs>();
@@ -46,10 +51,12 @@ struct World {
   net::Network network{scheduler};
   std::unique_ptr<driver::OfDriver> driver;
   std::vector<std::unique_ptr<sw::Switch>> switches;
+  std::shared_ptr<obs::StatsFs> stats;
 
   World() {
     (void)netfs::mount_yanc_fs(*vfs);
     driver = std::make_unique<driver::OfDriver>(vfs);
+    if (auto fs = obs::mount_stats_fs(*vfs)) stats = *fs;
     for (std::uint64_t dpid : {1, 2}) {
       sw::SwitchOptions opts;
       opts.datapath_id = dpid;
@@ -57,6 +64,7 @@ struct World {
                                             opts, network);
       for (std::uint16_t p = 1; p <= 3; ++p)
         s->add_port(p, MacAddress::from_u64((dpid << 8) | p), "eth");
+      s->bind_metrics(*vfs->metrics());
       s->connect(driver->listener().connect());
       switches.push_back(std::move(s));
     }
@@ -69,6 +77,7 @@ struct World {
       for (auto& s : switches) work += s->pump();
       if (!work) break;
     }
+    if (stats) stats->refresh();
   }
 };
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the whole tree under ASan+UBSan and runs the test suite.
+# Usage: scripts/sanitize.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DYANC_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

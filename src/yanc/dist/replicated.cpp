@@ -28,6 +28,7 @@ struct ReplicatedYancFs::Op {
   bool via_primary = false;  // strict op awaiting primary fan-out
   std::uint64_t ts = 0;      // Lamport timestamp
   std::uint64_t origin = 0;
+  std::uint64_t sent_ns = 0;  // origin's virtual time at emit (lag metric)
   std::string path;
   std::string aux;   // rename destination / symlink target / xattr name
   std::string data;  // write payload / xattr value
@@ -42,6 +43,7 @@ struct ReplicatedYancFs::Op {
     w.u8(via_primary ? 1 : 0);
     w.u64(ts);
     w.u64(origin);
+    w.u64(sent_ns);
     w.u64(offset);
     w.u32(mode);
     w.u32(uid);
@@ -60,6 +62,7 @@ struct ReplicatedYancFs::Op {
     op.via_primary = r.u8() != 0;
     op.ts = r.u64();
     op.origin = r.u64();
+    op.sent_ns = r.u64();
     op.offset = r.u64();
     op.mode = r.u32();
     op.uid = r.u32();
@@ -115,10 +118,17 @@ Result<NodeId> ReplicatedYancFs::resolve_local(const std::string& path) {
   return node;
 }
 
+void ReplicatedYancFs::bind_metrics(obs::Registry& registry) {
+  apply_metric_ = registry.counter("dist/replication_apply_total");
+  conflict_metric_ = registry.counter("dist/replication_conflict_total");
+  lag_metric_ = registry.histogram("dist/replication_lag_ns");
+}
+
 void ReplicatedYancFs::emit(Op op) {
   if (!transport_ || applying_remote_) return;
   op.ts = ++lamport_;
   op.origin = self_;
+  op.sent_ns = transport_->clock().now_ns();
   ++local_ops_;
   if (op.kind == Op::Kind::write || op.kind == Op::Kind::truncate)
     write_versions_[op.path] = {op.ts, op.origin};
@@ -152,10 +162,17 @@ void ReplicatedYancFs::handle_message(Transport::NodeId from,
   }
   lamport_ = std::max(lamport_, op->ts);
   bool applied = apply(*op);
-  if (applied)
+  if (applied) {
     ++remote_ops_;
-  else
+    if (apply_metric_) apply_metric_->add();
+    if (lag_metric_ && transport_) {
+      std::uint64_t now = transport_->clock().now_ns();
+      if (now >= op->sent_ns) lag_metric_->record(now - op->sent_ns);
+    }
+  } else {
     ++conflicts_;
+    if (conflict_metric_) conflict_metric_->add();
+  }
   (void)from;
 
   // Primary fan-out for strict ops that were routed through us.

@@ -74,6 +74,12 @@ class ReplicatedYancFs : public netfs::YancFs {
   Status removexattr(vfs::NodeId node, const std::string& name,
                      const vfs::Credentials& creds) override;
 
+  /// Registers dist/replication_{apply,conflict}_total and
+  /// dist/replication_lag_ns in `registry` (typically the registry of the
+  /// Vfs this replica is mounted into).  Lag is virtual time from the
+  /// origin's emit to this node's apply.
+  void bind_metrics(obs::Registry& registry);
+
   // --- statistics --------------------------------------------------------
   std::uint64_t local_ops() const noexcept { return local_ops_; }
   std::uint64_t remote_ops_applied() const noexcept { return remote_ops_; }
@@ -107,6 +113,9 @@ class ReplicatedYancFs : public netfs::YancFs {
   std::uint64_t remote_ops_ = 0;
   std::uint64_t conflicts_ = 0;
   std::uint64_t sync_delay_ns_ = 0;
+  obs::Counter* apply_metric_ = nullptr;
+  obs::Counter* conflict_metric_ = nullptr;
+  obs::Histogram* lag_metric_ = nullptr;
 };
 
 struct ClusterOptions {

@@ -37,6 +37,8 @@ class Transport {
   bool partitioned(NodeId a, NodeId b) const;
 
   VirtualClock::duration latency() const noexcept { return latency_; }
+  /// The scheduler's virtual clock (replication lag is measured on it).
+  const VirtualClock& clock() const noexcept { return scheduler_.clock(); }
   std::uint64_t messages_sent() const noexcept { return messages_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_; }
 

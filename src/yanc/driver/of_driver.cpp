@@ -1,5 +1,6 @@
 #include "yanc/driver/of_driver.hpp"
 
+#include <chrono>
 #include <set>
 
 #include "yanc/util/log.hpp"
@@ -56,7 +57,17 @@ struct OfDriver::WatchContext {
 OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
     : vfs_(std::move(vfs)), options_(std::move(options)),
       fs_events_(
-          std::make_shared<vfs::WatchQueue>(options_.fs_queue_capacity)) {}
+          std::make_shared<vfs::WatchQueue>(options_.fs_queue_capacity)) {
+  auto& reg = *vfs_->metrics();
+  metrics_.msg_in_total = reg.counter("driver/of/msg_in_total");
+  metrics_.msg_out_total = reg.counter("driver/of/msg_out_total");
+  metrics_.packet_in_total = reg.counter("driver/of/packet_in_total");
+  metrics_.packet_out_total = reg.counter("driver/of/packet_out_total");
+  metrics_.flow_mod_total = reg.counter("driver/of/flow_mod_total");
+  metrics_.echo_rtt_ns = reg.histogram("driver/of/echo_rtt_ns");
+  fs_events_->bind_metrics(reg.gauge("netfs/watch_queue_depth"),
+                           reg.counter("netfs/watch_drop_total"));
+}
 
 OfDriver::~OfDriver() = default;
 
@@ -76,6 +87,11 @@ Result<std::string> OfDriver::switch_name(std::uint64_t dpid) const {
 }
 
 void OfDriver::send(Connection& conn, const ofp::Message& message) {
+  metrics_.msg_out_total->add();
+  if (std::holds_alternative<ofp::FlowMod>(message))
+    metrics_.flow_mod_total->add();
+  else if (std::holds_alternative<ofp::PacketOut>(message))
+    metrics_.packet_out_total->add();
   auto bytes = ofp::encode(options_.version, conn.next_xid++, message);
   if (!bytes) {
     log_error("driver", "cannot encode " + ofp::message_name(message) +
@@ -141,6 +157,7 @@ std::size_t OfDriver::pump_connection(Connection& conn) {
       conn.channel.close();
       return handled;
     }
+    metrics_.msg_in_total->add();
     handle_switch_message(conn, *decoded);
     ++handled;
   }
@@ -153,6 +170,21 @@ void OfDriver::handle_switch_message(Connection& conn,
   if (std::holds_alternative<ofp::Hello>(m)) return;
   if (auto* echo = std::get_if<ofp::EchoRequest>(&m)) {
     send(conn, ofp::EchoReply{echo->data});
+    return;
+  }
+  if (auto* reply = std::get_if<ofp::EchoReply>(&m)) {
+    // ping_switches() stamps the request with the send time; the switch
+    // echoes it back verbatim, so reply time minus payload = RTT.
+    if (reply->data.size() == 8) {
+      std::uint64_t sent = 0;
+      for (int i = 0; i < 8; ++i)
+        sent |= static_cast<std::uint64_t>(reply->data[i]) << (8 * i);
+      auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+      if (static_cast<std::uint64_t>(now) >= sent)
+        metrics_.echo_rtt_ns->record(static_cast<std::uint64_t>(now) - sent);
+    }
     return;
   }
   if (auto* features = std::get_if<ofp::FeaturesReply>(&m)) {
@@ -501,6 +533,7 @@ void OfDriver::send_packet_out_dir(Connection& conn, const std::string& name) {
 }
 
 void OfDriver::on_packet_in(Connection& conn, const ofp::PacketIn& pi) {
+  metrics_.packet_in_total->add();
   bump_counter(conn.path + "/counters/packet_ins");
   std::string events_dir = options_.net_root + "/events";
   auto apps = vfs_->readdir(events_dir);
@@ -639,6 +672,23 @@ void OfDriver::request_stats() {
     ofp::StatsRequest queues;
     queues.kind = ofp::StatsKind::queue;
     send(*conn, queues);
+  }
+}
+
+void OfDriver::ping_switches() {
+  auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count();
+  ofp::EchoRequest ping;
+  ping.data.resize(8);
+  for (int i = 0; i < 8; ++i)
+    ping.data[i] =
+        static_cast<std::uint8_t>(static_cast<std::uint64_t>(now) >> (8 * i));
+  for (auto& conn : connections_) {
+    if (conn->state != Connection::State::ready ||
+        !conn->channel.connected())
+      continue;
+    send(*conn, ping);
   }
 }
 

@@ -62,6 +62,10 @@ class OfDriver {
   /// are mirrored into counters/ files when they arrive (next polls).
   void request_stats();
 
+  /// Sends an EchoRequest carrying a send timestamp to every connected
+  /// switch; the reply (echoed verbatim) feeds driver/of/echo_rtt_ns.
+  void ping_switches();
+
   const DriverOptions& options() const noexcept { return options_; }
   std::size_t connected_switches() const;
 
@@ -96,6 +100,16 @@ class OfDriver {
   DriverOptions options_;
   net::Listener listener_;
   vfs::WatchQueuePtr fs_events_;
+
+  /// Handles into the Vfs's obs registry (see docs/OBSERVABILITY.md).
+  struct Metrics {
+    obs::Counter* msg_in_total;
+    obs::Counter* msg_out_total;
+    obs::Counter* packet_in_total;
+    obs::Counter* packet_out_total;
+    obs::Counter* flow_mod_total;
+    obs::Histogram* echo_rtt_ns;
+  } metrics_;
 
   std::vector<std::unique_ptr<Connection>> connections_;
   // Watched-node -> what that node means (flow version file, flows dir...).

@@ -27,6 +27,9 @@ class Scheduler {
   using Task = std::function<void()>;
 
   VirtualClock::duration now() const { return clock_.now(); }
+  /// The clock tasks run against; lets subsystems timestamp events in
+  /// virtual time (e.g. replication lag measurement).
+  const VirtualClock& clock() const noexcept { return clock_; }
 
   void schedule_after(VirtualClock::duration delay, Task task);
   void schedule_now(Task task) { schedule_after({}, std::move(task)); }

@@ -195,6 +195,7 @@ Result<FlowSpec> read_flow(Vfs& vfs, const std::string& dir,
 
 Status write_flow(Vfs& vfs, const std::string& dir, const FlowSpec& spec,
                   const Credentials& creds, bool commit) {
+  vfs.metrics()->counter("netfs/flow_write_total")->add();
   if (auto st = vfs.stat(dir, creds); !st) {
     if (st.error() != make_error_code(Errc::not_found)) return st.error();
     if (auto ec = vfs.mkdir(dir, 0755, creds); ec) return ec;
@@ -297,6 +298,7 @@ Status write_flow(Vfs& vfs, const std::string& dir, const FlowSpec& spec,
 
 Result<std::uint64_t> commit_flow(Vfs& vfs, const std::string& dir,
                                   const Credentials& creds) {
+  vfs.metrics()->counter("netfs/flow_commit_total")->add();
   std::uint64_t current = 0;
   if (auto t = read_field(vfs, dir, "version", creds)) {
     auto v = parse_u64(*t);

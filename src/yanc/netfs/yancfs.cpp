@@ -87,14 +87,22 @@ Result<NodeId> YancFs::create(NodeId parent, const std::string& name,
   return id;
 }
 
+void YancFs::bind_metrics(obs::Registry& registry) {
+  typed_write_metric_ = registry.counter("netfs/typed_write_total");
+  validation_fail_metric_ = registry.counter("netfs/validation_fail_total");
+}
+
 Status YancFs::on_write(NodeId node, const std::string& content) {
   auto it = file_specs_.find(node);
   if (it == file_specs_.end()) return ok_status();
+  if (typed_write_metric_) typed_write_metric_->add();
   // Empty content is always acceptable: O_TRUNC makes every write-file
   // sequence pass through the empty state (echo x > file truncates first).
   // Readers treat an empty typed file as unset.
   if (content.empty()) return ok_status();
-  return validate_field(it->second->type, content);
+  auto ec = validate_field(it->second->type, content);
+  if (ec && validation_fail_metric_) validation_fail_metric_->add();
+  return ec;
 }
 
 bool YancFs::rmdir_recursive_allowed(NodeId node) {
@@ -173,6 +181,7 @@ void YancFs::on_remove_node(NodeId node) {
 Result<std::shared_ptr<YancFs>> mount_yanc_fs(vfs::Vfs& vfs,
                                               const std::string& mount_path) {
   auto fs = std::make_shared<YancFs>();
+  fs->bind_metrics(*vfs.metrics());
   if (auto ec = vfs.mkdir_p(mount_path); ec) return ec;
   if (auto ec = vfs.mount(mount_path, fs); ec) return ec;
   return fs;

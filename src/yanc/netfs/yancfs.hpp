@@ -34,6 +34,10 @@ class YancFs : public vfs::MemFs {
   /// Object/collection spec governing a directory node (nullptr = plain).
   const ObjectSpec* spec_of(vfs::NodeId node) const;
 
+  /// Registers netfs counters (typed writes, validation failures) in
+  /// `registry`.  mount_yanc_fs wires this to the owning Vfs's registry.
+  void bind_metrics(obs::Registry& registry);
+
   // Overridden namespace operations enforcing schema rules.
   Result<vfs::NodeId> mkdir(vfs::NodeId parent, const std::string& name,
                             std::uint32_t mode,
@@ -70,6 +74,8 @@ class YancFs : public vfs::MemFs {
   std::unordered_map<vfs::NodeId, const ObjectSpec*> dir_specs_;
   std::unordered_map<vfs::NodeId, const FileSpec*> file_specs_;
   std::unordered_map<vfs::NodeId, bool> fixed_nodes_;  // schema-owned dirs
+  obs::Counter* typed_write_metric_ = nullptr;
+  obs::Counter* validation_fail_metric_ = nullptr;
 };
 
 /// Creates a YancFs and mounts it at `mount_path` (default "/net").

@@ -1,0 +1,70 @@
+#include "yanc/obs/trace.hpp"
+
+namespace yanc::obs {
+
+void TraceRing::record(std::uint64_t ts_ns, std::uint64_t dur_ns,
+                       std::string_view component, std::string_view name) {
+  std::lock_guard lock(mu_);
+  TraceEvent e;
+  e.seq = seq_++;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.component.assign(component);
+  e.name.assign(name);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, next_ points at the oldest record.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard lock(mu_);
+  return seq_ - ring_.size();
+}
+
+std::uint64_t TraceRing::recorded() const {
+  std::lock_guard lock(mu_);
+  return seq_;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+void TraceRing::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string TraceRing::dump() const {
+  std::string out;
+  for (const auto& e : snapshot()) {
+    out += std::to_string(e.seq);
+    out += ' ';
+    out += std::to_string(e.ts_ns);
+    out += ' ';
+    out += std::to_string(e.dur_ns);
+    out += ' ';
+    out += e.component;
+    out += ' ';
+    out += e.name;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace yanc::obs

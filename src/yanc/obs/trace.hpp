@@ -1,0 +1,73 @@
+// TraceRing: a bounded in-memory ring of timestamped spans and events.
+//
+// Subsystems record what happened and when against the simulation's
+// VirtualClock (or any other nanosecond timestamp source); the ring keeps
+// the most recent `capacity` records and counts what it had to drop.
+// StatsFs exposes the ring as the `/yanc/.stats/trace` file, so
+// `cat /yanc/.stats/trace` answers "what did the controller just do" the
+// same way the rest of the paper's state model answers "what is the
+// controller's state".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yanc::obs {
+
+/// One trace record.  `dur_ns == 0` means an instantaneous event; anything
+/// else is a span that ended at `ts_ns + dur_ns`.
+struct TraceEvent {
+  std::uint64_t seq = 0;    // global record ordinal (never wraps)
+  std::uint64_t ts_ns = 0;  // virtual-clock start time
+  std::uint64_t dur_ns = 0;
+  std::string component;    // "driver", "dist", "vfs", ...
+  std::string name;         // "packet_in", "replicate/apply", ...
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Records an instantaneous event.
+  void event(std::uint64_t ts_ns, std::string_view component,
+             std::string_view name) {
+    record(ts_ns, 0, component, name);
+  }
+  /// Records a span of `dur_ns` starting at `ts_ns`.
+  void span(std::uint64_t ts_ns, std::uint64_t dur_ns,
+            std::string_view component, std::string_view name) {
+    record(ts_ns, dur_ns, component, name);
+  }
+
+  /// Oldest-to-newest copy of the retained records.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Records evicted because the ring was full.
+  std::uint64_t dropped() const;
+  /// Total records ever written.
+  std::uint64_t recorded() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+  /// Text rendering, one record per line:
+  ///   "<seq> <ts_ns> <dur_ns> <component> <name>\n"
+  std::string dump() const;
+
+ private:
+  void record(std::uint64_t ts_ns, std::uint64_t dur_ns,
+              std::string_view component, std::string_view name);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;          // write cursor once wrapped
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace yanc::obs

@@ -240,6 +240,11 @@ void Switch::handle_port_mod(const ofp::PortMod& pm) {
   send(ofp::PortStatus{ofp::PortStatus::Reason::modify, it->second.desc});
 }
 
+void Switch::bind_metrics(obs::Registry& registry) {
+  hit_metric_ = registry.counter("sw/flow_hit_total");
+  miss_metric_ = registry.counter("sw/flow_miss_total");
+}
+
 void Switch::handle_link_status(std::uint16_t port, bool up) {
   auto it = ports_.find(port);
   if (it == ports_.end()) return;
@@ -277,9 +282,11 @@ void Switch::handle_frame(std::uint16_t port, const net::Frame& frame) {
     const FlowEntry* entry =
         entry_it->second.lookup(fields, now_ns(), current.size());
     if (!entry) {
+      if (miss_metric_) miss_metric_->add();
       send_packet_in(current, port, ofp::PacketIn::Reason::no_match);
       return;
     }
+    if (hit_metric_) hit_metric_->add();
     execute_actions(entry->spec.actions, current, port);
     if (entry->spec.goto_table >= 0 &&
         static_cast<std::uint8_t>(entry->spec.goto_table) > table_id) {

@@ -11,6 +11,7 @@
 
 #include "yanc/net/channel.hpp"
 #include "yanc/net/simnet.hpp"
+#include "yanc/obs/metrics.hpp"
 #include "yanc/ofp/codec.hpp"
 #include "yanc/sw/flow_table.hpp"
 
@@ -67,6 +68,11 @@ class Switch : public net::Device {
   };
   const std::map<std::uint16_t, PortState>& ports() const { return ports_; }
 
+  /// Registers sw/flow_{hit,miss}_total in `registry` (typically the
+  /// controller Vfs's).  Counters aggregate across all switches bound to
+  /// the same registry; a lookup is counted per pipeline table visited.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   void send(const ofp::Message& message, std::uint32_t xid = 0);
   void handle_message(const ofp::Decoded& decoded);
@@ -98,6 +104,8 @@ class Switch : public net::Device {
   std::uint64_t flow_mods_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::Counter* hit_metric_ = nullptr;
+  obs::Counter* miss_metric_ = nullptr;
   // per-port (packets, bytes) counters
   std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>>
       port_counters_rx_, port_counters_tx_;

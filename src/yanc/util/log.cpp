@@ -10,6 +10,7 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::off)};
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::error: return "error";
+    case LogLevel::warn: return "warn";
     case LogLevel::info: return "info";
     case LogLevel::debug: return "debug";
     default: return "off";
@@ -30,9 +31,18 @@ void log(LogLevel level, std::string_view component,
          std::string_view message) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed))
     return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  // Build the whole line first: stdio only guarantees atomicity per call,
+  // so a multi-part fprintf from two threads can interleave mid-line.
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace yanc

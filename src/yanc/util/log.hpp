@@ -8,17 +8,22 @@
 
 namespace yanc {
 
-enum class LogLevel : int { off = 0, error = 1, info = 2, debug = 3 };
+enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
 
 /// Process-wide log threshold (defaults to off).
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
-/// Emits "[level] component: message" to stderr when enabled.
+/// Emits "[level] component: message" to stderr when enabled.  The line is
+/// formatted into one buffer and written with a single fwrite, so lines
+/// from concurrent threads never interleave mid-line.
 void log(LogLevel level, std::string_view component, std::string_view message);
 
 inline void log_error(std::string_view component, std::string_view message) {
   log(LogLevel::error, component, message);
+}
+inline void log_warn(std::string_view component, std::string_view message) {
+  log(LogLevel::warn, component, message);
 }
 inline void log_info(std::string_view component, std::string_view message) {
   log(LogLevel::info, component, message);

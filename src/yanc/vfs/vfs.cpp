@@ -1,5 +1,7 @@
 #include "yanc/vfs/vfs.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <deque>
 #include <limits>
 
@@ -10,6 +12,34 @@ namespace yanc::vfs {
 
 namespace {
 constexpr int kMaxSymlinkDepth = 40;
+
+/// Records the wall time of one public Vfs operation into its latency
+/// histogram on scope exit.  Sampled 1-in-64: two steady_clock reads per
+/// op would cost more than the op itself on the lookup fast path, and the
+/// percentile estimate doesn't need every op.
+class OpTimer {
+ public:
+  explicit OpTimer(obs::Histogram* histogram) noexcept {
+    static std::atomic<std::uint32_t> tick{0};
+    if ((tick.fetch_add(1, std::memory_order_relaxed) & 63u) == 0) {
+      histogram_ = histogram;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~OpTimer() {
+    if (!histogram_) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  obs::Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
 std::string normalize_path(std::string_view path) {
@@ -27,13 +57,35 @@ std::string normalize_path(std::string_view path) {
   return result;
 }
 
-Vfs::Vfs() {
+Vfs::Vfs() : metrics_(std::make_shared<obs::Registry>()) {
   mounts_.emplace("/", Mount{std::make_shared<MemFs>(), MountOptions{}});
+  obs_.lookup_total = metrics_->counter("vfs/lookup_total");
+  obs_.read_total = metrics_->counter("vfs/read_total");
+  obs_.write_total = metrics_->counter("vfs/write_total");
+  obs_.metadata_total = metrics_->counter("vfs/metadata_total");
+  obs_.op_ns = metrics_->histogram("vfs/op_ns");
 }
 
-void Vfs::count_op(std::atomic<std::uint64_t>& kind) {
+void Vfs::count_op(OpKind kind) {
   counters_.total.fetch_add(1, std::memory_order_relaxed);
-  kind.fetch_add(1, std::memory_order_relaxed);
+  switch (kind) {
+    case OpKind::read:
+      counters_.reads.fetch_add(1, std::memory_order_relaxed);
+      obs_.read_total->add();
+      break;
+    case OpKind::write:
+      counters_.writes.fetch_add(1, std::memory_order_relaxed);
+      obs_.write_total->add();
+      break;
+    case OpKind::metadata:
+      counters_.metadata.fetch_add(1, std::memory_order_relaxed);
+      obs_.metadata_total->add();
+      break;
+    case OpKind::lookup:
+      counters_.lookups.fetch_add(1, std::memory_order_relaxed);
+      obs_.lookup_total->add();
+      break;
+  }
 }
 
 void Vfs::reset_counters() {
@@ -120,7 +172,7 @@ Result<Vfs::Resolved> Vfs::walk_components(std::vector<Frame>& stack,
     if (auto st = cur.fs->access(cur.node, 1 /*execute*/, creds); st)
       return st;
 
-    count_op(counters_.lookups);
+    count_op(OpKind::lookup);
     auto child = cur.fs->lookup(cur.node, comp);
     if (!child) return child.error();
 
@@ -207,7 +259,8 @@ Result<std::shared_ptr<FileHandle>> Vfs::open(std::string_view path, int flags,
                                               std::uint32_t mode,
                                               const Credentials& creds,
                                               const std::string& root) {
-  count_op(counters_.metadata);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::metadata);
   namespace of = open_flags;
   int acc = flags & of::accmode;
   bool want_read = acc == of::read_only || acc == of::read_write;
@@ -254,7 +307,8 @@ Result<std::shared_ptr<FileHandle>> Vfs::open(std::string_view path, int flags,
 Result<std::string> Vfs::read_file(std::string_view path,
                                    const Credentials& creds,
                                    const std::string& root) {
-  count_op(counters_.reads);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::read);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   return resolved->fs->read(resolved->node, 0,
@@ -263,7 +317,8 @@ Result<std::string> Vfs::read_file(std::string_view path,
 
 Status Vfs::write_file(std::string_view path, std::string_view data,
                        const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   auto handle = open(path,
                      open_flags::write_only | open_flags::create |
                          open_flags::truncate,
@@ -275,7 +330,8 @@ Status Vfs::write_file(std::string_view path, std::string_view data,
 
 Status Vfs::append_file(std::string_view path, std::string_view data,
                         const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   auto handle = open(path,
                      open_flags::write_only | open_flags::create |
                          open_flags::append,
@@ -287,7 +343,8 @@ Status Vfs::append_file(std::string_view path, std::string_view data,
 
 Result<Stat> Vfs::stat(std::string_view path, const Credentials& creds,
                        const std::string& root) {
-  count_op(counters_.metadata);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   return resolved->fs->getattr(resolved->node);
@@ -295,7 +352,8 @@ Result<Stat> Vfs::stat(std::string_view path, const Credentials& creds,
 
 Result<Stat> Vfs::lstat(std::string_view path, const Credentials& creds,
                         const std::string& root) {
-  count_op(counters_.metadata);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, false, root);
   if (!resolved) return resolved.error();
   return resolved->fs->getattr(resolved->node);
@@ -304,7 +362,8 @@ Result<Stat> Vfs::lstat(std::string_view path, const Credentials& creds,
 Result<std::vector<DirEntry>> Vfs::readdir(std::string_view path,
                                            const Credentials& creds,
                                            const std::string& root) {
-  count_op(counters_.metadata);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   if (auto ec = resolved->fs->access(resolved->node, 4, creds); ec) return ec;
@@ -313,7 +372,8 @@ Result<std::vector<DirEntry>> Vfs::readdir(std::string_view path,
 
 Status Vfs::mkdir(std::string_view path, std::uint32_t mode,
                   const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   std::string leaf;
   auto parent = resolve_parent(path, creds, &leaf, root);
   if (!parent) return parent.error();
@@ -344,7 +404,8 @@ Status Vfs::mkdir_p(std::string_view path, std::uint32_t mode,
 
 Status Vfs::unlink(std::string_view path, const Credentials& creds,
                    const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   if (is_mount_point(normalize_path(std::string(root == "/" ? "" : root) +
                                     std::string(path))))
     return make_error_code(Errc::busy);
@@ -357,7 +418,8 @@ Status Vfs::unlink(std::string_view path, const Credentials& creds,
 
 Status Vfs::rmdir(std::string_view path, const Credentials& creds,
                   const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   if (is_mount_point(normalize_path(std::string(root == "/" ? "" : root) +
                                     std::string(path))))
     return make_error_code(Errc::busy);
@@ -388,7 +450,8 @@ Status Vfs::remove_all(std::string_view path, const Credentials& creds,
 
 Status Vfs::rename(std::string_view from, std::string_view to,
                    const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   std::string prefix = root == "/" ? "" : root;
   if (is_mount_point(normalize_path(prefix + std::string(from))) ||
       is_mount_point(normalize_path(prefix + std::string(to))))
@@ -408,7 +471,7 @@ Status Vfs::rename(std::string_view from, std::string_view to,
 
 Status Vfs::symlink(std::string_view target, std::string_view linkpath,
                     const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  count_op(OpKind::write);
   std::string leaf;
   auto parent = resolve_parent(linkpath, creds, &leaf, root);
   if (!parent) return parent.error();
@@ -421,7 +484,7 @@ Status Vfs::symlink(std::string_view target, std::string_view linkpath,
 Result<std::string> Vfs::readlink(std::string_view path,
                                   const Credentials& creds,
                                   const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, false, root);
   if (!resolved) return resolved.error();
   return resolved->fs->readlink(resolved->node);
@@ -429,7 +492,7 @@ Result<std::string> Vfs::readlink(std::string_view path,
 
 Status Vfs::link(std::string_view existing, std::string_view linkpath,
                  const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  count_op(OpKind::write);
   auto target = resolve(existing, creds, true, root);
   if (!target) return target.error();
   std::string leaf;
@@ -443,7 +506,7 @@ Status Vfs::link(std::string_view existing, std::string_view linkpath,
 
 Status Vfs::chmod(std::string_view path, std::uint32_t mode,
                   const Credentials& creds, const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   if (resolved->read_only) return make_error_code(Errc::read_only);
@@ -452,7 +515,7 @@ Status Vfs::chmod(std::string_view path, std::uint32_t mode,
 
 Status Vfs::chown(std::string_view path, Uid uid, Gid gid,
                   const Credentials& creds, const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   if (resolved->read_only) return make_error_code(Errc::read_only);
@@ -461,7 +524,8 @@ Status Vfs::chown(std::string_view path, Uid uid, Gid gid,
 
 Status Vfs::truncate(std::string_view path, std::uint64_t size,
                      const Credentials& creds, const std::string& root) {
-  count_op(counters_.writes);
+  OpTimer timer(obs_.op_ns);
+  count_op(OpKind::write);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   if (resolved->read_only) return make_error_code(Errc::read_only);
@@ -471,7 +535,7 @@ Status Vfs::truncate(std::string_view path, std::uint64_t size,
 Status Vfs::setxattr(std::string_view path, const std::string& name,
                      std::vector<std::uint8_t> value, const Credentials& creds,
                      const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   if (resolved->read_only) return make_error_code(Errc::read_only);
@@ -482,7 +546,7 @@ Result<std::vector<std::uint8_t>> Vfs::getxattr(std::string_view path,
                                                 const std::string& name,
                                                 const Credentials& creds,
                                                 const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   return resolved->fs->getxattr(resolved->node, name);
@@ -491,7 +555,7 @@ Result<std::vector<std::uint8_t>> Vfs::getxattr(std::string_view path,
 Result<std::vector<std::string>> Vfs::listxattr(std::string_view path,
                                                 const Credentials& creds,
                                                 const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   return resolved->fs->listxattr(resolved->node);
@@ -499,7 +563,7 @@ Result<std::vector<std::string>> Vfs::listxattr(std::string_view path,
 
 Status Vfs::removexattr(std::string_view path, const std::string& name,
                         const Credentials& creds, const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   if (resolved->read_only) return make_error_code(Errc::read_only);
@@ -521,7 +585,7 @@ Result<Acl> Vfs::get_acl(std::string_view path, const Credentials& creds,
 
 Status Vfs::access(std::string_view path, std::uint8_t want,
                    const Credentials& creds, const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   return resolved->fs->access(resolved->node, want, creds);
@@ -532,7 +596,7 @@ Result<std::shared_ptr<WatchHandle>> Vfs::watch(std::string_view path,
                                                 WatchQueuePtr queue,
                                                 const Credentials& creds,
                                                 const std::string& root) {
-  count_op(counters_.metadata);
+  count_op(OpKind::metadata);
   auto resolved = resolve(path, creds, true, root);
   if (!resolved) return resolved.error();
   auto id = resolved->fs->watch(resolved->node, mask, std::move(queue));

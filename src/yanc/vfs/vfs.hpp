@@ -22,6 +22,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "yanc/obs/metrics.hpp"
 #include "yanc/vfs/acl.hpp"
 #include "yanc/vfs/filesystem.hpp"
 
@@ -162,12 +163,23 @@ class Vfs {
   const OpCounters& counters() const noexcept { return counters_; }
   void reset_counters();
 
+  /// The metrics registry every subsystem working over this Vfs shares
+  /// (never null).  StatsFs materializes it at /yanc/.stats; drivers,
+  /// netfs and the distributed layer register their own handles here.
+  const std::shared_ptr<obs::Registry>& metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   struct Mount {
     FilesystemPtr fs;
     MountOptions options;
   };
   struct Frame;  // resolver walk frame (defined in vfs.cpp)
+
+  /// Operation classes mirrored into both OpCounters (the syscall model
+  /// the benchmarks read) and the obs registry (the /yanc/.stats surface).
+  enum class OpKind { read, write, metadata, lookup };
 
   Result<Resolved> walk_components(std::vector<Frame>& stack,
                                    std::deque<std::string>& components,
@@ -177,11 +189,19 @@ class Vfs {
                                   const Credentials& creds, std::string* leaf,
                                   const std::string& root);
   bool is_mount_point(const std::string& logical_path) const;
-  void count_op(std::atomic<std::uint64_t>& kind);
+  void count_op(OpKind kind);
 
   mutable std::shared_mutex mounts_mu_;
   std::map<std::string, Mount> mounts_;  // normalized path -> mount
   OpCounters counters_;
+  std::shared_ptr<obs::Registry> metrics_;
+  struct ObsHandles {
+    obs::Counter* lookup_total;
+    obs::Counter* read_total;
+    obs::Counter* write_total;
+    obs::Counter* metadata_total;
+    obs::Histogram* op_ns;  // wall latency of public Vfs operations
+  } obs_;
 };
 
 /// An open file: stateful offset + O_* semantics over the stateless

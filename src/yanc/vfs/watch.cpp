@@ -8,6 +8,7 @@ void WatchQueue::push(Event e) {
   {
     std::lock_guard lock(mu_);
     if (events_.size() >= capacity_) {
+      if (drop_metric_) drop_metric_->add();
       if (!overflow_pending_) {
         overflow_pending_ = true;
         // Replace the tail with a single overflow marker, like inotify's
@@ -17,6 +18,8 @@ void WatchQueue::push(Event e) {
       return;
     }
     events_.push_back(std::move(e));
+    if (depth_metric_)
+      depth_metric_->set(static_cast<std::int64_t>(events_.size()));
   }
   cv_.notify_one();
 }
@@ -27,6 +30,8 @@ std::optional<Event> WatchQueue::try_pop() {
   Event e = std::move(events_.front());
   events_.pop_front();
   if (events_.empty()) overflow_pending_ = false;
+  if (depth_metric_)
+    depth_metric_->set(static_cast<std::int64_t>(events_.size()));
   return e;
 }
 
@@ -37,6 +42,8 @@ std::optional<Event> WatchQueue::pop_wait(std::chrono::milliseconds timeout) {
   Event e = std::move(events_.front());
   events_.pop_front();
   if (events_.empty()) overflow_pending_ = false;
+  if (depth_metric_)
+    depth_metric_->set(static_cast<std::int64_t>(events_.size()));
   return e;
 }
 
@@ -45,7 +52,16 @@ std::vector<Event> WatchQueue::drain() {
   std::vector<Event> out(events_.begin(), events_.end());
   events_.clear();
   overflow_pending_ = false;
+  if (depth_metric_) depth_metric_->set(0);
   return out;
+}
+
+void WatchQueue::bind_metrics(obs::Gauge* depth, obs::Counter* drops) {
+  std::lock_guard lock(mu_);
+  depth_metric_ = depth;
+  drop_metric_ = drops;
+  if (depth_metric_)
+    depth_metric_->set(static_cast<std::int64_t>(events_.size()));
 }
 
 std::size_t WatchQueue::size() const {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "yanc/obs/metrics.hpp"
 #include "yanc/vfs/types.hpp"
 
 namespace yanc::vfs {
@@ -71,12 +72,18 @@ class WatchQueue {
   std::size_t capacity() const noexcept { return capacity_; }
   bool overflowed() const;
 
+  /// Mirrors queue depth and dropped events into obs handles (either may
+  /// be nullptr).  The owner of the queue decides the metric names.
+  void bind_metrics(obs::Gauge* depth, obs::Counter* drops);
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Event> events_;
   std::size_t capacity_;
   bool overflow_pending_ = false;
+  obs::Gauge* depth_metric_ = nullptr;
+  obs::Counter* drop_metric_ = nullptr;
 };
 
 using WatchQueuePtr = std::shared_ptr<WatchQueue>;

@@ -16,10 +16,13 @@
 #include "yanc/apps/static_flow_pusher.hpp"
 #include "yanc/dist/replicated.hpp"
 #include "yanc/driver/of_driver.hpp"
+#include "yanc/net/packet.hpp"
 #include "yanc/netfs/yancfs.hpp"
+#include "yanc/obs/stats_fs.hpp"
 #include "yanc/shell/coreutils.hpp"
 #include "yanc/sw/switch.hpp"
 #include "yanc/topo/discovery.hpp"
+#include "yanc/util/strings.hpp"
 #include "yanc/view/slicer.hpp"
 
 namespace yanc {
@@ -197,6 +200,58 @@ TEST_F(Fig1Architecture, PermissionsProtectSwitchesAndFlows) {
   EXPECT_EQ(vfs->write_file("/net/switches/sw1/flows/bobs/priority", "9",
                             alice),
             make_error_code(Errc::access_denied));
+}
+
+// The controller's own telemetry is a file system too (/yanc/.stats,
+// procfs-style): drive real traffic through the Figure-1 stack, then read
+// the counters back with the same shell coreutils an administrator would
+// use.  Counters must only ever go up.
+TEST_F(Fig1Architecture, StatsSubtreeObservesLiveTraffic) {
+  auto stats = obs::mount_stats_fs(*vfs);
+  ASSERT_TRUE(stats.ok());
+  auto* s1 = add_switch(1);
+  settle();
+  (*stats)->refresh();
+
+  auto counter = [&](const std::string& path) -> std::uint64_t {
+    auto text = shell::cat(*vfs, path);
+    EXPECT_TRUE(text.ok()) << path;
+    if (!text) return 0;
+    auto value = parse_u64(trim(*text));
+    EXPECT_TRUE(value.ok()) << path << " = " << *text;
+    return value ? *value : 0;
+  };
+
+  // The handshake alone walked the file system and exchanged messages.
+  const std::uint64_t lookups0 = counter("/yanc/.stats/vfs/lookup_total");
+  EXPECT_GT(lookups0, 0u);
+  EXPECT_GT(counter("/yanc/.stats/driver/of/msg_in_total"), 0u);
+  EXPECT_GT(counter("/yanc/.stats/driver/of/msg_out_total"), 0u);
+  const std::uint64_t pkt0 = counter("/yanc/.stats/driver/of/packet_in_total");
+
+  // A table miss on the data plane becomes a packet_in at the controller.
+  auto frame = net::build_ethernet(MacAddress{}, MacAddress{}, 0x1234, {7});
+  s1->handle_frame(2, frame);
+  settle();
+  (*stats)->refresh();
+  const std::uint64_t pkt1 = counter("/yanc/.stats/driver/of/packet_in_total");
+  EXPECT_EQ(pkt1, pkt0 + 1);
+
+  // More traffic, strictly larger counters: monotonically increasing.
+  s1->handle_frame(3, frame);
+  driver->ping_switches();
+  settle();
+  (*stats)->refresh();
+  EXPECT_GT(counter("/yanc/.stats/driver/of/packet_in_total"), pkt1);
+  EXPECT_GT(counter("/yanc/.stats/vfs/lookup_total"), lookups0);
+  // The echo round-trip landed in the RTT histogram.
+  EXPECT_GE(counter("/yanc/.stats/driver/of/echo_rtt_ns_count"), 1u);
+
+  // The subtree is part of the namespace like anything else.
+  auto listing = shell::ls(*vfs, "/yanc/.stats");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing->find("vfs"), std::string::npos);
+  EXPECT_NE(listing->find("driver"), std::string::npos);
 }
 
 // The §6/§7.1 story end-to-end: two controller nodes over a replicated

@@ -1,0 +1,327 @@
+// Tests for yanc::obs: the metrics registry, histogram percentile math,
+// the trace ring, and the /yanc/.stats procfs-style subtree — including
+// reading it through the shell coreutils, exactly how an administrator
+// would (paper §5.4 applied to the controller's own telemetry).
+#include <gtest/gtest.h>
+
+#include "yanc/dist/replicated.hpp"
+#include "yanc/driver/of_driver.hpp"
+#include "yanc/netfs/yancfs.hpp"
+#include "yanc/obs/stats_fs.hpp"
+#include "yanc/obs/trace.hpp"
+#include "yanc/shell/coreutils.hpp"
+#include "yanc/sw/switch.hpp"
+#include "yanc/util/strings.hpp"
+
+namespace yanc::obs {
+namespace {
+
+// --- Registry -----------------------------------------------------------
+
+TEST(RegistryTest, GetOrCreateReturnsStableHandles) {
+  Registry reg;
+  Counter* c = reg.counter("vfs/lookup_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reg.counter("vfs/lookup_total"), c);  // same handle
+  c->add();
+  c->add(4);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_TRUE(reg.contains("vfs/lookup_total"));
+  EXPECT_FALSE(reg.contains("vfs/nope"));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  Registry reg;
+  ASSERT_NE(reg.counter("x/metric_total"), nullptr);
+  EXPECT_EQ(reg.gauge("x/metric_total"), nullptr);
+  EXPECT_EQ(reg.histogram("x/metric_total"), nullptr);
+  // The original registration is untouched.
+  EXPECT_NE(reg.counter("x/metric_total"), nullptr);
+}
+
+TEST(RegistryTest, GenerationBumpsOnlyOnNewNames) {
+  Registry reg;
+  auto g0 = reg.generation();
+  reg.counter("a/one_total");
+  auto g1 = reg.generation();
+  EXPECT_GT(g1, g0);
+  reg.counter("a/one_total");  // get, not create
+  EXPECT_EQ(reg.generation(), g1);
+}
+
+TEST(RegistryTest, ValueOfResolvesHistogramSuffixes) {
+  Registry reg;
+  reg.counter("vfs/read_total")->add(7);
+  reg.gauge("netfs/watch_queue_depth")->set(-3);
+  Histogram* h = reg.histogram("vfs/op_ns");
+  for (int i = 0; i < 100; ++i) h->record(1000);
+
+  EXPECT_EQ(reg.value_of("vfs/read_total").value_or(""), "7");
+  EXPECT_EQ(reg.value_of("netfs/watch_queue_depth").value_or(""), "-3");
+  EXPECT_EQ(reg.value_of("vfs/op_ns_count").value_or(""), "100");
+  EXPECT_FALSE(reg.value_of("vfs/op_ns").has_value());  // bare histogram name
+  EXPECT_FALSE(reg.value_of("vfs/missing_total").has_value());
+  auto p99 = reg.value_of("vfs/op_ns_p99");
+  ASSERT_TRUE(p99.has_value());
+  // All samples identical: every percentile lands in the 1000 bucket.
+  auto v = parse_u64(*p99);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(static_cast<double>(*v), 1000.0, 1000.0 * 0.07);
+}
+
+TEST(RegistryTest, ExportPathsAreSortedAndExpanded) {
+  Registry reg;
+  reg.histogram("b/lat_ns");
+  reg.counter("a/ops_total");
+  auto paths = reg.export_paths();
+  ASSERT_EQ(paths.size(), 5u);
+  EXPECT_EQ(paths[0], "a/ops_total");
+  EXPECT_EQ(paths[1], "b/lat_ns_count");
+  EXPECT_EQ(paths[2], "b/lat_ns_p50");
+  EXPECT_EQ(paths[3], "b/lat_ns_p90");
+  EXPECT_EQ(paths[4], "b/lat_ns_p99");
+}
+
+// --- Histogram percentile math ------------------------------------------
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  // Values below 16 get one bucket each: percentiles are exact.
+  for (std::uint64_t v = 0; v < 10; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.percentile(10), 0u);
+  EXPECT_EQ(h.percentile(50), 4u);
+  EXPECT_EQ(h.percentile(100), 9u);
+}
+
+TEST(HistogramTest, UniformDistributionPercentiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.sum(), 10000ull * 10001 / 2);
+  // Log-linear with 16 sub-buckets bounds relative error to ~6%; allow 10%.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 5000.0, 500.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(90)), 9000.0, 900.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 9900.0, 990.0);
+}
+
+TEST(HistogramTest, BimodalDistribution) {
+  Histogram h;
+  // 90% fast ops at ~100ns, 10% slow at ~1ms: p50 must report the fast
+  // mode and p99 the slow mode — the whole point of keeping a histogram
+  // instead of a mean (mean here is ~100,090ns, representing neither).
+  for (int i = 0; i < 900; ++i) h.record(100);
+  for (int i = 0; i < 100; ++i) h.record(1'000'000);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 100.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 1e6, 1e5);
+}
+
+TEST(HistogramTest, EmptyAndOutlierClamp) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(99), 0u);
+  h.record(~0ull);  // beyond 2^40: clamped into the last decade, not UB
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(50), 1ull << 38);
+}
+
+// --- TraceRing ----------------------------------------------------------
+
+TEST(TraceRingTest, RecordsAndDumps) {
+  TraceRing ring(8);
+  ring.event(100, "driver", "packet_in");
+  ring.span(200, 50, "vfs", "write");
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "packet_in");
+  EXPECT_EQ(events[1].dur_ns, 50u);
+  EXPECT_EQ(ring.dump(), "0 100 0 driver packet_in\n1 200 50 vfs write\n");
+}
+
+TEST(TraceRingTest, WrapsKeepingNewestAndCountsDrops) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    std::string name = "e";
+    name += std::to_string(i);
+    ring.event(i * 10, "t", name);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest, and exactly the newest four survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    std::string expected = "e";
+    expected += std::to_string(6 + i);
+    EXPECT_EQ(events[i].name, expected);
+  }
+}
+
+// --- StatsFs ------------------------------------------------------------
+
+TEST(StatsFsTest, MaterializesRegistryAsTree) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  auto mounted = mount_stats_fs(*vfs);
+  ASSERT_TRUE(mounted.ok());
+
+  // The Vfs registered its own metrics at construction; they must be
+  // visible as files, via plain readdir/cat.
+  auto entries = vfs->readdir("/yanc/.stats/vfs");
+  ASSERT_TRUE(entries.ok());
+  std::vector<std::string> names;
+  for (const auto& e : *entries) names.push_back(e.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "lookup_total"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "op_ns_p99"), names.end());
+}
+
+TEST(StatsFsTest, CountersReadThroughShellAndIncreaseMonotonically) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(mount_stats_fs(*vfs).ok());
+
+  auto read_counter = [&](const std::string& path) {
+    auto text = shell::cat(*vfs, path);
+    EXPECT_TRUE(text.ok()) << path;
+    auto v = parse_u64(trim(*text));
+    EXPECT_TRUE(v.ok()) << *text;
+    return *v;
+  };
+
+  std::uint64_t before = read_counter("/yanc/.stats/vfs/lookup_total");
+  for (int i = 0; i < 128; ++i) (void)vfs->stat("/yanc");
+  std::uint64_t after = read_counter("/yanc/.stats/vfs/lookup_total");
+  EXPECT_GT(after, before);
+  // Monotonic: a third read can only move forward.
+  EXPECT_GE(read_counter("/yanc/.stats/vfs/lookup_total"), after);
+
+  // The latency histogram samples 1-in-64 ops; 128 stats guarantee a hit.
+  EXPECT_GT(read_counter("/yanc/.stats/vfs/op_ns_count"), 0u);
+}
+
+TEST(StatsFsTest, IsReadOnly) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(mount_stats_fs(*vfs).ok());
+  EXPECT_TRUE(vfs->write_file("/yanc/.stats/vfs/lookup_total", "0"));
+  EXPECT_TRUE(vfs->mkdir("/yanc/.stats/mine"));
+  EXPECT_TRUE(vfs->unlink("/yanc/.stats/vfs/lookup_total"));
+  // ...but stat and readdir are world-accessible.
+  vfs::Credentials nobody;
+  nobody.uid = 1000;
+  nobody.gid = 1000;
+  EXPECT_TRUE(vfs->stat("/yanc/.stats/vfs/lookup_total", nobody).ok());
+}
+
+TEST(StatsFsTest, NewMetricsAppearWithoutRemount) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(mount_stats_fs(*vfs).ok());
+  EXPECT_FALSE(vfs->stat("/yanc/.stats/apps/route_total").ok());
+  vfs->metrics()->counter("apps/route_total")->add(3);
+  auto text = shell::cat(*vfs, "/yanc/.stats/apps/route_total");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(trim(*text), "3");
+}
+
+TEST(StatsFsTest, RefreshEmitsModifiedEventsForWatchers) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  auto mounted = mount_stats_fs(*vfs);
+  ASSERT_TRUE(mounted.ok());
+  auto stats = *mounted;
+
+  auto queue = std::make_shared<vfs::WatchQueue>();
+  auto watch =
+      vfs->watch("/yanc/.stats/vfs/read_total", vfs::event::modified, queue);
+  ASSERT_TRUE(watch.ok());
+
+  (void)vfs->read_file("/yanc/.stats/vfs/lookup_total");  // bump read_total
+  EXPECT_GT(stats->refresh(), 0u);
+  auto event = queue->try_pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_TRUE(event->is(vfs::event::modified));
+
+  // No traffic => no change => no event.
+  stats->refresh();
+  std::size_t steady = queue->drain().size();
+  stats->refresh();
+  EXPECT_EQ(queue->drain().size(), steady - steady);  // empty after drain
+}
+
+TEST(StatsFsTest, TraceRingExposedAsFile) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  auto trace = std::make_shared<TraceRing>(16);
+  ASSERT_TRUE(mount_stats_fs(*vfs, "/yanc/.stats", trace).ok());
+  trace->event(42, "driver", "packet_in");
+  auto text = shell::cat(*vfs, "/yanc/.stats/trace");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("driver packet_in"), std::string::npos);
+}
+
+// --- Cross-subsystem wiring ---------------------------------------------
+
+TEST(ObsIntegrationTest, NetfsValidationMetrics) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+  ASSERT_TRUE(mount_stats_fs(*vfs).ok());
+  ASSERT_FALSE(vfs->mkdir("/net/switches/sw1"));
+
+  auto& reg = *vfs->metrics();
+  std::uint64_t writes = reg.counter("netfs/typed_write_total")->value();
+  std::uint64_t fails = reg.counter("netfs/validation_fail_total")->value();
+
+  // A valid typed write counts once; an invalid one also fails the count.
+  EXPECT_FALSE(vfs->write_file("/net/switches/sw1/id", "0xab"));
+  EXPECT_TRUE(vfs->write_file("/net/switches/sw1/id", "not hex"));
+  EXPECT_GE(reg.counter("netfs/typed_write_total")->value(), writes + 2);
+  EXPECT_EQ(reg.counter("netfs/validation_fail_total")->value(), fails + 1);
+}
+
+TEST(ObsIntegrationTest, SwitchHitMissCounters) {
+  net::Scheduler scheduler;
+  net::Network network(scheduler);
+  Registry reg;
+
+  sw::SwitchOptions opts;
+  opts.datapath_id = 0x1;
+  sw::Switch dp("dp1", opts, network);
+  dp.add_port(1, MacAddress::from_u64(0x101), "eth0");
+  dp.bind_metrics(reg);
+
+  net::Host h1("h1", MacAddress::from_u64(0xa1), Ipv4Address(0x0a000001),
+               network);
+  ASSERT_TRUE(network.add_link(dp, 1, h1, 0).ok());
+  h1.send_arp_request(Ipv4Address(0x0a000002));
+  scheduler.run_until_idle();
+
+  // No flow table entries yet: the frame is a miss.
+  EXPECT_EQ(reg.counter("sw/flow_hit_total")->value(), 0u);
+  EXPECT_GE(reg.counter("sw/flow_miss_total")->value(), 1u);
+}
+
+TEST(ObsIntegrationTest, ReplicationLagHistogram) {
+  net::Scheduler scheduler;
+  dist::ClusterOptions options;
+  options.nodes = 2;
+  options.link_latency = std::chrono::microseconds(500);
+  dist::Cluster cluster(scheduler, options);
+
+  Registry reg;
+  cluster.fs(1)->bind_metrics(reg);
+
+  auto fs0 = cluster.fs(0);
+  auto switches = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(switches.ok());
+  ASSERT_TRUE(fs0->mkdir(*switches, "sw1", 0755, {}).ok());
+  scheduler.run_until_idle();
+
+  Histogram* lag = reg.histogram("dist/replication_lag_ns");
+  ASSERT_GE(lag->count(), 1u);
+  // One simulated hop from the primary: lag == link latency (500us),
+  // reported within the histogram's ~6% bucket resolution.
+  EXPECT_NEAR(static_cast<double>(lag->percentile(50)), 500'000.0, 35'000.0);
+  EXPECT_GE(reg.counter("dist/replication_apply_total")->value(), 1u);
+}
+
+}  // namespace
+}  // namespace yanc::obs
