@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "yanc/driver/of_driver.hpp"
+#include "yanc/faults/faults_fs.hpp"
 #include "yanc/netfs/yancfs.hpp"
 #include "yanc/obs/stats_fs.hpp"
 #include "yanc/shell/coreutils.hpp"
@@ -43,19 +44,49 @@ constexpr const char* kDemoScript =
     // The controller's own telemetry is a filesystem too (/yanc/.stats):
     "cat /yanc/.stats/driver/of/packet_in_total;"
     "cat /yanc/.stats/driver/of/flow_mod_total;"
-    "ls /yanc/.stats/vfs";
+    "ls /yanc/.stats/vfs;"
+    // Fault injection is a filesystem too (/yanc/.faults): make the
+    // switch links lossy, commit a flow through the drops, and watch the
+    // driver retry/audit machinery repair the damage — then heal.
+    "cat /yanc/.faults/seed;"
+    "echo drop=0.4 > /yanc/.faults/channel/policy;"
+    "cat /yanc/.faults/channel/policy;"
+    "mkdir /net/switches/sw1/flows/web;"
+    "echo 0x0800 > /net/switches/sw1/flows/web/match.dl_type;"
+    "echo 80 > /net/switches/sw1/flows/web/match.tp_dst;"
+    "echo 2 > /net/switches/sw1/flows/web/action.out;"
+    "echo 1 > /net/switches/sw1/flows/web/version;"
+    "sync;"
+    "sync;"
+    "echo off > /yanc/.faults/channel/policy;"
+    "sync;"
+    "cat /yanc/.stats/faults/drop_total;"
+    "cat /yanc/.stats/driver/of/retry_total;"
+    "cat /yanc/.stats/driver/of/audit_total";
 
 struct World {
   std::shared_ptr<vfs::Vfs> vfs = std::make_shared<vfs::Vfs>();
   net::Scheduler scheduler;
   net::Network network{scheduler};
+  std::shared_ptr<faults::Injector> injector =
+      std::make_shared<faults::Injector>(1);
   std::unique_ptr<driver::OfDriver> driver;
   std::vector<std::unique_ptr<sw::Switch>> switches;
   std::shared_ptr<obs::StatsFs> stats;
 
   World() {
     (void)netfs::mount_yanc_fs(*vfs);
-    driver = std::make_unique<driver::OfDriver>(vfs);
+    // Shrink the recovery timers so the fault-injection demo converges
+    // within a couple of sync calls (defaults are sized for real tests).
+    driver::DriverOptions opts;
+    opts.keepalive_interval = 8;
+    opts.keepalive_timeout = 64;
+    opts.request_timeout = 4;
+    opts.audit_interval = 16;
+    driver = std::make_unique<driver::OfDriver>(vfs, opts);
+    driver->listener().set_fault_hook_factory(
+        faults::channel_hook_factory(injector));
+    (void)faults::mount_faults_fs(*vfs, injector);
     if (auto fs = obs::mount_stats_fs(*vfs)) stats = *fs;
     for (std::uint64_t dpid : {1, 2}) {
       sw::SwitchOptions opts;
@@ -72,10 +103,13 @@ struct World {
   }
 
   void sync() {
+    // Keep ticking a while after the network goes idle: the driver's
+    // recovery timers (request retries, table audits, keepalives) run on
+    // poll ticks, and a dropped message leaves no visible work behind.
     for (int round = 0; round < 60; ++round) {
       std::size_t work = driver->poll() + scheduler.run_until_idle();
       for (auto& s : switches) work += s->pump();
-      if (!work) break;
+      if (!work && round >= 32) break;
     }
     if (stats) stats->refresh();
   }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Fault-matrix stress run: builds the tree under ASan+UBSan with the
+# stress tier enabled and sweeps the deterministic recovery scenarios
+# across ten seed bases (100 RNG seeds total).  A failing run prints the
+# YANC_FAULT_SEED that reproduces it — replay with:
+#   YANC_FAULT_SEED=<seed> build-stress/tests/driver_test \
+#       --gtest_filter='DriverFaultMatrix.*'
+# Usage: scripts/stress.sh [build-dir]   (default: build-stress)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-stress}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DYANC_SANITIZE=address,undefined \
+  -DYANC_STRESS=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure -j "$(nproc)"

@@ -23,6 +23,7 @@ struct ReplicatedYancFs::Op {
     chown,
     setxattr,
     removexattr,
+    anti_entropy,  // data = encoded Snapshot
   };
   Kind kind = Kind::mkdir;
   bool via_primary = false;  // strict op awaiting primary fan-out
@@ -77,6 +78,75 @@ struct ReplicatedYancFs::Op {
   }
 };
 
+// A Snapshot is one replica's view of its entire tree, exchanged during
+// anti-entropy: preorder entries (parents before children) with the
+// last-writer version each path was created/written at, plus the
+// tombstones of everything deleted.
+struct ReplicatedYancFs::Snapshot {
+  struct Entry {
+    std::uint8_t type = 0;  // 0 = dir, 1 = file, 2 = symlink
+    std::string path;
+    std::uint64_t ts = 0;
+    std::uint64_t origin = 0;
+    std::string data;  // file content / symlink target
+  };
+  std::vector<Entry> entries;
+  std::vector<std::pair<std::string, Version>> tombstones;
+
+  std::vector<std::uint8_t> encode() const {
+    BufWriter w;
+    auto put_string = [&w](const std::string& s) {
+      w.u32(static_cast<std::uint32_t>(s.size()));
+      w.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+    };
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) {
+      w.u8(e.type);
+      w.u64(e.ts);
+      w.u64(e.origin);
+      put_string(e.path);
+      put_string(e.data);
+    }
+    w.u32(static_cast<std::uint32_t>(tombstones.size()));
+    for (const auto& [path, version] : tombstones) {
+      w.u64(version.first);
+      w.u64(version.second);
+      put_string(path);
+    }
+    return w.take();
+  }
+
+  static Result<Snapshot> decode(const std::string& bytes) {
+    BufReader r({reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                 bytes.size()});
+    auto get_string = [&r]() {
+      std::uint32_t len = r.u32();
+      auto raw = r.bytes(len);
+      return std::string(raw.begin(), raw.end());
+    };
+    Snapshot snap;
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      Entry e;
+      e.type = r.u8();
+      e.ts = r.u64();
+      e.origin = r.u64();
+      e.path = get_string();
+      e.data = get_string();
+      snap.entries.push_back(std::move(e));
+    }
+    std::uint32_t t = r.u32();
+    for (std::uint32_t i = 0; i < t && r.ok(); ++i) {
+      Version version;
+      version.first = r.u64();
+      version.second = r.u64();
+      snap.tombstones.emplace_back(get_string(), version);
+    }
+    if (!r.ok()) return Errc::protocol_error;
+    return snap;
+  }
+};
+
 namespace {
 
 std::pair<std::string, std::string> dir_and_leaf(const std::string& path) {
@@ -84,6 +154,13 @@ std::pair<std::string, std::string> dir_and_leaf(const std::string& path) {
   if (slash == std::string::npos || slash == 0)
     return {"/", path.substr(slash == std::string::npos ? 0 : 1)};
   return {path.substr(0, slash), path.substr(slash + 1)};
+}
+
+bool covers(const std::string& ancestor, const std::string& path) {
+  return path == ancestor ||
+         (path.size() > ancestor.size() && path.compare(0, ancestor.size(),
+                                                        ancestor) == 0 &&
+          path[ancestor.size()] == '/');
 }
 
 }  // namespace
@@ -122,6 +199,8 @@ void ReplicatedYancFs::bind_metrics(obs::Registry& registry) {
   apply_metric_ = registry.counter("dist/replication_apply_total");
   conflict_metric_ = registry.counter("dist/replication_conflict_total");
   lag_metric_ = registry.histogram("dist/replication_lag_ns");
+  ae_round_metric_ = registry.counter("dist/anti_entropy_round_total");
+  ae_repair_metric_ = registry.counter("dist/anti_entropy_repair_total");
 }
 
 void ReplicatedYancFs::emit(Op op) {
@@ -130,8 +209,7 @@ void ReplicatedYancFs::emit(Op op) {
   op.origin = self_;
   op.sent_ns = transport_->clock().now_ns();
   ++local_ops_;
-  if (op.kind == Op::Kind::write || op.kind == Op::Kind::truncate)
-    write_versions_[op.path] = {op.ts, op.origin};
+  note_version(op);
 
   // Consistency is chosen by the nearest xattr above the op's target.
   Mode mode = options_.default_mode;
@@ -161,6 +239,15 @@ void ReplicatedYancFs::handle_message(Transport::NodeId from,
     return;
   }
   lamport_ = std::max(lamport_, op->ts);
+  if (op->kind == Op::Kind::anti_entropy) {
+    auto snap = Snapshot::decode(op->data);
+    if (snap)
+      apply_anti_entropy(*snap);
+    else
+      log_error("dist", "undecodable anti-entropy snapshot");
+    return;
+  }
+  note_version(*op);
   bool applied = apply(*op);
   if (applied) {
     ++remote_ops_;
@@ -273,8 +360,240 @@ bool ReplicatedYancFs::apply(const Op& op) {
       auto ec = removexattr(*node, op.aux, root_creds);
       return done(!ec || ec == make_error_code(Errc::not_found));
     }
+    case Op::Kind::anti_entropy:
+      break;  // dispatched in handle_message, never reaches apply()
   }
   return done(false);
+}
+
+// --- anti-entropy --------------------------------------------------------------
+
+void ReplicatedYancFs::note_version(const Op& op) {
+  Version version{op.ts, op.origin};
+  switch (op.kind) {
+    case Op::Kind::mkdir:
+    case Op::Kind::create:
+    case Op::Kind::symlink:
+    case Op::Kind::write:
+    case Op::Kind::truncate: {
+      auto& v = write_versions_[op.path];
+      v = std::max(v, version);
+      break;
+    }
+    case Op::Kind::unlink:
+    case Op::Kind::rmdir:
+      record_tombstone(op.path, version);
+      break;
+    case Op::Kind::rename: {
+      // Content knowledge follows the subtree to its new name; the old
+      // name gets a tombstone so stale copies of it stay dead.
+      std::vector<std::pair<std::string, Version>> moved;
+      if (auto it = write_versions_.find(op.path);
+          it != write_versions_.end()) {
+        moved.emplace_back(op.aux, it->second);
+        write_versions_.erase(it);
+      }
+      std::string prefix = op.path + "/";
+      for (auto it = write_versions_.lower_bound(prefix);
+           it != write_versions_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0;) {
+        moved.emplace_back(op.aux + it->first.substr(op.path.size()),
+                           it->second);
+        it = write_versions_.erase(it);
+      }
+      record_tombstone(op.path, version);
+      for (auto& [path, v] : moved) {
+        auto& slot = write_versions_[path];
+        slot = std::max(slot, v);
+      }
+      auto& dest = write_versions_[op.aux];
+      dest = std::max(dest, version);
+      break;
+    }
+    default:
+      break;  // metadata-only ops don't move the LWW needle
+  }
+}
+
+ReplicatedYancFs::Version ReplicatedYancFs::version_of(
+    const std::string& path) const {
+  auto it = write_versions_.find(path);
+  return it == write_versions_.end() ? Version{0, 0} : it->second;
+}
+
+ReplicatedYancFs::Version ReplicatedYancFs::newest_in_subtree(
+    const std::string& path) const {
+  Version newest = version_of(path);
+  std::string prefix = path + "/";
+  for (auto it = write_versions_.lower_bound(prefix);
+       it != write_versions_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    newest = std::max(newest, it->second);
+  return newest;
+}
+
+bool ReplicatedYancFs::tombstoned(const std::string& path,
+                                  Version version) const {
+  for (const auto& [dead, dead_version] : tombstones_)
+    if (covers(dead, path) && !(dead_version < version)) return true;
+  return false;
+}
+
+void ReplicatedYancFs::record_tombstone(const std::string& path,
+                                        Version version) {
+  auto [it, inserted] = tombstones_.try_emplace(path, version);
+  if (!inserted && it->second < version) it->second = version;
+  // The deletion supersedes any content knowledge it is newer than;
+  // strictly newer writes survive (they out-rank the tombstone).
+  if (auto wit = write_versions_.find(path);
+      wit != write_versions_.end() && wit->second <= version)
+    write_versions_.erase(wit);
+  std::string prefix = path + "/";
+  for (auto wit = write_versions_.lower_bound(prefix);
+       wit != write_versions_.end() &&
+       wit->first.compare(0, prefix.size(), prefix) == 0;)
+    wit = wit->second <= version ? write_versions_.erase(wit)
+                                 : std::next(wit);
+}
+
+void ReplicatedYancFs::snapshot_subtree(vfs::NodeId node,
+                                        const std::string& path,
+                                        Snapshot& snap) {
+  auto st = getattr(node);
+  if (!st) return;
+  if (!path.empty()) {
+    Snapshot::Entry entry;
+    entry.path = path;
+    auto version = version_of(path);
+    entry.ts = version.first;
+    entry.origin = version.second;
+    if (st->is_dir()) {
+      entry.type = 0;
+    } else if (st->is_symlink()) {
+      entry.type = 2;
+      if (auto target = readlink(node)) entry.data = *target;
+    } else {
+      entry.type = 1;
+      if (auto content = read(node, 0, st->size, Credentials::root()))
+        entry.data = std::move(*content);
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  if (!st->is_dir()) return;
+  auto children = readdir(node);
+  if (!children) return;
+  for (const auto& child : *children)
+    snapshot_subtree(child.node,
+                     (path.empty() ? "" : path) + "/" + child.name, snap);
+}
+
+void ReplicatedYancFs::send_anti_entropy() {
+  if (!transport_) return;
+  Snapshot snap;
+  snapshot_subtree(root(), "", snap);
+  for (const auto& [path, version] : tombstones_)
+    snap.tombstones.emplace_back(path, version);
+  Op op;
+  op.kind = Op::Kind::anti_entropy;
+  op.ts = ++lamport_;
+  op.origin = self_;
+  op.sent_ns = transport_->clock().now_ns();
+  auto bytes = snap.encode();
+  op.data.assign(bytes.begin(), bytes.end());
+  if (ae_round_metric_) ae_round_metric_->add();
+  transport_->broadcast(self_, op.encode());
+}
+
+void ReplicatedYancFs::apply_anti_entropy(const Snapshot& snap) {
+  applying_remote_ = true;
+  // Deletions first: adopt tombstones we have not seen, and tear down any
+  // local subtree the tombstone out-ranks.  A strictly newer local write
+  // survives — our own next broadcast re-teaches it to the cluster.
+  for (const auto& [path, version] : snap.tombstones) {
+    bool existed = resolve_local(path).ok();
+    record_tombstone(path, version);
+    if (existed && !(newest_in_subtree(path) > version)) {
+      remove_subtree_local(path);
+      ++repairs_;
+      if (ae_repair_metric_) ae_repair_metric_->add();
+    }
+  }
+  // Then creations and content, parents before children (preorder).
+  for (const auto& entry : snap.entries) {
+    Version version{entry.ts, entry.origin};
+    if (tombstoned(entry.path, version)) continue;
+    merge_entry_local(entry.type, entry.path, version, entry.data);
+  }
+  applying_remote_ = false;
+}
+
+void ReplicatedYancFs::remove_subtree_local(const std::string& path) {
+  auto node = resolve_local(path);
+  if (!node) return;
+  auto st = getattr(*node);
+  if (!st) return;
+  if (st->is_dir()) {
+    if (auto children = readdir(*node))
+      for (const auto& child : *children)
+        remove_subtree_local(path + "/" + child.name);
+  }
+  auto [dir, leaf] = dir_and_leaf(path);
+  auto parent = resolve_local(dir);
+  if (!parent) return;
+  Credentials root_creds;
+  if (st->is_dir())
+    (void)rmdir(*parent, leaf, root_creds);
+  else
+    (void)unlink(*parent, leaf, root_creds);
+}
+
+void ReplicatedYancFs::merge_entry_local(std::uint8_t type,
+                                         const std::string& path,
+                                         Version version,
+                                         const std::string& data) {
+  Credentials root_creds;
+  Version local = version_of(path);
+  if (auto node = resolve_local(path)) {
+    if (!(version > local)) return;  // ours is as new or newer
+    if (type == 1) {
+      // Adopt the newer content wholesale (anti-entropy ships whole
+      // files, not deltas).
+      if (truncate(*node, 0, root_creds)) return;
+      if (!data.empty() && !write(*node, 0, data, root_creds)) return;
+      ++repairs_;
+      if (ae_repair_metric_) ae_repair_metric_->add();
+    }
+    write_versions_[path] = version;  // dirs/symlinks: version only
+    return;
+  }
+  // Missing locally: recreate it.  The parent exists already because
+  // snapshot entries arrive in preorder (and a missing parent means it
+  // was tombstoned, in which case this child was skipped too).
+  auto [dir, leaf] = dir_and_leaf(path);
+  auto parent = resolve_local(dir);
+  if (!parent) return;
+  bool created = false;
+  switch (type) {
+    case 0:
+      created = mkdir(*parent, leaf, 0755, root_creds).ok();
+      break;
+    case 1: {
+      auto node = create(*parent, leaf, 0644, root_creds);
+      if (node) {
+        created = true;
+        if (!data.empty()) (void)write(*node, 0, data, root_creds);
+      }
+      break;
+    }
+    case 2:
+      created = symlink(*parent, leaf, data, root_creds).ok();
+      break;
+  }
+  if (!created) return;
+  write_versions_[path] = std::max(local, version);
+  ++repairs_;
+  if (ae_repair_metric_) ae_repair_metric_->add();
 }
 
 // --- mutating overrides -------------------------------------------------------

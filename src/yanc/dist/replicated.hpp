@@ -77,8 +77,19 @@ class ReplicatedYancFs : public netfs::YancFs {
   /// Registers dist/replication_{apply,conflict}_total and
   /// dist/replication_lag_ns in `registry` (typically the registry of the
   /// Vfs this replica is mounted into).  Lag is virtual time from the
-  /// origin's emit to this node's apply.
+  /// origin's emit to this node's apply.  Also registers
+  /// dist/anti_entropy_{round,repair}_total.
   void bind_metrics(obs::Registry& registry);
+
+  /// Anti-entropy (§6 made honest about lossy links): broadcasts a
+  /// summary of this replica's whole tree — every path with its
+  /// last-writer version and content, plus deletion tombstones.
+  /// Receivers repair divergence: recreate what they missed, adopt newer
+  /// content, and honour deletions they never saw.  Op-log replication
+  /// keeps replicas converged when every message arrives; this pass
+  /// restores convergence when some did not.  One full round =
+  /// Cluster::anti_entropy_round() (every node broadcasts once).
+  void send_anti_entropy();
 
   // --- statistics --------------------------------------------------------
   std::uint64_t local_ops() const noexcept { return local_ops_; }
@@ -86,11 +97,14 @@ class ReplicatedYancFs : public netfs::YancFs {
   std::uint64_t conflicts_ignored() const noexcept { return conflicts_; }
   /// Total synchronous delay charged by strict-mode primary round trips.
   std::uint64_t sync_delay_ns() const noexcept { return sync_delay_ns_; }
+  /// Nodes/files this replica fixed up during anti-entropy merges.
+  std::uint64_t repairs_applied() const noexcept { return repairs_; }
 
  private:
   friend class Cluster;
 
   struct Op;
+  struct Snapshot;
   void handle_message(Transport::NodeId from,
                       const std::vector<std::uint8_t>& bytes);
   /// Applies a (possibly remote) op; returns false on conflict.
@@ -100,21 +114,43 @@ class ReplicatedYancFs : public netfs::YancFs {
   Mode mode_for(vfs::NodeId node) const;
   Result<vfs::NodeId> resolve_local(const std::string& path);
 
+  using Version = std::pair<std::uint64_t, std::uint64_t>;  // (ts, origin)
+  Version version_of(const std::string& path) const;
+  Version newest_in_subtree(const std::string& path) const;
+  /// True when `path` (or an ancestor) has a tombstone at least as new
+  /// as `version`.
+  bool tombstoned(const std::string& path, Version version) const;
+  void record_tombstone(const std::string& path, Version version);
+  /// Folds one (local or remote) op into write_versions_/tombstones_.
+  void note_version(const Op& op);
+  void snapshot_subtree(vfs::NodeId node, const std::string& path,
+                        Snapshot& snap);
+  void apply_anti_entropy(const Snapshot& snap);
+  void remove_subtree_local(const std::string& path);
+  void merge_entry_local(std::uint8_t type, const std::string& path,
+                         Version version, const std::string& data);
+
   ReplicaOptions options_;
   Transport* transport_ = nullptr;
   Transport::NodeId self_ = 0;
   Transport::NodeId primary_ = 0;
   bool applying_remote_ = false;
   std::uint64_t lamport_ = 0;
-  // Last-writer-wins bookkeeping for content writes: path -> (ts, origin).
-  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
-      write_versions_;
+  // Last-writer-wins bookkeeping: path -> (ts, origin) of the newest
+  // content write or node creation seen for that path.
+  std::map<std::string, Version> write_versions_;
+  // Deletions survive as tombstones so anti-entropy never resurrects a
+  // path a newer unlink/rmdir removed.  A tombstone covers its subtree.
+  std::map<std::string, Version> tombstones_;
   std::uint64_t local_ops_ = 0;
   std::uint64_t remote_ops_ = 0;
   std::uint64_t conflicts_ = 0;
   std::uint64_t sync_delay_ns_ = 0;
+  std::uint64_t repairs_ = 0;
   obs::Counter* apply_metric_ = nullptr;
   obs::Counter* conflict_metric_ = nullptr;
+  obs::Counter* ae_round_metric_ = nullptr;
+  obs::Counter* ae_repair_metric_ = nullptr;
   obs::Histogram* lag_metric_ = nullptr;
 };
 
@@ -141,6 +177,13 @@ class Cluster {
   }
   void heal(std::size_t a, std::size_t b) {
     transport_.set_partitioned(a, b, false);
+  }
+
+  /// One anti-entropy round: every replica broadcasts its tree summary.
+  /// Run the scheduler afterwards, then repeat once more if repairs on
+  /// one node must propagate knowledge back to the others.
+  void anti_entropy_round() {
+    for (auto& replica : replicas_) replica->send_anti_entropy();
   }
 
  private:

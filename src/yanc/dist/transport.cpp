@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "yanc/faults/injector.hpp"
+
 namespace yanc::dist {
 
 namespace {
@@ -21,11 +23,21 @@ void Transport::send(NodeId from, NodeId to,
   if (to >= handlers_.size() || from == to) return;
   ++messages_;
   bytes_ += message.size();
+  LinkFate fate;
+  if (filter_) fate = filter_(message);
+  if (fate.drop) {
+    ++dropped_;
+    return;
+  }
   if (partitioned(from, to)) {
+    // Queued-for-heal traffic models TCP retransmission; a rolled
+    // duplicate would be deduplicated by sequence numbers there, so the
+    // partition queue absorbs it.
     queued_[{from, to}].push_back(std::move(message));
     return;
   }
-  deliver(from, to, std::move(message));
+  if (fate.duplicate) deliver(from, to, message, fate.extra_delay);
+  deliver(from, to, std::move(message), fate.extra_delay);
 }
 
 void Transport::broadcast(NodeId from,
@@ -53,10 +65,37 @@ bool Transport::partitioned(NodeId a, NodeId b) const {
 }
 
 void Transport::deliver(NodeId from, NodeId to,
-                        std::vector<std::uint8_t> message) {
+                        std::vector<std::uint8_t> message,
+                        VirtualClock::duration extra_delay) {
   scheduler_.schedule_after(
-      latency_, [this, from, to, message = std::move(message)]() {
+      latency_ + extra_delay,
+      [this, from, to, message = std::move(message)]() {
         handlers_[to](from, message);
+      });
+}
+
+void attach_faults(Transport& transport,
+                   std::shared_ptr<faults::Injector> injector) {
+  if (!injector) {
+    transport.set_fault_filter(nullptr);
+    return;
+  }
+  VirtualClock::duration latency = transport.latency();
+  transport.set_fault_filter(
+      [injector, latency](std::vector<std::uint8_t>& message) {
+        Transport::LinkFate fate;
+        auto wire = injector->decide(faults::Scope::transport, message);
+        if (!wire) {
+          // Point-to-point replica links have no connection to sever;
+          // a rolled disconnect degrades to a drop.
+          fate.drop = true;
+          return fate;
+        }
+        fate.drop = wire->drop;
+        fate.duplicate = wire->duplicate;
+        if (wire->reorder) fate.extra_delay += latency;
+        if (wire->delay) fate.extra_delay += 4 * latency;
+        return fate;
       });
 }
 

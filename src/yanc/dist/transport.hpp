@@ -5,14 +5,25 @@
 // case traffic queues and is delivered in order when the partition heals
 // (modelling a network that drops TCP into retransmission, not one that
 // loses committed state).
+//
+// A fault filter adds the lossy mode the partition model deliberately
+// lacks: per-message drop/duplicate/extra-delay decided by an installed
+// filter (typically faults::Injector via attach_faults), so replicas can
+// genuinely diverge — the failure ReplicatedYancFs's anti-entropy pass
+// exists to repair.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "yanc/net/simnet.hpp"
+
+namespace yanc::faults {
+class Injector;
+}
 
 namespace yanc::dist {
 
@@ -32,6 +43,21 @@ class Transport {
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> message);
   void broadcast(NodeId from, const std::vector<std::uint8_t>& message);
 
+  /// Per-message fate on a lossy link.  The filter may corrupt the
+  /// message in place; `extra_delay` is added on top of the link latency.
+  struct LinkFate {
+    bool drop = false;
+    bool duplicate = false;
+    VirtualClock::duration extra_delay{};
+  };
+  using FaultFilter = std::function<LinkFate(std::vector<std::uint8_t>&)>;
+
+  /// Installs (or, with nullptr, removes) the lossy mode.  Runs once per
+  /// destination — a broadcast rolls fate independently per link, like
+  /// independent physical paths.
+  void set_fault_filter(FaultFilter filter) { filter_ = std::move(filter); }
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
   /// Blocks (or heals) the pair; healing flushes queued traffic in order.
   void set_partitioned(NodeId a, NodeId b, bool blocked);
   bool partitioned(NodeId a, NodeId b) const;
@@ -43,7 +69,8 @@ class Transport {
   std::uint64_t bytes_sent() const noexcept { return bytes_; }
 
  private:
-  void deliver(NodeId from, NodeId to, std::vector<std::uint8_t> message);
+  void deliver(NodeId from, NodeId to, std::vector<std::uint8_t> message,
+               VirtualClock::duration extra_delay = {});
 
   net::Scheduler& scheduler_;
   VirtualClock::duration latency_;
@@ -52,8 +79,16 @@ class Transport {
   std::map<std::pair<NodeId, NodeId>,
            std::vector<std::vector<std::uint8_t>>>
       queued_;
+  FaultFilter filter_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
 };
+
+/// Drives `transport`'s fault filter from `injector`'s transport-scope
+/// plan: drop/duplicate/corrupt map directly; reorder becomes one extra
+/// link latency (later sends overtake), delay becomes four.
+void attach_faults(Transport& transport,
+                   std::shared_ptr<faults::Injector> injector);
 
 }  // namespace yanc::dist

@@ -20,6 +20,25 @@ struct OfDriver::Connection {
   std::string path;  // absolute switch directory path
   std::uint32_t next_xid = 1;
 
+  // --- liveness / recovery state (ticks = driver poll counter) ---------
+  std::uint64_t last_recv_tick = 0;  // last message from the switch
+  std::uint64_t last_ping_tick = 0;  // last keepalive we sent
+  std::uint64_t last_audit_tick = 0;
+  bool down_marked = false;  // status=down already written
+  // A newer connection presented the same dpid and owns the switch
+  // directory now; this zombie must not touch the FS on its way out.
+  bool superseded = false;
+
+  // In-flight tracked requests (flow-commit barriers, the features
+  // handshake), keyed by xid.  An empty flow_name means the handshake.
+  struct PendingRequest {
+    std::string flow_name;
+    std::uint64_t deadline = 0;  // tick at which to retry
+    std::uint32_t retries = 0;
+  };
+  std::map<std::uint32_t, PendingRequest> pending;
+  std::uint32_t audit_xid = 0;  // outstanding audit flow-stats request
+
   struct FlowState {
     std::uint64_t pushed_version = 0;
     FlowSpec pushed;  // last spec sent to hardware
@@ -64,6 +83,13 @@ OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
   metrics_.packet_in_total = reg.counter("driver/of/packet_in_total");
   metrics_.packet_out_total = reg.counter("driver/of/packet_out_total");
   metrics_.flow_mod_total = reg.counter("driver/of/flow_mod_total");
+  metrics_.send_fail_total = reg.counter("driver/of/send_fail_total");
+  metrics_.keepalive_timeout_total =
+      reg.counter("driver/of/keepalive_timeout_total");
+  metrics_.retry_total = reg.counter("driver/of/retry_total");
+  metrics_.resync_total = reg.counter("driver/of/resync_total");
+  metrics_.audit_total = reg.counter("driver/of/audit_total");
+  metrics_.audit_repair_total = reg.counter("driver/of/audit_repair_total");
   metrics_.echo_rtt_ns = reg.histogram("driver/of/echo_rtt_ns");
   fs_events_->bind_metrics(reg.gauge("netfs/watch_queue_depth"),
                            reg.counter("netfs/watch_drop_total"));
@@ -86,29 +112,38 @@ Result<std::string> OfDriver::switch_name(std::uint64_t dpid) const {
   return Errc::not_found;
 }
 
-void OfDriver::send(Connection& conn, const ofp::Message& message) {
+std::uint32_t OfDriver::send(Connection& conn, const ofp::Message& message) {
+  std::uint32_t xid = conn.next_xid++;
+  auto bytes = ofp::encode(options_.version, xid, message);
+  if (!bytes) {
+    log_error("driver", "cannot encode " + ofp::message_name(message) +
+                            " for OpenFlow " +
+                            ofp::version_name(options_.version));
+    return 0;
+  }
+  if (!conn.channel.send(std::move(*bytes))) {
+    // Peer hung up (or a fault hook severed the link) — the reap pass
+    // will mark the switch down; don't count the message as sent.
+    metrics_.send_fail_total->add();
+    return 0;
+  }
   metrics_.msg_out_total->add();
   if (std::holds_alternative<ofp::FlowMod>(message))
     metrics_.flow_mod_total->add();
   else if (std::holds_alternative<ofp::PacketOut>(message))
     metrics_.packet_out_total->add();
-  auto bytes = ofp::encode(options_.version, conn.next_xid++, message);
-  if (!bytes) {
-    log_error("driver", "cannot encode " + ofp::message_name(message) +
-                            " for OpenFlow " +
-                            ofp::version_name(options_.version));
-    return;
-  }
-  conn.channel.send(std::move(*bytes));
+  return xid;
 }
 
 std::size_t OfDriver::poll() {
+  ++tick_;
   std::size_t work = accept_new();
-  for (auto& conn : connections_) {
-    if (!conn->channel.connected()) continue;
-    work += pump_connection(*conn);
-  }
+  // Pump even channels whose peer already closed: messages the switch
+  // managed to send before dying are still queued (half-close) and must
+  // be processed before the connection is reaped.
+  for (auto& conn : connections_) work += pump_connection(*conn);
   work += drain_fs_events();
+  service_timers();
 
   // Reap dead connections: mark the FS, drop watches.
   for (auto it = connections_.begin(); it != connections_.end();) {
@@ -117,8 +152,7 @@ std::size_t OfDriver::poll() {
       continue;
     }
     Connection* conn = it->get();
-    if (!conn->path.empty())
-      (void)vfs_->write_file(conn->path + "/connected", "0");
+    mark_down(*conn);
     for (auto ctx = watch_contexts_.begin(); ctx != watch_contexts_.end();)
       ctx = ctx->second.conn == conn ? watch_contexts_.erase(ctx)
                                      : std::next(ctx);
@@ -133,8 +167,10 @@ std::size_t OfDriver::accept_new() {
   while (auto channel = listener_.accept()) {
     auto conn = std::make_unique<Connection>();
     conn->channel = std::move(*channel);
+    conn->last_recv_tick = tick_;
+    conn->last_audit_tick = tick_;
     send(*conn, ofp::Hello{});
-    send(*conn, ofp::FeaturesRequest{});
+    track_commit(*conn, "", 0);  // tracked FeaturesRequest
     connections_.push_back(std::move(conn));
     ++accepted;
   }
@@ -158,6 +194,7 @@ std::size_t OfDriver::pump_connection(Connection& conn) {
       return handled;
     }
     metrics_.msg_in_total->add();
+    conn.last_recv_tick = tick_;
     handle_switch_message(conn, *decoded);
     ++handled;
   }
@@ -167,6 +204,15 @@ std::size_t OfDriver::pump_connection(Connection& conn) {
 void OfDriver::handle_switch_message(Connection& conn,
                                      const ofp::Decoded& decoded) {
   const auto& m = decoded.message;
+  // Reply-type messages acknowledge the tracked request with the same
+  // xid.  (Switch-originated traffic keeps its own xid space and is not
+  // consulted, so it cannot spuriously clear a pending retry.)
+  if (std::holds_alternative<ofp::BarrierReply>(m) ||
+      std::holds_alternative<ofp::FeaturesReply>(m) ||
+      std::holds_alternative<ofp::EchoReply>(m) ||
+      std::holds_alternative<ofp::StatsReply>(m) ||
+      std::holds_alternative<ofp::Error>(m))
+    conn.pending.erase(decoded.header.xid);
   if (std::holds_alternative<ofp::Hello>(m)) return;
   if (auto* echo = std::get_if<ofp::EchoRequest>(&m)) {
     send(conn, ofp::EchoReply{echo->data});
@@ -204,7 +250,7 @@ void OfDriver::handle_switch_message(Connection& conn,
     return;
   }
   if (auto* sr = std::get_if<ofp::StatsReply>(&m)) {
-    on_stats_reply(conn, *sr);
+    on_stats_reply(conn, *sr, decoded.header.xid);
     return;
   }
   if (auto* err = std::get_if<ofp::Error>(&m)) {
@@ -219,6 +265,16 @@ void OfDriver::handle_switch_message(Connection& conn,
 void OfDriver::on_features(Connection& conn,
                            const ofp::FeaturesReply& features) {
   conn.dpid = features.datapath_id;
+
+  // A reborn switch supersedes any zombie connection still carrying its
+  // dpid: close the zombie and flag it so its reap cannot stomp the
+  // status/connected files this connection is about to own.
+  for (auto& other : connections_) {
+    if (other.get() == &conn || other->dpid != conn.dpid || conn.dpid == 0)
+      continue;
+    other->superseded = true;
+    other->channel.close();
+  }
 
   // Reconnect support: reuse an existing directory whose id matches.
   std::string switches = options_.net_root + "/switches";
@@ -261,6 +317,7 @@ void OfDriver::on_features(Connection& conn,
   (void)vfs_->write_file(conn.path + "/protocol_version",
                          ofp::version_name(options_.version));
   (void)vfs_->write_file(conn.path + "/connected", "1");
+  (void)vfs_->write_file(conn.path + "/status", "up");
 
   create_switch_tree(conn, features.ports);
   conn.state = Connection::State::ready;
@@ -315,10 +372,14 @@ void OfDriver::create_switch_tree(Connection& conn,
   }
 
   // Flows may already exist (reconnect): adopt and push committed ones.
+  // This is the FS-driven resync — the directory tree, not driver RAM,
+  // is the record a reborn switch is restored from (§3.4).
   if (auto names = vfs_->readdir(flows_dir)) {
     for (const auto& e : *names) {
       watch_flow(conn, e.name);
       push_flow(conn, e.name);
+      if (conn.flows[e.name].pushed_version > 0)
+        metrics_.resync_total->add();
     }
   }
 }
@@ -368,7 +429,8 @@ void OfDriver::watch_flow(Connection& conn, const std::string& flow_name) {
       WatchContext{WatchContext::Kind::flow_version, &conn, flow_name};
 }
 
-void OfDriver::push_flow(Connection& conn, const std::string& flow_name) {
+void OfDriver::push_flow(Connection& conn, const std::string& flow_name,
+                         std::uint32_t retries) {
   auto state_it = conn.flows.find(flow_name);
   if (state_it == conn.flows.end()) return;
   auto& state = state_it->second;
@@ -401,6 +463,9 @@ void OfDriver::push_flow(Connection& conn, const std::string& flow_name) {
   add.flags = ofp::kFlagSendFlowRemoved;
   send(conn, add);
   bump_counter(conn.path + "/counters/flow_mods");
+  // A barrier covers the commit; until its reply arrives the flow_mod is
+  // not assumed to have survived the wire.
+  track_commit(conn, flow_name, retries);
 
   state.pushed_version = spec->version;
   state.pushed = *spec;
@@ -419,12 +484,7 @@ std::size_t OfDriver::drain_fs_events() {
       log_error("driver", "watch queue overflow; rescanning flows");
       for (auto& conn : connections_) {
         if (conn->state != Connection::State::ready) continue;
-        if (auto names = vfs_->readdir(conn->path + "/flows")) {
-          for (const auto& e : *names) {
-            if (!conn->flows.count(e.name)) watch_flow(*conn, e.name);
-            push_flow(*conn, e.name);
-          }
-        }
+        rescan_flows(*conn);
       }
       continue;
     }
@@ -506,6 +566,223 @@ std::size_t OfDriver::drain_fs_events() {
     }
   }
   return handled;
+}
+
+void OfDriver::rescan_flows(Connection& conn) {
+  std::string flows_dir = conn.path + "/flows";
+  auto names = vfs_->readdir(flows_dir);
+  if (!names) return;
+
+  std::set<std::string> present;
+  for (const auto& e : *names) {
+    present.insert(e.name);
+    auto it = conn.flows.find(e.name);
+    if (it != conn.flows.end()) {
+      // The flow may have been deleted and recreated under the same name
+      // while events were being lost, leaving our version watch armed on
+      // a dead inode.  Compare nodes and re-arm when they differ.
+      auto resolved = vfs_->resolve(flows_dir + "/" + e.name + "/version",
+                                    Credentials::root());
+      if (resolved && resolved->node == it->second.version_node) {
+        push_flow(conn, e.name);
+        continue;
+      }
+      // Different version node: the flow was deleted and recreated.  The
+      // spec the dead incarnation pushed is no longer in the FS, so take
+      // it off the hardware before adopting the new one.
+      if (conn.suppress_delete.erase(e.name) == 0 &&
+          it->second.pushed_version > 0) {
+        ofp::FlowMod del;
+        del.command = ofp::FlowMod::Command::remove_strict;
+        del.spec = it->second.pushed;
+        send(conn, del);
+        bump_counter(conn.path + "/counters/flow_mods");
+      }
+      watch_contexts_.erase(it->second.version_node);
+      conn.flows.erase(it);
+    }
+    watch_flow(conn, e.name);
+    push_flow(conn, e.name);
+  }
+
+  // Deletions whose events were lost: the hardware entry must go too.
+  for (auto it = conn.flows.begin(); it != conn.flows.end();) {
+    if (present.count(it->first)) {
+      ++it;
+      continue;
+    }
+    if (conn.suppress_delete.erase(it->first) == 0 &&
+        it->second.pushed_version > 0) {
+      ofp::FlowMod del;
+      del.command = ofp::FlowMod::Command::remove_strict;
+      del.spec = it->second.pushed;
+      send(conn, del);
+      bump_counter(conn.path + "/counters/flow_mods");
+    }
+    watch_contexts_.erase(it->second.version_node);
+    it = conn.flows.erase(it);
+  }
+}
+
+void OfDriver::mark_down(Connection& conn) {
+  if (conn.down_marked || conn.superseded || conn.path.empty()) return;
+  conn.down_marked = true;
+  (void)vfs_->write_file(conn.path + "/status", "down");
+  (void)vfs_->write_file(conn.path + "/connected", "0");
+}
+
+void OfDriver::track_commit(Connection& conn, const std::string& flow_name,
+                            std::uint32_t retries) {
+  std::uint32_t xid =
+      flow_name.empty()
+          ? send(conn, ofp::FeaturesRequest{})
+          : send(conn, ofp::BarrierRequest{});
+  if (!xid) return;
+  // Bounded exponential backoff: timeout doubles per retry (shift capped
+  // so the arithmetic can't overflow).
+  std::uint64_t wait = options_.request_timeout
+                       << std::min<std::uint32_t>(retries, 16);
+  conn.pending[xid] =
+      Connection::PendingRequest{flow_name, tick_ + wait, retries};
+}
+
+void OfDriver::retry_request(Connection& conn, const std::string& flow_name,
+                             std::uint32_t retries) {
+  metrics_.retry_total->add();
+  if (flow_name.empty()) {
+    // Handshake lost on the wire: ask again.
+    if (conn.state == Connection::State::handshaking)
+      track_commit(conn, "", retries);
+    return;
+  }
+  auto it = conn.flows.find(flow_name);
+  if (it == conn.flows.end()) return;  // deleted meanwhile; audit covers it
+  it->second.pushed_version = 0;       // force the re-send
+  push_flow(conn, flow_name, retries);
+}
+
+void OfDriver::service_timers() {
+  for (auto& connp : connections_) {
+    Connection& conn = *connp;
+    if (!conn.channel.connected() || conn.superseded) continue;
+
+    // Liveness: silent for too long -> down; idle -> keepalive echo.
+    if (options_.keepalive_timeout &&
+        tick_ - conn.last_recv_tick >= options_.keepalive_timeout) {
+      metrics_.keepalive_timeout_total->add();
+      log_error("driver", (conn.name.empty() ? "<handshake>" : conn.name) +
+                              ": keepalive timeout; declaring down");
+      mark_down(conn);
+      conn.channel.close();
+      continue;
+    }
+    if (options_.keepalive_interval &&
+        conn.state == Connection::State::ready &&
+        tick_ - conn.last_recv_tick >= options_.keepalive_interval &&
+        tick_ - conn.last_ping_tick >= options_.keepalive_interval) {
+      conn.last_ping_tick = tick_;
+      auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+      ofp::EchoRequest ping;
+      ping.data.resize(8);
+      for (int i = 0; i < 8; ++i)
+        ping.data[i] = static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(now) >> (8 * i));
+      send(conn, ping);
+    }
+
+    // Tracked-request timeouts with bounded retries.
+    std::vector<Connection::PendingRequest> expired;
+    for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+      if (tick_ < it->second.deadline) {
+        ++it;
+        continue;
+      }
+      expired.push_back(it->second);
+      it = conn.pending.erase(it);
+    }
+    for (const auto& request : expired) {
+      if (request.retries >= options_.max_retries) {
+        log_error("driver",
+                  (conn.name.empty() ? "<handshake>" : conn.name) +
+                      ": request abandoned after " +
+                      std::to_string(request.retries) +
+                      " retries; declaring down");
+        mark_down(conn);
+        conn.channel.close();
+        break;
+      }
+      retry_request(conn, request.flow_name, request.retries + 1);
+    }
+    if (!conn.channel.connected()) continue;
+
+    // Periodic audit: barriers confirm ordering, not delivery of what
+    // came before them on a lossy link; the audit compares the FS (the
+    // record) against hardware (flow stats) and repairs the difference.
+    // An audit still outstanding after a whole further interval is
+    // presumed lost (request or reply eaten by the wire) and replaced —
+    // its xid must not wedge auditing for good.
+    if (options_.audit_interval && conn.state == Connection::State::ready &&
+        tick_ - conn.last_audit_tick >= options_.audit_interval) {
+      conn.last_audit_tick = tick_;
+      ofp::StatsRequest flows;
+      flows.kind = ofp::StatsKind::flow;
+      conn.audit_xid = send(conn, flows);
+      if (conn.audit_xid) metrics_.audit_total->add();
+    }
+  }
+}
+
+void OfDriver::audit_reconcile(Connection& conn, const ofp::StatsReply& sr) {
+  // Ground truth is the FS: every committed flows/<name> must be on the
+  // hardware, and nothing else may be.
+  std::string flows_dir = conn.path + "/flows";
+  auto names = vfs_->readdir(flows_dir);
+  if (!names) return;
+
+  std::vector<const flow::FlowSpec*> hardware;
+  for (const auto& entry : sr.flows) hardware.push_back(&entry.spec);
+  std::vector<bool> claimed(hardware.size(), false);
+
+  for (const auto& e : *names) {
+    auto spec = netfs::read_flow(*vfs_, flows_dir + "/" + e.name);
+    if (!spec || spec->version == 0) continue;  // uncommitted: not expected
+    bool found = false;
+    for (std::size_t i = 0; i < hardware.size(); ++i) {
+      if (claimed[i]) continue;
+      if (hardware[i]->match == spec->match &&
+          hardware[i]->priority == spec->priority &&
+          hardware[i]->table_id == spec->table_id) {
+        claimed[i] = found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    // Committed in the FS, absent from hardware: a flow_mod died on the
+    // wire after its barrier survived.  Re-push from the record.
+    metrics_.audit_repair_total->add();
+    metrics_.resync_total->add();
+    auto it = conn.flows.find(e.name);
+    if (it == conn.flows.end()) {
+      watch_flow(conn, e.name);
+      it = conn.flows.find(e.name);
+      if (it == conn.flows.end()) continue;
+    }
+    it->second.pushed_version = 0;
+    push_flow(conn, e.name);
+  }
+
+  // Hardware entries no FS flow claims: stale state from a previous life
+  // (or a delete whose flow_mod was lost).  Remove them.
+  for (std::size_t i = 0; i < hardware.size(); ++i) {
+    if (claimed[i]) continue;
+    metrics_.audit_repair_total->add();
+    ofp::FlowMod del;
+    del.command = ofp::FlowMod::Command::remove_strict;
+    del.spec = *hardware[i];
+    send(conn, del);
+  }
 }
 
 void OfDriver::send_packet_out_dir(Connection& conn, const std::string& name) {
@@ -600,7 +877,13 @@ void OfDriver::on_flow_removed(Connection& conn, const ofp::FlowRemoved& fr) {
   }
 }
 
-void OfDriver::on_stats_reply(Connection& conn, const ofp::StatsReply& sr) {
+void OfDriver::on_stats_reply(Connection& conn, const ofp::StatsReply& sr,
+                              std::uint32_t xid) {
+  if (sr.kind == ofp::StatsKind::flow && xid != 0 &&
+      xid == conn.audit_xid) {
+    conn.audit_xid = 0;
+    audit_reconcile(conn, sr);
+  }
   switch (sr.kind) {
     case ofp::StatsKind::desc:
       (void)vfs_->write_file(conn.path + "/manufacturer", sr.manufacturer);

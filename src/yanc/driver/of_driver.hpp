@@ -39,8 +39,28 @@ struct DriverOptions {
   std::string switch_name_prefix = "sw";
   /// Capacity of the driver's file-system event queue.  When it overflows
   /// (inotify-style), the driver rescans every flows/ directory it owns —
-  /// small values exercise that recovery path in tests.
+  /// re-arming stale watches and reconciling lost deletions — so small
+  /// values exercise that recovery path in tests.
   std::size_t fs_queue_capacity = 1 << 16;
+
+  // Liveness and recovery knobs.  All intervals count poll() calls
+  // ("ticks"), not wall time, so behaviour is deterministic under the
+  // simulated network.  Defaults are sized well above the settle loops of
+  // ordinary tests; fault tests shrink them to exercise recovery quickly.
+  /// Idle ticks (no message from the switch) before an echo keepalive.
+  std::uint64_t keepalive_interval = 64;
+  /// Silent ticks before a switch is declared dead: status=down,
+  /// connection closed.  0 disables liveness tracking.
+  std::uint64_t keepalive_timeout = 512;
+  /// Ticks before an unacknowledged tracked request (flow-commit barrier,
+  /// features handshake) is retried.  Doubles per retry.
+  std::uint64_t request_timeout = 64;
+  /// Retries before the driver gives up on a switch and declares it down.
+  std::uint32_t max_retries = 8;
+  /// Ticks between flow-table audits (flow-stats reconcile of the FS
+  /// against hardware; repairs drift that barriers cannot see, e.g. a
+  /// dropped FLOW_MOD whose barrier still got through).  0 disables.
+  std::uint64_t audit_interval = 512;
 };
 
 class OfDriver {
@@ -85,16 +105,41 @@ class OfDriver {
   void on_packet_in(Connection& conn, const ofp::PacketIn& pi);
   void on_port_status(Connection& conn, const ofp::PortStatus& ps);
   void on_flow_removed(Connection& conn, const ofp::FlowRemoved& fr);
-  void on_stats_reply(Connection& conn, const ofp::StatsReply& sr);
+  void on_stats_reply(Connection& conn, const ofp::StatsReply& sr,
+                      std::uint32_t xid);
 
   void create_switch_tree(Connection& conn,
                           const std::vector<ofp::PortDesc>& ports);
   void create_port_dir(Connection& conn, const ofp::PortDesc& port);
   void watch_flow(Connection& conn, const std::string& flow_name);
-  void push_flow(Connection& conn, const std::string& flow_name);
+  void push_flow(Connection& conn, const std::string& flow_name,
+                 std::uint32_t retries = 0);
   void send_packet_out_dir(Connection& conn, const std::string& name);
   void bump_counter(const std::string& path, std::uint64_t delta = 1);
-  void send(Connection& conn, const ofp::Message& message);
+  /// Encodes and transmits; returns the xid used, or 0 when the message
+  /// could not be encoded or the peer is gone (counted in send_fail_total).
+  std::uint32_t send(Connection& conn, const ofp::Message& message);
+
+  // --- failure domains (docs/ROBUSTNESS.md) ---------------------------
+  /// Writes status=down + connected=0 for the switch, once, unless a
+  /// newer connection for the same dpid has taken over the directory.
+  void mark_down(Connection& conn);
+  /// Sends a tracked BarrierRequest covering `flow_name`'s commit (empty
+  /// name = features handshake); arms the retry timer.
+  void track_commit(Connection& conn, const std::string& flow_name,
+                    std::uint32_t retries);
+  /// Keepalives, request timeouts with exponential backoff, audits.
+  void service_timers();
+  /// Handles one expired tracked request on `conn`.
+  void retry_request(Connection& conn, const std::string& flow_name,
+                     std::uint32_t retries);
+  /// Reconciles the FS flow directories against an audit flow-stats
+  /// reply: re-pushes committed flows missing from hardware, deletes
+  /// hardware entries no FS flow claims.
+  void audit_reconcile(Connection& conn, const ofp::StatsReply& sr);
+  /// Full flows/ rescan after a watch-queue overflow: re-arms stale
+  /// watches, pushes missed commits, reconciles missed deletions.
+  void rescan_flows(Connection& conn);
 
   std::shared_ptr<vfs::Vfs> vfs_;
   DriverOptions options_;
@@ -108,6 +153,12 @@ class OfDriver {
     obs::Counter* packet_in_total;
     obs::Counter* packet_out_total;
     obs::Counter* flow_mod_total;
+    obs::Counter* send_fail_total;
+    obs::Counter* keepalive_timeout_total;
+    obs::Counter* retry_total;
+    obs::Counter* resync_total;
+    obs::Counter* audit_total;
+    obs::Counter* audit_repair_total;
     obs::Histogram* echo_rtt_ns;
   } metrics_;
 
@@ -116,6 +167,8 @@ class OfDriver {
   std::map<vfs::NodeId, WatchContext> watch_contexts_;
   std::uint64_t next_switch_index_ = 1;
   std::uint64_t next_pkt_seq_ = 1;
+  /// Poll counter; every liveness/retry deadline is expressed in it.
+  std::uint64_t tick_ = 0;
 };
 
 }  // namespace yanc::driver

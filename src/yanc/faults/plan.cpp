@@ -1,0 +1,76 @@
+#include "yanc/faults/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::faults {
+
+namespace {
+
+Result<double> parse_probability(std::string_view text) {
+  std::string buf(text);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') return Errc::invalid_argument;
+  if (!(v >= 0.0 && v <= 1.0)) return Errc::invalid_argument;  // rejects NaN
+  return v;
+}
+
+std::string format_probability(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(std::string_view text) {
+  auto trimmed = trim(text);
+  FaultPlan plan;
+  if (trimmed.empty() || trimmed == "off" || trimmed == "clear") return plan;
+  for (const auto& token : split_nonempty(trimmed, ' ')) {
+    auto eq = token.find('=');
+    if (eq == std::string::npos) return Errc::invalid_argument;
+    auto key = token.substr(0, eq);
+    auto value = token.substr(eq + 1);
+    if (key == "delay_msgs") {
+      auto n = parse_u64(value);
+      if (!n || *n == 0 || *n > 1024) return Errc::invalid_argument;
+      plan.delay_msgs = static_cast<std::uint32_t>(*n);
+      continue;
+    }
+    auto p = parse_probability(value);
+    if (!p) return p.error();
+    if (key == "drop")
+      plan.drop = *p;
+    else if (key == "duplicate" || key == "dup")
+      plan.duplicate = *p;
+    else if (key == "reorder")
+      plan.reorder = *p;
+    else if (key == "corrupt")
+      plan.corrupt = *p;
+    else if (key == "delay")
+      plan.delay = *p;
+    else if (key == "disconnect")
+      plan.disconnect = *p;
+    else
+      return Errc::invalid_argument;
+  }
+  return plan;
+}
+
+std::string FaultPlan::format() const {
+  std::string out;
+  out += "drop=" + format_probability(drop);
+  out += " duplicate=" + format_probability(duplicate);
+  out += " reorder=" + format_probability(reorder);
+  out += " corrupt=" + format_probability(corrupt);
+  out += " delay=" + format_probability(delay);
+  out += " disconnect=" + format_probability(disconnect);
+  out += " delay_msgs=" + std::to_string(delay_msgs);
+  return out;
+}
+
+}  // namespace yanc::faults

@@ -1,0 +1,44 @@
+// FaultPlan: the on-disk policy format of the /yanc/.faults subtree.
+//
+// A plan is one line of `key=value` pairs, each key a fault primitive and
+// each value its per-message probability:
+//
+//   drop=0.05 duplicate=0.01 reorder=0.02 corrupt=0 delay=0 disconnect=0
+//
+// plus `delay_msgs=N` (how many later sends a delayed message is held
+// behind).  `off`, `clear`, or an empty write resets everything to zero.
+// Parsing is strict — an unknown key or an out-of-range probability fails
+// with EINVAL and the previous plan stays in force, the same
+// validate-before-apply contract the typed netfs files follow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "yanc/util/result.hpp"
+
+namespace yanc::faults {
+
+struct FaultPlan {
+  double drop = 0;        // message vanishes
+  double duplicate = 0;   // message delivered twice
+  double reorder = 0;     // message overtaken by the next one
+  double corrupt = 0;     // one random byte flipped
+  double delay = 0;       // message held behind `delay_msgs` later sends
+  double disconnect = 0;  // connection severed mid-send
+  std::uint32_t delay_msgs = 2;
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           delay > 0 || disconnect > 0;
+  }
+
+  static Result<FaultPlan> parse(std::string_view text);
+  /// Canonical single-line form; parse(format()) round-trips.
+  std::string format() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace yanc::faults

@@ -13,17 +13,27 @@ bool Channel::connected() const {
   return !shared_->closed;
 }
 
-void Channel::send(Message message) {
-  if (!shared_) return;
+bool Channel::send(Message message) {
+  if (!shared_) return false;
   std::lock_guard lock(shared_->mu);
-  if (shared_->closed) return;
-  shared_->queues[1 - side_].push_back(std::move(message));
+  if (shared_->closed) return false;
+  auto& queue = shared_->queues[1 - side_];
+  if (shared_->hook) {
+    if (!shared_->hook->on_send(queue, std::move(message))) {
+      shared_->closed = true;  // fault: connection severed mid-send
+      return false;
+    }
+    return true;
+  }
+  queue.push_back(std::move(message));
+  return true;
 }
 
 std::optional<Message> Channel::try_recv() {
   if (!shared_) return std::nullopt;
   std::lock_guard lock(shared_->mu);
   auto& q = shared_->queues[side_];
+  if (shared_->hook) shared_->hook->on_recv(q);
   if (q.empty()) return std::nullopt;
   Message m = std::move(q.front());
   q.pop_front();
@@ -42,10 +52,17 @@ void Channel::close() {
   shared_->closed = true;
 }
 
+void Channel::set_fault_hook(std::shared_ptr<FaultHook> hook) {
+  if (!shared_) return;
+  std::lock_guard lock(shared_->mu);
+  shared_->hook = std::move(hook);
+}
+
 Channel Listener::connect() {
   auto [a, b] = Channel::make_pair();
   {
     std::lock_guard lock(mu_);
+    if (hook_factory_) a.set_fault_hook(hook_factory_());
     pending_.push_back(std::move(b));
   }
   return a;
@@ -62,6 +79,12 @@ std::optional<Channel> Listener::accept() {
 std::size_t Listener::backlog() const {
   std::lock_guard lock(mu_);
   return pending_.size();
+}
+
+void Listener::set_fault_hook_factory(
+    std::function<std::shared_ptr<FaultHook>()> factory) {
+  std::lock_guard lock(mu_);
+  hook_factory_ = std::move(factory);
 }
 
 }  // namespace yanc::net

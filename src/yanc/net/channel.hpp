@@ -6,10 +6,16 @@
 // header, so message-granularity is what a driver would reassemble anyway).
 // A Listener models the controller's accept socket: switches connect, the
 // driver accepts the peer endpoint.
+//
+// Fault injection hooks in here, below every protocol: a FaultHook
+// installed on a channel sees each message on its way into the peer's
+// queue and may drop, duplicate, reorder, corrupt, delay, or sever — the
+// primitives yanc::faults builds its deterministic schedules from.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,6 +24,22 @@
 namespace yanc::net {
 
 using Message = std::vector<std::uint8_t>;
+
+/// Intercepts channel traffic.  Both callbacks run under the channel's
+/// internal lock, so implementations must not call back into the channel.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Disposition of one message headed for `queue` (the peer's inbound
+  /// queue).  The hook delivers by mutating `queue` (or stashing the
+  /// message for later); returning false severs the connection instead.
+  virtual bool on_send(std::deque<Message>& queue, Message message) = 0;
+
+  /// Runs before each receive pops `queue`: the release point for
+  /// messages the hook held back on send.
+  virtual void on_recv(std::deque<Message>& queue) { (void)queue; }
+};
 
 class Channel {
  public:
@@ -30,24 +52,33 @@ class Channel {
   bool connected() const;
   explicit operator bool() const { return connected(); }
 
-  /// Enqueues a message toward the peer; fails silently once closed.
-  void send(Message message);
+  /// Enqueues a message toward the peer.  Returns false once either side
+  /// has closed (or when an installed fault hook severed the connection):
+  /// the message was NOT delivered and the caller must treat the peer as
+  /// gone — the old void signature made that failure invisible.
+  bool send(Message message);
 
-  /// Non-blocking receive.
+  /// Non-blocking receive.  Still drains messages queued before close(),
+  /// so a peer's final words are never lost.
   std::optional<Message> try_recv();
 
   /// Number of queued inbound messages.
   std::size_t pending() const;
 
-  /// Closes both directions (peer sees connected() == false after
-  /// draining its queue).
+  /// Closes both directions (peer sees connected() == false; its queue
+  /// remains drainable).
   void close();
+
+  /// Installs `hook` on the shared pair — both directions.  Pass nullptr
+  /// to remove.  Delivery of already-queued messages is unaffected.
+  void set_fault_hook(std::shared_ptr<FaultHook> hook);
 
  private:
   struct Shared {
     mutable std::mutex mu;
     std::deque<Message> queues[2];
     bool closed = false;
+    std::shared_ptr<FaultHook> hook;
   };
   Channel(std::shared_ptr<Shared> shared, int side)
       : shared_(std::move(shared)), side_(side) {}
@@ -68,9 +99,16 @@ class Listener {
 
   std::size_t backlog() const;
 
+  /// Every subsequently connected pair gets factory() installed as its
+  /// fault hook (one fresh hook per connection, so per-channel state such
+  /// as delay stashes is never shared).  Pass nullptr to stop.
+  void set_fault_hook_factory(
+      std::function<std::shared_ptr<FaultHook>()> factory);
+
  private:
   mutable std::mutex mu_;
   std::deque<Channel> pending_;
+  std::function<std::shared_ptr<FaultHook>()> hook_factory_;
 };
 
 }  // namespace yanc::net

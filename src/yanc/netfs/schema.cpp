@@ -252,7 +252,10 @@ const ObjectSpec kSwitch{
               {"hw_desc", FieldType::text, ""},
               {"sw_desc", FieldType::text, ""},
               {"protocol_version", FieldType::text, ""},
-              {"connected", FieldType::flag, "0"}},
+              {"connected", FieldType::flag, "0"},
+              // Liveness verdict maintained by the driver's keepalive:
+              // "up" after the handshake, "down" on timeout/disconnect.
+              {"status", FieldType::text, "down"}},
     .fixed_dirs = {{"counters", &kSwitchCounters},
                    {"flows", &kFlowsCollection},
                    {"packet_out", &kPacketOutCollection},

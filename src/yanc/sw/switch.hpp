@@ -41,6 +41,9 @@ class Switch : public net::Device {
   /// Attaches the control channel (switch-side endpoint) and sends HELLO.
   void connect(net::Channel channel);
   bool connected() const { return channel_.connected(); }
+  /// Severs the control channel (switch death / control link cut).  The
+  /// flow tables keep running — reconnect resync is the controller's job.
+  void disconnect() { channel_.close(); }
 
   /// Processes pending control messages; returns how many were handled.
   /// The simulation harness calls this between events (a real switch would

@@ -1,0 +1,72 @@
+// Deterministic random numbers for fault schedules and stress tests.
+//
+// Every source of randomness in yanc goes through an explicitly seeded
+// Rng so a failing run is a (seed, schedule) pair anyone can replay:
+// xoshiro256++ for the stream, splitmix64 to expand the one-word seed
+// into the full state (the construction recommended by the xoshiro
+// authors).  Not a cryptographic generator, and deliberately not
+// std::mt19937: the standard engines are implementation-toleranced in
+// distribution code, while this is bit-exact everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace yanc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+  /// Resets the stream; the same seed always yields the same sequence.
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// The seed this stream was built from (print it in test failures).
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result =
+        rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (p <= 0 never, p >= 1 always).  Always
+  /// consumes one draw so schedules stay aligned across plan changes.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Uniform in [0, bound); bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace yanc::util

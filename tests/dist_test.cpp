@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "yanc/dist/replicated.hpp"
+#include "yanc/faults/injector.hpp"
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/handles.hpp"
 #include "yanc/util/strings.hpp"
@@ -285,6 +286,92 @@ TEST(DistributedController, FlowWrittenOnNodeAVisibleOnNodeB) {
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->match.tp_dst, 22);
   EXPECT_GE(got->version, 1u);
+}
+
+// --- anti-entropy: convergence despite genuinely lost messages -----------------
+
+// The partition model retransmits (TCP-style); the fault filter actually
+// loses messages.  Op-log replication cannot recover from that — the
+// anti-entropy pass must.
+TEST(AntiEntropy, LossyLinkDivergenceHealed) {
+  net::Scheduler scheduler;
+  Cluster cluster(scheduler, ClusterOptions{.nodes = 2,
+                                            .link_latency = {},
+                                            .default_mode = Mode::eventual});
+  auto fs0 = cluster.fs(0);
+  auto fs1 = cluster.fs(1);
+
+  // 100% loss on the replica links.
+  auto inj = std::make_shared<faults::Injector>(1);
+  faults::FaultPlan plan;
+  plan.drop = 1.0;
+  inj->set_plan(faults::Scope::transport, plan);
+  attach_faults(cluster.transport(), inj);
+
+  auto switches0 = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*switches0, "sw1", 0755, {}).ok());
+  auto sw0 = fs0->lookup(*switches0, "sw1");
+  auto id0 = fs0->lookup(*sw0, "id");
+  ASSERT_TRUE(fs0->write(*id0, 0, "0x42", {}).ok());
+  scheduler.run_until_idle();
+
+  auto switches1 = fs1->lookup(fs1->root(), "switches");
+  EXPECT_FALSE(fs1->lookup(*switches1, "sw1").ok());  // diverged
+  EXPECT_GT(cluster.transport().messages_dropped(), 0u);
+
+  // Heal the link.  The lost ops stay lost; only anti-entropy repairs.
+  attach_faults(cluster.transport(), nullptr);
+  scheduler.run_until_idle();
+  EXPECT_FALSE(fs1->lookup(*switches1, "sw1").ok());
+
+  cluster.anti_entropy_round();
+  scheduler.run_until_idle();
+  cluster.anti_entropy_round();
+  scheduler.run_until_idle();
+
+  auto sw1 = fs1->lookup(*switches1, "sw1");
+  ASSERT_TRUE(sw1.ok());
+  auto id1 = fs1->lookup(*sw1, "id");
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*fs1->read(*id1, 0, 100, {}), "0x42");
+  EXPECT_GT(fs1->repairs_applied(), 0u);
+}
+
+// A lost rmdir must not let the other replica's snapshot resurrect the
+// directory: the tombstone wins on both sides.
+TEST(AntiEntropy, TombstonePreventsResurrection) {
+  net::Scheduler scheduler;
+  Cluster cluster(scheduler, ClusterOptions{.nodes = 2,
+                                            .link_latency = {},
+                                            .default_mode = Mode::eventual});
+  auto fs0 = cluster.fs(0);
+  auto fs1 = cluster.fs(1);
+
+  // Replicate a directory cleanly first.
+  auto switches0 = fs0->lookup(fs0->root(), "switches");
+  ASSERT_TRUE(fs0->mkdir(*switches0, "doomed", 0755, {}).ok());
+  scheduler.run_until_idle();
+  auto switches1 = fs1->lookup(fs1->root(), "switches");
+  ASSERT_TRUE(fs1->lookup(*switches1, "doomed").ok());
+
+  // The rmdir is lost on the wire: node 1 keeps the directory.
+  auto inj = std::make_shared<faults::Injector>(1);
+  faults::FaultPlan plan;
+  plan.drop = 1.0;
+  inj->set_plan(faults::Scope::transport, plan);
+  attach_faults(cluster.transport(), inj);
+  ASSERT_FALSE(fs0->rmdir(*switches0, "doomed", {}));
+  scheduler.run_until_idle();
+  ASSERT_TRUE(fs1->lookup(*switches1, "doomed").ok());  // diverged
+
+  attach_faults(cluster.transport(), nullptr);
+  for (int round = 0; round < 2; ++round) {
+    cluster.anti_entropy_round();
+    scheduler.run_until_idle();
+  }
+  // Deleted everywhere, resurrected nowhere.
+  EXPECT_FALSE(fs0->lookup(*switches0, "doomed").ok());
+  EXPECT_FALSE(fs1->lookup(*switches1, "doomed").ok());
 }
 
 }  // namespace

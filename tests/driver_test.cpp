@@ -4,8 +4,12 @@
 // channel, then drives both sides to quiescence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "yanc/driver/of_driver.hpp"
 #include "yanc/driver/text_driver.hpp"
+#include "yanc/faults/injector.hpp"
 #include "yanc/netfs/handles.hpp"
 #include "yanc/netfs/yancfs.hpp"
 #include "yanc/sw/switch.hpp"
@@ -619,6 +623,297 @@ TEST(TextDriver, ExperimentalProtocolCoexists) {
   EXPECT_EQ((*events)[0].datapath, "xsw1");
   EXPECT_EQ((*events)[0].in_port, 2);
   EXPECT_EQ((*events)[0].data, std::string("\x01\xff"));
+}
+
+// --- failure domains (docs/ROBUSTNESS.md) --------------------------------------
+
+// A switch that stops answering keepalives is declared dead: status=down,
+// connected=0, connection reaped.
+TEST(DriverLiveness, KeepaliveTimeoutMarksSwitchDown) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+  net::Scheduler scheduler;
+  net::Network network(scheduler);
+  DriverOptions opts;
+  opts.keepalive_interval = 4;
+  opts.keepalive_timeout = 16;
+  OfDriver driver(vfs, opts);
+
+  sw::SwitchOptions sopts;
+  sopts.datapath_id = 0x42;
+  sw::Switch s("dp42", sopts, network);
+  s.add_port(1, MacAddress::from_u64(1), "eth1");
+  s.connect(driver.listener().connect());
+  for (int round = 0; round < 30; ++round) {
+    std::size_t work = driver.poll() + s.pump() + scheduler.run_until_idle();
+    if (!work) break;
+  }
+  netfs::NetDir net(vfs);
+  ASSERT_TRUE(*net.switch_at("sw1").connected());
+  ASSERT_EQ(*net.switch_at("sw1").read_field("status"), "up");
+
+  // The switch wedges: it never pumps its control channel again.  The
+  // driver pings after 4 quiet ticks and gives up after 16.
+  for (int round = 0; round < 40; ++round) {
+    driver.poll();
+    scheduler.run_until_idle();
+  }
+  EXPECT_EQ(driver.connected_switches(), 0u);
+  EXPECT_EQ(*net.switch_at("sw1").read_field("status"), "down");
+  EXPECT_FALSE(*net.switch_at("sw1").connected());
+  EXPECT_GE(
+      vfs->metrics()->counter("driver/of/keepalive_timeout_total")->value(),
+      1u);
+}
+
+// Switch death in the middle of a flow commit: the FS keeps the committed
+// record, the directory is marked down, and a reborn switch with the same
+// dpid is restored to the full table from the FS alone (§3.4).
+TEST(DriverLiveness, SwitchDeathMidCommitThenResync) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+  net::Scheduler scheduler;
+  net::Network network(scheduler);
+  DriverOptions opts;
+  opts.keepalive_interval = 4;
+  opts.keepalive_timeout = 16;
+  opts.request_timeout = 4;
+  opts.max_retries = 3;
+  OfDriver driver(vfs, opts);
+
+  auto spawn = [&](const char* name) {
+    sw::SwitchOptions sopts;
+    sopts.datapath_id = 0x42;
+    auto s = std::make_unique<sw::Switch>(name, sopts, network);
+    s->add_port(1, MacAddress::from_u64(1), "eth1");
+    s->connect(driver.listener().connect());
+    return s;
+  };
+  auto settle = [&](sw::Switch* s) {
+    for (int round = 0; round < 60; ++round) {
+      std::size_t work = driver.poll() + (s ? s->pump() : 0) +
+                         scheduler.run_until_idle();
+      if (!work) break;
+    }
+  };
+
+  auto s = spawn("dp42a");
+  settle(s.get());
+  netfs::NetDir net(vfs);
+  FlowSpec https;
+  https.match.tp_dst = 443;
+  https.actions = {Action::output(1)};
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("https", https));
+  settle(s.get());
+  ASSERT_EQ(s->table().size(), 1u);
+
+  // Commit a second flow and kill the switch before it can process the
+  // FLOW_MOD.
+  FlowSpec ssh;
+  ssh.match.tp_dst = 22;
+  ssh.actions = {Action::output(1)};
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("ssh", ssh));
+  s->disconnect();
+  settle(nullptr);
+
+  EXPECT_EQ(driver.connected_switches(), 0u);
+  EXPECT_EQ(*net.switch_at("sw1").read_field("status"), "down");
+  auto names = net.switch_at("sw1").flow_names();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);  // the FS record survived the death
+
+  // Reborn with the same dpid: the full table comes back from the FS.
+  auto reborn = spawn("dp42b");
+  settle(reborn.get());
+  EXPECT_EQ(*net.switch_at("sw1").read_field("status"), "up");
+  ASSERT_EQ(reborn->table().size(), 2u);
+  EXPECT_GT(vfs->metrics()->counter("driver/of/resync_total")->value(), 0u);
+}
+
+// Regression for the overflow rescan: a flow deleted and recreated during
+// the lost-event window leaves the driver holding a watch on a dead
+// version node.  The rescan must re-arm the watch (so a later commit still
+// lands) and must reconcile deletions it never saw.
+TEST(DriverOverflowRecovery, RescanRearmsWatchesAndReconcilesDeletions) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+  net::Scheduler scheduler;
+  net::Network network(scheduler);
+  DriverOptions opts;
+  opts.fs_queue_capacity = 4;
+  OfDriver driver(vfs, opts);
+
+  sw::SwitchOptions sopts;
+  sopts.datapath_id = 0x42;
+  sw::Switch s("dp42", sopts, network);
+  s.add_port(1, MacAddress::from_u64(1), "eth1");
+  s.connect(driver.listener().connect());
+  auto settle = [&] {
+    for (int round = 0; round < 60; ++round) {
+      std::size_t work =
+          driver.poll() + s.pump() + scheduler.run_until_idle();
+      if (!work) break;
+    }
+  };
+  settle();
+
+  netfs::NetDir net(vfs);
+  FlowSpec del;
+  del.match.tp_dst = 1;
+  del.actions = {Action::output(1)};
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("f_del", del));
+  FlowSpec rearm;
+  rearm.match.tp_dst = 2;
+  rearm.actions = {Action::output(1)};
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("f_rearm", rearm));
+  settle();
+  ASSERT_EQ(s.table().size(), 2u);
+
+  // Burst between polls, far beyond the 4-slot queue: f_del disappears,
+  // f_rearm is deleted and recreated (same name, new nodes, uncommitted),
+  // plus enough noise to guarantee the overflow.
+  ASSERT_FALSE(net.switch_at("sw1").remove_flow("f_del"));
+  ASSERT_FALSE(net.switch_at("sw1").remove_flow("f_rearm"));
+  FlowSpec rearm2;
+  rearm2.match.tp_dst = 3;
+  rearm2.actions = {Action::output(1)};
+  ASSERT_FALSE(net.switch_at("sw1").add_flow("f_rearm", rearm2,
+                                             /*commit=*/false));
+  for (int i = 0; i < 10; ++i) {
+    FlowSpec noise;
+    noise.match.tp_dst = static_cast<std::uint16_t>(1000 + i);
+    noise.actions = {Action::output(1)};
+    ASSERT_FALSE(
+        net.switch_at("sw1").add_flow("n" + std::to_string(i), noise));
+  }
+  settle();
+
+  // The missed deletion was reconciled off the hardware, the noise flows
+  // landed, and the uncommitted f_rearm is not on the wire yet.
+  EXPECT_EQ(s.table().size(), 10u);
+  for (const auto& e : s.table().entries()) {
+    EXPECT_NE(e.spec.match.tp_dst, 1) << "f_del survived on hardware";
+    EXPECT_NE(e.spec.match.tp_dst, 2) << "old f_rearm survived on hardware";
+    EXPECT_NE(e.spec.match.tp_dst, 3) << "uncommitted f_rearm was pushed";
+  }
+
+  // The commit AFTER the rescan proves the watch was re-armed onto the
+  // recreated version node.
+  ASSERT_TRUE(
+      netfs::commit_flow(*vfs, "/net/switches/sw1/flows/f_rearm").ok());
+  settle();
+  EXPECT_EQ(s.table().size(), 11u);
+  bool found = false;
+  for (const auto& e : s.table().entries())
+    found = found || e.spec.match.tp_dst == 3;
+  EXPECT_TRUE(found) << "commit after rescan never reached hardware";
+}
+
+// The acceptance scenario: kill a switch mid-commit, reconnect the same
+// dpid behind a 5% lossy link, and require the wire flow table to end up
+// byte-identical to the committed flows/ directory — for ten consecutive
+// RNG seeds (override the base with YANC_FAULT_SEED).
+TEST(DriverFaultMatrix, ReconnectResyncUnderLossTenSeeds) {
+  const char* env = std::getenv("YANC_FAULT_SEED");
+  const std::uint64_t base = env ? std::strtoull(env, nullptr, 10) : 1;
+  for (std::uint64_t seed = base; seed < base + 10; ++seed) {
+    SCOPED_TRACE("YANC_FAULT_SEED=" + std::to_string(seed));
+    auto vfs = std::make_shared<vfs::Vfs>();
+    ASSERT_TRUE(netfs::mount_yanc_fs(*vfs).ok());
+    net::Scheduler scheduler;
+    net::Network network(scheduler);
+    DriverOptions opts;
+    opts.keepalive_interval = 8;
+    opts.keepalive_timeout = 64;
+    opts.request_timeout = 4;
+    opts.max_retries = 8;
+    opts.audit_interval = 16;
+    OfDriver driver(vfs, opts);
+    auto injector = std::make_shared<faults::Injector>(seed);
+    driver.listener().set_fault_hook_factory(
+        faults::channel_hook_factory(injector));
+
+    auto spawn = [&](const char* name) {
+      sw::SwitchOptions sopts;
+      sopts.datapath_id = 0x42;
+      auto s = std::make_unique<sw::Switch>(name, sopts, network);
+      s->add_port(1, MacAddress::from_u64(1), "eth1");
+      s->connect(driver.listener().connect());
+      return s;
+    };
+    auto run_rounds = [&](sw::Switch* s, int rounds) {
+      for (int round = 0; round < rounds; ++round) {
+        driver.poll();
+        if (s) s->pump();
+        scheduler.run_until_idle();
+      }
+    };
+    netfs::NetDir net(vfs);
+    auto fs_flows = [&] {
+      std::vector<std::string> out;
+      auto names = net.switch_at("sw1").flow_names();
+      if (!names.ok()) return out;
+      for (const auto& name : *names) {
+        auto spec = net.switch_at("sw1").flow_at(name).read();
+        if (spec.ok() && spec->version > 0) out.push_back(spec->to_string());
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    auto hw_flows = [&](sw::Switch& s) {
+      std::vector<std::string> out;
+      for (const auto& e : s.table().entries())
+        out.push_back(e.spec.to_string());
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+
+    // Clean phase: connect and commit five flows fault-free.
+    auto s = spawn("a");
+    run_rounds(s.get(), 30);
+    ASSERT_EQ(driver.connected_switches(), 1u);
+    for (int i = 0; i < 5; ++i) {
+      FlowSpec spec;
+      spec.match.tp_dst = static_cast<std::uint16_t>(100 + i);
+      spec.actions = {Action::output(1)};
+      ASSERT_FALSE(
+          net.switch_at("sw1").add_flow("f" + std::to_string(i), spec));
+    }
+    run_rounds(s.get(), 30);
+    ASSERT_EQ(s->table().size(), 5u);
+
+    // Total loss: a sixth commit goes into the void; the driver's tracked
+    // barrier must start retrying.
+    faults::FaultPlan blackout;
+    blackout.drop = 1.0;
+    injector->set_plan(faults::Scope::channel, blackout);
+    FlowSpec mid;
+    mid.match.tp_dst = 999;
+    mid.actions = {Action::output(1)};
+    ASSERT_FALSE(net.switch_at("sw1").add_flow("f_mid", mid));
+    run_rounds(s.get(), 20);
+
+    // Kill the switch mid-commit, then reconnect the same dpid behind a
+    // 5% lossy link.
+    s->disconnect();
+    faults::FaultPlan lossy;
+    lossy.drop = 0.05;
+    injector->set_plan(faults::Scope::channel, lossy);
+    auto reborn = spawn("b");
+    for (int round = 0; round < 600; ++round) {
+      driver.poll();
+      reborn->pump();
+      scheduler.run_until_idle();
+      if (reborn->table().size() == 6 && hw_flows(*reborn) == fs_flows())
+        break;
+    }
+
+    EXPECT_EQ(*net.switch_at("sw1").read_field("status"), "up");
+    EXPECT_EQ(hw_flows(*reborn), fs_flows());  // byte-identical recovery
+    EXPECT_GT(vfs->metrics()->counter("driver/of/retry_total")->value(), 0u);
+    EXPECT_GT(vfs->metrics()->counter("driver/of/resync_total")->value(),
+              0u);
+  }
 }
 
 TEST(DriverVersionMismatch, WrongDialectClosed) {

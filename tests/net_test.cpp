@@ -165,6 +165,34 @@ TEST(ChannelTest, CloseStopsTraffic) {
   EXPECT_TRUE(b.try_recv().has_value());  // already-queued drains
 }
 
+TEST(ChannelTest, SendReportsDeliveryFate) {
+  auto [a, b] = Channel::make_pair();
+  EXPECT_TRUE(a.send({1}));  // live pair: delivered
+  b.close();
+  EXPECT_FALSE(a.send({2}));  // send-after-close: caller must notice
+  EXPECT_FALSE(b.send({3}));
+  // The pre-close message still drains; nothing sent after it does.
+  EXPECT_EQ(*b.try_recv(), (Message{1}));
+  EXPECT_FALSE(b.try_recv().has_value());
+  // A default-constructed (never connected) endpoint also refuses.
+  Channel empty;
+  EXPECT_FALSE(empty.send({4}));
+}
+
+TEST(ChannelTest, ListenerInstallsFreshHookPerConnection) {
+  // Each accepted connection gets its own hook instance, so per-channel
+  // state (delay stashes) is never shared between switches.
+  Listener listener;
+  int built = 0;
+  listener.set_fault_hook_factory([&]() -> std::shared_ptr<FaultHook> {
+    ++built;
+    return nullptr;
+  });
+  (void)listener.connect();
+  (void)listener.connect();
+  EXPECT_EQ(built, 2);
+}
+
 TEST(ChannelTest, ListenerAcceptQueue) {
   Listener listener;
   EXPECT_FALSE(listener.accept().has_value());
