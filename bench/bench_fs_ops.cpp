@@ -116,6 +116,84 @@ void BM_ValidatedWriteCidr(benchmark::State& state) {
 }
 BENCHMARK(BM_ValidatedWriteCidr);
 
+// --- concurrent read-path scaling (EXP-1, threaded) -------------------------
+//
+// The acceptance bar for the sharded-locking work: aggregate read/stat
+// throughput with 8 reader threads must be ≥ 3× the single-thread figure
+// (items_per_second at /threads:8 vs /threads:1).  Under the old global
+// mutex this ratio was ~1×.  Shared state is set up by thread 0; the
+// state-loop barrier publishes it to the other threads.
+
+void BM_ReadFileThreaded(benchmark::State& state) {
+  static std::shared_ptr<vfs::Vfs> v;
+  if (state.thread_index() == 0) {
+    v = fresh_fs();
+    (void)v->write_file("/net/switches/sw1/id", "0xabcdef");
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(v->read_file("/net/switches/sw1/id"));
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) v.reset();
+}
+BENCHMARK(BM_ReadFileThreaded)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_StatThreaded(benchmark::State& state) {
+  static std::shared_ptr<vfs::Vfs> v;
+  if (state.thread_index() == 0) v = fresh_fs();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(v->stat("/net/switches/sw1/id"));
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) v.reset();
+}
+BENCHMARK(BM_StatThreaded)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+// Each thread reads its own file: content access serializes only on the
+// file's own lock shard, so this is the pure-parallelism ceiling.
+void BM_ReadDistinctFilesThreaded(benchmark::State& state) {
+  static std::shared_ptr<vfs::Vfs> v;
+  if (state.thread_index() == 0) {
+    v = std::make_shared<vfs::Vfs>();
+    (void)v->mkdir("/data");
+    for (int t = 0; t < 64; ++t)
+      (void)v->write_file("/data/f" + std::to_string(t),
+                          std::string(256, 'x'));
+  }
+  std::string mine = "/data/f" + std::to_string(state.thread_index());
+  for (auto _ : state) benchmark::DoNotOptimize(v->read_file(mine));
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) v.reset();
+}
+BENCHMARK(BM_ReadDistinctFilesThreaded)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+// Readers make progress while thread 0 keeps rewriting its own file: the
+// writer holds mu_ shared + one shard, so only readers of that same file
+// wait on it.
+void BM_MixedReadersOneWriterThreaded(benchmark::State& state) {
+  static std::shared_ptr<vfs::Vfs> v;
+  if (state.thread_index() == 0) {
+    v = std::make_shared<vfs::Vfs>();
+    (void)v->mkdir("/data");
+    for (int t = 0; t < 64; ++t)
+      (void)v->write_file("/data/f" + std::to_string(t),
+                          std::string(256, 'x'));
+  }
+  if (state.thread_index() == 0) {
+    std::string payload(256, 'y');
+    for (auto _ : state)
+      benchmark::DoNotOptimize(v->write_file("/data/f0", payload));
+  } else {
+    std::string mine = "/data/f" + std::to_string(state.thread_index());
+    for (auto _ : state) benchmark::DoNotOptimize(v->read_file(mine));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) v.reset();
+}
+BENCHMARK(BM_MixedReadersOneWriterThreaded)
+    ->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
 }  // namespace
 
 YANC_BENCH_MAIN();

@@ -99,6 +99,21 @@ void BM_SwitchCreation(benchmark::State& state) {
 BENCHMARK(BM_SwitchCreation)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// Concurrent administrators: N threads all running `ls /net/switches` at
+// once.  Under the shared-mutex read path these scale with cores instead
+// of serializing on the filesystem lock.
+void BM_LsThreaded(benchmark::State& state) {
+  static std::shared_ptr<vfs::Vfs> v;
+  if (state.thread_index() == 0) v = build_network(1000, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shell::ls(*v, "/net/switches"));
+  state.SetItemsProcessed(state.iterations() * 1000);
+  if (state.thread_index() == 0) v.reset();
+}
+BENCHMARK(BM_LsThreaded)
+    ->Threads(1)->Threads(4)->Threads(8)->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 YANC_BENCH_MAIN();

@@ -112,6 +112,43 @@ void BM_OverflowedQueuePush(benchmark::State& state) {
 }
 BENCHMARK(BM_OverflowedQueuePush);
 
+// Writer-side fan-out under concurrency: each thread rewrites its own
+// watched file.  Emission happens after the FS lock drops (serialized only
+// by the per-fs emit order lock), so watched writes to distinct files no
+// longer serialize consumer-queue pushes under the namespace lock.
+void BM_WatchedWritesThreaded(benchmark::State& state) {
+  static std::shared_ptr<vfs::Vfs> v;
+  static std::vector<vfs::WatchQueuePtr> queues;
+  static std::vector<std::shared_ptr<vfs::WatchHandle>> handles;
+  if (state.thread_index() == 0) {
+    v = std::make_shared<vfs::Vfs>();
+    (void)v->mkdir("/data");
+    for (int t = 0; t < 16; ++t) {
+      std::string path = "/data/f" + std::to_string(t);
+      (void)v->write_file(path, "0");
+      auto q = std::make_shared<vfs::WatchQueue>(1 << 20);
+      auto h = v->watch(path, vfs::event::modified, q);
+      queues.push_back(q);
+      handles.push_back(*h);
+    }
+  }
+  std::string mine = "/data/f" + std::to_string(state.thread_index());
+  std::uint64_t version = 1;
+  for (auto _ : state) {
+    (void)v->write_file(mine, std::to_string(version++));
+    if ((version & 0x3ff) == 0)
+      queues[static_cast<std::size_t>(state.thread_index())]->drain();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    handles.clear();
+    queues.clear();
+    v.reset();
+  }
+}
+BENCHMARK(BM_WatchedWritesThreaded)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
 }  // namespace
 
 YANC_BENCH_MAIN();

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in --json mode and merges the results into one
+# BENCH_<YYYYMMDD>.json at the repo root, so runs can be diffed over time.
+#
+# Usage: scripts/bench.sh [build-dir]        (default: build)
+#
+#   BENCH_ARGS     extra flags for every binary, e.g.
+#                  BENCH_ARGS='--benchmark_filter=Threaded' scripts/bench.sh
+#   BENCH_OUT      override the output path
+#
+# Each binary prints exactly one JSON object ({"benchmarks":{...}}, see
+# bench/bench_json.hpp); this script wraps them per-binary under a top-level
+# "benches" key with a date stamp.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
+
+if ! compgen -G "$BUILD_DIR/bench/bench_*" > /dev/null; then
+  echo "no bench_* binaries under $BUILD_DIR/bench — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+{
+  printf '{"date":"%s","nproc":%s,"benches":{' "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)"
+  first=1
+  for bin in "$BUILD_DIR"/bench/bench_*; do
+    [[ -x "$bin" && ! -d "$bin" ]] || continue
+    name="$(basename "$bin")"
+    echo "running $name..." >&2
+    # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+    json="$("$bin" --json ${BENCH_ARGS:-} | tail -n 1)"
+    [[ "$json" == \{* ]] || { echo "  $name produced no JSON, skipping" >&2; continue; }
+    [[ $first -eq 1 ]] || printf ','
+    first=0
+    printf '"%s":%s' "$name" "$json"
+  done
+  printf '}}\n'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -661,6 +661,31 @@ Status ReplicatedYancFs::truncate(NodeId node, std::uint64_t size,
   return ec;
 }
 
+Result<std::uint64_t> ReplicatedYancFs::replace(NodeId node,
+                                                std::string_view data,
+                                                const Credentials& creds) {
+  // Locally atomic (MemFs swaps content under one shard lock); on the wire
+  // it is the existing truncate+write pair — remote application is already
+  // asynchronous, so the two-op window adds nothing new there.
+  auto r = YancFs::replace(node, data, creds);
+  if (r && !applying_remote_) {
+    if (auto path = path_of(node)) {
+      Op t;
+      t.kind = Op::Kind::truncate;
+      t.path = *path;
+      t.offset = 0;
+      emit(std::move(t));
+      Op w;
+      w.kind = Op::Kind::write;
+      w.path = *path;
+      w.offset = 0;
+      w.data = std::string(data);
+      emit(std::move(w));
+    }
+  }
+  return r;
+}
+
 Status ReplicatedYancFs::unlink(NodeId parent, const std::string& name,
                                 const Credentials& creds) {
   auto parent_path = path_of(parent);

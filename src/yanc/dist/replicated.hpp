@@ -54,6 +54,8 @@ class ReplicatedYancFs : public netfs::YancFs {
                               const vfs::Credentials& creds) override;
   Status truncate(vfs::NodeId node, std::uint64_t size,
                   const vfs::Credentials& creds) override;
+  Result<std::uint64_t> replace(vfs::NodeId node, std::string_view data,
+                                const vfs::Credentials& creds) override;
   Status unlink(vfs::NodeId parent, const std::string& name,
                 const vfs::Credentials& creds) override;
   Status rmdir(vfs::NodeId parent, const std::string& name,

@@ -8,13 +8,13 @@ using vfs::Credentials;
 using vfs::NodeId;
 
 YancFs::YancFs(vfs::MemFsOptions options) : MemFs(options) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   dir_specs_[root()] = &root_spec();
   populate_locked(root(), root_spec(), Credentials::root());
 }
 
 const ObjectSpec* YancFs::spec_of(NodeId node) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   auto it = dir_specs_.find(node);
   return it == dir_specs_.end() ? nullptr : it->second;
 }
@@ -57,7 +57,7 @@ void YancFs::on_mkdir(NodeId node, NodeId parent, const std::string& name,
 
 Result<NodeId> YancFs::mkdir(NodeId parent, const std::string& name,
                              std::uint32_t mode, const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   auto it = dir_specs_.find(parent);
   if (it != dir_specs_.end()) {
     const ObjectSpec* spec = it->second;
@@ -74,7 +74,7 @@ Result<NodeId> YancFs::mkdir(NodeId parent, const std::string& name,
 
 Result<NodeId> YancFs::create(NodeId parent, const std::string& name,
                               std::uint32_t mode, const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   auto it = dir_specs_.find(parent);
   const FileSpec* fspec = nullptr;
   if (it != dir_specs_.end()) {
@@ -112,7 +112,7 @@ bool YancFs::rmdir_recursive_allowed(NodeId node) {
 
 Status YancFs::rmdir(NodeId parent, const std::string& name,
                      const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   auto victim = lookup_locked(parent, name);
   if (victim && is_fixed_dir(*victim))
     return make_error_code(Errc::not_permitted);
@@ -121,7 +121,7 @@ Status YancFs::rmdir(NodeId parent, const std::string& name,
 
 Status YancFs::unlink(NodeId parent, const std::string& name,
                       const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   // Files are always removable: deleting a match.* file widens the flow to
   // a wildcard (§3.4); deleting an auto-created file reverts it to its
   // schema default on the next read.
@@ -131,7 +131,7 @@ Status YancFs::unlink(NodeId parent, const std::string& name,
 Status YancFs::rename(NodeId old_parent, const std::string& old_name,
                       NodeId new_parent, const std::string& new_name,
                       const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   auto moving = lookup_locked(old_parent, old_name);
   if (moving) {
     if (is_fixed_dir(*moving)) return make_error_code(Errc::not_permitted);

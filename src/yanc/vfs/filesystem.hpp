@@ -29,12 +29,28 @@
 
 namespace yanc::vfs {
 
+/// change_gen() value meaning "this filesystem does not track namespace
+/// changes" — the Vfs resolution cache never caches a path that crosses
+/// such a filesystem.
+inline constexpr std::uint64_t kUncacheableGen = ~std::uint64_t{0};
+
 class Filesystem {
  public:
   virtual ~Filesystem() = default;
 
   /// Root directory node of this filesystem.
   virtual NodeId root() const = 0;
+
+  /// Namespace-change generation for the Vfs resolution (dentry) cache: a
+  /// counter that advances whenever an existing path→node binding, or the
+  /// permission to traverse one, may have changed (unlink/rmdir/rename/
+  /// chmod/chown/xattr).  Creations need not bump it — they cannot
+  /// invalidate a previously successful resolution (negative results are
+  /// never cached).  The default says "untracked", which disables caching
+  /// across this filesystem.  Implementations that mutate below the Vfs
+  /// (e.g. replication apply paths) inherit correct invalidation for free
+  /// by bumping at the storage layer.
+  virtual std::uint64_t change_gen() const { return kUncacheableGen; }
 
   // --- namespace operations -------------------------------------------
   virtual Result<NodeId> lookup(NodeId parent, const std::string& name) = 0;
@@ -72,6 +88,18 @@ class Filesystem {
                                       const Credentials& creds) = 0;
   virtual Status truncate(NodeId node, std::uint64_t size,
                           const Credentials& creds) = 0;
+  /// Replaces the entire content of `node` with `data`.  The base
+  /// implementation is truncate + write — two separately-visible states, so
+  /// a concurrent reader can observe the intermediate empty file.
+  /// Filesystems that can do better override it to commit the new content
+  /// in one step (MemFs swaps it under a single content-shard lock);
+  /// Vfs::write_file routes through this so whole-file rewrites are atomic
+  /// with respect to readers.
+  virtual Result<std::uint64_t> replace(NodeId node, std::string_view data,
+                                        const Credentials& creds) {
+    if (auto ec = truncate(node, 0, creds); ec) return ec;
+    return write(node, 0, data, creds);
+  }
 
   // --- metadata ----------------------------------------------------------
   virtual Status chmod(NodeId node, std::uint32_t mode,

@@ -23,6 +23,35 @@ MemFs::MemFs(MemFsOptions options) : options_(options) {
   inodes_.emplace(kRootNode, std::move(root));
 }
 
+MemFs::MutationScope::~MutationScope() {
+  if (fs_.pending_actions_.empty()) return;
+  std::vector<PendingAction> batch;
+  batch.swap(fs_.pending_actions_);
+  // Take the fan-out order lock before dropping mu_, so events from
+  // consecutive mutations reach consumer queues in commit order.  Consumer
+  // queues are only ever touched after mu_ is released (the lock-order
+  // hazard this design removes).
+  std::lock_guard order(fs_.emit_mu_);
+  lock_.unlock();
+  for (PendingAction& a : batch) {
+    if (a.kind == PendingAction::Kind::emit)
+      fs_.watches_.emit(a.ev.node, a.ev.mask, a.ev.name, a.ev.cookie);
+    else
+      fs_.watches_.drop_node(a.ev.node);
+  }
+}
+
+void MemFs::queue_event_locked(NodeId node, std::uint32_t mask,
+                               std::string name, std::uint32_t cookie) {
+  pending_actions_.push_back(PendingAction{
+      PendingAction::Kind::emit, Event{mask, node, std::move(name), cookie}});
+}
+
+void MemFs::queue_drop_locked(NodeId node) {
+  pending_actions_.push_back(
+      PendingAction{PendingAction::Kind::drop, Event{0, node, {}, 0}});
+}
+
 MemFs::Inode* MemFs::find(NodeId id) {
   auto it = inodes_.find(id);
   return it == inodes_.end() ? nullptr : &it->second;
@@ -64,7 +93,7 @@ Result<NodeId> MemFs::new_node_locked(FileType type, std::uint32_t mode,
   node.uid = creds.uid;
   node.gid = creds.gid;
   node.nlink = type == FileType::directory ? 2 : 1;
-  node.mtime_ns = node.ctime_ns = now_ns_locked();
+  node.mtime_ns = node.ctime_ns = now_ns();
   inodes_.emplace(id, std::move(node));
   return id;
 }
@@ -89,20 +118,20 @@ Result<NodeId> MemFs::add_child_locked(NodeId parent, const std::string& name,
   Inode* child = find(*id);
   child->parent_hint = parent;
   child->name_hint = name;
-  watches_.emit(parent, event::created, name);
+  queue_event_locked(parent, event::created, name);
   return id;
 }
 
 void MemFs::touch_locked(Inode& node) {
-  node.mtime_ns = now_ns_locked();
+  node.mtime_ns = now_ns();
   ++node.version;
 }
 
 void MemFs::emit_node_event_locked(NodeId node, std::uint32_t mask) {
-  watches_.emit(node, mask);
+  queue_event_locked(node, mask);
   const Inode* ino = find(node);
   if (ino && ino->parent_hint != kInvalidNode)
-    watches_.emit(ino->parent_hint, mask, ino->name_hint);
+    queue_event_locked(ino->parent_hint, mask, ino->name_hint);
 }
 
 Result<NodeId> MemFs::lookup_locked(NodeId parent,
@@ -117,14 +146,17 @@ Result<NodeId> MemFs::lookup_locked(NodeId parent,
 }
 
 Result<NodeId> MemFs::lookup(NodeId parent, const std::string& name) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return lookup_locked(parent, name);
 }
 
 Result<Stat> MemFs::getattr(NodeId node) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
+  // Content size/version/mtime may be advancing under a concurrent
+  // shared-lock write(); the shard lock makes this snapshot consistent.
+  std::shared_lock data_lock(shard_of(node));
   Stat st;
   st.ino = node;
   st.type = ino->type;
@@ -142,7 +174,7 @@ Result<Stat> MemFs::getattr(NodeId node) {
 }
 
 Result<std::vector<DirEntry>> MemFs::readdir(NodeId dir_id) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const Inode* dir = find(dir_id);
   if (!dir) return Errc::not_found;
   if (dir->type != FileType::directory) return Errc::not_dir;
@@ -166,7 +198,7 @@ Result<NodeId> MemFs::mkdir_locked(NodeId parent, const std::string& name,
 
 Result<NodeId> MemFs::mkdir(NodeId parent, const std::string& name,
                             std::uint32_t mode, const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   return mkdir_locked(parent, name, mode, creds);
 }
 
@@ -178,7 +210,7 @@ Result<NodeId> MemFs::create_locked(NodeId parent, const std::string& name,
 
 Result<NodeId> MemFs::create(NodeId parent, const std::string& name,
                              std::uint32_t mode, const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   return create_locked(parent, name, mode, creds);
 }
 
@@ -195,12 +227,12 @@ Result<NodeId> MemFs::symlink_locked(NodeId parent, const std::string& name,
 Result<NodeId> MemFs::symlink(NodeId parent, const std::string& name,
                               const std::string& target,
                               const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   return symlink_locked(parent, name, target, creds);
 }
 
 Result<std::string> MemFs::readlink(NodeId node) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   if (ino->type != FileType::symlink) return Errc::invalid_argument;
@@ -209,7 +241,7 @@ Result<std::string> MemFs::readlink(NodeId node) {
 
 Status MemFs::link(NodeId node, NodeId parent, const std::string& name,
                    const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   Inode* target = find(node);
   if (!target) return make_error_code(Errc::not_found);
   if (target->type == FileType::directory)
@@ -223,9 +255,9 @@ Status MemFs::link(NodeId node, NodeId parent, const std::string& name,
   if (dir->children.count(name)) return make_error_code(Errc::exists);
   dir->children.emplace(name, node);
   ++target->nlink;
-  target->ctime_ns = now_ns_locked();
+  target->ctime_ns = now_ns();
   touch_locked(*dir);
-  watches_.emit(parent, event::created, name);
+  queue_event_locked(parent, event::created, name);
   return ok_status();
 }
 
@@ -239,9 +271,10 @@ void MemFs::destroy_subtree_locked(NodeId node) {
     for (auto& [name, child] : children) destroy_subtree_locked(child);
     ino = find(node);
   }
-  if (ino->type == FileType::regular) bytes_used_ -= ino->data.size();
+  if (ino->type == FileType::regular)
+    bytes_used_.fetch_sub(ino->data.size(), std::memory_order_relaxed);
   emit_node_event_locked(node, event::delete_self);
-  watches_.drop_node(node);
+  queue_drop_locked(node);
   on_remove_node(node);
   inodes_.erase(node);
 }
@@ -266,16 +299,17 @@ Status MemFs::unlink_locked(NodeId parent, const std::string& name,
   NodeId victim = it->second;
   dir->children.erase(it);
   touch_locked(*dir);
-  watches_.emit(parent, event::deleted, name);
+  bump_change_gen();
+  queue_event_locked(parent, event::deleted, name);
   if (target) {
     if (--target->nlink == 0) {
-      bytes_used_ -= target->data.size();
-      watches_.emit(victim, event::delete_self);
-      watches_.drop_node(victim);
+      bytes_used_.fetch_sub(target->data.size(), std::memory_order_relaxed);
+      queue_event_locked(victim, event::delete_self);
+      queue_drop_locked(victim);
       on_remove_node(victim);
       inodes_.erase(victim);
     } else {
-      target->ctime_ns = now_ns_locked();
+      target->ctime_ns = now_ns();
     }
   }
   return ok_status();
@@ -283,13 +317,13 @@ Status MemFs::unlink_locked(NodeId parent, const std::string& name,
 
 Status MemFs::unlink(NodeId parent, const std::string& name,
                      const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   return unlink_locked(parent, name, creds);
 }
 
 Status MemFs::rmdir(NodeId parent, const std::string& name,
                     const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   return rmdir_locked(parent, name, creds);
 }
 
@@ -314,7 +348,8 @@ Status MemFs::rmdir_locked(NodeId parent, const std::string& name,
   dir->children.erase(it);
   --dir->nlink;
   touch_locked(*dir);
-  watches_.emit(parent, event::deleted, name);
+  bump_change_gen();
+  queue_event_locked(parent, event::deleted, name);
   destroy_subtree_locked(victim);
   return ok_status();
 }
@@ -322,7 +357,7 @@ Status MemFs::rmdir_locked(NodeId parent, const std::string& name,
 Status MemFs::rename(NodeId old_parent, const std::string& old_name,
                      NodeId new_parent, const std::string& new_name,
                      const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   return rename_locked(old_parent, old_name, new_parent, new_name, creds);
 }
 
@@ -375,9 +410,10 @@ Status MemFs::rename_locked(NodeId old_parent, const std::string& old_name,
         if (node->type == FileType::directory)
           return make_error_code(Errc::not_dir);
         if (--existing->nlink == 0) {
-          bytes_used_ -= existing->data.size();
-          watches_.emit(dst_it->second, event::delete_self);
-          watches_.drop_node(dst_it->second);
+          bytes_used_.fetch_sub(existing->data.size(),
+                                std::memory_order_relaxed);
+          queue_event_locked(dst_it->second, event::delete_self);
+          queue_drop_locked(dst_it->second);
           on_remove_node(dst_it->second);
           inodes_.erase(dst_it->second);
         }
@@ -398,14 +434,15 @@ Status MemFs::rename_locked(NodeId old_parent, const std::string& old_name,
   }
   node->parent_hint = new_parent;
   node->name_hint = new_name;
-  node->ctime_ns = now_ns_locked();
+  node->ctime_ns = now_ns();
   touch_locked(*src_dir);
   if (old_parent != new_parent) touch_locked(*dst_dir);
+  bump_change_gen();
 
   std::uint32_t cookie = next_cookie_++;
-  watches_.emit(old_parent, event::moved_from, old_name, cookie);
-  watches_.emit(new_parent, event::moved_to, new_name, cookie);
-  watches_.emit(moving, event::move_self);
+  queue_event_locked(old_parent, event::moved_from, old_name, cookie);
+  queue_event_locked(new_parent, event::moved_to, new_name, cookie);
+  queue_event_locked(moving, event::move_self);
   return ok_status();
 }
 
@@ -423,8 +460,17 @@ Result<std::string> MemFs::read_locked(NodeId node, std::uint64_t offset,
 
 Result<std::string> MemFs::read(NodeId node, std::uint64_t offset,
                                 std::uint64_t size, const Credentials& creds) {
-  std::lock_guard lock(mu_);
-  return read_locked(node, offset, size, creds);
+  std::shared_lock lock(mu_);
+  const Inode* ino = find(node);
+  if (!ino) return Errc::not_found;
+  if (ino->type == FileType::directory) return Errc::is_dir;
+  if (ino->type != FileType::regular) return Errc::invalid_argument;
+  if (auto st = check_access_locked(*ino, 4, creds); st) return st;
+  // Reads of distinct files only share mu_ (shared) — they serialize
+  // nowhere; a concurrent write to *this* file is excluded by its shard.
+  std::shared_lock data_lock(shard_of(node));
+  if (offset >= ino->data.size()) return std::string{};
+  return ino->data.substr(offset, size);
 }
 
 Result<std::uint64_t> MemFs::write_locked(NodeId node, std::uint64_t offset,
@@ -439,8 +485,9 @@ Result<std::uint64_t> MemFs::write_locked(NodeId node, std::uint64_t offset,
   std::uint64_t end = offset + data.size();
   std::size_t old_size = ino->data.size();
   std::size_t new_size = std::max<std::uint64_t>(end, old_size);
-  if (options_.max_bytes && new_size > old_size &&
-      bytes_used_ + (new_size - old_size) > options_.max_bytes)
+  std::size_t delta = new_size - old_size;
+  if (options_.max_bytes && delta &&
+      bytes_used_.load(std::memory_order_relaxed) + delta > options_.max_bytes)
     return Errc::no_space;
 
   // Build the prospective content so the schema hook can validate it before
@@ -450,7 +497,7 @@ Result<std::uint64_t> MemFs::write_locked(NodeId node, std::uint64_t offset,
   content.replace(static_cast<std::size_t>(offset), data.size(), data);
   if (auto st = on_write(node, content); st) return st;
 
-  bytes_used_ += content.size() - old_size;
+  bytes_used_.fetch_add(delta, std::memory_order_relaxed);
   ino = find(node);  // on_write may have touched the map
   ino->data = std::move(content);
   touch_locked(*ino);
@@ -461,13 +508,112 @@ Result<std::uint64_t> MemFs::write_locked(NodeId node, std::uint64_t offset,
 Result<std::uint64_t> MemFs::write(NodeId node, std::uint64_t offset,
                                    std::string_view data,
                                    const Credentials& creds) {
-  std::lock_guard lock(mu_);
-  return write_locked(node, offset, data, creds);
+  Event events[2];
+  std::size_t n_events = 0;
+  {
+    std::shared_lock lock(mu_);
+    Inode* ino = find(node);
+    if (!ino) return Errc::not_found;
+    if (ino->type == FileType::directory) return Errc::is_dir;
+    if (ino->type != FileType::regular) return Errc::invalid_argument;
+    if (auto st = check_access_locked(*ino, 2, creds); st) return st;
+
+    // Content mutation needs only mu_ shared + this inode's shard
+    // exclusive: writes to distinct files run concurrently with each
+    // other and with every reader of other files.
+    std::unique_lock data_lock(shard_of(node));
+    std::uint64_t end = offset + data.size();
+    std::size_t old_size = ino->data.size();
+    std::size_t new_size = std::max<std::uint64_t>(end, old_size);
+    std::size_t delta = new_size - old_size;
+    if (delta) {
+      // Optimistic quota claim; concurrent growers may race past the
+      // check-then-add, so claim first and roll back on overshoot.
+      std::size_t prev = bytes_used_.fetch_add(delta,
+                                               std::memory_order_relaxed);
+      if (options_.max_bytes && prev + delta > options_.max_bytes) {
+        bytes_used_.fetch_sub(delta, std::memory_order_relaxed);
+        return Errc::no_space;
+      }
+    }
+    std::string content = ino->data;
+    if (content.size() < end) content.resize(end, '\0');
+    content.replace(static_cast<std::size_t>(offset), data.size(), data);
+    if (auto st = on_write(node, content); st) {
+      if (delta) bytes_used_.fetch_sub(delta, std::memory_order_relaxed);
+      return st;
+    }
+    ino->data = std::move(content);
+    touch_locked(*ino);
+    if (watches_.watched(node))
+      events[n_events++] = Event{event::modified, node, {}, 0};
+    if (ino->parent_hint != kInvalidNode && watches_.watched(ino->parent_hint))
+      events[n_events++] =
+          Event{event::modified, ino->parent_hint, ino->name_hint, 0};
+  }
+  if (n_events) {
+    std::lock_guard order(emit_mu_);
+    for (std::size_t i = 0; i < n_events; ++i)
+      watches_.emit(events[i].node, events[i].mask, events[i].name,
+                    events[i].cookie);
+  }
+  return static_cast<std::uint64_t>(data.size());
+}
+
+Result<std::uint64_t> MemFs::replace(NodeId node, std::string_view data,
+                                     const Credentials& creds) {
+  Event events[2];
+  std::size_t n_events = 0;
+  {
+    std::shared_lock lock(mu_);
+    Inode* ino = find(node);
+    if (!ino) return Errc::not_found;
+    if (ino->type == FileType::directory) return Errc::is_dir;
+    if (ino->type != FileType::regular) return Errc::invalid_argument;
+    if (auto st = check_access_locked(*ino, 2, creds); st) return st;
+
+    // The new content is swapped in under one shard-exclusive section, so
+    // readers see either the old file or the new one — never the empty
+    // window the truncate+write fallback exposes.
+    std::unique_lock data_lock(shard_of(node));
+    std::size_t old_size = ino->data.size();
+    std::size_t grow = data.size() > old_size ? data.size() - old_size : 0;
+    if (grow) {
+      std::size_t prev =
+          bytes_used_.fetch_add(grow, std::memory_order_relaxed);
+      if (options_.max_bytes && prev + grow > options_.max_bytes) {
+        bytes_used_.fetch_sub(grow, std::memory_order_relaxed);
+        return Errc::no_space;
+      }
+    }
+    std::string content(data);
+    if (auto st = on_write(node, content); st) {
+      if (grow) bytes_used_.fetch_sub(grow, std::memory_order_relaxed);
+      return st;
+    }
+    if (old_size > data.size())
+      bytes_used_.fetch_sub(old_size - data.size(),
+                            std::memory_order_relaxed);
+    ino->data = std::move(content);
+    touch_locked(*ino);
+    if (watches_.watched(node))
+      events[n_events++] = Event{event::modified, node, {}, 0};
+    if (ino->parent_hint != kInvalidNode && watches_.watched(ino->parent_hint))
+      events[n_events++] =
+          Event{event::modified, ino->parent_hint, ino->name_hint, 0};
+  }
+  if (n_events) {
+    std::lock_guard order(emit_mu_);
+    for (std::size_t i = 0; i < n_events; ++i)
+      watches_.emit(events[i].node, events[i].mask, events[i].name,
+                    events[i].cookie);
+  }
+  return static_cast<std::uint64_t>(data.size());
 }
 
 Status MemFs::truncate(NodeId node, std::uint64_t size,
                        const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   if (ino->type == FileType::directory) return make_error_code(Errc::is_dir);
@@ -476,14 +622,19 @@ Status MemFs::truncate(NodeId node, std::uint64_t size,
   if (auto st = check_access_locked(*ino, 2, creds); st) return st;
   std::size_t old_size = ino->data.size();
   if (options_.max_bytes && size > old_size &&
-      bytes_used_ + (size - old_size) > options_.max_bytes)
+      bytes_used_.load(std::memory_order_relaxed) + (size - old_size) >
+          options_.max_bytes)
     return make_error_code(Errc::no_space);
 
   std::string content = ino->data;
   content.resize(size, '\0');
   if (auto st = on_write(node, content); st) return st;
-  bytes_used_ += content.size();
-  bytes_used_ -= old_size;
+  if (content.size() >= old_size)
+    bytes_used_.fetch_add(content.size() - old_size,
+                          std::memory_order_relaxed);
+  else
+    bytes_used_.fetch_sub(old_size - content.size(),
+                          std::memory_order_relaxed);
   ino = find(node);
   ino->data = std::move(content);
   touch_locked(*ino);
@@ -493,20 +644,21 @@ Status MemFs::truncate(NodeId node, std::uint64_t size,
 
 Status MemFs::chmod(NodeId node, std::uint32_t new_mode,
                     const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   if (!creds.is_root() && creds.uid != ino->uid)
     return make_error_code(Errc::not_permitted);
   ino->mode = new_mode & mode::all;
-  ino->ctime_ns = now_ns_locked();
+  ino->ctime_ns = now_ns();
   ++ino->version;
+  bump_change_gen();  // traversal permissions changed
   emit_node_event_locked(node, event::attrib);
   return ok_status();
 }
 
 Status MemFs::chown(NodeId node, Uid uid, Gid gid, const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   // Only root may change the owner; the owner may change the group to one
@@ -517,8 +669,9 @@ Status MemFs::chown(NodeId node, Uid uid, Gid gid, const Credentials& creds) {
   }
   ino->uid = uid;
   ino->gid = gid;
-  ino->ctime_ns = now_ns_locked();
+  ino->ctime_ns = now_ns();
   ++ino->version;
+  bump_change_gen();
   emit_node_event_locked(node, event::attrib);
   return ok_status();
 }
@@ -526,7 +679,7 @@ Status MemFs::chown(NodeId node, Uid uid, Gid gid, const Credentials& creds) {
 Status MemFs::setxattr(NodeId node, const std::string& name,
                        std::vector<std::uint8_t> value,
                        const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   if (name.empty()) return make_error_code(Errc::invalid_argument);
@@ -543,15 +696,16 @@ Status MemFs::setxattr(NodeId node, const std::string& name,
     ino->acl = *acl;
   }
   ino->xattrs[name] = std::move(value);
-  ino->ctime_ns = now_ns_locked();
+  ino->ctime_ns = now_ns();
   ++ino->version;
+  bump_change_gen();  // the ACL xattr changes traversal permissions
   emit_node_event_locked(node, event::attrib);
   return ok_status();
 }
 
 Result<std::vector<std::uint8_t>> MemFs::getxattr(NodeId node,
                                                   const std::string& name) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   auto it = ino->xattrs.find(name);
@@ -560,7 +714,7 @@ Result<std::vector<std::uint8_t>> MemFs::getxattr(NodeId node,
 }
 
 Result<std::vector<std::string>> MemFs::listxattr(NodeId node) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   std::vector<std::string> names;
@@ -571,7 +725,7 @@ Result<std::vector<std::string>> MemFs::listxattr(NodeId node) {
 
 Status MemFs::removexattr(NodeId node, const std::string& name,
                           const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  MutationScope scope(*this);
   Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   if (name.rfind("system.", 0) == 0) {
@@ -584,14 +738,15 @@ Status MemFs::removexattr(NodeId node, const std::string& name,
   if (it == ino->xattrs.end()) return make_error_code(Errc::not_found);
   if (name == kAclXattr) ino->acl.reset();
   ino->xattrs.erase(it);
-  ino->ctime_ns = now_ns_locked();
+  ino->ctime_ns = now_ns();
   ++ino->version;
+  bump_change_gen();
   emit_node_event_locked(node, event::attrib);
   return ok_status();
 }
 
 Status MemFs::access(NodeId node, std::uint8_t want, const Credentials& creds) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   return check_access_locked(*ino, want, creds);
@@ -599,29 +754,28 @@ Status MemFs::access(NodeId node, std::uint8_t want, const Credentials& creds) {
 
 Result<WatchRegistry::WatchId> MemFs::watch(NodeId node, std::uint32_t mask,
                                             WatchQueuePtr queue) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   if (!find(node)) return Errc::not_found;
   if (!queue || mask == 0) return Errc::invalid_argument;
   return watches_.add(node, mask, std::move(queue));
 }
 
 void MemFs::unwatch(WatchRegistry::WatchId id) {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   watches_.remove(id);
 }
 
 std::size_t MemFs::inode_count() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return inodes_.size();
 }
 
 std::size_t MemFs::bytes_used() const {
-  std::lock_guard lock(mu_);
-  return bytes_used_;
+  return bytes_used_.load(std::memory_order_relaxed);
 }
 
 Result<std::string> MemFs::path_of(NodeId node) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   if (node == kRootNode) return std::string("/");
   std::vector<const std::string*> components;
   NodeId walk = node;
@@ -643,7 +797,7 @@ Result<std::string> MemFs::path_of(NodeId node) const {
 
 std::optional<std::vector<std::uint8_t>> MemFs::nearest_xattr(
     NodeId node, const std::string& name) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   NodeId walk = node;
   for (int depth = 0; depth < 512; ++depth) {
     const Inode* ino = find(walk);

@@ -5,15 +5,30 @@
 // sticky-bit deletion rules, ACL-aware access checks, hard links with nlink
 // accounting, symlinks, rename with all the edge cases, xattrs, quotas
 // (ENOSPC), and inotify-style change notification at every mutation point.
-// Thread-safe behind a single per-filesystem mutex; the libyanc fastpath
-// (yanc::fast) exists precisely to bypass that lock, and the benchmarks
-// measure the difference (EXP-2).
+//
+// Concurrency model (docs/PERFORMANCE.md has the full writeup):
+//   * mu_ (shared_mutex) — shared for read-only namespace ops (lookup,
+//     getattr, readdir, readlink, xattr reads, access), exclusive for
+//     namespace mutations (create/unlink/rename/chmod/...).
+//   * data shards — file content plus the size/version/mtime it implies
+//     are additionally guarded by a per-inode lock shard, so write() needs
+//     only mu_ shared + its shard exclusive: content writes to distinct
+//     files proceed in parallel with each other and with all readers.
+//   * watch emission — mutations queue events while locked and fan them
+//     out after unlock (emit_mu_ keeps fan-out in operation order), so no
+//     consumer queue is ever touched under the filesystem lock.
+// The libyanc fastpath (yanc::fast) still bypasses all of this, and the
+// benchmarks measure the difference (EXP-2).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "yanc/vfs/acl.hpp"
 #include "yanc/vfs/filesystem.hpp"
@@ -31,6 +46,10 @@ class MemFs : public Filesystem {
   explicit MemFs(MemFsOptions options = {});
 
   NodeId root() const override { return kRootNode; }
+
+  std::uint64_t change_gen() const override {
+    return namespace_gen_.load(std::memory_order_acquire);
+  }
 
   Result<NodeId> lookup(NodeId parent, const std::string& name) override;
   Result<Stat> getattr(NodeId node) override;
@@ -63,6 +82,8 @@ class MemFs : public Filesystem {
                               const Credentials& creds) override;
   Status truncate(NodeId node, std::uint64_t size,
                   const Credentials& creds) override;
+  Result<std::uint64_t> replace(NodeId node, std::string_view data,
+                                const Credentials& creds) override;
 
   Status chmod(NodeId node, std::uint32_t mode,
                const Credentials& creds) override;
@@ -120,7 +141,11 @@ class MemFs : public Filesystem {
     std::string name_hint;
   };
 
-  // All hooks below are called with mu_ held.
+  // All hooks below are called with mu_ held — exclusively, except
+  // on_write, which the concurrent write() path calls with mu_ shared plus
+  // the inode's data shard exclusive.  on_write overrides may therefore
+  // read structures that only mutate under the exclusive lock, but must
+  // not write them.
 
   /// Lets subclasses (YancFs) veto or observe writes to typed files.
   virtual Status on_write(NodeId /*node*/, const std::string& /*content*/) {
@@ -145,8 +170,45 @@ class MemFs : public Filesystem {
   virtual void on_remove_node(NodeId /*node*/) {}
 
   // --- internals shared with subclasses ----------------------------------
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
+  // Serializes post-unlock watch fan-out so event delivery order matches
+  // operation order.  Lock order: mu_ → emit_mu_ → per-queue locks.
+  std::mutex emit_mu_;
   WatchRegistry watches_;
+
+  // Per-inode data lock shards: file content (and the size/version/mtime
+  // it implies) may be mutated either under mu_ exclusive, or under mu_
+  // shared + the inode's shard exclusive; readers hold mu_ shared + the
+  // shard shared.  Sharded by NodeId so distinct files rarely collide.
+  static constexpr std::size_t kDataShards = 64;
+  mutable std::array<std::shared_mutex, kDataShards> data_shards_;
+  std::shared_mutex& shard_of(NodeId id) const {
+    return data_shards_[id % kDataShards];
+  }
+
+  // A mutation's watch notifications, recorded under the lock and fanned
+  // out after it drops.  `drop` defers WatchRegistry::drop_node the same
+  // way so a destroyed node's delete_self still reaches its subscribers.
+  struct PendingAction {
+    enum class Kind : std::uint8_t { emit, drop } kind;
+    Event ev;  // emit payload; ev.node is the target for drop
+  };
+
+  /// RAII scope for namespace mutations: takes mu_ exclusively, and on
+  /// destruction drains pending_actions_ and delivers them outside the
+  /// lock (in operation order, via emit_mu_).  Public mutators and
+  /// subclass overrides open one of these instead of locking mu_ directly.
+  class MutationScope {
+   public:
+    explicit MutationScope(MemFs& fs) : fs_(fs), lock_(fs.mu_) {}
+    ~MutationScope();
+    MutationScope(const MutationScope&) = delete;
+    MutationScope& operator=(const MutationScope&) = delete;
+
+   private:
+    MemFs& fs_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
 
   Inode* find(NodeId id);
   const Inode* find(NodeId id) const;
@@ -160,8 +222,18 @@ class MemFs : public Filesystem {
   /// Recursively destroys a subtree (no permission checks; caller checked).
   void destroy_subtree_locked(NodeId node);
   void touch_locked(Inode& node);
-  std::uint64_t now_ns_locked() { return ++tick_; }
-  /// Emits an event on the node and, when a parent hint exists, a matching
+  std::uint64_t now_ns() { return tick_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  /// Existing path→node bindings (or traversal permissions) changed:
+  /// advance the generation the Vfs resolution cache validates against.
+  void bump_change_gen() {
+    namespace_gen_.fetch_add(1, std::memory_order_release);
+  }
+  /// Queues an event for post-unlock delivery (requires mu_ exclusive).
+  void queue_event_locked(NodeId node, std::uint32_t mask,
+                          std::string name = {}, std::uint32_t cookie = 0);
+  /// Queues a deferred WatchRegistry::drop_node (requires mu_ exclusive).
+  void queue_drop_locked(NodeId node);
+  /// Queues an event on the node and, when a parent hint exists, a matching
   /// named event on the parent directory (inotify delivers both).
   void emit_node_event_locked(NodeId node, std::uint32_t mask);
 
@@ -191,9 +263,12 @@ class MemFs : public Filesystem {
   MemFsOptions options_;
   std::unordered_map<NodeId, Inode> inodes_;
   NodeId next_node_ = kRootNode + 1;
-  std::uint64_t tick_ = 0;
-  std::size_t bytes_used_ = 0;
+  // Atomic: the concurrent write() path advances these under mu_ shared.
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::size_t> bytes_used_{0};
   std::uint32_t next_cookie_ = 1;
+  std::atomic<std::uint64_t> namespace_gen_{1};
+  std::vector<PendingAction> pending_actions_;  // guarded by mu_ exclusive
 };
 
 }  // namespace yanc::vfs

@@ -63,6 +63,8 @@ Vfs::Vfs() : metrics_(std::make_shared<obs::Registry>()) {
   obs_.read_total = metrics_->counter("vfs/read_total");
   obs_.write_total = metrics_->counter("vfs/write_total");
   obs_.metadata_total = metrics_->counter("vfs/metadata_total");
+  obs_.dcache_hit_total = metrics_->counter("vfs/dcache_hit_total");
+  obs_.dcache_miss_total = metrics_->counter("vfs/dcache_miss_total");
   obs_.op_ns = metrics_->histogram("vfs/op_ns");
 }
 
@@ -101,21 +103,31 @@ Status Vfs::mount(const std::string& path, FilesystemPtr fs,
   if (!fs) return make_error_code(Errc::invalid_argument);
   std::string key = normalize_path(path);
   if (key != "/") {
-    // The mount point must exist and be a directory.
+    // The mount point must exist and be a directory; key the table on the
+    // *resolved* logical path so "/a/../mnt" and "/mnt" are one mount, not
+    // two, and later mount-point checks agree with the resolver.
     auto target = resolve(key, Credentials::root());
     if (!target) return target.error();
     auto st = target->fs->getattr(target->node);
     if (!st) return st.error();
     if (!st->is_dir()) return make_error_code(Errc::not_dir);
+    key = target->logical.empty() ? "/" : target->logical;
   }
   std::unique_lock lock(mounts_mu_);
   auto [it, inserted] = mounts_.emplace(key, Mount{std::move(fs), options});
   if (!inserted) return make_error_code(Errc::busy);
+  mount_gen_.fetch_add(1, std::memory_order_release);
   return ok_status();
 }
 
 Status Vfs::umount(const std::string& path) {
   std::string key = normalize_path(path);
+  if (key != "/") {
+    // Canonicalize the same way mount() keyed it (resolving the mount
+    // point crosses into the mounted fs, so `logical` IS the mount key).
+    if (auto target = resolve(key, Credentials::root()))
+      key = target->logical.empty() ? "/" : target->logical;
+  }
   if (key == "/") return make_error_code(Errc::busy);
   std::unique_lock lock(mounts_mu_);
   auto it = mounts_.find(key);
@@ -126,6 +138,7 @@ Status Vfs::umount(const std::string& path) {
     if (starts_with(mount_path, prefix))
       return make_error_code(Errc::busy);
   mounts_.erase(it);
+  mount_gen_.fetch_add(1, std::memory_order_release);
   return ok_status();
 }
 
@@ -149,13 +162,16 @@ struct Vfs::Frame {
 
 // Walks `components` on top of `stack`.  `base_depth` is the ".." floor:
 // the walk can never pop below it, and absolute symlink targets re-anchor
-// there (this is what confines a Namespace to its subtree).
+// there (this is what confines a Namespace to its subtree).  When `deps`
+// is non-null, every filesystem entered mid-walk is recorded with its
+// change_gen() captured before any of its state is read.
 Result<Vfs::Resolved> Vfs::walk_components(std::vector<Frame>& stack,
                                            std::deque<std::string>& components,
                                            const Credentials& creds,
                                            bool follow_final,
                                            std::size_t base_depth,
-                                           int& symlinks_left) {
+                                           int& symlinks_left,
+                                           DcacheDeps* deps) {
   while (!components.empty()) {
     std::string comp = std::move(components.front());
     components.pop_front();
@@ -196,6 +212,9 @@ Result<Vfs::Resolved> Vfs::walk_components(std::vector<Frame>& stack,
       std::shared_lock lock(mounts_mu_);
       auto mount_it = mounts_.find(logical);
       if (mount_it != mounts_.end()) {
+        if (deps)
+          deps->emplace_back(mount_it->second.fs,
+                             mount_it->second.fs->change_gen());
         stack.push_back(Frame{mount_it->second.fs,
                               mount_it->second.fs->root(), logical,
                               mount_it->second.options.read_only});
@@ -205,28 +224,81 @@ Result<Vfs::Resolved> Vfs::walk_components(std::vector<Frame>& stack,
     stack.push_back(Frame{cur.fs, *child, logical, cur.read_only});
   }
   const Frame& top = stack.back();
-  return Resolved{top.fs, top.node, top.read_only};
+  return Resolved{top.fs, top.node, top.read_only, top.logical};
+}
+
+std::string Vfs::dcache_key(const std::string& norm_root,
+                            const std::string& norm_path, bool follow_final,
+                            const Credentials& creds) {
+  // Credentials qualify the key: the walk checks execute permission on
+  // every component, so one caller's successful resolution proves nothing
+  // for another.
+  std::string key;
+  key.reserve(norm_root.size() + norm_path.size() + 32);
+  key += norm_root;
+  key += '\n';
+  key += norm_path;
+  key += '\n';
+  key += follow_final ? '1' : '0';
+  key += '\n';
+  key += std::to_string(creds.uid);
+  key += ':';
+  key += std::to_string(creds.gid);
+  for (auto g : creds.groups) {
+    key += ',';
+    key += std::to_string(g);
+  }
+  return key;
 }
 
 Result<Vfs::Resolved> Vfs::resolve(std::string_view path,
                                    const Credentials& creds, bool follow_final,
                                    const std::string& root) {
+  std::string norm_root = normalize_path(root);
+  std::string norm = normalize_path(path);
+  std::string key = dcache_key(norm_root, norm, follow_final, creds);
+  // Capture the mount generation before consulting anything: a mount that
+  // lands mid-walk invalidates, never validates.
+  std::uint64_t mount_gen = mount_gen_.load(std::memory_order_acquire);
+  {
+    std::shared_lock lock(dcache_mu_);
+    auto it = dcache_.find(key);
+    if (it != dcache_.end() && it->second.mount_gen == mount_gen) {
+      bool fresh = true;
+      for (const auto& [fs, gen] : it->second.deps) {
+        if (fs->change_gen() != gen) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) {
+        // One lookup per hit keeps the syscall counters monotonic and the
+        // cached path visibly cheaper than the walked one.
+        count_op(OpKind::lookup);
+        obs_.dcache_hit_total->add();
+        return it->second.resolved;
+      }
+    }
+  }
+  obs_.dcache_miss_total->add();
+
+  DcacheDeps deps;
   std::vector<Frame> stack;
   {
     std::shared_lock lock(mounts_mu_);
     const Mount& m = mounts_.at("/");
+    deps.emplace_back(m.fs, m.fs->change_gen());
     stack.push_back(Frame{m.fs, m.fs->root(), "", m.options.read_only});
   }
   int symlinks_left = kMaxSymlinkDepth;
 
   // Stage 1: anchor at the namespace root (always following symlinks).
-  std::string norm_root = normalize_path(root);
   if (norm_root != "/") {
     std::deque<std::string> root_comps;
     for (auto& comp : split_nonempty(norm_root, '/'))
       root_comps.push_back(std::move(comp));
-    auto anchored =
-        walk_components(stack, root_comps, creds, true, 1, symlinks_left);
+    auto anchored = walk_components(stack, root_comps, creds, true, 1,
+                                    symlinks_left, &deps);
     if (!anchored) return anchored.error();
     auto attr = anchored->fs->getattr(anchored->node);
     if (!attr) return attr.error();
@@ -236,10 +308,26 @@ Result<Vfs::Resolved> Vfs::resolve(std::string_view path,
 
   // Stage 2: walk the user-supplied path, confined above base_depth.
   std::deque<std::string> components;
-  for (auto& comp : split_nonempty(normalize_path(path), '/'))
+  for (auto& comp : split_nonempty(norm, '/'))
     components.push_back(std::move(comp));
-  return walk_components(stack, components, creds, follow_final, base_depth,
-                         symlinks_left);
+  auto resolved = walk_components(stack, components, creds, follow_final,
+                                  base_depth, symlinks_left, &deps);
+  if (!resolved) return resolved;  // negative results are never cached
+
+  bool cacheable = true;
+  for (const auto& [fs, gen] : deps) {
+    if (gen == kUncacheableGen) {
+      cacheable = false;
+      break;
+    }
+  }
+  if (cacheable) {
+    std::unique_lock lock(dcache_mu_);
+    if (dcache_.size() >= kDcacheCap) dcache_.clear();
+    dcache_[std::move(key)] = DentryEntry{*resolved, std::move(deps),
+                                          mount_gen};
+  }
+  return resolved;
 }
 
 Result<Vfs::Resolved> Vfs::resolve_parent(std::string_view path,
@@ -319,12 +407,13 @@ Status Vfs::write_file(std::string_view path, std::string_view data,
                        const Credentials& creds, const std::string& root) {
   OpTimer timer(obs_.op_ns);
   count_op(OpKind::write);
-  auto handle = open(path,
-                     open_flags::write_only | open_flags::create |
-                         open_flags::truncate,
+  // Deliberately NOT open(O_TRUNC): that truncates in one FS op and writes
+  // in a second, leaving a window where concurrent readers see an empty
+  // file.  replace() commits the new content in a single step.
+  auto handle = open(path, open_flags::write_only | open_flags::create,
                      0644, creds, root);
   if (!handle) return handle.error();
-  auto written = (*handle)->write(data);
+  auto written = (*handle)->replace(data);
   return written ? ok_status() : written.error();
 }
 
@@ -406,13 +495,14 @@ Status Vfs::unlink(std::string_view path, const Credentials& creds,
                    const std::string& root) {
   OpTimer timer(obs_.op_ns);
   count_op(OpKind::write);
-  if (is_mount_point(normalize_path(std::string(root == "/" ? "" : root) +
-                                    std::string(path))))
-    return make_error_code(Errc::busy);
   std::string leaf;
   auto parent = resolve_parent(path, creds, &leaf, root);
   if (!parent) return parent.error();
   if (parent->read_only) return make_error_code(Errc::read_only);
+  // Mount-point check on the *resolved* logical path: a lexical check
+  // misses "/a/../mnt" and symlinked parents, which name the same entry.
+  if (is_mount_point(parent->logical + "/" + leaf))
+    return make_error_code(Errc::busy);
   return parent->fs->unlink(parent->node, leaf, creds);
 }
 
@@ -420,13 +510,12 @@ Status Vfs::rmdir(std::string_view path, const Credentials& creds,
                   const std::string& root) {
   OpTimer timer(obs_.op_ns);
   count_op(OpKind::write);
-  if (is_mount_point(normalize_path(std::string(root == "/" ? "" : root) +
-                                    std::string(path))))
-    return make_error_code(Errc::busy);
   std::string leaf;
   auto parent = resolve_parent(path, creds, &leaf, root);
   if (!parent) return parent.error();
   if (parent->read_only) return make_error_code(Errc::read_only);
+  if (is_mount_point(parent->logical + "/" + leaf))
+    return make_error_code(Errc::busy);
   return parent->fs->rmdir(parent->node, leaf, creds);
 }
 
@@ -452,15 +541,14 @@ Status Vfs::rename(std::string_view from, std::string_view to,
                    const Credentials& creds, const std::string& root) {
   OpTimer timer(obs_.op_ns);
   count_op(OpKind::write);
-  std::string prefix = root == "/" ? "" : root;
-  if (is_mount_point(normalize_path(prefix + std::string(from))) ||
-      is_mount_point(normalize_path(prefix + std::string(to))))
-    return make_error_code(Errc::busy);
   std::string from_leaf, to_leaf;
   auto from_parent = resolve_parent(from, creds, &from_leaf, root);
   if (!from_parent) return from_parent.error();
   auto to_parent = resolve_parent(to, creds, &to_leaf, root);
   if (!to_parent) return to_parent.error();
+  if (is_mount_point(from_parent->logical + "/" + from_leaf) ||
+      is_mount_point(to_parent->logical + "/" + to_leaf))
+    return make_error_code(Errc::busy);
   if (from_parent->fs.get() != to_parent->fs.get())
     return make_error_code(Errc::cross_device);
   if (from_parent->read_only || to_parent->read_only)
@@ -637,6 +725,13 @@ Result<std::uint64_t> FileHandle::write(std::string_view data) {
   }
   auto n = fs_->write(node_, offset_, data, creds_);
   if (n) offset_ += *n;
+  return n;
+}
+
+Result<std::uint64_t> FileHandle::replace(std::string_view data) {
+  if (!writable()) return Errc::bad_handle;
+  auto n = fs_->replace(node_, data, creds_);
+  if (n) offset_ = *n;
   return n;
 }
 

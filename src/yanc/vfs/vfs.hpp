@@ -21,6 +21,8 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "yanc/obs/metrics.hpp"
 #include "yanc/vfs/acl.hpp"
@@ -61,6 +63,11 @@ class Vfs {
     FilesystemPtr fs;
     NodeId node = kInvalidNode;
     bool read_only = false;
+    // Full logical (mount-table) path the walk ended at, with ".." and
+    // symlinks already resolved ("" means "/").  This is the canonical key
+    // for mount-point comparisons: lexical prefixes lie about paths that
+    // reach a mount root via ".." or a symlink.
+    std::string logical;
   };
   /// Resolves `path` to (filesystem, node).  `follow_final` controls
   /// whether a trailing symlink is followed (stat vs lstat).
@@ -181,10 +188,28 @@ class Vfs {
   /// the benchmarks read) and the obs registry (the /yanc/.stats surface).
   enum class OpKind { read, write, metadata, lookup };
 
+  /// Filesystems a resolution read, each with its change_gen() captured at
+  /// first visit — *before* any of its state was read, so a concurrent
+  /// mutation can only make the cached entry look stale, never fresh.
+  using DcacheDeps = std::vector<std::pair<FilesystemPtr, std::uint64_t>>;
+
+  /// One resolution-cache entry: the answer plus everything needed to
+  /// prove it is still the answer.
+  struct DentryEntry {
+    Resolved resolved;
+    DcacheDeps deps;
+    std::uint64_t mount_gen = 0;  // mount table unchanged since insert
+  };
+
+  static std::string dcache_key(const std::string& norm_root,
+                                const std::string& norm_path,
+                                bool follow_final, const Credentials& creds);
+
   Result<Resolved> walk_components(std::vector<Frame>& stack,
                                    std::deque<std::string>& components,
                                    const Credentials& creds, bool follow_final,
-                                   std::size_t base_depth, int& symlinks_left);
+                                   std::size_t base_depth, int& symlinks_left,
+                                   DcacheDeps* deps);
   Result<Resolved> resolve_parent(std::string_view path,
                                   const Credentials& creds, std::string* leaf,
                                   const std::string& root);
@@ -192,7 +217,19 @@ class Vfs {
   void count_op(OpKind kind);
 
   mutable std::shared_mutex mounts_mu_;
-  std::map<std::string, Mount> mounts_;  // normalized path -> mount
+  std::map<std::string, Mount> mounts_;  // resolved logical path -> mount
+  // Bumped on every mount/umount; resolution-cache entries recorded under
+  // an older generation are never returned.
+  std::atomic<std::uint64_t> mount_gen_{1};
+
+  // Resolution (dentry) cache: successful resolutions only, keyed by
+  // (namespace root, normalized path, follow_final, credentials).  Capped;
+  // cleared wholesale when full (entries revalidate cheaply, so churn is
+  // benign).
+  static constexpr std::size_t kDcacheCap = 4096;
+  mutable std::shared_mutex dcache_mu_;
+  std::unordered_map<std::string, DentryEntry> dcache_;
+
   OpCounters counters_;
   std::shared_ptr<obs::Registry> metrics_;
   struct ObsHandles {
@@ -200,6 +237,8 @@ class Vfs {
     obs::Counter* read_total;
     obs::Counter* write_total;
     obs::Counter* metadata_total;
+    obs::Counter* dcache_hit_total;
+    obs::Counter* dcache_miss_total;
     obs::Histogram* op_ns;  // wall latency of public Vfs operations
   } obs_;
 };
@@ -213,6 +252,9 @@ class FileHandle {
 
   Result<std::string> read(std::uint64_t size);
   Result<std::uint64_t> write(std::string_view data);
+  /// Atomically swaps in `data` as the whole file content (no intermediate
+  /// truncated state is ever visible to readers).
+  Result<std::uint64_t> replace(std::string_view data);
   Result<std::string> pread(std::uint64_t offset, std::uint64_t size);
   Result<std::uint64_t> pwrite(std::uint64_t offset, std::string_view data);
   Result<Stat> stat();

@@ -5,6 +5,7 @@
 namespace yanc::vfs {
 
 void WatchQueue::push(Event e) {
+  bool enqueued = false;
   {
     std::lock_guard lock(mu_);
     if (events_.size() >= capacity_) {
@@ -12,16 +13,21 @@ void WatchQueue::push(Event e) {
       if (!overflow_pending_) {
         overflow_pending_ = true;
         // Replace the tail with a single overflow marker, like inotify's
-        // IN_Q_OVERFLOW: the consumer learns it must rescan.
+        // IN_Q_OVERFLOW: the consumer learns it must rescan.  The marker
+        // is an event like any other: it must update the depth gauge and
+        // wake a blocked consumer, or a slow reader parked in pop_wait
+        // sleeps through the very notification telling it to catch up.
         events_.push_back(Event{event::overflow, e.node, {}, 0});
+        enqueued = true;
       }
-      return;
+    } else {
+      events_.push_back(std::move(e));
+      enqueued = true;
     }
-    events_.push_back(std::move(e));
-    if (depth_metric_)
+    if (enqueued && depth_metric_)
       depth_metric_->set(static_cast<std::int64_t>(events_.size()));
   }
-  cv_.notify_one();
+  if (enqueued) cv_.notify_one();
 }
 
 std::optional<Event> WatchQueue::try_pop() {
@@ -36,8 +42,12 @@ std::optional<Event> WatchQueue::try_pop() {
 }
 
 std::optional<Event> WatchQueue::pop_wait(std::chrono::milliseconds timeout) {
+  // Absolute deadline computed once: however many times the wait wakes
+  // (notified for events another consumer won, or spuriously), the caller
+  // never waits longer than `timeout` from the moment of the call.
+  auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [&] { return !events_.empty(); }))
+  if (!cv_.wait_until(lock, deadline, [&] { return !events_.empty(); }))
     return std::nullopt;
   Event e = std::move(events_.front());
   events_.pop_front();

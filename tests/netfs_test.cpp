@@ -155,15 +155,16 @@ TEST_F(YancFsTest, TypedWritesValidated) {
   EXPECT_EQ(vfs->write_file(f + "/action.out", "nowhere"),
             err(Errc::invalid_argument));
   // A rejected write can never leave a malformed value behind: write_file
-  // truncates first (POSIX O_TRUNC), so the failed write leaves the file
-  // empty, which readers treat as unset — not as garbage.
+  // replaces content atomically, so validation failure keeps the previous
+  // valid value — no truncate-then-fail window wiping the config.
   ASSERT_FALSE(vfs->write_file(f + "/match.dl_type", "0x0800"));
   EXPECT_EQ(vfs->write_file(f + "/match.dl_type", "junk"),
             err(Errc::invalid_argument));
-  EXPECT_EQ(*vfs->read_file(f + "/match.dl_type"), "");
+  EXPECT_EQ(*vfs->read_file(f + "/match.dl_type"), "0x0800");
   auto spec = read_flow(*vfs, f);
   ASSERT_TRUE(spec.ok());
-  EXPECT_FALSE(spec->match.dl_type.has_value());
+  ASSERT_TRUE(spec->match.dl_type.has_value());
+  EXPECT_EQ(*spec->match.dl_type, 0x0800);
 }
 
 TEST_F(YancFsTest, PortConfigFlagValidation) {

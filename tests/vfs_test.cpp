@@ -2,9 +2,12 @@
 // mount/resolution layer, namespaces, and file handles.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
+#include "yanc/obs/metrics.hpp"
 #include "yanc/vfs/memfs.hpp"
 #include "yanc/vfs/vfs.hpp"
 
@@ -504,6 +507,81 @@ TEST(WatchQueueTest, PopWaitTimesOut) {
   EXPECT_TRUE(q.pop_wait(std::chrono::milliseconds(5)).has_value());
 }
 
+TEST(WatchQueueTest, OverflowPushWakesBlockedConsumer) {
+  // Regression: push() used to enqueue the overflow marker without
+  // notifying the condition variable, so a consumer already blocked in
+  // pop_wait slept through it until the full timeout expired (wait_until's
+  // final predicate check would then find the marker — masking the lost
+  // wakeup as latency, not loss).  Capacity 0 makes every push take the
+  // overflow branch, so the consumer is deterministically blocked on an
+  // empty queue when the marker lands.
+  WatchQueue q(0);
+  obs::Registry registry;
+  auto* depth = registry.gauge("q/depth");
+  auto* drops = registry.counter("q/drops");
+  q.bind_metrics(depth, drops);
+
+  std::optional<Event> got;
+  std::chrono::steady_clock::duration waited{};
+  std::thread consumer([&] {
+    auto start = std::chrono::steady_clock::now();
+    got = q.pop_wait(std::chrono::seconds(3));
+    waited = std::chrono::steady_clock::now() - start;
+  });
+  // Let the consumer block, then flood.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  q.push({event::created, 1, "a", 0});
+  consumer.join();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->is(event::overflow));
+  // Well under the 3 s timeout: the push itself woke the consumer.
+  EXPECT_LT(waited, std::chrono::seconds(1));
+  EXPECT_GE(drops->value(), 1u);  // the original event was dropped
+  EXPECT_EQ(depth->value(), 0);  // gauge tracked the marker in and out
+}
+
+TEST(WatchQueueTest, OverflowPushUpdatesDepthGauge) {
+  WatchQueue q(1);
+  obs::Registry registry;
+  auto* depth = registry.gauge("q/depth");
+  q.bind_metrics(depth, nullptr);
+  q.push({event::created, 1, "a", 0});
+  EXPECT_EQ(depth->value(), 1);
+  q.push({event::created, 1, "b", 0});  // overflow marker
+  EXPECT_EQ(depth->value(), 2);         // gauge saw the marker enqueue
+  q.push({event::created, 1, "c", 0});  // dropped, nothing enqueued
+  EXPECT_EQ(depth->value(), 2);
+}
+
+TEST(WatchQueueTest, PopWaitDeadlineIsAbsolute) {
+  // pop_wait must honour one absolute deadline: a stream of wakeups that
+  // never leaves an event for this consumer cannot extend the wait.  A
+  // churn thread pushes and a stealer drains, so the blocked consumer is
+  // woken repeatedly while usually finding the queue empty.
+  WatchQueue q;
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load()) {
+      q.push({event::created, 1, "x", 0});
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  std::thread stealer([&] {
+    while (!stop.load()) (void)q.try_pop();
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  (void)q.pop_wait(std::chrono::milliseconds(150));
+  auto waited = std::chrono::steady_clock::now() - start;
+  stop.store(true);
+  churn.join();
+  stealer.join();
+  // The consumer may win an event (early return) but may never overshoot
+  // the deadline by more than scheduling slack.
+  EXPECT_LT(waited, std::chrono::milliseconds(1000));
+}
+
 TEST_F(MemFsTest, UnwatchStopsDelivery) {
   auto q = std::make_shared<WatchQueue>();
   auto id = fs.watch(fs.root(), event::all, q);
@@ -837,6 +915,215 @@ TEST_F(VfsTest, ConcurrentMutationSmoke) {
   ASSERT_TRUE(entries.ok());
   EXPECT_EQ(entries->size(), 2u * kPerThread);
   EXPECT_GE(reads, 0u);
+}
+
+// --- mounts reached via ".." and symlinks -----------------------------------
+
+TEST_F(VfsTest, DotDotPathCrossesIntoMount) {
+  auto extra = std::make_shared<MemFs>();
+  ASSERT_FALSE(vfs->mkdir("/a"));
+  ASSERT_FALSE(vfs->mkdir("/mnt"));
+  ASSERT_FALSE(vfs->mount("/mnt", extra));
+  ASSERT_FALSE(vfs->write_file("/a/../mnt/f", "inside"));
+  // The write crossed into the mounted fs, not the covered directory.
+  EXPECT_TRUE(extra->lookup(extra->root(), "f").ok());
+  EXPECT_EQ(*vfs->read_file("/a/../mnt/f"), "inside");
+  EXPECT_EQ(*vfs->read_file("/mnt/f"), "inside");
+}
+
+TEST_F(VfsTest, MountKeyedOnResolvedPath) {
+  // Mounting via a ".." spelling must produce the same mount as the plain
+  // one: the table keys on the resolved logical path, so the resolver can
+  // actually find it and a second mount at the same place is EBUSY.
+  auto extra = std::make_shared<MemFs>();
+  ASSERT_FALSE(vfs->mkdir("/a"));
+  ASSERT_FALSE(vfs->mkdir("/mnt"));
+  ASSERT_FALSE(vfs->mount("/a/../mnt", extra));
+  ASSERT_FALSE(vfs->write_file("/mnt/f", "x"));
+  EXPECT_TRUE(extra->lookup(extra->root(), "f").ok());
+  EXPECT_EQ(vfs->mount("/mnt", std::make_shared<MemFs>()), err(Errc::busy));
+  // umount accepts either spelling.
+  ASSERT_FALSE(vfs->umount("/a/../mnt"));
+  EXPECT_EQ(vfs->umount("/mnt"), err(Errc::not_found));
+}
+
+TEST_F(VfsTest, MountRootProtectedFromDotDotSpellings) {
+  // Pre-fix, the EBUSY guard compared the lexical path against the mount
+  // table, so "/a/../mnt" slipped past it and rmdir removed the directory
+  // under a live mount.
+  ASSERT_FALSE(vfs->mkdir("/a"));
+  ASSERT_FALSE(vfs->mkdir("/mnt"));
+  ASSERT_FALSE(vfs->mount("/mnt", std::make_shared<MemFs>()));
+  EXPECT_EQ(vfs->rmdir("/a/../mnt"), err(Errc::busy));
+  EXPECT_EQ(vfs->rename("/a/../mnt", "/zz"), err(Errc::busy));
+  ASSERT_FALSE(vfs->write_file("/src", "x"));
+  EXPECT_EQ(vfs->rename("/src", "/a/../mnt"), err(Errc::busy));
+  EXPECT_TRUE(vfs->stat("/mnt").ok());
+}
+
+TEST_F(VfsTest, MountRootProtectedThroughSymlinkedParent) {
+  ASSERT_FALSE(vfs->mkdir("/mnt"));
+  ASSERT_FALSE(vfs->mount("/mnt", std::make_shared<MemFs>()));
+  // /s resolves to /, so "/s/mnt" names the mount root.
+  ASSERT_FALSE(vfs->symlink("/", "/s"));
+  EXPECT_EQ(vfs->rmdir("/s/mnt"), err(Errc::busy));
+  EXPECT_EQ(vfs->rename("/s/mnt", "/zz"), err(Errc::busy));
+  EXPECT_TRUE(vfs->stat("/mnt").ok());
+}
+
+// --- resolution (dentry) cache ----------------------------------------------
+
+TEST_F(VfsTest, DentryCacheHitsRepeatedResolutions) {
+  ASSERT_FALSE(vfs->mkdir_p("/a/b"));
+  ASSERT_FALSE(vfs->write_file("/a/b/f", "x"));
+  auto* hits = vfs->metrics()->counter("vfs/dcache_hit_total");
+  auto before = hits->value();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(*vfs->read_file("/a/b/f"), "x");
+  EXPECT_GE(hits->value(), before + 7);  // first read may miss, rest hit
+}
+
+TEST_F(VfsTest, DentryCacheInvalidatedOnUnlink) {
+  ASSERT_FALSE(vfs->write_file("/f", "x"));
+  EXPECT_TRUE(vfs->stat("/f").ok());  // populate the cache
+  ASSERT_FALSE(vfs->unlink("/f"));
+  EXPECT_EQ(vfs->stat("/f").error(), err(Errc::not_found));
+}
+
+TEST_F(VfsTest, DentryCacheInvalidatedOnRename) {
+  ASSERT_FALSE(vfs->mkdir("/d"));
+  ASSERT_FALSE(vfs->write_file("/d/f", "v1"));
+  EXPECT_EQ(*vfs->read_file("/d/f"), "v1");  // populate the cache
+  ASSERT_FALSE(vfs->rename("/d/f", "/d/g"));
+  EXPECT_EQ(vfs->read_file("/d/f").error(), err(Errc::not_found));
+  EXPECT_EQ(*vfs->read_file("/d/g"), "v1");
+  // Renaming a directory invalidates cached paths through it.
+  ASSERT_FALSE(vfs->rename("/d", "/e"));
+  EXPECT_EQ(vfs->read_file("/d/g").error(), err(Errc::not_found));
+  EXPECT_EQ(*vfs->read_file("/e/g"), "v1");
+}
+
+TEST_F(VfsTest, DentryCacheInvalidatedOnChmod) {
+  ASSERT_FALSE(vfs->mkdir("/p", 0755));
+  ASSERT_FALSE(vfs->write_file("/p/f", "x"));
+  ASSERT_FALSE(vfs->chmod("/p/f", 0644));
+  EXPECT_EQ(*vfs->read_file("/p/f", alice()), "x");  // cached for alice
+  // Locking the directory must take effect despite the cached resolution.
+  ASSERT_FALSE(vfs->chmod("/p", 0700));
+  EXPECT_EQ(vfs->read_file("/p/f", alice()).error(),
+            err(Errc::access_denied));
+}
+
+TEST_F(VfsTest, DentryCacheInvalidatedOnUmount) {
+  auto extra = std::make_shared<MemFs>();
+  ASSERT_TRUE(extra->create(extra->root(), "f", 0644,
+                            Credentials::root()).ok());
+  ASSERT_FALSE(vfs->mkdir("/mnt"));
+  ASSERT_FALSE(vfs->mount("/mnt", extra));
+  EXPECT_TRUE(vfs->stat("/mnt/f").ok());  // resolves into the mount
+  ASSERT_FALSE(vfs->umount("/mnt"));
+  EXPECT_EQ(vfs->stat("/mnt/f").error(), err(Errc::not_found));
+}
+
+TEST_F(VfsTest, DentryCacheIsPerCredential) {
+  ASSERT_FALSE(vfs->mkdir("/locked", 0700, root));
+  ASSERT_FALSE(vfs->write_file("/locked/f", "secret", root));
+  // Root's successful (cached) resolution must not leak to alice, whose
+  // walk fails the execute check on /locked.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(vfs->stat("/locked/f", root).ok());
+  EXPECT_EQ(vfs->stat("/locked/f", alice()).error(),
+            err(Errc::access_denied));
+}
+
+// --- multi-threaded stress ----------------------------------------------------
+
+TEST_F(VfsTest, MultiThreadedReadersAndMutators) {
+  // N readers resolve and read a shared tree while writers rewrite file
+  // contents and a renamer shuffles a directory back and forth.  The test
+  // asserts no crashes, no torn reads (file contents are always one of the
+  // values some writer produced), and a consistent final state.  Run under
+  // TSan via scripts/sanitize.sh tsan, this is the data-race gate for the
+  // sharded locking.
+  constexpr int kFiles = 16;
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kIters = 400;
+  ASSERT_FALSE(vfs->mkdir("/t"));
+  ASSERT_FALSE(vfs->mkdir("/t/stable"));
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_FALSE(vfs->write_file("/t/stable/f" + std::to_string(i), "w0_0"));
+  }
+  ASSERT_FALSE(vfs->mkdir("/t/flip"));
+
+  std::atomic<int> torn{0};
+  auto reader = [&](int seed) {
+    for (int i = 0; i < kIters; ++i) {
+      std::string path =
+          "/t/stable/f" + std::to_string((seed + i) % kFiles);
+      auto data = vfs->read_file(path);
+      ASSERT_TRUE(data.ok()) << path;
+      // Every valid content is "w<writer>_<iter>"; a torn read would mix.
+      if (data->empty() || (*data)[0] != 'w') torn.fetch_add(1);
+      (void)vfs->stat(path);
+      (void)vfs->readdir("/t/stable");
+    }
+  };
+  auto writer = [&](int id) {
+    for (int i = 0; i < kIters; ++i) {
+      std::string path =
+          "/t/stable/f" + std::to_string((id * 7 + i) % kFiles);
+      std::string value =
+          "w" + std::to_string(id) + "_" + std::to_string(i);
+      ASSERT_FALSE(vfs->write_file(path, value));
+    }
+  };
+  auto renamer = [&] {
+    for (int i = 0; i < kIters; ++i) {
+      std::string from = (i % 2) ? "/t/flop" : "/t/flip";
+      std::string to = (i % 2) ? "/t/flip" : "/t/flop";
+      ASSERT_FALSE(vfs->rename(from, to));
+      (void)vfs->stat(to);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) threads.emplace_back(reader, r);
+  for (int w = 0; w < kWriters; ++w) threads.emplace_back(writer, w);
+  threads.emplace_back(renamer);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  auto entries = vfs->readdir("/t/stable");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<std::size_t>(kFiles));
+}
+
+TEST_F(VfsTest, ConcurrentDistinctFileWritesAndReads) {
+  // Writers on distinct files take mu_ shared + their own shard; readers
+  // of other files must never observe partial content.
+  constexpr int kThreads = 6;
+  constexpr int kIters = 300;
+  ASSERT_FALSE(vfs->mkdir("/w"));
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_FALSE(
+        vfs->write_file("/w/f" + std::to_string(t), std::string(64, 'a')));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::string mine = "/w/f" + std::to_string(t);
+      std::string other = "/w/f" + std::to_string((t + 1) % kThreads);
+      for (int i = 0; i < kIters; ++i) {
+        char c = static_cast<char>('a' + (i % 26));
+        ASSERT_FALSE(vfs->write_file(mine, std::string(64, c)));
+        auto data = vfs->read_file(other);
+        ASSERT_TRUE(data.ok());
+        ASSERT_EQ(data->size(), 64u);
+        // Single-writer-per-file: content is always 64 copies of one byte.
+        EXPECT_EQ(data->find_first_not_of((*data)[0]), std::string::npos);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
 }
 
 // --- namespaces ---------------------------------------------------------------
