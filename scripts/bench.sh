@@ -2,7 +2,12 @@
 # Runs every bench_* binary in --json mode and merges the results into one
 # BENCH_<YYYYMMDD>.json at the repo root, so runs can be diffed over time.
 #
-# Usage: scripts/bench.sh [build-dir]        (default: build)
+# Usage: scripts/bench.sh [build-dir]        (default: build-bench)
+#
+# The default build dir is configured Release with -DYANC_DBG_LOCKS=OFF:
+# numbers comparable against the BENCH_*.json baselines must not include
+# lock-order validation overhead (docs/CORRECTNESS.md).  Pass an explicit
+# build dir to bench a different configuration knowingly.
 #
 #   BENCH_ARGS     extra flags for every binary, e.g.
 #                  BENCH_ARGS='--benchmark_filter=Threaded' scripts/bench.sh
@@ -14,12 +19,18 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-bench}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
+
+if [[ -z "${1:-}" ]]; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release -DYANC_DBG_LOCKS=OFF >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
+fi
 
 if ! compgen -G "$BUILD_DIR/bench/bench_*" > /dev/null; then
   echo "no bench_* binaries under $BUILD_DIR/bench — build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release -DYANC_DBG_LOCKS=OFF && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: everything a change must pass before merge.
+#
+# Usage: scripts/check.sh [--fast]
+#
+#   default — configure + build (lockdep ON), full ctest tier (which
+#             includes the yanc-lint gate and its self-test), lint.sh,
+#             a lockdep-OFF release build proving the wrappers compile
+#             away, then ASan/UBSan over the full suite and TSan over the
+#             concurrency suites via scripts/sanitize.sh.
+#   --fast  — stop after the lint gate (no sanitizer rebuilds).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "=== build (YANC_DBG_LOCKS=ON) ==="
+cmake -B build -S . -DYANC_DBG_LOCKS=ON
+cmake --build build -j "$(nproc)"
+
+echo "=== ctest (tier 1 + lint gate) ==="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== lint ==="
+scripts/lint.sh build
+
+echo "=== release build (YANC_DBG_LOCKS=OFF: wrappers must compile away) ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DYANC_DBG_LOCKS=OFF
+cmake --build build-release -j "$(nproc)"
+ctest --test-dir build-release --output-on-failure -j "$(nproc)" -R dbg_test
+
+if [[ "$FAST" == 1 ]]; then
+  echo "check.sh --fast: OK (sanitizers skipped)"
+  exit 0
+fi
+
+echo "=== asan+ubsan ==="
+scripts/sanitize.sh asan
+
+echo "=== tsan (concurrency suites + lockdep) ==="
+scripts/sanitize.sh tsan build-tsan -R '(vfs|netfs|dbg)_test'
+
+echo "check.sh: all gates passed"

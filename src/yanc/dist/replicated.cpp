@@ -1,5 +1,7 @@
 #include "yanc/dist/replicated.hpp"
 
+#include <tuple>
+
 #include "yanc/util/bytes.hpp"
 #include "yanc/util/log.hpp"
 #include "yanc/util/strings.hpp"
@@ -225,7 +227,9 @@ void ReplicatedYancFs::emit(Op op) {
     sync_delay_ns_ += 2 * static_cast<std::uint64_t>(
                               transport_->latency().count());
     op.via_primary = true;
-    transport_->send(self_, primary_, op.encode());
+    // A filter-eaten op here diverges this replica until the next
+    // anti-entropy round repairs it; that repair path is the point.
+    std::ignore = transport_->send(self_, primary_, op.encode());
     return;
   }
   transport_->broadcast(self_, op.encode());
@@ -268,7 +272,8 @@ void ReplicatedYancFs::handle_message(Transport::NodeId from,
     fanned.via_primary = false;
     for (Transport::NodeId node = 0; node < transport_->size(); ++node)
       if (node != self_ && node != op->origin)
-        transport_->send(self_, node, fanned.encode());
+        // Same deal as broadcast: per-link loss is anti-entropy's job.
+        std::ignore = transport_->send(self_, node, fanned.encode());
   }
 }
 

@@ -1,6 +1,7 @@
 #include "yanc/dist/transport.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "yanc/faults/injector.hpp"
 
@@ -18,32 +19,36 @@ Transport::NodeId Transport::join(Handler handler) {
   return handlers_.size() - 1;
 }
 
-void Transport::send(NodeId from, NodeId to,
+bool Transport::send(NodeId from, NodeId to,
                      std::vector<std::uint8_t> message) {
-  if (to >= handlers_.size() || from == to) return;
+  if (to >= handlers_.size() || from == to) return false;
   ++messages_;
   bytes_ += message.size();
   LinkFate fate;
   if (filter_) fate = filter_(message);
   if (fate.drop) {
     ++dropped_;
-    return;
+    return false;
   }
   if (partitioned(from, to)) {
     // Queued-for-heal traffic models TCP retransmission; a rolled
     // duplicate would be deduplicated by sequence numbers there, so the
     // partition queue absorbs it.
     queued_[{from, to}].push_back(std::move(message));
-    return;
+    return true;
   }
   if (fate.duplicate) deliver(from, to, message, fate.extra_delay);
   deliver(from, to, std::move(message), fate.extra_delay);
+  return true;
 }
 
 void Transport::broadcast(NodeId from,
                           const std::vector<std::uint8_t>& message) {
   for (NodeId to = 0; to < handlers_.size(); ++to)
-    if (to != from) send(from, to, message);
+    if (to != from)
+      // Best-effort fan-out: each link rolls its own fate, and losses are
+      // already tallied in messages_dropped() for the caller to inspect.
+      std::ignore = send(from, to, message);
 }
 
 void Transport::set_partitioned(NodeId a, NodeId b, bool blocked) {

@@ -40,7 +40,14 @@ class Transport {
   NodeId join(Handler handler);
   std::size_t size() const noexcept { return handlers_.size(); }
 
-  void send(NodeId from, NodeId to, std::vector<std::uint8_t> message);
+  /// Hands one message to the link.  Returns false when it never made it
+  /// onto the wire — unknown destination, self-send, or eaten by the fault
+  /// filter; messages queued behind a partition count as sent (they flush
+  /// on heal, modelling TCP retransmission).  Callers that fire and forget
+  /// must say so at the call site; senders with consistency obligations
+  /// (e.g. replication) decide whether a repair pass covers the loss.
+  [[nodiscard]] bool send(NodeId from, NodeId to,
+                          std::vector<std::uint8_t> message);
   void broadcast(NodeId from, const std::vector<std::uint8_t>& message);
 
   /// Per-message fate on a lossy link.  The filter may corrupt the

@@ -1,5 +1,7 @@
 #include "yanc/driver/text_driver.hpp"
 
+#include <tuple>
+
 #include "yanc/util/strings.hpp"
 
 namespace yanc::driver {
@@ -15,7 +17,9 @@ struct TextDriver::Connection {
   std::map<std::string, std::uint64_t> pushed;
 
   void send_line(const std::string& line) {
-    channel.send(net::Message(line.begin(), line.end()));
+    // Failure means the switch end closed; the driver notices via
+    // try_recv() on its next poll and reconcile re-pushes state then.
+    std::ignore = channel.send(net::Message(line.begin(), line.end()));
   }
 };
 

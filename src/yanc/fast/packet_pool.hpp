@@ -11,10 +11,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstring>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "yanc/dbg/lockdep.hpp"
 #include "yanc/util/result.hpp"
 
 namespace yanc::fast {
@@ -80,7 +80,7 @@ class PacketPool {
     if (frame.size() > slot_bytes_) return Errc::no_space;
     std::size_t slot;
     {
-      std::lock_guard lock(mu_);
+      dbg::LockGuard lock(mu_);
       if (free_.empty()) return Errc::no_space;
       slot = free_.back();
       free_.pop_back();
@@ -96,7 +96,7 @@ class PacketPool {
   }
 
   std::size_t slots_free() const {
-    std::lock_guard lock(mu_);
+    dbg::LockGuard lock(mu_);
     return free_.size();
   }
   std::size_t slots_total() const noexcept { return meta_.size(); }
@@ -115,7 +115,7 @@ class PacketPool {
   }
   void drop_ref(std::size_t slot) {
     if (meta_[slot].refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(mu_);
+      dbg::LockGuard lock(mu_);
       free_.push_back(slot);
     }
   }
@@ -123,7 +123,7 @@ class PacketPool {
   std::size_t slot_bytes_;
   std::vector<std::uint8_t> payload_;
   std::vector<Meta> meta_;
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::packet_pool> mu_;
   std::vector<std::size_t> free_;
 };
 

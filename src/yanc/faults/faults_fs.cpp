@@ -105,7 +105,7 @@ Status FaultsFs::apply_write(NodeId node, std::string_view text) {
     injector_->set_plan(
         node == kChannelPolicy ? Scope::channel : Scope::transport, *plan);
   }
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   watches_.emit(node, vfs::event::modified);
   watches_.emit(node == kSeed ? kRoot
                               : (node == kChannelPolicy ? kChannelDir
@@ -180,12 +180,12 @@ Result<vfs::WatchRegistry::WatchId> FaultsFs::watch(NodeId node,
                                                     std::uint32_t mask,
                                                     vfs::WatchQueuePtr queue) {
   if (!is_dir(node) && !is_file(node)) return Errc::not_found;
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return watches_.add(node, mask, std::move(queue));
 }
 
 void FaultsFs::unwatch(vfs::WatchRegistry::WatchId id) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   watches_.remove(id);
 }
 

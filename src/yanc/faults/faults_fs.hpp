@@ -17,7 +17,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "yanc/faults/injector.hpp"
 #include "yanc/vfs/filesystem.hpp"
@@ -107,7 +106,7 @@ class FaultsFs : public vfs::Filesystem {
   Status apply_write(vfs::NodeId node, std::string_view text);
 
   std::shared_ptr<Injector> injector_;
-  std::mutex mu_;
+  dbg::Mutex<dbg::Rank::faults_fs> mu_;
   vfs::WatchRegistry watches_;
 };
 

@@ -5,34 +5,34 @@
 namespace yanc::faults {
 
 void Injector::reseed(std::uint64_t seed) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   rng_.reseed(seed);
   ++generation_;
 }
 
 std::uint64_t Injector::seed() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return rng_.seed();
 }
 
 FaultPlan Injector::plan(Scope scope) const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return plans_[static_cast<int>(scope)];
 }
 
 void Injector::set_plan(Scope scope, FaultPlan plan) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   plans_[static_cast<int>(scope)] = plan;
   ++generation_;
 }
 
 std::uint64_t Injector::generation() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return generation_;
 }
 
 void Injector::bind_metrics(obs::Registry& registry) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   counters_.drop = registry.counter("faults/drop_total");
   counters_.duplicate = registry.counter("faults/duplicate_total");
   counters_.reorder = registry.counter("faults/reorder_total");
@@ -43,7 +43,7 @@ void Injector::bind_metrics(obs::Registry& registry) {
 
 std::optional<WireFate> Injector::decide(Scope scope,
                                          std::vector<std::uint8_t>& message) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   const FaultPlan& plan = plans_[static_cast<int>(scope)];
   if (!plan.any()) return WireFate{};
   // Fixed roll order keeps the schedule a pure function of (seed, plan,

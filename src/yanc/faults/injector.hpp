@@ -16,7 +16,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "yanc/faults/plan.hpp"
 #include "yanc/net/channel.hpp"
@@ -59,7 +58,7 @@ class Injector {
                                  std::vector<std::uint8_t>& message);
 
  private:
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::faults_injector> mu_;
   util::Rng rng_;
   FaultPlan plans_[2];
   std::uint64_t generation_ = 0;

@@ -9,13 +9,13 @@ std::pair<Channel, Channel> Channel::make_pair() {
 
 bool Channel::connected() const {
   if (!shared_) return false;
-  std::lock_guard lock(shared_->mu);
+  dbg::LockGuard lock(shared_->mu);
   return !shared_->closed;
 }
 
 bool Channel::send(Message message) {
   if (!shared_) return false;
-  std::lock_guard lock(shared_->mu);
+  dbg::LockGuard lock(shared_->mu);
   if (shared_->closed) return false;
   auto& queue = shared_->queues[1 - side_];
   if (shared_->hook) {
@@ -31,7 +31,7 @@ bool Channel::send(Message message) {
 
 std::optional<Message> Channel::try_recv() {
   if (!shared_) return std::nullopt;
-  std::lock_guard lock(shared_->mu);
+  dbg::LockGuard lock(shared_->mu);
   auto& q = shared_->queues[side_];
   if (shared_->hook) shared_->hook->on_recv(q);
   if (q.empty()) return std::nullopt;
@@ -42,26 +42,26 @@ std::optional<Message> Channel::try_recv() {
 
 std::size_t Channel::pending() const {
   if (!shared_) return 0;
-  std::lock_guard lock(shared_->mu);
+  dbg::LockGuard lock(shared_->mu);
   return shared_->queues[side_].size();
 }
 
 void Channel::close() {
   if (!shared_) return;
-  std::lock_guard lock(shared_->mu);
+  dbg::LockGuard lock(shared_->mu);
   shared_->closed = true;
 }
 
 void Channel::set_fault_hook(std::shared_ptr<FaultHook> hook) {
   if (!shared_) return;
-  std::lock_guard lock(shared_->mu);
+  dbg::LockGuard lock(shared_->mu);
   shared_->hook = std::move(hook);
 }
 
 Channel Listener::connect() {
   auto [a, b] = Channel::make_pair();
   {
-    std::lock_guard lock(mu_);
+    dbg::LockGuard lock(mu_);
     if (hook_factory_) a.set_fault_hook(hook_factory_());
     pending_.push_back(std::move(b));
   }
@@ -69,7 +69,7 @@ Channel Listener::connect() {
 }
 
 std::optional<Channel> Listener::accept() {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   if (pending_.empty()) return std::nullopt;
   Channel c = std::move(pending_.front());
   pending_.pop_front();
@@ -77,13 +77,13 @@ std::optional<Channel> Listener::accept() {
 }
 
 std::size_t Listener::backlog() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return pending_.size();
 }
 
 void Listener::set_fault_hook_factory(
     std::function<std::shared_ptr<FaultHook>()> factory) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   hook_factory_ = std::move(factory);
 }
 

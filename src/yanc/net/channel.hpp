@@ -17,9 +17,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "yanc/dbg/lockdep.hpp"
 
 namespace yanc::net {
 
@@ -56,7 +57,7 @@ class Channel {
   /// has closed (or when an installed fault hook severed the connection):
   /// the message was NOT delivered and the caller must treat the peer as
   /// gone — the old void signature made that failure invisible.
-  bool send(Message message);
+  [[nodiscard]] bool send(Message message);
 
   /// Non-blocking receive.  Still drains messages queued before close(),
   /// so a peer's final words are never lost.
@@ -75,7 +76,7 @@ class Channel {
 
  private:
   struct Shared {
-    mutable std::mutex mu;
+    mutable dbg::Mutex<dbg::Rank::net_channel> mu;
     std::deque<Message> queues[2];
     bool closed = false;
     std::shared_ptr<FaultHook> hook;
@@ -106,7 +107,7 @@ class Listener {
       std::function<std::shared_ptr<FaultHook>()> factory);
 
  private:
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::net_listener> mu_;
   std::deque<Channel> pending_;
   std::function<std::shared_ptr<FaultHook>()> hook_factory_;
 };

@@ -26,7 +26,7 @@ Result<flow::FlowSpec> read_flow(vfs::Vfs& vfs, const std::string& flow_dir,
 /// removing match/action files the spec no longer carries, and — when
 /// `commit` is true — incrementing the version file so drivers pick the
 /// entry up atomically.
-Status write_flow(vfs::Vfs& vfs, const std::string& flow_dir,
+[[nodiscard]] Status write_flow(vfs::Vfs& vfs, const std::string& flow_dir,
                   const flow::FlowSpec& spec,
                   const vfs::Credentials& creds = {}, bool commit = true);
 
@@ -41,7 +41,7 @@ Result<flow::FlowStats> read_flow_stats(vfs::Vfs& vfs,
                                         const vfs::Credentials& creds = {});
 
 /// Writes the flow's counters/ directory (driver-side stats sync).
-Status write_flow_stats(vfs::Vfs& vfs, const std::string& flow_dir,
+[[nodiscard]] Status write_flow_stats(vfs::Vfs& vfs, const std::string& flow_dir,
                         const flow::FlowStats& stats,
                         const vfs::Credentials& creds = {});
 

@@ -45,19 +45,19 @@ class NetDir {
 
   // switches/
   Result<std::vector<std::string>> switch_names() const;
-  Status add_switch(const std::string& name);
-  Status remove_switch(const std::string& name);
+  [[nodiscard]] Status add_switch(const std::string& name);
+  [[nodiscard]] Status remove_switch(const std::string& name);
   SwitchHandle switch_at(const std::string& name) const;
 
   // hosts/
   Result<std::vector<std::string>> host_names() const;
-  Status add_host(const std::string& name, const MacAddress& mac,
+  [[nodiscard]] Status add_host(const std::string& name, const MacAddress& mac,
                   const Ipv4Address& ip);
   HostHandle host_at(const std::string& name) const;
 
   // views/ — a view is just another NetDir rooted deeper (§4.2).
   Result<std::vector<std::string>> view_names() const;
-  Status create_view(const std::string& name);
+  [[nodiscard]] Status create_view(const std::string& name);
   NetDir view(const std::string& name) const;
 
   // events/ — private packet-in buffers (§3.5).
@@ -79,15 +79,15 @@ class SwitchHandle {
   bool exists() const;
 
   Result<std::uint64_t> datapath_id() const;
-  Status set_datapath_id(std::uint64_t id);
+  [[nodiscard]] Status set_datapath_id(std::uint64_t id);
   Result<bool> connected() const;
-  Status set_connected(bool up);
+  [[nodiscard]] Status set_connected(bool up);
   Result<std::string> protocol_version() const;
-  Status set_protocol_version(const std::string& version);
+  [[nodiscard]] Status set_protocol_version(const std::string& version);
 
   // ports/
   Result<std::vector<std::string>> port_names() const;
-  Status add_port(std::uint16_t port_no, const MacAddress& mac,
+  [[nodiscard]] Status add_port(std::uint16_t port_no, const MacAddress& mac,
                   const std::string& if_name);
   PortHandle port_at(const std::string& name) const;
   PortHandle port_at(std::uint16_t port_no) const;
@@ -96,13 +96,13 @@ class SwitchHandle {
   Result<std::vector<std::string>> flow_names() const;
   FlowHandle flow_at(const std::string& name) const;
   /// Creates flows/<name> and writes `spec` (committed when commit=true).
-  Status add_flow(const std::string& name, const flow::FlowSpec& spec,
+  [[nodiscard]] Status add_flow(const std::string& name, const flow::FlowSpec& spec,
                   bool commit = true);
-  Status remove_flow(const std::string& name);
+  [[nodiscard]] Status remove_flow(const std::string& name);
 
   /// Reads a file directly under the switch dir ("capabilities", ...).
   Result<std::string> read_field(const std::string& file) const;
-  Status write_field(const std::string& file, const std::string& value);
+  [[nodiscard]] Status write_field(const std::string& file, const std::string& value);
 
  private:
   std::shared_ptr<vfs::Vfs> vfs_;
@@ -123,17 +123,17 @@ class PortHandle {
   Result<MacAddress> hw_addr() const;
 
   /// Topology: the `peer` symlink (§3.3).
-  Status set_peer(const std::string& peer_port_path);
+  [[nodiscard]] Status set_peer(const std::string& peer_port_path);
   Result<std::string> peer() const;  // ENOENT when no link
-  Status clear_peer();
+  [[nodiscard]] Status clear_peer();
 
   Result<bool> link_down() const;
-  Status set_link_down(bool down);
-  Status set_port_down(bool down);
+  [[nodiscard]] Status set_link_down(bool down);
+  [[nodiscard]] Status set_port_down(bool down);
   Result<bool> port_down() const;
 
   Result<std::uint64_t> counter(const std::string& name) const;
-  Status bump_counter(const std::string& name, std::uint64_t delta);
+  [[nodiscard]] Status bump_counter(const std::string& name, std::uint64_t delta);
 
  private:
   std::shared_ptr<vfs::Vfs> vfs_;
@@ -151,7 +151,7 @@ class FlowHandle {
   bool exists() const;
 
   Result<flow::FlowSpec> read() const;
-  Status write(const flow::FlowSpec& spec, bool commit = true);
+  [[nodiscard]] Status write(const flow::FlowSpec& spec, bool commit = true);
   Result<std::uint64_t> commit();
   Result<std::uint64_t> version() const;
   Result<flow::FlowStats> stats() const;
@@ -172,7 +172,7 @@ class HostHandle {
   bool exists() const;
   Result<MacAddress> mac() const;
   Result<Ipv4Address> ip() const;
-  Status set_location(const std::string& port_path);
+  [[nodiscard]] Status set_location(const std::string& port_path);
   Result<std::string> location() const;
 
  private:
@@ -197,7 +197,7 @@ class EventBufferHandle {
   /// Reads one packet-in.
   Result<PacketInInfo> read(const std::string& name) const;
   /// Removes a consumed packet-in.
-  Status consume(const std::string& name);
+  [[nodiscard]] Status consume(const std::string& name);
   /// Reads and consumes everything pending.
   Result<std::vector<PacketInInfo>> drain();
   /// Registers a watch for new packet-ins.

@@ -45,7 +45,7 @@ enum class FieldType : std::uint8_t {
 };
 
 /// Validates `value` (as written to a file) against a field type.
-Status validate_field(FieldType type, std::string_view value);
+[[nodiscard]] Status validate_field(FieldType type, std::string_view value);
 
 struct FileSpec {
   const char* name;

@@ -14,7 +14,7 @@ YancFs::YancFs(vfs::MemFsOptions options) : MemFs(options) {
 }
 
 const ObjectSpec* YancFs::spec_of(NodeId node) const {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   auto it = dir_specs_.find(node);
   return it == dir_specs_.end() ? nullptr : it->second;
 }

@@ -45,20 +45,20 @@ class YancFs : public vfs::MemFs {
   Result<vfs::NodeId> create(vfs::NodeId parent, const std::string& name,
                              std::uint32_t mode,
                              const vfs::Credentials& creds) override;
-  Status rename(vfs::NodeId old_parent, const std::string& old_name,
+  [[nodiscard]] Status rename(vfs::NodeId old_parent, const std::string& old_name,
                 vfs::NodeId new_parent, const std::string& new_name,
                 const vfs::Credentials& creds) override;
-  Status unlink(vfs::NodeId parent, const std::string& name,
+  [[nodiscard]] Status unlink(vfs::NodeId parent, const std::string& name,
                 const vfs::Credentials& creds) override;
-  Status rmdir(vfs::NodeId parent, const std::string& name,
+  [[nodiscard]] Status rmdir(vfs::NodeId parent, const std::string& name,
                const vfs::Credentials& creds) override;
 
  protected:
-  Status on_write(vfs::NodeId node, const std::string& content) override;
+  [[nodiscard]] Status on_write(vfs::NodeId node, const std::string& content) override;
   void on_mkdir(vfs::NodeId node, vfs::NodeId parent, const std::string& name,
                 const vfs::Credentials& creds) override;
   bool rmdir_recursive_allowed(vfs::NodeId node) override;
-  Status on_symlink(vfs::NodeId parent, const std::string& name,
+  [[nodiscard]] Status on_symlink(vfs::NodeId parent, const std::string& name,
                     const std::string& target) override;
   void on_remove_node(vfs::NodeId node) override;
 

@@ -33,7 +33,7 @@ std::uint64_t Histogram::percentile(double p) const noexcept {
 template <typename T>
 T* Registry::find_or_create(std::string_view name, MetricKind kind,
                             std::deque<T>& storage, T* Entry::*slot) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end())
     return it->second.kind == kind ? it->second.*slot : nullptr;
@@ -61,12 +61,12 @@ Histogram* Registry::histogram(std::string_view name) {
 }
 
 bool Registry::contains(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return entries_.find(name) != entries_.end();
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return entries_.size();
 }
 
@@ -94,14 +94,14 @@ void Registry::export_entry(const std::string& name, const Entry& entry,
 
 std::vector<ExportedValue> Registry::export_values() const {
   std::vector<ExportedValue> out;
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   for (const auto& [name, entry] : entries_) export_entry(name, entry, out);
   return out;
 }
 
 std::vector<std::string> Registry::export_paths() const {
   std::vector<std::string> out;
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   for (const auto& [name, entry] : entries_) {
     if (entry.kind == MetricKind::histogram) {
       for (const char* suffix : {"_count", "_p50", "_p90", "_p99"})
@@ -114,7 +114,7 @@ std::vector<std::string> Registry::export_paths() const {
 }
 
 std::optional<std::string> Registry::value_of(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   auto it = entries_.find(path);
   if (it != entries_.end()) {
     switch (it->second.kind) {

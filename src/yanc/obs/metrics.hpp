@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "yanc/dbg/lockdep.hpp"
 
 namespace yanc::obs {
 
@@ -171,7 +172,7 @@ class Registry {
   static void export_entry(const std::string& name, const Entry& entry,
                            std::vector<ExportedValue>& out);
 
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::obs_metrics> mu_;
   std::map<std::string, Entry, std::less<>> entries_;
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;

@@ -14,7 +14,7 @@ StatsFs::StatsFs(std::shared_ptr<Registry> registry,
   root.type = vfs::FileType::directory;
   root.name = "/";
   nodes_.emplace(kRootNode, std::move(root));
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   if (trace_) {
     NodeId id = next_node_++;
     Node file;
@@ -87,7 +87,7 @@ std::string StatsFs::content_of(const Node& node) const {
 }
 
 Result<NodeId> StatsFs::lookup(NodeId parent, const std::string& name) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   const Node* dir = find_synced(parent);
   if (!dir) return Errc::not_found;
   if (dir->type != vfs::FileType::directory) return Errc::not_dir;
@@ -97,7 +97,7 @@ Result<NodeId> StatsFs::lookup(NodeId parent, const std::string& name) {
 }
 
 Result<vfs::Stat> StatsFs::getattr(NodeId node) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   const Node* n = find_synced(node);
   if (!n) return Errc::not_found;
   vfs::Stat st;
@@ -114,7 +114,7 @@ Result<vfs::Stat> StatsFs::getattr(NodeId node) {
 }
 
 Result<std::vector<vfs::DirEntry>> StatsFs::readdir(NodeId dir) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   const Node* n = find_synced(dir);
   if (!n) return Errc::not_found;
   if (n->type != vfs::FileType::directory) return Errc::not_dir;
@@ -129,7 +129,7 @@ Result<std::string> StatsFs::readlink(NodeId) { return Errc::invalid_argument; }
 
 Result<std::string> StatsFs::read(NodeId node, std::uint64_t offset,
                                   std::uint64_t size, const Credentials&) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   const Node* n = find_synced(node);
   if (!n) return Errc::not_found;
   if (n->type == vfs::FileType::directory) return Errc::is_dir;
@@ -148,7 +148,7 @@ Result<std::vector<std::string>> StatsFs::listxattr(NodeId) {
 }
 
 Status StatsFs::access(NodeId node, std::uint8_t want, const Credentials&) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   if (!find_synced(node)) return Errc::not_found;
   // World-readable, nothing writable — procfs semantics.
   if (want & 2) return Errc::access_denied;
@@ -204,7 +204,7 @@ Status StatsFs::removexattr(NodeId, const std::string&, const Credentials&) {
 Result<vfs::WatchRegistry::WatchId> StatsFs::watch(NodeId node,
                                                    std::uint32_t mask,
                                                    vfs::WatchQueuePtr queue) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   if (!find_synced(node)) return Errc::not_found;
   return watches_.add(node, mask, std::move(queue));
 }
@@ -212,7 +212,7 @@ Result<vfs::WatchRegistry::WatchId> StatsFs::watch(NodeId node,
 void StatsFs::unwatch(vfs::WatchRegistry::WatchId id) { watches_.remove(id); }
 
 std::size_t StatsFs::refresh() {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   sync_tree_locked();
   ++refresh_tick_;
   std::size_t changed = 0;

@@ -118,7 +118,7 @@ class StatsFs : public vfs::Filesystem {
   std::string content_of(const Node& node) const;
   const Node* find_synced(vfs::NodeId id);
 
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::stats_fs> mu_;
   std::shared_ptr<Registry> registry_;
   std::shared_ptr<TraceRing> trace_;
   std::unordered_map<vfs::NodeId, Node> nodes_;

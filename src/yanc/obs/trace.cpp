@@ -4,7 +4,7 @@ namespace yanc::obs {
 
 void TraceRing::record(std::uint64_t ts_ns, std::uint64_t dur_ns,
                        std::string_view component, std::string_view name) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   TraceEvent e;
   e.seq = seq_++;
   e.ts_ns = ts_ns;
@@ -20,7 +20,7 @@ void TraceRing::record(std::uint64_t ts_ns, std::uint64_t dur_ns,
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Once wrapped, next_ points at the oldest record.
@@ -30,22 +30,22 @@ std::vector<TraceEvent> TraceRing::snapshot() const {
 }
 
 std::uint64_t TraceRing::dropped() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return seq_ - ring_.size();
 }
 
 std::uint64_t TraceRing::recorded() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return seq_;
 }
 
 std::size_t TraceRing::size() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return ring_.size();
 }
 
 void TraceRing::clear() {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   ring_.clear();
   next_ = 0;
 }

@@ -10,10 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "yanc/dbg/lockdep.hpp"
 
 namespace yanc::obs {
 
@@ -63,7 +64,7 @@ class TraceRing {
   void record(std::uint64_t ts_ns, std::uint64_t dur_ns,
               std::string_view component, std::string_view name);
 
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::obs_trace> mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
   std::size_t next_ = 0;          // write cursor once wrapped

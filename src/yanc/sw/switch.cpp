@@ -1,5 +1,7 @@
 #include "yanc/sw/switch.hpp"
 
+#include <tuple>
+
 #include "yanc/util/log.hpp"
 
 namespace yanc::sw {
@@ -44,7 +46,10 @@ void Switch::send(const ofp::Message& message, std::uint32_t xid) {
     log_error("sw", "encode failed for " + ofp::message_name(message));
     return;
   }
-  channel_.send(std::move(*bytes));
+  // A false return means the controller end closed mid-send; pump()
+  // observes the disconnect via connected() on its next pass, so the
+  // lost message needs no handling here.
+  std::ignore = channel_.send(std::move(*bytes));
 }
 
 std::size_t Switch::pump() {

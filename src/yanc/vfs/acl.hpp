@@ -46,7 +46,7 @@ class Acl {
   static Acl from_mode(std::uint32_t mode);
 
   /// Validates structure per acl_valid(3).
-  Status validate() const;
+  [[nodiscard]] Status validate() const;
 
   const std::vector<AclEntry>& entries() const noexcept { return entries_; }
   void add(AclEntry e) { entries_.push_back(e); }

@@ -68,14 +68,14 @@ class Filesystem {
                                  const Credentials& creds) = 0;
   virtual Result<std::string> readlink(NodeId node) = 0;
   /// Hard link `node` into `parent` as `name`.
-  virtual Status link(NodeId node, NodeId parent, const std::string& name,
+  [[nodiscard]] virtual Status link(NodeId node, NodeId parent, const std::string& name,
                       const Credentials& creds) = 0;
 
-  virtual Status unlink(NodeId parent, const std::string& name,
+  [[nodiscard]] virtual Status unlink(NodeId parent, const std::string& name,
                         const Credentials& creds) = 0;
-  virtual Status rmdir(NodeId parent, const std::string& name,
+  [[nodiscard]] virtual Status rmdir(NodeId parent, const std::string& name,
                        const Credentials& creds) = 0;
-  virtual Status rename(NodeId old_parent, const std::string& old_name,
+  [[nodiscard]] virtual Status rename(NodeId old_parent, const std::string& old_name,
                         NodeId new_parent, const std::string& new_name,
                         const Credentials& creds) = 0;
 
@@ -86,7 +86,7 @@ class Filesystem {
   virtual Result<std::uint64_t> write(NodeId node, std::uint64_t offset,
                                       std::string_view data,
                                       const Credentials& creds) = 0;
-  virtual Status truncate(NodeId node, std::uint64_t size,
+  [[nodiscard]] virtual Status truncate(NodeId node, std::uint64_t size,
                           const Credentials& creds) = 0;
   /// Replaces the entire content of `node` with `data`.  The base
   /// implementation is truncate + write — two separately-visible states, so
@@ -102,23 +102,23 @@ class Filesystem {
   }
 
   // --- metadata ----------------------------------------------------------
-  virtual Status chmod(NodeId node, std::uint32_t mode,
+  [[nodiscard]] virtual Status chmod(NodeId node, std::uint32_t mode,
                        const Credentials& creds) = 0;
-  virtual Status chown(NodeId node, Uid uid, Gid gid,
+  [[nodiscard]] virtual Status chown(NodeId node, Uid uid, Gid gid,
                        const Credentials& creds) = 0;
 
-  virtual Status setxattr(NodeId node, const std::string& name,
+  [[nodiscard]] virtual Status setxattr(NodeId node, const std::string& name,
                           std::vector<std::uint8_t> value,
                           const Credentials& creds) = 0;
   virtual Result<std::vector<std::uint8_t>> getxattr(
       NodeId node, const std::string& name) = 0;
   virtual Result<std::vector<std::string>> listxattr(NodeId node) = 0;
-  virtual Status removexattr(NodeId node, const std::string& name,
+  [[nodiscard]] virtual Status removexattr(NodeId node, const std::string& name,
                              const Credentials& creds) = 0;
 
   // --- permissions --------------------------------------------------------
   /// Checks rwx access on one node (POSIX mode bits + ACL if present).
-  virtual Status access(NodeId node, std::uint8_t want,
+  [[nodiscard]] virtual Status access(NodeId node, std::uint8_t want,
                         const Credentials& creds) = 0;
 
   // --- monitoring -----------------------------------------------------------

@@ -31,7 +31,11 @@ MemFs::MutationScope::~MutationScope() {
   // consecutive mutations reach consumer queues in commit order.  Consumer
   // queues are only ever touched after mu_ is released (the lock-order
   // hazard this design removes).
-  std::lock_guard order(fs_.emit_mu_);
+  dbg::LockGuard order(fs_.emit_mu_);
+  // Guard scopes cannot express this overlap: emit_mu_ must be taken
+  // before mu_ drops so fan-out preserves commit order (rank order stays
+  // vfs_namespace -> vfs_emit).
+  // yanc-lint: allow(manual-lock) ordered hand-off, see comment above
   lock_.unlock();
   for (PendingAction& a : batch) {
     if (a.kind == PendingAction::Kind::emit)
@@ -146,17 +150,17 @@ Result<NodeId> MemFs::lookup_locked(NodeId parent,
 }
 
 Result<NodeId> MemFs::lookup(NodeId parent, const std::string& name) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   return lookup_locked(parent, name);
 }
 
 Result<Stat> MemFs::getattr(NodeId node) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   // Content size/version/mtime may be advancing under a concurrent
   // shared-lock write(); the shard lock makes this snapshot consistent.
-  std::shared_lock data_lock(shard_of(node));
+  dbg::SharedLock data_lock(shard_of(node));
   Stat st;
   st.ino = node;
   st.type = ino->type;
@@ -174,7 +178,7 @@ Result<Stat> MemFs::getattr(NodeId node) {
 }
 
 Result<std::vector<DirEntry>> MemFs::readdir(NodeId dir_id) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* dir = find(dir_id);
   if (!dir) return Errc::not_found;
   if (dir->type != FileType::directory) return Errc::not_dir;
@@ -232,7 +236,7 @@ Result<NodeId> MemFs::symlink(NodeId parent, const std::string& name,
 }
 
 Result<std::string> MemFs::readlink(NodeId node) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   if (ino->type != FileType::symlink) return Errc::invalid_argument;
@@ -460,7 +464,7 @@ Result<std::string> MemFs::read_locked(NodeId node, std::uint64_t offset,
 
 Result<std::string> MemFs::read(NodeId node, std::uint64_t offset,
                                 std::uint64_t size, const Credentials& creds) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   if (ino->type == FileType::directory) return Errc::is_dir;
@@ -468,7 +472,7 @@ Result<std::string> MemFs::read(NodeId node, std::uint64_t offset,
   if (auto st = check_access_locked(*ino, 4, creds); st) return st;
   // Reads of distinct files only share mu_ (shared) — they serialize
   // nowhere; a concurrent write to *this* file is excluded by its shard.
-  std::shared_lock data_lock(shard_of(node));
+  dbg::SharedLock data_lock(shard_of(node));
   if (offset >= ino->data.size()) return std::string{};
   return ino->data.substr(offset, size);
 }
@@ -511,7 +515,7 @@ Result<std::uint64_t> MemFs::write(NodeId node, std::uint64_t offset,
   Event events[2];
   std::size_t n_events = 0;
   {
-    std::shared_lock lock(mu_);
+    dbg::SharedLock lock(mu_);
     Inode* ino = find(node);
     if (!ino) return Errc::not_found;
     if (ino->type == FileType::directory) return Errc::is_dir;
@@ -521,7 +525,7 @@ Result<std::uint64_t> MemFs::write(NodeId node, std::uint64_t offset,
     // Content mutation needs only mu_ shared + this inode's shard
     // exclusive: writes to distinct files run concurrently with each
     // other and with every reader of other files.
-    std::unique_lock data_lock(shard_of(node));
+    dbg::UniqueLock data_lock(shard_of(node));
     std::uint64_t end = offset + data.size();
     std::size_t old_size = ino->data.size();
     std::size_t new_size = std::max<std::uint64_t>(end, old_size);
@@ -552,7 +556,7 @@ Result<std::uint64_t> MemFs::write(NodeId node, std::uint64_t offset,
           Event{event::modified, ino->parent_hint, ino->name_hint, 0};
   }
   if (n_events) {
-    std::lock_guard order(emit_mu_);
+    dbg::LockGuard order(emit_mu_);
     for (std::size_t i = 0; i < n_events; ++i)
       watches_.emit(events[i].node, events[i].mask, events[i].name,
                     events[i].cookie);
@@ -565,7 +569,7 @@ Result<std::uint64_t> MemFs::replace(NodeId node, std::string_view data,
   Event events[2];
   std::size_t n_events = 0;
   {
-    std::shared_lock lock(mu_);
+    dbg::SharedLock lock(mu_);
     Inode* ino = find(node);
     if (!ino) return Errc::not_found;
     if (ino->type == FileType::directory) return Errc::is_dir;
@@ -575,7 +579,7 @@ Result<std::uint64_t> MemFs::replace(NodeId node, std::string_view data,
     // The new content is swapped in under one shard-exclusive section, so
     // readers see either the old file or the new one — never the empty
     // window the truncate+write fallback exposes.
-    std::unique_lock data_lock(shard_of(node));
+    dbg::UniqueLock data_lock(shard_of(node));
     std::size_t old_size = ino->data.size();
     std::size_t grow = data.size() > old_size ? data.size() - old_size : 0;
     if (grow) {
@@ -603,7 +607,7 @@ Result<std::uint64_t> MemFs::replace(NodeId node, std::string_view data,
           Event{event::modified, ino->parent_hint, ino->name_hint, 0};
   }
   if (n_events) {
-    std::lock_guard order(emit_mu_);
+    dbg::LockGuard order(emit_mu_);
     for (std::size_t i = 0; i < n_events; ++i)
       watches_.emit(events[i].node, events[i].mask, events[i].name,
                     events[i].cookie);
@@ -705,7 +709,7 @@ Status MemFs::setxattr(NodeId node, const std::string& name,
 
 Result<std::vector<std::uint8_t>> MemFs::getxattr(NodeId node,
                                                   const std::string& name) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   auto it = ino->xattrs.find(name);
@@ -714,7 +718,7 @@ Result<std::vector<std::uint8_t>> MemFs::getxattr(NodeId node,
 }
 
 Result<std::vector<std::string>> MemFs::listxattr(NodeId node) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return Errc::not_found;
   std::vector<std::string> names;
@@ -746,7 +750,7 @@ Status MemFs::removexattr(NodeId node, const std::string& name,
 }
 
 Status MemFs::access(NodeId node, std::uint8_t want, const Credentials& creds) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   const Inode* ino = find(node);
   if (!ino) return make_error_code(Errc::not_found);
   return check_access_locked(*ino, want, creds);
@@ -754,19 +758,19 @@ Status MemFs::access(NodeId node, std::uint8_t want, const Credentials& creds) {
 
 Result<WatchRegistry::WatchId> MemFs::watch(NodeId node, std::uint32_t mask,
                                             WatchQueuePtr queue) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   if (!find(node)) return Errc::not_found;
   if (!queue || mask == 0) return Errc::invalid_argument;
   return watches_.add(node, mask, std::move(queue));
 }
 
 void MemFs::unwatch(WatchRegistry::WatchId id) {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   watches_.remove(id);
 }
 
 std::size_t MemFs::inode_count() const {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   return inodes_.size();
 }
 
@@ -775,7 +779,7 @@ std::size_t MemFs::bytes_used() const {
 }
 
 Result<std::string> MemFs::path_of(NodeId node) const {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   if (node == kRootNode) return std::string("/");
   std::vector<const std::string*> components;
   NodeId walk = node;
@@ -797,7 +801,7 @@ Result<std::string> MemFs::path_of(NodeId node) const {
 
 std::optional<std::vector<std::uint8_t>> MemFs::nearest_xattr(
     NodeId node, const std::string& name) const {
-  std::shared_lock lock(mu_);
+  dbg::SharedLock lock(mu_);
   NodeId walk = node;
   for (int depth = 0; depth < 512; ++depth) {
     const Inode* ino = find(walk);

@@ -24,12 +24,11 @@
 #include <array>
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "yanc/dbg/lockdep.hpp"
 #include "yanc/vfs/acl.hpp"
 #include "yanc/vfs/filesystem.hpp"
 
@@ -63,14 +62,14 @@ class MemFs : public Filesystem {
                          const std::string& target,
                          const Credentials& creds) override;
   Result<std::string> readlink(NodeId node) override;
-  Status link(NodeId node, NodeId parent, const std::string& name,
+  [[nodiscard]] Status link(NodeId node, NodeId parent, const std::string& name,
               const Credentials& creds) override;
 
-  Status unlink(NodeId parent, const std::string& name,
+  [[nodiscard]] Status unlink(NodeId parent, const std::string& name,
                 const Credentials& creds) override;
-  Status rmdir(NodeId parent, const std::string& name,
+  [[nodiscard]] Status rmdir(NodeId parent, const std::string& name,
                const Credentials& creds) override;
-  Status rename(NodeId old_parent, const std::string& old_name,
+  [[nodiscard]] Status rename(NodeId old_parent, const std::string& old_name,
                 NodeId new_parent, const std::string& new_name,
                 const Credentials& creds) override;
 
@@ -80,26 +79,26 @@ class MemFs : public Filesystem {
   Result<std::uint64_t> write(NodeId node, std::uint64_t offset,
                               std::string_view data,
                               const Credentials& creds) override;
-  Status truncate(NodeId node, std::uint64_t size,
+  [[nodiscard]] Status truncate(NodeId node, std::uint64_t size,
                   const Credentials& creds) override;
   Result<std::uint64_t> replace(NodeId node, std::string_view data,
                                 const Credentials& creds) override;
 
-  Status chmod(NodeId node, std::uint32_t mode,
+  [[nodiscard]] Status chmod(NodeId node, std::uint32_t mode,
                const Credentials& creds) override;
-  Status chown(NodeId node, Uid uid, Gid gid,
+  [[nodiscard]] Status chown(NodeId node, Uid uid, Gid gid,
                const Credentials& creds) override;
 
-  Status setxattr(NodeId node, const std::string& name,
+  [[nodiscard]] Status setxattr(NodeId node, const std::string& name,
                   std::vector<std::uint8_t> value,
                   const Credentials& creds) override;
   Result<std::vector<std::uint8_t>> getxattr(NodeId node,
                                              const std::string& name) override;
   Result<std::vector<std::string>> listxattr(NodeId node) override;
-  Status removexattr(NodeId node, const std::string& name,
+  [[nodiscard]] Status removexattr(NodeId node, const std::string& name,
                      const Credentials& creds) override;
 
-  Status access(NodeId node, std::uint8_t want,
+  [[nodiscard]] Status access(NodeId node, std::uint8_t want,
                 const Credentials& creds) override;
 
   Result<WatchRegistry::WatchId> watch(NodeId node, std::uint32_t mask,
@@ -148,7 +147,7 @@ class MemFs : public Filesystem {
   // not write them.
 
   /// Lets subclasses (YancFs) veto or observe writes to typed files.
-  virtual Status on_write(NodeId /*node*/, const std::string& /*content*/) {
+  [[nodiscard]] virtual Status on_write(NodeId /*node*/, const std::string& /*content*/) {
     return ok_status();
   }
   /// Called after a directory was created; YancFs populates schema children
@@ -161,7 +160,7 @@ class MemFs : public Filesystem {
   virtual bool rmdir_recursive_allowed(NodeId /*node*/) { return false; }
   /// Lets subclasses veto symlink targets (e.g. `peer` must point at a
   /// port, §3.3).  Called before the link is created.
-  virtual Status on_symlink(NodeId /*parent*/, const std::string& /*name*/,
+  [[nodiscard]] virtual Status on_symlink(NodeId /*parent*/, const std::string& /*name*/,
                             const std::string& /*target*/) {
     return ok_status();
   }
@@ -170,10 +169,11 @@ class MemFs : public Filesystem {
   virtual void on_remove_node(NodeId /*node*/) {}
 
   // --- internals shared with subclasses ----------------------------------
-  mutable std::shared_mutex mu_;
+  mutable dbg::SharedMutex<dbg::Rank::vfs_namespace> mu_;
   // Serializes post-unlock watch fan-out so event delivery order matches
-  // operation order.  Lock order: mu_ → emit_mu_ → per-queue locks.
-  std::mutex emit_mu_;
+  // operation order.  Lock order: mu_ → emit_mu_ → per-queue locks
+  // (vfs_namespace → vfs_emit → watch_queue in the dbg rank table).
+  dbg::Mutex<dbg::Rank::vfs_emit> emit_mu_;
   WatchRegistry watches_;
 
   // Per-inode data lock shards: file content (and the size/version/mtime
@@ -181,8 +181,9 @@ class MemFs : public Filesystem {
   // shared + the inode's shard exclusive; readers hold mu_ shared + the
   // shard shared.  Sharded by NodeId so distinct files rarely collide.
   static constexpr std::size_t kDataShards = 64;
-  mutable std::array<std::shared_mutex, kDataShards> data_shards_;
-  std::shared_mutex& shard_of(NodeId id) const {
+  using DataShard = dbg::SharedMutex<dbg::Rank::vfs_data_shard>;
+  mutable std::array<DataShard, kDataShards> data_shards_;
+  DataShard& shard_of(NodeId id) const {
     return data_shards_[id % kDataShards];
   }
 
@@ -207,12 +208,12 @@ class MemFs : public Filesystem {
 
    private:
     MemFs& fs_;
-    std::unique_lock<std::shared_mutex> lock_;
+    dbg::UniqueLock<dbg::SharedMutex<dbg::Rank::vfs_namespace>> lock_;
   };
 
   Inode* find(NodeId id);
   const Inode* find(NodeId id) const;
-  Status check_access_locked(const Inode& node, std::uint8_t want,
+  [[nodiscard]] Status check_access_locked(const Inode& node, std::uint8_t want,
                              const Credentials& creds) const;
   Result<NodeId> new_node_locked(FileType type, std::uint32_t mode,
                                  const Credentials& creds);
@@ -249,11 +250,11 @@ class MemFs : public Filesystem {
                                   std::uint64_t size,
                                   const Credentials& creds);
   Result<NodeId> lookup_locked(NodeId parent, const std::string& name) const;
-  Status unlink_locked(NodeId parent, const std::string& name,
+  [[nodiscard]] Status unlink_locked(NodeId parent, const std::string& name,
                        const Credentials& creds);
-  Status rmdir_locked(NodeId parent, const std::string& name,
+  [[nodiscard]] Status rmdir_locked(NodeId parent, const std::string& name,
                       const Credentials& creds);
-  Status rename_locked(NodeId old_parent, const std::string& old_name,
+  [[nodiscard]] Status rename_locked(NodeId old_parent, const std::string& old_name,
                        NodeId new_parent, const std::string& new_name,
                        const Credentials& creds);
   Result<NodeId> symlink_locked(NodeId parent, const std::string& name,

@@ -113,7 +113,7 @@ Status Vfs::mount(const std::string& path, FilesystemPtr fs,
     if (!st->is_dir()) return make_error_code(Errc::not_dir);
     key = target->logical.empty() ? "/" : target->logical;
   }
-  std::unique_lock lock(mounts_mu_);
+  dbg::UniqueLock lock(mounts_mu_);
   auto [it, inserted] = mounts_.emplace(key, Mount{std::move(fs), options});
   if (!inserted) return make_error_code(Errc::busy);
   mount_gen_.fetch_add(1, std::memory_order_release);
@@ -129,7 +129,7 @@ Status Vfs::umount(const std::string& path) {
       key = target->logical.empty() ? "/" : target->logical;
   }
   if (key == "/") return make_error_code(Errc::busy);
-  std::unique_lock lock(mounts_mu_);
+  dbg::UniqueLock lock(mounts_mu_);
   auto it = mounts_.find(key);
   if (it == mounts_.end()) return make_error_code(Errc::not_found);
   // Refuse when another mount lives underneath this one.
@@ -143,13 +143,13 @@ Status Vfs::umount(const std::string& path) {
 }
 
 FilesystemPtr Vfs::mounted_at(const std::string& path) const {
-  std::shared_lock lock(mounts_mu_);
+  dbg::SharedLock lock(mounts_mu_);
   auto it = mounts_.find(normalize_path(path));
   return it == mounts_.end() ? nullptr : it->second.fs;
 }
 
 bool Vfs::is_mount_point(const std::string& logical_path) const {
-  std::shared_lock lock(mounts_mu_);
+  dbg::SharedLock lock(mounts_mu_);
   return mounts_.count(logical_path) != 0;
 }
 
@@ -209,7 +209,7 @@ Result<Vfs::Resolved> Vfs::walk_components(std::vector<Frame>& stack,
 
     std::string logical = cur.logical + "/" + comp;
     {
-      std::shared_lock lock(mounts_mu_);
+      dbg::SharedLock lock(mounts_mu_);
       auto mount_it = mounts_.find(logical);
       if (mount_it != mounts_.end()) {
         if (deps)
@@ -261,7 +261,7 @@ Result<Vfs::Resolved> Vfs::resolve(std::string_view path,
   // lands mid-walk invalidates, never validates.
   std::uint64_t mount_gen = mount_gen_.load(std::memory_order_acquire);
   {
-    std::shared_lock lock(dcache_mu_);
+    dbg::SharedLock lock(dcache_mu_);
     auto it = dcache_.find(key);
     if (it != dcache_.end() && it->second.mount_gen == mount_gen) {
       bool fresh = true;
@@ -285,7 +285,7 @@ Result<Vfs::Resolved> Vfs::resolve(std::string_view path,
   DcacheDeps deps;
   std::vector<Frame> stack;
   {
-    std::shared_lock lock(mounts_mu_);
+    dbg::SharedLock lock(mounts_mu_);
     const Mount& m = mounts_.at("/");
     deps.emplace_back(m.fs, m.fs->change_gen());
     stack.push_back(Frame{m.fs, m.fs->root(), "", m.options.read_only});
@@ -322,7 +322,7 @@ Result<Vfs::Resolved> Vfs::resolve(std::string_view path,
     }
   }
   if (cacheable) {
-    std::unique_lock lock(dcache_mu_);
+    dbg::UniqueLock lock(dcache_mu_);
     if (dcache_.size() >= kDcacheCap) dcache_.clear();
     dcache_[std::move(key)] = DentryEntry{*resolved, std::move(deps),
                                           mount_gen};

@@ -19,11 +19,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "yanc/dbg/lockdep.hpp"
 #include "yanc/obs/metrics.hpp"
 #include "yanc/vfs/acl.hpp"
 #include "yanc/vfs/filesystem.hpp"
@@ -52,9 +52,9 @@ class Vfs {
   Vfs();
 
   // --- mounts ----------------------------------------------------------
-  Status mount(const std::string& path, FilesystemPtr fs,
+  [[nodiscard]] Status mount(const std::string& path, FilesystemPtr fs,
                MountOptions options = {});
-  Status umount(const std::string& path);
+  [[nodiscard]] Status umount(const std::string& path);
   /// The filesystem mounted exactly at `path` (not resolved), if any.
   FilesystemPtr mounted_at(const std::string& path) const;
 
@@ -87,10 +87,10 @@ class Vfs {
                                 const Credentials& creds = {},
                                 const std::string& root = "/");
   /// Whole-file write: creates the file if absent, truncates otherwise.
-  Status write_file(std::string_view path, std::string_view data,
+  [[nodiscard]] Status write_file(std::string_view path, std::string_view data,
                     const Credentials& creds = {},
                     const std::string& root = "/");
-  Status append_file(std::string_view path, std::string_view data,
+  [[nodiscard]] Status append_file(std::string_view path, std::string_view data,
                      const Credentials& creds = {},
                      const std::string& root = "/");
 
@@ -102,38 +102,38 @@ class Vfs {
   Result<std::vector<DirEntry>> readdir(std::string_view path,
                                         const Credentials& creds = {},
                                         const std::string& root = "/");
-  Status mkdir(std::string_view path, std::uint32_t mode = 0755,
+  [[nodiscard]] Status mkdir(std::string_view path, std::uint32_t mode = 0755,
                const Credentials& creds = {}, const std::string& root = "/");
   /// mkdir -p: creates missing ancestors; EEXIST only if the final path
   /// exists and is not a directory.
-  Status mkdir_p(std::string_view path, std::uint32_t mode = 0755,
+  [[nodiscard]] Status mkdir_p(std::string_view path, std::uint32_t mode = 0755,
                  const Credentials& creds = {}, const std::string& root = "/");
-  Status unlink(std::string_view path, const Credentials& creds = {},
+  [[nodiscard]] Status unlink(std::string_view path, const Credentials& creds = {},
                 const std::string& root = "/");
-  Status rmdir(std::string_view path, const Credentials& creds = {},
+  [[nodiscard]] Status rmdir(std::string_view path, const Credentials& creds = {},
                const std::string& root = "/");
   /// rm -r: recursive removal (used by tests and the shell's `rm -r`).
-  Status remove_all(std::string_view path, const Credentials& creds = {},
+  [[nodiscard]] Status remove_all(std::string_view path, const Credentials& creds = {},
                     const std::string& root = "/");
-  Status rename(std::string_view from, std::string_view to,
+  [[nodiscard]] Status rename(std::string_view from, std::string_view to,
                 const Credentials& creds = {}, const std::string& root = "/");
-  Status symlink(std::string_view target, std::string_view linkpath,
+  [[nodiscard]] Status symlink(std::string_view target, std::string_view linkpath,
                  const Credentials& creds = {}, const std::string& root = "/");
   Result<std::string> readlink(std::string_view path,
                                const Credentials& creds = {},
                                const std::string& root = "/");
-  Status link(std::string_view existing, std::string_view linkpath,
+  [[nodiscard]] Status link(std::string_view existing, std::string_view linkpath,
               const Credentials& creds = {}, const std::string& root = "/");
 
   // --- metadata ------------------------------------------------------------
-  Status chmod(std::string_view path, std::uint32_t mode,
+  [[nodiscard]] Status chmod(std::string_view path, std::uint32_t mode,
                const Credentials& creds = {}, const std::string& root = "/");
-  Status chown(std::string_view path, Uid uid, Gid gid,
+  [[nodiscard]] Status chown(std::string_view path, Uid uid, Gid gid,
                const Credentials& creds = {}, const std::string& root = "/");
-  Status truncate(std::string_view path, std::uint64_t size,
+  [[nodiscard]] Status truncate(std::string_view path, std::uint64_t size,
                   const Credentials& creds = {},
                   const std::string& root = "/");
-  Status setxattr(std::string_view path, const std::string& name,
+  [[nodiscard]] Status setxattr(std::string_view path, const std::string& name,
                   std::vector<std::uint8_t> value,
                   const Credentials& creds = {},
                   const std::string& root = "/");
@@ -144,18 +144,18 @@ class Vfs {
   Result<std::vector<std::string>> listxattr(std::string_view path,
                                              const Credentials& creds = {},
                                              const std::string& root = "/");
-  Status removexattr(std::string_view path, const std::string& name,
+  [[nodiscard]] Status removexattr(std::string_view path, const std::string& name,
                      const Credentials& creds = {},
                      const std::string& root = "/");
 
   /// ACL convenience: stores/reads the ACL via its system xattr.
-  Status set_acl(std::string_view path, const Acl& acl,
+  [[nodiscard]] Status set_acl(std::string_view path, const Acl& acl,
                  const Credentials& creds = {}, const std::string& root = "/");
   Result<Acl> get_acl(std::string_view path, const Credentials& creds = {},
                       const std::string& root = "/");
 
   /// access(2)-style probe.
-  Status access(std::string_view path, std::uint8_t want,
+  [[nodiscard]] Status access(std::string_view path, std::uint8_t want,
                 const Credentials& creds = {}, const std::string& root = "/");
 
   // --- monitoring ------------------------------------------------------------
@@ -216,7 +216,7 @@ class Vfs {
   bool is_mount_point(const std::string& logical_path) const;
   void count_op(OpKind kind);
 
-  mutable std::shared_mutex mounts_mu_;
+  mutable dbg::SharedMutex<dbg::Rank::vfs_mounts> mounts_mu_;
   std::map<std::string, Mount> mounts_;  // resolved logical path -> mount
   // Bumped on every mount/umount; resolution-cache entries recorded under
   // an older generation are never returned.
@@ -227,7 +227,7 @@ class Vfs {
   // cleared wholesale when full (entries revalidate cheaply, so churn is
   // benign).
   static constexpr std::size_t kDcacheCap = 4096;
-  mutable std::shared_mutex dcache_mu_;
+  mutable dbg::SharedMutex<dbg::Rank::vfs_dcache> dcache_mu_;
   std::unordered_map<std::string, DentryEntry> dcache_;
 
   OpCounters counters_;
@@ -303,15 +303,15 @@ class Namespace {
   /// The process-visible API: identical shape to Vfs, paths interpreted
   /// inside the namespace root.
   Result<std::string> read_file(std::string_view path);
-  Status write_file(std::string_view path, std::string_view data);
-  Status append_file(std::string_view path, std::string_view data);
+  [[nodiscard]] Status write_file(std::string_view path, std::string_view data);
+  [[nodiscard]] Status append_file(std::string_view path, std::string_view data);
   Result<Stat> stat(std::string_view path);
   Result<std::vector<DirEntry>> readdir(std::string_view path);
-  Status mkdir(std::string_view path, std::uint32_t mode = 0755);
-  Status unlink(std::string_view path);
-  Status rmdir(std::string_view path);
-  Status rename(std::string_view from, std::string_view to);
-  Status symlink(std::string_view target, std::string_view linkpath);
+  [[nodiscard]] Status mkdir(std::string_view path, std::uint32_t mode = 0755);
+  [[nodiscard]] Status unlink(std::string_view path);
+  [[nodiscard]] Status rmdir(std::string_view path);
+  [[nodiscard]] Status rename(std::string_view from, std::string_view to);
+  [[nodiscard]] Status symlink(std::string_view target, std::string_view linkpath);
   Result<std::string> readlink(std::string_view path);
   Result<std::shared_ptr<WatchHandle>> watch(std::string_view path,
                                              std::uint32_t mask,

@@ -7,7 +7,7 @@ namespace yanc::vfs {
 void WatchQueue::push(Event e) {
   bool enqueued = false;
   {
-    std::lock_guard lock(mu_);
+    dbg::LockGuard lock(mu_);
     if (events_.size() >= capacity_) {
       if (drop_metric_) drop_metric_->add();
       if (!overflow_pending_) {
@@ -31,7 +31,7 @@ void WatchQueue::push(Event e) {
 }
 
 std::optional<Event> WatchQueue::try_pop() {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   if (events_.empty()) return std::nullopt;
   Event e = std::move(events_.front());
   events_.pop_front();
@@ -46,7 +46,7 @@ std::optional<Event> WatchQueue::pop_wait(std::chrono::milliseconds timeout) {
   // (notified for events another consumer won, or spuriously), the caller
   // never waits longer than `timeout` from the moment of the call.
   auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock lock(mu_);
+  dbg::UniqueLock lock(mu_);
   if (!cv_.wait_until(lock, deadline, [&] { return !events_.empty(); }))
     return std::nullopt;
   Event e = std::move(events_.front());
@@ -58,7 +58,7 @@ std::optional<Event> WatchQueue::pop_wait(std::chrono::milliseconds timeout) {
 }
 
 std::vector<Event> WatchQueue::drain() {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   std::vector<Event> out(events_.begin(), events_.end());
   events_.clear();
   overflow_pending_ = false;
@@ -67,7 +67,7 @@ std::vector<Event> WatchQueue::drain() {
 }
 
 void WatchQueue::bind_metrics(obs::Gauge* depth, obs::Counter* drops) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   depth_metric_ = depth;
   drop_metric_ = drops;
   if (depth_metric_)
@@ -75,18 +75,18 @@ void WatchQueue::bind_metrics(obs::Gauge* depth, obs::Counter* drops) {
 }
 
 std::size_t WatchQueue::size() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return events_.size();
 }
 
 bool WatchQueue::overflowed() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return overflow_pending_;
 }
 
 WatchRegistry::WatchId WatchRegistry::add(NodeId node, std::uint32_t mask,
                                           WatchQueuePtr queue) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   WatchId id = next_id_++;
   subs_.emplace(id, Subscription{node, mask, std::move(queue)});
   by_node_[node].push_back(id);
@@ -94,7 +94,7 @@ WatchRegistry::WatchId WatchRegistry::add(NodeId node, std::uint32_t mask,
 }
 
 void WatchRegistry::remove(WatchId id) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   auto it = subs_.find(id);
   if (it == subs_.end()) return;
   auto node_it = by_node_.find(it->second.node);
@@ -107,7 +107,7 @@ void WatchRegistry::remove(WatchId id) {
 }
 
 void WatchRegistry::drop_node(NodeId node) {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   auto node_it = by_node_.find(node);
   if (node_it == by_node_.end()) return;
   for (WatchId id : node_it->second) subs_.erase(id);
@@ -120,7 +120,7 @@ void WatchRegistry::emit(NodeId node, std::uint32_t mask,
   // consumer cannot stall registry mutation.
   std::vector<WatchQueuePtr> targets;
   {
-    std::lock_guard lock(mu_);
+    dbg::LockGuard lock(mu_);
     auto node_it = by_node_.find(node);
     if (node_it == by_node_.end()) return;
     for (WatchId id : node_it->second) {
@@ -132,12 +132,12 @@ void WatchRegistry::emit(NodeId node, std::uint32_t mask,
 }
 
 bool WatchRegistry::watched(NodeId node) const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return by_node_.count(node) != 0;
 }
 
 std::size_t WatchRegistry::watch_count() const {
-  std::lock_guard lock(mu_);
+  dbg::LockGuard lock(mu_);
   return subs_.size();
 }
 

@@ -7,16 +7,15 @@
 // dropped tail, and applications are expected to rescan.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "yanc/dbg/lockdep.hpp"
 #include "yanc/obs/metrics.hpp"
 #include "yanc/vfs/types.hpp"
 
@@ -77,8 +76,8 @@ class WatchQueue {
   void bind_metrics(obs::Gauge* depth, obs::Counter* drops);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable dbg::Mutex<dbg::Rank::watch_queue> mu_;
+  dbg::CondVar cv_;
   std::deque<Event> events_;
   std::size_t capacity_;
   bool overflow_pending_ = false;
@@ -115,7 +114,7 @@ class WatchRegistry {
     std::uint32_t mask;
     WatchQueuePtr queue;
   };
-  mutable std::mutex mu_;
+  mutable dbg::Mutex<dbg::Rank::watch_registry> mu_;
   std::uint64_t next_id_ = 1;
   // watch id -> subscription; node -> watch ids (small fan-out expected)
   std::unordered_map<WatchId, Subscription> subs_;

@@ -24,7 +24,7 @@ TEST(TransportTest, DeliversWithLatency) {
     received.push_back(std::string(m.begin(), m.end()));
   });
   auto b = transport.join([&](auto, const auto&) {});
-  transport.send(b, a, {'h', 'i'});
+  ASSERT_TRUE(transport.send(b, a, {'h', 'i'}));
   EXPECT_TRUE(received.empty());  // not yet: latency
   scheduler.run_for(std::chrono::milliseconds(4));
   EXPECT_TRUE(received.empty());
@@ -44,8 +44,8 @@ TEST(TransportTest, PartitionQueuesAndHealsInOrder) {
   });
   auto b = transport.join([&](auto, const auto&) {});
   transport.set_partitioned(a, b, true);
-  transport.send(b, a, {'1'});
-  transport.send(b, a, {'2'});
+  ASSERT_TRUE(transport.send(b, a, {'1'}));
+  ASSERT_TRUE(transport.send(b, a, {'2'}));
   scheduler.run_until_idle();
   EXPECT_TRUE(received.empty());
   transport.set_partitioned(a, b, false);

@@ -487,7 +487,7 @@ TEST_P(DriverTest, GarbageBytesCloseConnectionOthersSurvive) {
 
   // A rogue peer connects and sends garbage instead of OpenFlow.
   auto rogue = driver->listener().connect();
-  rogue.send({0xde, 0xad, 0xbe, 0xef});
+  ASSERT_TRUE(rogue.send({0xde, 0xad, 0xbe, 0xef}));
   settle({good.get()});
   EXPECT_FALSE(rogue.connected());  // hung up on
   EXPECT_EQ(driver->connected_switches(), 1u);  // the good switch is fine
@@ -564,8 +564,9 @@ TEST(TextDriver, ExperimentalProtocolCoexists) {
   // ...and a TEXT/1 device on the experimental driver.
   TextDriver text_driver(vfs);
   net::Channel device = text_driver.listener().connect();
-  device.send({'H', 'E', 'L', 'L', 'O', ' ', 'i', 'd', '=', '9', '9', ' ',
-               'p', 'o', 'r', 't', 's', '=', '1', ',', '2'});
+  ASSERT_TRUE(
+      device.send({'H', 'E', 'L', 'L', 'O', ' ', 'i', 'd', '=', '9', '9', ' ',
+                   'p', 'o', 'r', 't', 's', '=', '1', ',', '2'}));
 
   auto settle = [&] {
     for (int round = 0; round < 60; ++round) {
@@ -613,9 +614,10 @@ TEST(TextDriver, ExperimentalProtocolCoexists) {
   // And device packet-ins land in the same events/ buffers.
   auto buf = net.open_events("app");
   ASSERT_TRUE(buf.ok());
-  device.send({'P', 'A', 'C', 'K', 'E', 'T', 'I', 'N', ' ', 'p', 'o', 'r',
-               't', '=', '2', ' ', 'd', 'a', 't', 'a', '=', '0', '1', 'f',
-               'f'});
+  ASSERT_TRUE(
+      device.send({'P', 'A', 'C', 'K', 'E', 'T', 'I', 'N', ' ', 'p', 'o', 'r',
+                   't', '=', '2', ' ', 'd', 'a', 't', 'a', '=', '0', '1', 'f',
+                   'f'}));
   settle();
   auto events = buf->drain();
   ASSERT_TRUE(events.ok());

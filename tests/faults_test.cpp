@@ -337,14 +337,15 @@ TEST(TransportFaults, DropFilterLosesMessages) {
   plan.drop = 1.0;
   inj->set_plan(Scope::transport, plan);
   dist::attach_faults(transport, inj);
-  for (int i = 0; i < 10; ++i) transport.send(b, a, {1});
+  // All ten are eaten by the drop filter: send reports the loss.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(transport.send(b, a, {1}));
   scheduler.run_until_idle();
   EXPECT_EQ(received, 0u);
   EXPECT_EQ(transport.messages_dropped(), 10u);
 
   // Healing: remove the filter, traffic flows again.
   dist::attach_faults(transport, nullptr);
-  transport.send(b, a, {1});
+  EXPECT_TRUE(transport.send(b, a, {1}));
   scheduler.run_until_idle();
   EXPECT_EQ(received, 1u);
 }
@@ -360,7 +361,7 @@ TEST(TransportFaults, DuplicateDeliversTwice) {
   plan.duplicate = 1.0;
   inj->set_plan(Scope::transport, plan);
   dist::attach_faults(transport, inj);
-  transport.send(b, a, {1});
+  EXPECT_TRUE(transport.send(b, a, {1}));
   scheduler.run_until_idle();
   EXPECT_EQ(received, 2u);
 }

@@ -148,8 +148,8 @@ TEST(Packet, RewritesApplyAndFixChecksum) {
 
 TEST(ChannelTest, PairDelivery) {
   auto [a, b] = Channel::make_pair();
-  a.send({1, 2});
-  b.send({3});
+  EXPECT_TRUE(a.send({1, 2}));
+  EXPECT_TRUE(b.send({3}));
   EXPECT_EQ(*b.try_recv(), (Message{1, 2}));
   EXPECT_EQ(*a.try_recv(), (Message{3}));
   EXPECT_FALSE(a.try_recv().has_value());
@@ -157,11 +157,11 @@ TEST(ChannelTest, PairDelivery) {
 
 TEST(ChannelTest, CloseStopsTraffic) {
   auto [a, b] = Channel::make_pair();
-  a.send({1});
+  EXPECT_TRUE(a.send({1}));
   a.close();
   EXPECT_FALSE(a.connected());
   EXPECT_FALSE(b.connected());
-  b.send({2});                          // dropped
+  EXPECT_FALSE(b.send({2}));            // dropped, and send says so
   EXPECT_TRUE(b.try_recv().has_value());  // already-queued drains
 }
 
@@ -200,7 +200,7 @@ TEST(ChannelTest, ListenerAcceptQueue) {
   EXPECT_EQ(listener.backlog(), 1u);
   auto ctrl_end = listener.accept();
   ASSERT_TRUE(ctrl_end.has_value());
-  sw_end.send({42});
+  EXPECT_TRUE(sw_end.send({42}));
   EXPECT_EQ(*ctrl_end->try_recv(), Message{42});
 }
 

@@ -201,7 +201,7 @@ class SwitchTest : public ::testing::Test {
   void send(Switch& sw, const ofp::Message& m, std::uint32_t xid = 1) {
     auto bytes = ofp::encode(sw.options().version, xid, m);
     ASSERT_TRUE(bytes.ok());
-    controller.send(std::move(*bytes));
+    ASSERT_TRUE(controller.send(std::move(*bytes)));
     sw.pump();
   }
 

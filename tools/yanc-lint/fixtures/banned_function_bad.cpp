@@ -1,0 +1,15 @@
+// Fixture: legacy C functions must be flagged, qualified or not.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+void f(char* dst, const char* src, char* buf) {
+  strcpy(dst, src);
+  std::sprintf(buf, "%s", src);
+  int r = ::rand();
+  (void)r;
+  std::time_t t = 0;
+  (void)gmtime(&t);
+  (void)strtok(buf, ",");
+}

@@ -1,0 +1,14 @@
+// Fixture: safe equivalents, member functions, and project functions that
+// merely share a banned name are all clean.
+#include <cstdio>
+
+namespace myns { int rand(); }
+struct Dice { int rand(); };
+
+void f(char* buf, unsigned long n, Dice& d) {
+  std::snprintf(buf, n, "%lu", n);
+  int a = myns::rand();   // project-qualified, not std/global
+  int b = d.rand();       // member call
+  (void)a;
+  (void)b;
+}

@@ -1,0 +1,17 @@
+// Fixture: discarding [[nodiscard]] / Result-returning calls must be flagged.
+template <typename T> class Result {};
+struct NodeId {};
+
+struct Fs {
+  [[nodiscard]] int remove(int node);
+  Result<NodeId> mkdir(int parent);
+};
+
+[[nodiscard]] bool send_frame(int port);
+
+void f(Fs& fs, Fs* p) {
+  fs.remove(1);
+  p->mkdir(2);
+  send_frame(3);
+  if (true) fs.remove(4);
+}

@@ -1,0 +1,23 @@
+// Fixture: checked, assigned, (void)-cast, std::ignore'd, and declaration
+// sites are all clean.
+#include <tuple>
+
+template <typename T> class Result {};
+struct NodeId {};
+
+struct Fs {
+  [[nodiscard]] int remove(int node);
+  Result<NodeId> mkdir(int parent);
+};
+
+[[nodiscard]] bool send_frame(int port);
+
+bool g(Fs& fs) {
+  int st = fs.remove(1);
+  auto r = fs.mkdir(2);
+  (void)r;
+  (void)fs.remove(3);
+  std::ignore = fs.mkdir(4);
+  if (send_frame(5)) return true;
+  return st == 0 && send_frame(6);
+}

@@ -1,0 +1,3 @@
+#pragma once
+#include "a.hpp"
+inline int b_func() { return 7; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "b.hpp"
+inline int a_func() { return b_func() + 1; }

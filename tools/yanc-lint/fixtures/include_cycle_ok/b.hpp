@@ -1,0 +1,3 @@
+#pragma once
+#include "c.hpp"
+inline int b_func() { return c_func(); }

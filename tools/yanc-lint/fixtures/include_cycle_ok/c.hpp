@@ -1,0 +1,2 @@
+#pragma once
+inline int c_func() { return 7; }

@@ -1,0 +1,8 @@
+// Fixture: manual lock()/unlock() calls must be flagged.
+struct M { void lock(); void unlock(); void lock_shared(); };
+
+void f(M& m, M* p) {
+  m.lock();
+  p->unlock();
+  m.lock_shared();
+}

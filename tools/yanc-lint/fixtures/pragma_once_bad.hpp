@@ -1,0 +1,4 @@
+// Fixture: header with no #pragma once.
+#include <cstdint>
+
+inline std::uint32_t answer() { return 42; }

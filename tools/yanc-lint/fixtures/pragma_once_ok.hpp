@@ -1,0 +1,6 @@
+// Fixture: properly guarded header.
+#pragma once
+
+#include <cstdint>
+
+inline std::uint32_t answer() { return 42; }

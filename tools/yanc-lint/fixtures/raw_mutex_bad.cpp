@@ -1,0 +1,13 @@
+// Fixture: raw std lock primitives must be flagged.
+#include <mutex>
+#include <shared_mutex>
+
+struct S {
+  std::mutex mu;
+  std::shared_mutex smu;
+};
+
+void f(S& s) {
+  std::lock_guard g(s.mu);
+  std::shared_lock sl(s.smu);
+}

@@ -1,0 +1,6 @@
+// Fixture: a waiver with no justification text does not suppress.
+#include <mutex>
+
+struct S {
+  std::mutex mu;  // yanc-lint: allow(raw-mutex)
+};

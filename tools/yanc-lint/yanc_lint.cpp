@@ -1,0 +1,613 @@
+// yanc-lint — the repo-invariant gate (ISSUE 4, tentpole part 2).
+//
+// A self-contained C++20 source scanner: no libclang, no compiler, no
+// network — hermetic enough to run as a plain ctest test everywhere the
+// tree builds.  It walks the given directories and enforces invariants
+// that are *policy*, not syntax, so no off-the-shelf tool checks them:
+//
+//   raw-mutex         std::mutex/std::shared_mutex/std::lock_guard/... in
+//                     src/yanc/ outside src/yanc/dbg/ — all locks must be
+//                     ranked dbg wrappers so lock-order validation sees them.
+//   manual-lock       .lock()/.unlock()/.lock_shared()/... calls in
+//                     src/yanc/ outside dbg/ — RAII guards only.
+//   banned-function   sprintf/strcpy/strcat/strtok/gmtime/localtime/rand/
+//                     srand/rand_r — non-reentrant or unbounded C legacy.
+//   include-cycle     #include cycles among project headers.
+//   discarded-result  a call to a [[nodiscard]]-annotated yanc API (or any
+//                     Result<T>-returning API) used as a bare statement.
+//   pragma-once       every header carries #pragma once.
+//
+// Suppression: a finding on line N is waived when line N or N-1 carries a
+// comment of the form
+//     // yanc-lint: allow(<rule>) <justification>
+// and the justification is non-empty — silent waivers are themselves a
+// violation.  docs/CORRECTNESS.md catalogues the rules.
+//
+// Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace fs = std::filesystem;
+using yanclint::LexedFile;
+using yanclint::TokKind;
+using yanclint::Token;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;          // as discovered
+  std::string display;    // relative to root, '/'-separated
+  LexedFile lex;
+  bool is_header = false;
+};
+
+const std::unordered_set<std::string> kBannedFunctions = {
+    "sprintf", "vsprintf", "strcpy", "strcat", "strtok",
+    "gmtime",  "localtime", "rand",  "srand",  "rand_r"};
+
+const std::unordered_set<std::string> kRawLockTypes = {
+    "mutex",          "shared_mutex", "recursive_mutex",
+    "timed_mutex",    "shared_timed_mutex", "recursive_timed_mutex",
+    "lock_guard",     "unique_lock",  "shared_lock",
+    "scoped_lock",    "condition_variable", "condition_variable_any"};
+
+const std::unordered_set<std::string> kManualLockCalls = {
+    "lock", "unlock", "try_lock", "lock_shared", "unlock_shared",
+    "try_lock_shared"};
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string display_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty() ? p : rel).generic_string();
+  return s;
+}
+
+/// Lock-discipline rules only bind library code: the wrappers themselves
+/// (src/yanc/dbg/) and everything outside src/yanc/ (tests may use raw
+/// primitives for scaffolding) are exempt.
+bool in_lock_scope(const std::string& display) {
+  if (display.find("src/yanc/") == std::string::npos &&
+      display.rfind("yanc/", 0) != 0)
+    return false;
+  return display.find("/dbg/") == std::string::npos &&
+         display.rfind("src/yanc/dbg", 0) != 0;
+}
+
+/// True when `line` (or the line above) carries a well-formed waiver for
+/// `rule`.  `bad_waiver` reports a matching allow() with an empty
+/// justification so the caller can flag it instead of honouring it.
+bool suppressed(const LexedFile& lex, int line, const std::string& rule,
+                std::string* bad_waiver) {
+  static const std::regex re(R"(yanc-lint:\s*allow\(([a-z-]+)\)\s*(.*))");
+  for (int l = line; l >= line - 1 && l >= 1; --l) {
+    auto it = lex.comments.find(l);
+    if (it == lex.comments.end()) continue;
+    std::smatch m;
+    std::string text = it->second;
+    if (!std::regex_search(text, m, re)) continue;
+    if (m[1].str() != rule) continue;
+    // Justification: anything beyond the allow() itself (block comments
+    // may close on the same line; strip the terminator before judging).
+    std::string why = m[2].str();
+    while (!why.empty() &&
+           (why.back() == '/' || why.back() == '*' || isspace((unsigned char)why.back())))
+      why.pop_back();
+    if (why.size() >= 3) return true;
+    if (bad_waiver) *bad_waiver = rule;
+  }
+  return false;
+}
+
+void report(std::vector<Finding>& findings, const SourceFile& sf, int line,
+            std::string rule, std::string message) {
+  std::string bad;
+  if (suppressed(sf.lex, line, rule, &bad)) return;
+  if (!bad.empty())
+    findings.push_back(Finding{sf.display, line, rule,
+                               "allow(" + bad +
+                                   ") without justification text — "
+                                   "say why or remove the waiver"});
+  findings.push_back(Finding{sf.display, line, std::move(rule),
+                             std::move(message)});
+}
+
+// --- per-file token rules --------------------------------------------------
+
+void rule_raw_mutex(const SourceFile& sf, std::vector<Finding>& out) {
+  const auto& t = sf.lex.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokKind::identifier && t[i].text == "std" &&
+        t[i + 1].text == "::" && t[i + 2].kind == TokKind::identifier &&
+        kRawLockTypes.count(t[i + 2].text)) {
+      report(out, sf, t[i].line, "raw-mutex",
+             "std::" + t[i + 2].text +
+                 " — use the ranked yanc::dbg wrappers and guards "
+                 "(docs/CORRECTNESS.md)");
+    }
+  }
+}
+
+void rule_manual_lock(const SourceFile& sf, std::vector<Finding>& out) {
+  const auto& t = sf.lex.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier || !kManualLockCalls.count(t[i].text))
+      continue;
+    if (t[i - 1].text != "." && t[i - 1].text != "->") continue;
+    if (t[i + 1].text != "(") continue;
+    report(out, sf, t[i].line, "manual-lock",
+           "." + t[i].text +
+               "() — acquire through RAII guards (dbg::LockGuard/"
+               "UniqueLock/SharedLock) so every exit path releases");
+  }
+}
+
+void rule_banned_function(const SourceFile& sf, std::vector<Finding>& out) {
+  const auto& t = sf.lex.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier || !kBannedFunctions.count(t[i].text))
+      continue;
+    if (t[i + 1].text != "(") continue;
+    if (i > 0) {
+      const std::string& prev = t[i - 1].text;
+      if (prev == "." || prev == "->") continue;  // member of another type
+      // `int rand(...)` is a declaration of a project function, not a call;
+      // a call is never directly preceded by a plain identifier unless that
+      // identifier is a statement keyword.
+      static const std::unordered_set<std::string> kCallKeywords = {
+          "return", "co_return", "co_await", "co_yield", "throw",
+          "else",   "do",        "case"};
+      if (t[i - 1].kind == TokKind::identifier && !kCallKeywords.count(prev))
+        continue;
+      if (prev == "::") {
+        // std::rand is as banned as ::rand; other qualifiers name project
+        // functions that merely share the name.
+        bool std_qualified =
+            i >= 2 && t[i - 2].kind == TokKind::identifier &&
+            t[i - 2].text == "std";
+        bool global_qualified = i < 2 || t[i - 2].kind != TokKind::identifier;
+        if (!std_qualified && !global_qualified) continue;
+      }
+    }
+    report(out, sf, t[i].line, "banned-function",
+           t[i].text +
+               "() is banned (non-reentrant/unbounded); use the yanc "
+               "equivalents (util::Rng, strings.hpp, snprintf)");
+  }
+}
+
+void rule_pragma_once(const SourceFile& sf, std::vector<Finding>& out) {
+  if (!sf.is_header) return;
+  for (const Token& tok : sf.lex.tokens) {
+    if (tok.kind == TokKind::preproc &&
+        tok.text.find("pragma") != std::string::npos &&
+        tok.text.find("once") != std::string::npos)
+      return;
+  }
+  report(out, sf, 1, "pragma-once",
+         "header without #pragma once (every yanc header is include-guarded "
+         "this way)");
+}
+
+// --- discarded-result ------------------------------------------------------
+
+/// Pass A: names of functions whose result must not be ignored — any
+/// declaration carrying [[nodiscard]], plus anything returning Result<...>
+/// (the Result type itself is [[nodiscard]]).
+///
+/// Names that collide with common std container/string members are skipped:
+/// without type resolution a call to std::map::emplace is indistinguishable
+/// from PacketPool::emplace, and flagging every container insert would bury
+/// the signal.  Discarded Result<T> on those names is still caught — by the
+/// compiler, since Result is a [[nodiscard]] class type (-Wunused-result).
+const std::unordered_set<std::string> kStdMemberNames = {
+    "emplace", "replace", "insert", "erase",  "swap",  "merge",
+    "find",    "count",   "at",     "get",    "reset", "release",
+    "extract", "assign",  "substr", "c_str"};
+
+/// Collects into `names` the must-check function names, and into `plain`
+/// every name that is *also* declared somewhere with an unannotated return
+/// type.  The caller subtracts: a name shared between, say, an app's
+/// `Result<std::size_t> poll()` and a driver's `std::size_t poll()` is
+/// ambiguous at token level, and a gate must not cry wolf — ambiguous names
+/// are left to the compiler's own [[nodiscard]] diagnostics.
+void collect_nodiscard_names(const SourceFile& sf,
+                             std::unordered_set<std::string>& names,
+                             std::unordered_set<std::string>& plain) {
+  const auto& t = sf.lex.tokens;
+  // Declaration-shaped sites: identifier followed by '(' and preceded by a
+  // type-ish token.  If nothing in the preceding few tokens says nodiscard
+  // or Result, the name's result is droppable somewhere in the tree.
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier || t[i + 1].text != "(") continue;
+    const Token& p = t[i - 1];
+    bool typeish = (p.kind == TokKind::identifier &&
+                    p.text != "return" && p.text != "co_return" &&
+                    p.text != "throw" && p.text != "else" &&
+                    p.text != "do" && p.text != "case") ||
+                   p.text == "*" || p.text == "&" || p.text == ">";
+    if (!typeish) continue;
+    bool annotated = false;
+    for (std::size_t k = i, steps = 0; k > 0 && steps < 14; --k, ++steps) {
+      const std::string& s = t[k - 1].text;
+      if (s == ";" || s == "{" || s == "}" || s == "(") break;
+      if (s == "nodiscard" || s == "Result") {
+        annotated = true;
+        break;
+      }
+    }
+    if (!annotated) plain.insert(t[i].text);
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "[[" && t[i + 1].text == "nodiscard") {
+      // Take the next identifier directly followed by '(' before the
+      // declaration ends; skip over the return type (template args
+      // included).
+      for (std::size_t j = i + 2; j < t.size() && j < i + 48; ++j) {
+        const std::string& s = t[j].text;
+        if (s == ";" || s == "{" || s == "}" || s == "=") break;
+        if (t[j].kind == TokKind::identifier && s != "operator" &&
+            j + 1 < t.size() && t[j + 1].text == "(") {
+          if (!kStdMemberNames.count(s)) names.insert(s);
+          break;
+        }
+      }
+    }
+    if (t[i].kind == TokKind::identifier && t[i].text == "Result" &&
+        t[i + 1].text == "<") {
+      int depth = 1;
+      std::size_t j = i + 2;
+      for (; j < t.size() && depth > 0; ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+        if (t[j].text == ">>") depth -= 2;
+        if (t[j].text == ";" || t[j].text == "{") break;
+      }
+      if (depth <= 0 && j + 1 < t.size() &&
+          t[j].kind == TokKind::identifier && t[j].text != "operator" &&
+          t[j + 1].text == "(" && !kStdMemberNames.count(t[j].text))
+        names.insert(t[j].text);
+    }
+  }
+}
+
+/// Pass B: a call to a collected name whose value dies as a bare
+/// expression-statement.  Token-level heuristic: walk back over the
+/// member/qualifier chain (a.b->c::name) to the statement context; the
+/// contexts that discard are statement starts and single-statement control
+/// bodies.  (void)-casts and std::ignore assignments read as uses.
+void rule_discarded_result(const SourceFile& sf,
+                           const std::unordered_set<std::string>& names,
+                           std::vector<Finding>& out) {
+  const auto& t = sf.lex.tokens;
+  // Bracket matcher for jumping over (...) and [...] while walking back.
+  std::vector<int> match(t.size(), -1);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[") stack.push_back(i);
+      else if ((s == ")" || s == "]") && !stack.empty()) {
+        match[i] = static_cast<int>(stack.back());
+        match[stack.back()] = static_cast<int>(i);
+        stack.pop_back();
+      }
+    }
+  }
+  auto is_control = [&](int open) {
+    return open > 0 && t[open - 1].kind == TokKind::identifier &&
+           (t[open - 1].text == "if" || t[open - 1].text == "while" ||
+            t[open - 1].text == "for" || t[open - 1].text == "switch");
+  };
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::identifier || !names.count(t[i].text)) continue;
+    if (t[i + 1].text != "(") continue;
+    // Walk back over the call chain to find what precedes the statement.
+    std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) - 1;
+    while (j >= 0) {
+      const std::string& s = t[j].text;
+      if (s == "." || s == "->" || s == "::") {
+        --j;
+        if (j >= 0 && (t[j].kind == TokKind::identifier ||
+                       t[j].text == ")" || t[j].text == "]")) {
+          if (t[j].kind != TokKind::identifier && match[j] >= 0)
+            j = match[j];  // jump over (...) / [...]
+          --j;
+          continue;
+        }
+        break;
+      }
+      break;
+    }
+    bool discarded = false;
+    if (j < 0) {
+      discarded = true;  // file starts with the statement (fixtures)
+    } else {
+      const Token& prev = t[j];
+      if (prev.kind == TokKind::preproc) discarded = true;
+      else if (prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+               prev.text == "else" || prev.text == "do")
+        discarded = true;
+      else if (prev.text == ")" && match[j] >= 0 && is_control(match[j]))
+        discarded = true;
+    }
+    if (discarded)
+      report(out, sf, t[i].line, "discarded-result",
+             "result of " + t[i].text +
+                 "() is discarded — check it, log it, or assign to "
+                 "std::ignore with a comment saying why");
+  }
+}
+
+// --- include-cycle ---------------------------------------------------------
+
+std::vector<std::string> includes_of(const SourceFile& sf) {
+  std::vector<std::string> out;
+  static const std::regex re(R"(#\s*include\s+\"([^\"]+)\")");
+  for (const Token& tok : sf.lex.tokens) {
+    if (tok.kind != TokKind::preproc) continue;
+    std::smatch m;
+    if (std::regex_search(tok.text, m, re)) out.push_back(m[1].str());
+  }
+  return out;
+}
+
+void rule_include_cycle(const std::vector<SourceFile>& files,
+                        const fs::path& root, std::vector<Finding>& out) {
+  // Graph over headers only (a cycle must pass exclusively through them).
+  std::map<std::string, const SourceFile*> by_canonical;
+  for (const auto& sf : files) {
+    if (!sf.is_header) continue;
+    std::error_code ec;
+    fs::path canon = fs::weakly_canonical(sf.path, ec);
+    by_canonical[(ec ? sf.path : canon).generic_string()] = &sf;
+  }
+  std::map<std::string, std::vector<std::string>> edges;
+  for (const auto& [canon, sf] : by_canonical) {
+    for (const std::string& inc : includes_of(*sf)) {
+      for (const fs::path& cand :
+           {root / "src" / inc, sf->path.parent_path() / inc}) {
+        std::error_code ec;
+        fs::path canon_inc = fs::weakly_canonical(cand, ec);
+        if (ec) continue;
+        std::string key = canon_inc.generic_string();
+        if (by_canonical.count(key)) {
+          edges[canon].push_back(key);
+          break;
+        }
+      }
+    }
+  }
+  // Iterative DFS with colour marking; report each cycle once.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    colour[u] = 1;
+    stack.push_back(u);
+    for (const std::string& v : edges[u]) {
+      if (colour[v] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), v);
+        std::string cycle;
+        for (; it != stack.end(); ++it) {
+          cycle += by_canonical[*it]->display;
+          cycle += " -> ";
+        }
+        cycle += by_canonical[v]->display;
+        if (reported.insert(cycle).second) {
+          const SourceFile* sf = by_canonical[v];
+          out.push_back(Finding{sf->display, 1, "include-cycle",
+                                "header include cycle: " + cycle});
+        }
+      } else if (colour[v] == 0) {
+        dfs(v);
+      }
+    }
+    stack.pop_back();
+    colour[u] = 2;
+  };
+  for (const auto& [node, _] : by_canonical)
+    if (colour[node] == 0) dfs(node);
+}
+
+// --- driver ----------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool load(const fs::path& p, const fs::path& root,
+          std::vector<SourceFile>& files) {
+  std::string text;
+  if (!read_file(p, text)) {
+    std::fprintf(stderr, "yanc-lint: cannot read %s\n", p.string().c_str());
+    return false;
+  }
+  SourceFile sf;
+  sf.path = p;
+  sf.display = display_path(p, root);
+  sf.lex = yanclint::lex(text);
+  std::string ext = p.extension().string();
+  sf.is_header = ext == ".hpp" || ext == ".h";
+  files.push_back(std::move(sf));
+  return true;
+}
+
+bool gather(const fs::path& target, const fs::path& root,
+            std::vector<SourceFile>& files) {
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(target, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && lintable(it->path()))
+        paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths)
+      if (!load(p, root, files)) return false;
+    return true;
+  }
+  if (fs::is_regular_file(target, ec)) return load(target, root, files);
+  std::fprintf(stderr, "yanc-lint: no such file or directory: %s\n",
+               target.string().c_str());
+  return false;
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const fs::path& root, bool all_scopes) {
+  std::vector<Finding> findings;
+  std::unordered_set<std::string> nodiscard_names, plain_names;
+  for (const auto& sf : files)
+    collect_nodiscard_names(sf, nodiscard_names, plain_names);
+  for (const auto& name : plain_names) nodiscard_names.erase(name);
+  for (const auto& sf : files) {
+    if (all_scopes || in_lock_scope(sf.display)) {
+      rule_raw_mutex(sf, findings);
+      rule_manual_lock(sf, findings);
+    }
+    rule_banned_function(sf, findings);
+    rule_pragma_once(sf, findings);
+    rule_discarded_result(sf, nodiscard_names, findings);
+  }
+  rule_include_cycle(files, root, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+int self_test(const fs::path& fixtures) {
+  static const std::regex name_re(R"(^([a-z_]+?)_(bad|ok)[0-9]*$)");
+  int failures = 0;
+  int cases = 0;
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::directory_iterator(fixtures))
+    entries.push_back(e.path());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& entry : entries) {
+    std::string stem = fs::is_directory(entry)
+                           ? entry.filename().string()
+                           : entry.stem().string();
+    std::smatch m;
+    if (!std::regex_match(stem, m, name_re)) {
+      std::fprintf(stderr, "self-test: unrecognised fixture name %s\n",
+                   stem.c_str());
+      ++failures;
+      continue;
+    }
+    std::string rule = m[1].str();
+    std::replace(rule.begin(), rule.end(), '_', '-');
+    bool expect_findings = m[2].str() == "bad";
+    std::vector<SourceFile> files;
+    if (!gather(entry, fixtures, files)) {
+      ++failures;
+      continue;
+    }
+    auto findings = run_rules(files, fixtures, /*all_scopes=*/true);
+    int matching = 0;
+    for (const auto& f : findings)
+      if (f.rule == rule) ++matching;
+    bool pass = expect_findings ? matching > 0 : matching == 0;
+    ++cases;
+    if (!pass) {
+      ++failures;
+      std::fprintf(stderr, "self-test FAIL %s: expected %s finding(s) of %s, got %d\n",
+                   stem.c_str(), expect_findings ? ">=1" : "0", rule.c_str(),
+                   matching);
+      for (const auto& f : findings)
+        std::fprintf(stderr, "  %s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+    }
+  }
+  std::printf("yanc-lint self-test: %d case(s), %d failure(s)\n", cases,
+              failures);
+  return failures == 0 && cases > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  bool all_scopes = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: yanc-lint --self-test <fixtures-dir>\n");
+        return 2;
+      }
+      return self_test(argv[i + 1]);
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "yanc-lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--all-scopes") {
+      all_scopes = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: yanc-lint [--root DIR] [--all-scopes] [paths...]\n"
+          "       yanc-lint --self-test FIXTURES_DIR\n"
+          "paths default to src tests bench (relative to --root).\n");
+      return 0;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) targets = {"src", "tests", "bench"};
+
+  std::vector<SourceFile> files;
+  for (const std::string& t : targets) {
+    fs::path p(t);
+    if (p.is_relative()) p = root / p;
+    if (!gather(p, root, files)) return 2;
+  }
+  auto findings = run_rules(files, root, all_scopes);
+  for (const auto& f : findings)
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  if (!findings.empty()) {
+    std::printf("yanc-lint: %zu finding(s) in %zu file(s) scanned\n",
+                findings.size(), files.size());
+    return 1;
+  }
+  return 0;
+}
