@@ -87,9 +87,16 @@ class JsonReporter : public ::benchmark::BenchmarkReporter {
 inline int run_main(int argc, char** argv) {
   bool json = false;
   std::vector<char*> args;
+  // --smoke: run every benchmark for a token interval — a ctest-able
+  // "does each binary still execute end to end" gate, not a measurement.
+  static char smoke_min_time[] = "--benchmark_min_time=0.001";
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--json") {
       json = true;
+      continue;
+    }
+    if (std::string_view(argv[i]) == "--smoke") {
+      args.push_back(smoke_min_time);
       continue;
     }
     args.push_back(argv[i]);

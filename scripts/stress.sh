@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Fault-matrix stress run: builds the tree under ASan+UBSan with the
 # stress tier enabled and sweeps the deterministic recovery scenarios
-# across ten seed bases (100 RNG seeds total).  A failing run prints the
-# YANC_FAULT_SEED that reproduces it — replay with:
+# across ten seed bases (100 RNG seeds total), plus the batched-pipeline
+# property sweep (ten bases x five seeds = 50 random event histories
+# through the coalescing watch consumer).  A failing run prints the
+# YANC_FAULT_SEED / YANC_PROP_SEED that reproduces it — replay with:
 #   YANC_FAULT_SEED=<seed> build-stress/tests/driver_test \
 #       --gtest_filter='DriverFaultMatrix.*'
+#   YANC_PROP_SEED=<seed> build-stress/tests/batch_prop_test \
+#       --gtest_filter='BatchPipelineProperty.*'
 # Usage: scripts/stress.sh [build-dir]   (default: build-stress)
 set -euo pipefail
 

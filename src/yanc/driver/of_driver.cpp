@@ -1,6 +1,8 @@
 #include "yanc/driver/of_driver.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <set>
 
 #include "yanc/util/log.hpp"
@@ -20,6 +22,25 @@ struct OfDriver::Connection {
   std::string path;  // absolute switch directory path
   std::uint32_t next_xid = 1;
 
+  // Per-switch watch shard: this connection's slice of the file system's
+  // event stream.  Sharding keeps one slow or overflowing switch from
+  // forcing a rescan of every other switch, and gives the batched drain
+  // a natural unit — one burst, one switch, one wire train.
+  vfs::WatchQueuePtr fs_queue;
+
+  // Egress burst (batching mode): FLOW_MODs queued since the last flush.
+  // Sealed buffers each pack up to max_batch messages; the whole burst
+  // leaves in one vectored send_batch capped by a single barrier.
+  struct Egress {
+    std::vector<net::Message> bufs;        // sealed packed buffers
+    std::optional<ofp::BatchEncoder> enc;  // buffer being filled
+    std::vector<std::string> flows;        // commits riding this train
+    std::size_t mods = 0;                  // FLOW_MODs in the burst
+    std::uint64_t counter_delta = 0;       // deferred counters/flow_mods
+    std::uint32_t retries = 0;             // max over contributing pushes
+    std::uint64_t first_tick = 0;          // when the burst opened
+  } egress;
+
   // --- liveness / recovery state (ticks = driver poll counter) ---------
   std::uint64_t last_recv_tick = 0;  // last message from the switch
   std::uint64_t last_ping_tick = 0;  // last keepalive we sent
@@ -30,9 +51,11 @@ struct OfDriver::Connection {
   bool superseded = false;
 
   // In-flight tracked requests (flow-commit barriers, the features
-  // handshake), keyed by xid.  An empty flow_name means the handshake.
+  // handshake), keyed by xid.  `flows` lists every commit the request
+  // covers — a batched train's barrier vouches for all of them, so a
+  // timeout re-pushes all of them.  Empty means the handshake.
   struct PendingRequest {
-    std::string flow_name;
+    std::vector<std::string> flows;
     std::uint64_t deadline = 0;  // tick at which to retry
     std::uint32_t retries = 0;
   };
@@ -74,9 +97,7 @@ struct OfDriver::WatchContext {
 };
 
 OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
-    : vfs_(std::move(vfs)), options_(std::move(options)),
-      fs_events_(
-          std::make_shared<vfs::WatchQueue>(options_.fs_queue_capacity)) {
+    : vfs_(std::move(vfs)), options_(std::move(options)) {
   auto& reg = *vfs_->metrics();
   metrics_.msg_in_total = reg.counter("driver/of/msg_in_total");
   metrics_.msg_out_total = reg.counter("driver/of/msg_out_total");
@@ -91,8 +112,17 @@ OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
   metrics_.audit_total = reg.counter("driver/of/audit_total");
   metrics_.audit_repair_total = reg.counter("driver/of/audit_repair_total");
   metrics_.echo_rtt_ns = reg.histogram("driver/of/echo_rtt_ns");
-  fs_events_->bind_metrics(reg.gauge("netfs/watch_queue_depth"),
-                           reg.counter("netfs/watch_drop_total"));
+  metrics_.batch_size = reg.histogram("driver/of/batch_size");
+  metrics_.watch_depth = reg.gauge("netfs/watch_queue_depth");
+  metrics_.watch_drops = reg.counter("netfs/watch_drop_total");
+  metrics_.watch_coalesced = reg.counter("watch/coalesced_total");
+  // Knobs surface read-only under /yanc/.stats so a shell can confirm
+  // what pipeline a running driver is on.
+  reg.gauge("driver/of/batching")->set(options_.batching ? 1 : 0);
+  reg.gauge("driver/of/max_batch")
+      ->set(static_cast<std::int64_t>(options_.max_batch));
+  reg.gauge("driver/of/flush_interval")
+      ->set(static_cast<std::int64_t>(options_.flush_interval));
 }
 
 OfDriver::~OfDriver() = default;
@@ -135,6 +165,89 @@ std::uint32_t OfDriver::send(Connection& conn, const ofp::Message& message) {
   return xid;
 }
 
+void OfDriver::send_flow_mod(Connection& conn, const ofp::FlowMod& fm) {
+  if (options_.batching)
+    queue_flow_mod(conn, fm);
+  else
+    send(conn, fm);
+}
+
+void OfDriver::queue_flow_mod(Connection& conn, const ofp::FlowMod& fm) {
+  auto& eg = conn.egress;
+  if (eg.mods == 0 && eg.bufs.empty()) eg.first_tick = tick_;
+  if (!eg.enc) eg.enc.emplace(options_.version);
+  std::uint32_t xid = conn.next_xid++;
+  if (auto ec = eg.enc->append(xid, fm); ec) {
+    log_error("driver", "cannot encode flow_mod for OpenFlow " +
+                            ofp::version_name(options_.version) + ": " +
+                            ec.message());
+    return;
+  }
+  ++eg.mods;
+  if (eg.enc->count() >= options_.max_batch)
+    eg.bufs.push_back(eg.enc->take());  // seal; enc is empty and reusable
+}
+
+void OfDriver::note_flow_mod_counter(Connection& conn) {
+  if (options_.batching)
+    ++conn.egress.counter_delta;  // one FS read-modify-write per burst
+  else
+    bump_counter(conn.path + "/counters/flow_mods");
+}
+
+void OfDriver::flush_egress(Connection& conn) {
+  auto& eg = conn.egress;
+  if (eg.mods == 0) {
+    // Nothing queued; still settle any counter bumps owed (deletes whose
+    // encode failed cannot happen, but keep the invariant simple).
+    if (eg.counter_delta) {
+      bump_counter(conn.path + "/counters/flow_mods", eg.counter_delta);
+      eg.counter_delta = 0;
+    }
+    return;
+  }
+  if (options_.flush_interval &&
+      tick_ - eg.first_tick < options_.flush_interval)
+    return;  // burst still filling; a later poll ships it
+
+  // One barrier covers the whole train: until its reply arrives none of
+  // the burst's commits are assumed to have survived the wire (§3.4).
+  std::uint32_t barrier_xid = 0;
+  if (!eg.flows.empty()) {
+    if (!eg.enc) eg.enc.emplace(options_.version);
+    std::uint32_t xid = conn.next_xid++;
+    if (!eg.enc->append(xid, ofp::BarrierRequest{}))
+      barrier_xid = xid;  // Status: falsy == ok
+  }
+  if (eg.enc && !eg.enc->empty()) eg.bufs.push_back(eg.enc->take());
+
+  metrics_.batch_size->record(eg.mods);
+  std::size_t messages = eg.mods + (barrier_xid ? 1 : 0);
+  std::uint64_t flow_mods = eg.mods;
+  std::uint64_t counter_delta = eg.counter_delta;
+  std::vector<std::string> flows = std::move(eg.flows);
+  std::uint32_t retries = eg.retries;
+  bool ok = conn.channel.send_batch(std::move(eg.bufs));
+  eg = Connection::Egress{};
+
+  if (counter_delta)
+    bump_counter(conn.path + "/counters/flow_mods", counter_delta);
+  if (!ok) {
+    // Peer gone (or a fault hook severed the link mid-burst): the reap /
+    // reconnect resync re-pushes from the FS record.
+    metrics_.send_fail_total->add();
+    return;
+  }
+  metrics_.msg_out_total->add(messages);
+  metrics_.flow_mod_total->add(flow_mods);
+  if (barrier_xid) {
+    std::uint64_t wait = options_.request_timeout
+                         << std::min<std::uint32_t>(retries, 16);
+    conn.pending[barrier_xid] = Connection::PendingRequest{
+        std::move(flows), tick_ + wait, retries};
+  }
+}
+
 std::size_t OfDriver::poll() {
   ++tick_;
   std::size_t work = accept_new();
@@ -144,6 +257,11 @@ std::size_t OfDriver::poll() {
   for (auto& conn : connections_) work += pump_connection(*conn);
   work += drain_fs_events();
   service_timers();
+  // Ship every burst the poll accumulated (drains, audit repairs,
+  // retries) — one vectored train per switch per quantum, unless
+  // flush_interval holds a still-filling burst for a later poll.
+  if (options_.batching)
+    for (auto& conn : connections_) flush_egress(*conn);
 
   // Reap dead connections: mark the FS, drop watches.
   for (auto it = connections_.begin(); it != connections_.end();) {
@@ -169,8 +287,14 @@ std::size_t OfDriver::accept_new() {
     conn->channel = std::move(*channel);
     conn->last_recv_tick = tick_;
     conn->last_audit_tick = tick_;
+    conn->fs_queue =
+        std::make_shared<vfs::WatchQueue>(options_.fs_queue_capacity);
+    conn->fs_queue->set_coalescing(options_.batching &&
+                                   options_.coalesce_watch_events);
+    conn->fs_queue->bind_metrics(metrics_.watch_depth, metrics_.watch_drops,
+                                 metrics_.watch_coalesced);
     send(*conn, ofp::Hello{});
-    track_commit(*conn, "", 0);  // tracked FeaturesRequest
+    track_commit(*conn, {}, 0);  // tracked FeaturesRequest
     connections_.push_back(std::move(conn));
     ++accepted;
   }
@@ -180,23 +304,33 @@ std::size_t OfDriver::accept_new() {
 std::size_t OfDriver::pump_connection(Connection& conn) {
   std::size_t handled = 0;
   while (auto msg = conn.channel.try_recv()) {
-    auto decoded = ofp::decode(*msg);
-    if (!decoded) {
+    // Peers may pack several length-framed messages per buffer (the
+    // switch side of the batched pipeline); split before decoding.
+    auto frames = ofp::split_frames(*msg);
+    if (!frames) {
       // Speaking the wrong dialect (or garbage): hang up, per §4.1 a
       // different driver owns that protocol version.
-      log_error("driver", "undecodable message; closing connection");
+      log_error("driver", "unframeable message; closing connection");
       conn.channel.close();
       return handled;
     }
-    if (decoded->header.version != options_.version) {
-      send(conn, ofp::Error{0 /*HELLO_FAILED*/, 0 /*INCOMPATIBLE*/, {}});
-      conn.channel.close();
-      return handled;
+    for (auto frame : *frames) {
+      auto decoded = ofp::decode(frame);
+      if (!decoded) {
+        log_error("driver", "undecodable message; closing connection");
+        conn.channel.close();
+        return handled;
+      }
+      if (decoded->header.version != options_.version) {
+        send(conn, ofp::Error{0 /*HELLO_FAILED*/, 0 /*INCOMPATIBLE*/, {}});
+        conn.channel.close();
+        return handled;
+      }
+      metrics_.msg_in_total->add();
+      conn.last_recv_tick = tick_;
+      handle_switch_message(conn, *decoded);
+      ++handled;
     }
-    metrics_.msg_in_total->add();
-    conn.last_recv_tick = tick_;
-    handle_switch_message(conn, *decoded);
-    ++handled;
   }
   return handled;
 }
@@ -357,7 +491,7 @@ void OfDriver::create_switch_tree(Connection& conn,
   std::string flows_dir = conn.path + "/flows";
   if (auto w = watch_node(*vfs_, flows_dir,
                           vfs::event::created | vfs::event::deleted,
-                          fs_events_)) {
+                          conn.fs_queue)) {
     conn.watches[flows_dir] = w->first;
     watch_contexts_[w->second] =
         WatchContext{WatchContext::Kind::flows_dir, &conn, {}};
@@ -365,7 +499,7 @@ void OfDriver::create_switch_tree(Connection& conn,
   // Watch packet_out/ for new requests.
   std::string pktout_dir = conn.path + "/packet_out";
   if (auto w = watch_node(*vfs_, pktout_dir, vfs::event::created,
-                          fs_events_)) {
+                          conn.fs_queue)) {
     conn.watches[pktout_dir] = w->first;
     watch_contexts_[w->second] =
         WatchContext{WatchContext::Kind::pktout_dir, &conn, {}};
@@ -408,7 +542,8 @@ void OfDriver::create_port_dir(Connection& conn, const ofp::PortDesc& port) {
   // `echo 1 > config.port_down`).
   for (const char* file : {"config.port_down", "config.no_flood"}) {
     std::string cfg = port_path + "/" + file;
-    if (auto w = watch_node(*vfs_, cfg, vfs::event::modified, fs_events_)) {
+    if (auto w = watch_node(*vfs_, cfg, vfs::event::modified,
+                            conn.fs_queue)) {
       conn.watches[cfg] = w->first;
       watch_contexts_[w->second] =
           WatchContext{WatchContext::Kind::port_config, &conn,
@@ -420,7 +555,8 @@ void OfDriver::create_port_dir(Connection& conn, const ofp::PortDesc& port) {
 void OfDriver::watch_flow(Connection& conn, const std::string& flow_name) {
   std::string version_path =
       conn.path + "/flows/" + flow_name + "/version";
-  auto w = watch_node(*vfs_, version_path, vfs::event::modified, fs_events_);
+  auto w = watch_node(*vfs_, version_path, vfs::event::modified,
+                      conn.fs_queue);
   if (!w) return;
   auto& state = conn.flows[flow_name];
   state.version_watch = w->first;
@@ -436,7 +572,10 @@ void OfDriver::push_flow(Connection& conn, const std::string& flow_name,
   auto& state = state_it->second;
 
   std::string flow_dir = conn.path + "/flows/" + flow_name;
-  auto spec = netfs::read_flow(*vfs_, flow_dir);
+  // The batch consumer amortizes the read too: one readdir replaces the
+  // ~20 negative probes of the field-by-field path (docs/PERFORMANCE.md).
+  auto spec = options_.batching ? netfs::read_flow_sparse(*vfs_, flow_dir)
+                                : netfs::read_flow(*vfs_, flow_dir);
   if (!spec) {
     log_error("driver", "unreadable flow " + flow_dir + ": " +
                             spec.error().message());
@@ -454,18 +593,24 @@ void OfDriver::push_flow(Connection& conn, const std::string& flow_name,
     ofp::FlowMod del;
     del.command = ofp::FlowMod::Command::remove_strict;
     del.spec = state.pushed;
-    send(conn, del);
+    send_flow_mod(conn, del);
   }
 
   ofp::FlowMod add;
   add.command = ofp::FlowMod::Command::add;
   add.spec = *spec;
   add.flags = ofp::kFlagSendFlowRemoved;
-  send(conn, add);
-  bump_counter(conn.path + "/counters/flow_mods");
+  send_flow_mod(conn, add);
+  note_flow_mod_counter(conn);
   // A barrier covers the commit; until its reply arrives the flow_mod is
-  // not assumed to have survived the wire.
-  track_commit(conn, flow_name, retries);
+  // not assumed to have survived the wire.  Batching defers the barrier
+  // to the burst's flush — one barrier vouches for the whole train.
+  if (options_.batching) {
+    conn.egress.flows.push_back(flow_name);
+    conn.egress.retries = std::max(conn.egress.retries, retries);
+  } else {
+    track_commit(conn, {flow_name}, retries);
+  }
 
   state.pushed_version = spec->version;
   state.pushed = *spec;
@@ -473,98 +618,175 @@ void OfDriver::push_flow(Connection& conn, const std::string& flow_name,
 
 std::size_t OfDriver::drain_fs_events() {
   std::size_t handled = 0;
+  // One shard per switch: a burst of commits on sw1 drains — and ships —
+  // without touching sw2's queue, and an overflow rescans only its own
+  // switch.  Iterate by index: handlers (pktout, audits) never add
+  // connections, but reap-safety is poll()'s job, not drain's.
+  for (auto& conn : connections_)
+    handled += options_.batching ? drain_shard_batched(*conn)
+                                 : drain_shard(*conn);
+  return handled;
+}
+
+// Shared by both drain paths: everything except flow pushes.  Returns
+// true when it consumed the event; flow-commit events (flows_dir,
+// flow_version) are left for the caller, which is where the two
+// pipelines differ.
+bool OfDriver::handle_aux_event(Connection& conn, const vfs::Event& event,
+                                const WatchContext& ctx,
+                                std::set<NodeId>& seen_level_triggered) {
+  switch (ctx.kind) {
+    case WatchContext::Kind::flows_dir:
+    case WatchContext::Kind::flow_version:
+      return false;
+    case WatchContext::Kind::port_config: {
+      if (!seen_level_triggered.insert(event.node).second) return true;
+      std::string port_path = conn.path + "/ports/" + ctx.name;
+      ofp::PortMod pm;
+      pm.port_no =
+          static_cast<std::uint16_t>(parse_u64(ctx.name).value_or(0));
+      if (auto mac = vfs_->read_file(port_path + "/hw_addr"))
+        if (auto parsed = MacAddress::parse(trim(*mac)))
+          pm.hw_addr = *parsed;
+      if (auto down = vfs_->read_file(port_path + "/config.port_down"))
+        pm.port_down = trim(*down) == "1";
+      if (auto nf = vfs_->read_file(port_path + "/config.no_flood"))
+        pm.no_flood = trim(*nf) == "1";
+      auto known = conn.port_hw_config.find(pm.port_no);
+      if (known != conn.port_hw_config.end() &&
+          known->second == std::make_pair(pm.port_down, pm.no_flood))
+        return true;  // FS already agrees with hardware: nothing to do
+      send(conn, pm);
+      return true;
+    }
+    case WatchContext::Kind::pktout_dir:
+      if (event.is(vfs::event::created)) {
+        std::string send_path =
+            conn.path + "/packet_out/" + event.name + "/send";
+        if (auto w = watch_node(*vfs_, send_path, vfs::event::modified,
+                                conn.fs_queue)) {
+          conn.watches[send_path] = w->first;
+          watch_contexts_[w->second] = WatchContext{
+              WatchContext::Kind::pktout_send, &conn, event.name};
+        }
+        // The app may have set send=1 before this watch existed.
+        if (auto flag = vfs_->read_file(send_path);
+            flag && trim(*flag) == "1")
+          send_packet_out_dir(conn, event.name);
+      }
+      return true;
+    case WatchContext::Kind::pktout_send: {
+      if (!seen_level_triggered.insert(event.node).second) return true;
+      std::string send_path =
+          conn.path + "/packet_out/" + ctx.name + "/send";
+      if (auto flag = vfs_->read_file(send_path); flag && trim(*flag) == "1")
+        send_packet_out_dir(conn, ctx.name);
+      return true;
+    }
+  }
+  return true;
+}
+
+// Handles a flows_dir deletion; shared by both drain paths.
+void OfDriver::handle_flow_deleted(Connection& conn,
+                                   const std::string& name) {
+  auto it = conn.flows.find(name);
+  if (it == conn.flows.end()) return;
+  if (conn.suppress_delete.erase(name) == 0 &&
+      it->second.pushed_version > 0) {
+    ofp::FlowMod del;
+    del.command = ofp::FlowMod::Command::remove_strict;
+    del.spec = it->second.pushed;
+    send_flow_mod(conn, del);
+    note_flow_mod_counter(conn);
+  }
+  watch_contexts_.erase(it->second.version_node);
+  conn.flows.erase(it);
+}
+
+std::size_t OfDriver::drain_shard(Connection& conn) {
+  std::size_t handled = 0;
   // Level-triggered contexts (flow versions, port configs, packet-out
   // send flags) are read-current-state handlers: several queued MODIFY
   // events for the same node collapse into one action per drain.
   std::set<NodeId> seen_level_triggered;
-  while (auto event = fs_events_->try_pop()) {
+  while (auto event = conn.fs_queue->try_pop()) {
     ++handled;
     if (event->is(vfs::event::overflow)) {
-      // Watch queue overflowed: rescan everything we own.
-      log_error("driver", "watch queue overflow; rescanning flows");
-      for (auto& conn : connections_) {
-        if (conn->state != Connection::State::ready) continue;
-        rescan_flows(*conn);
-      }
+      // This shard overflowed: rescan this switch (only this switch).
+      log_error("driver", conn.name + ": watch queue overflow; rescanning");
+      if (conn.state == Connection::State::ready) rescan_flows(conn);
       continue;
     }
     auto ctx_it = watch_contexts_.find(event->node);
     if (ctx_it == watch_contexts_.end()) continue;
     WatchContext ctx = ctx_it->second;
-    Connection& conn = *ctx.conn;
+    if (handle_aux_event(conn, *event, ctx, seen_level_triggered)) continue;
 
-    switch (ctx.kind) {
-      case WatchContext::Kind::flows_dir:
-        if (event->is(vfs::event::created)) {
-          watch_flow(conn, event->name);
-          push_flow(conn, event->name);  // may already be committed
-        } else if (event->is(vfs::event::deleted)) {
-          auto it = conn.flows.find(event->name);
-          if (it != conn.flows.end()) {
-            if (conn.suppress_delete.erase(event->name) == 0 &&
-                it->second.pushed_version > 0) {
-              ofp::FlowMod del;
-              del.command = ofp::FlowMod::Command::remove_strict;
-              del.spec = it->second.pushed;
-              send(conn, del);
-              bump_counter(conn.path + "/counters/flow_mods");
-            }
-            watch_contexts_.erase(it->second.version_node);
-            conn.flows.erase(it);
-          }
-        }
-        break;
-      case WatchContext::Kind::flow_version:
-        if (seen_level_triggered.insert(event->node).second)
-          push_flow(conn, ctx.name);
-        break;
-      case WatchContext::Kind::port_config: {
-        if (!seen_level_triggered.insert(event->node).second) break;
-        std::string port_path = conn.path + "/ports/" + ctx.name;
-        ofp::PortMod pm;
-        pm.port_no = static_cast<std::uint16_t>(
-            parse_u64(ctx.name).value_or(0));
-        if (auto mac = vfs_->read_file(port_path + "/hw_addr"))
-          if (auto parsed = MacAddress::parse(trim(*mac)))
-            pm.hw_addr = *parsed;
-        if (auto down = vfs_->read_file(port_path + "/config.port_down"))
-          pm.port_down = trim(*down) == "1";
-        if (auto nf = vfs_->read_file(port_path + "/config.no_flood"))
-          pm.no_flood = trim(*nf) == "1";
-        auto known = conn.port_hw_config.find(pm.port_no);
-        if (known != conn.port_hw_config.end() &&
-            known->second == std::make_pair(pm.port_down, pm.no_flood))
-          break;  // FS already agrees with hardware: nothing to do
-        send(conn, pm);
-        break;
+    if (ctx.kind == WatchContext::Kind::flows_dir) {
+      if (event->is(vfs::event::created)) {
+        watch_flow(conn, event->name);
+        push_flow(conn, event->name);  // may already be committed
+      } else if (event->is(vfs::event::deleted)) {
+        handle_flow_deleted(conn, event->name);
       }
-      case WatchContext::Kind::pktout_dir:
-        if (event->is(vfs::event::created)) {
-          std::string send_path =
-              conn.path + "/packet_out/" + event->name + "/send";
-          if (auto w = watch_node(*vfs_, send_path, vfs::event::modified,
-                                  fs_events_)) {
-            conn.watches[send_path] = w->first;
-            watch_contexts_[w->second] = WatchContext{
-                WatchContext::Kind::pktout_send, &conn, event->name};
-          }
-          // The app may have set send=1 before this watch existed.
-          if (auto flag = vfs_->read_file(send_path);
-              flag && trim(*flag) == "1")
-            send_packet_out_dir(conn, event->name);
-        }
-        break;
-      case WatchContext::Kind::pktout_send: {
-        if (!seen_level_triggered.insert(event->node).second) break;
-        std::string send_path =
-            conn.path + "/packet_out/" + ctx.name + "/send";
-        if (auto flag = vfs_->read_file(send_path);
-            flag && trim(*flag) == "1")
-          send_packet_out_dir(conn, ctx.name);
-        break;
-      }
+    } else {  // flow_version
+      if (seen_level_triggered.insert(event->node).second)
+        push_flow(conn, ctx.name);
     }
   }
+  return handled;
+}
+
+std::size_t OfDriver::drain_shard_batched(Connection& conn) {
+  std::size_t handled = 0;
+  std::set<NodeId> seen_level_triggered;
+  // A burst's commit events dedup to one read+push per flow: a create
+  // immediately followed by its version commit — the common write_flow
+  // pattern — costs one FS read instead of two.  Deletions are handled
+  // in event order (so a delete queued between two commits still lands
+  // between the surviving pushes on the wire), and a flow deleted after
+  // being marked dirty simply fails the final read and pushes nothing:
+  // the terminal state wins.
+  std::vector<std::string> dirty;
+  std::set<std::string> dirty_set;
+  auto mark_dirty = [&](const std::string& name) {
+    if (dirty_set.insert(name).second) dirty.push_back(name);
+  };
+  std::vector<vfs::Event> batch;
+  while (conn.fs_queue->try_pop_batch(batch, options_.max_batch) > 0) {
+    for (const auto& event : batch) {
+      ++handled;
+      if (event.is(vfs::event::overflow)) {
+        log_error("driver",
+                  conn.name + ": watch queue overflow; rescanning");
+        if (conn.state == Connection::State::ready) rescan_flows(conn);
+        continue;
+      }
+      auto ctx_it = watch_contexts_.find(event.node);
+      if (ctx_it == watch_contexts_.end()) continue;
+      WatchContext ctx = ctx_it->second;
+      if (handle_aux_event(conn, event, ctx, seen_level_triggered))
+        continue;
+
+      if (ctx.kind == WatchContext::Kind::flows_dir) {
+        if (event.is(vfs::event::created)) {
+          watch_flow(conn, event.name);
+          mark_dirty(event.name);
+        } else if (event.is(vfs::event::deleted)) {
+          handle_flow_deleted(conn, event.name);
+        }
+      } else {  // flow_version: level-triggered, once per burst
+        if (seen_level_triggered.insert(event.node).second)
+          mark_dirty(ctx.name);
+      }
+    }
+    batch.clear();
+  }
+  // Push every dirty flow once, in first-marked order; push_flow reads
+  // the *current* FS state, so a recreate during the burst pushes the
+  // new incarnation and a deletion pushes nothing.
+  for (const auto& name : dirty) push_flow(conn, name);
   return handled;
 }
 
@@ -595,8 +817,8 @@ void OfDriver::rescan_flows(Connection& conn) {
         ofp::FlowMod del;
         del.command = ofp::FlowMod::Command::remove_strict;
         del.spec = it->second.pushed;
-        send(conn, del);
-        bump_counter(conn.path + "/counters/flow_mods");
+        send_flow_mod(conn, del);
+        note_flow_mod_counter(conn);
       }
       watch_contexts_.erase(it->second.version_node);
       conn.flows.erase(it);
@@ -616,8 +838,8 @@ void OfDriver::rescan_flows(Connection& conn) {
       ofp::FlowMod del;
       del.command = ofp::FlowMod::Command::remove_strict;
       del.spec = it->second.pushed;
-      send(conn, del);
-      bump_counter(conn.path + "/counters/flow_mods");
+      send_flow_mod(conn, del);
+      note_flow_mod_counter(conn);
     }
     watch_contexts_.erase(it->second.version_node);
     it = conn.flows.erase(it);
@@ -631,10 +853,10 @@ void OfDriver::mark_down(Connection& conn) {
   (void)vfs_->write_file(conn.path + "/connected", "0");
 }
 
-void OfDriver::track_commit(Connection& conn, const std::string& flow_name,
+void OfDriver::track_commit(Connection& conn, std::vector<std::string> flows,
                             std::uint32_t retries) {
   std::uint32_t xid =
-      flow_name.empty()
+      flows.empty()
           ? send(conn, ofp::FeaturesRequest{})
           : send(conn, ofp::BarrierRequest{});
   if (!xid) return;
@@ -643,22 +865,31 @@ void OfDriver::track_commit(Connection& conn, const std::string& flow_name,
   std::uint64_t wait = options_.request_timeout
                        << std::min<std::uint32_t>(retries, 16);
   conn.pending[xid] =
-      Connection::PendingRequest{flow_name, tick_ + wait, retries};
+      Connection::PendingRequest{std::move(flows), tick_ + wait, retries};
 }
 
-void OfDriver::retry_request(Connection& conn, const std::string& flow_name,
+void OfDriver::retry_request(Connection& conn,
+                             const std::vector<std::string>& flows,
                              std::uint32_t retries) {
   metrics_.retry_total->add();
-  if (flow_name.empty()) {
+  if (flows.empty()) {
     // Handshake lost on the wire: ask again.
     if (conn.state == Connection::State::handshaking)
-      track_commit(conn, "", retries);
+      track_commit(conn, {}, retries);
     return;
   }
-  auto it = conn.flows.find(flow_name);
-  if (it == conn.flows.end()) return;  // deleted meanwhile; audit covers it
-  it->second.pushed_version = 0;       // force the re-send
-  push_flow(conn, flow_name, retries);
+  // The lost barrier vouched for every commit on its train: re-push them
+  // all.  (Batching gathers the re-pushes into one new train at flush.)
+  for (const auto& flow_name : flows) {
+    auto it = conn.flows.find(flow_name);
+    if (it == conn.flows.end()) continue;  // deleted; audit covers it
+    it->second.pushed_version = 0;         // force the re-send
+    push_flow(conn, flow_name, retries);
+  }
+  if (!options_.batching) return;
+  // The per-flow track_commit path is bypassed when batching; make sure
+  // the retry count rides the next train even if push_flow skipped work.
+  conn.egress.retries = std::max(conn.egress.retries, retries);
 }
 
 void OfDriver::service_timers() {
@@ -713,7 +944,7 @@ void OfDriver::service_timers() {
         conn.channel.close();
         break;
       }
-      retry_request(conn, request.flow_name, request.retries + 1);
+      retry_request(conn, request.flows, request.retries + 1);
     }
     if (!conn.channel.connected()) continue;
 
@@ -781,7 +1012,7 @@ void OfDriver::audit_reconcile(Connection& conn, const ofp::StatsReply& sr) {
     ofp::FlowMod del;
     del.command = ofp::FlowMod::Command::remove_strict;
     del.spec = *hardware[i];
-    send(conn, del);
+    send_flow_mod(conn, del);
   }
 }
 

@@ -24,6 +24,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "yanc/net/channel.hpp"
@@ -61,6 +62,24 @@ struct DriverOptions {
   /// against hardware; repairs drift that barriers cannot see, e.g. a
   /// dropped FLOW_MOD whose barrier still got through).  0 disables.
   std::uint64_t audit_interval = 512;
+
+  // Batched event pipeline knobs (docs/PERFORMANCE.md "Batching").
+  // Mirrored read-only under /yanc/.stats as driver/of/{batching,
+  // max_batch,flush_interval} gauges.
+  /// On: per-switch watch shards drain in batches, a commit burst leaves
+  /// as one packed FLOW_MOD train capped by a single barrier, and flow
+  /// reads go through the sparse (readdir-first) path.  Off: the
+  /// per-event pipeline — one read, one FLOW_MOD, one barrier per flow.
+  bool batching = true;
+  /// Events drained per batch; also the max messages packed per wire
+  /// buffer (a longer burst spans several buffers in one vectored send).
+  std::size_t max_batch = 256;
+  /// Ticks a non-empty egress burst may keep accumulating before it is
+  /// flushed.  0 flushes at the end of every poll (lowest latency).
+  std::uint64_t flush_interval = 0;
+  /// Coalesce adjacent same-path modify events at the shard queues
+  /// (effective only while `batching` is on, so off means off).
+  bool coalesce_watch_events = true;
 };
 
 class OfDriver {
@@ -99,6 +118,19 @@ class OfDriver {
   std::size_t accept_new();
   std::size_t pump_connection(Connection& conn);
   std::size_t drain_fs_events();
+  /// Per-event shard drain (batching off): the pre-batching pipeline.
+  std::size_t drain_shard(Connection& conn);
+  /// Batched shard drain: pops events max_batch at a time, dedups a
+  /// burst's commits to one read+push per flow, queues the FLOW_MODs.
+  std::size_t drain_shard_batched(Connection& conn);
+  /// Non-flow event dispatch shared by both drain paths (ports, packet
+  /// out).  Returns false for flow-commit events, which the two drain
+  /// paths handle differently.
+  bool handle_aux_event(Connection& conn, const vfs::Event& event,
+                        const WatchContext& ctx,
+                        std::set<vfs::NodeId>& seen_level_triggered);
+  /// flows_dir deletion: FLOW_MOD delete (unless suppressed) + teardown.
+  void handle_flow_deleted(Connection& conn, const std::string& name);
 
   void handle_switch_message(Connection& conn, const ofp::Decoded& decoded);
   void on_features(Connection& conn, const ofp::FeaturesReply& features);
@@ -119,19 +151,34 @@ class OfDriver {
   /// Encodes and transmits; returns the xid used, or 0 when the message
   /// could not be encoded or the peer is gone (counted in send_fail_total).
   std::uint32_t send(Connection& conn, const ofp::Message& message);
+  /// FLOW_MOD egress valve: queues into the connection's burst when
+  /// batching, sends immediately otherwise.  Every FLOW_MOD goes through
+  /// here so deletes and adds of one burst keep their relative order.
+  void send_flow_mod(Connection& conn, const ofp::FlowMod& fm);
+  /// Appends `fm` to the burst, sealing the current buffer at max_batch.
+  void queue_flow_mod(Connection& conn, const ofp::FlowMod& fm);
+  /// Ships the accumulated burst: seals the open buffer, appends one
+  /// barrier covering every commit in the train, vectored-sends the
+  /// buffers, records driver/of/batch_size, arms the retry timer.
+  void flush_egress(Connection& conn);
+  /// counters/flow_mods bump — deferred to the flush when batching (one
+  /// FS read-modify-write per burst instead of per flow).
+  void note_flow_mod_counter(Connection& conn);
 
   // --- failure domains (docs/ROBUSTNESS.md) ---------------------------
   /// Writes status=down + connected=0 for the switch, once, unless a
   /// newer connection for the same dpid has taken over the directory.
   void mark_down(Connection& conn);
-  /// Sends a tracked BarrierRequest covering `flow_name`'s commit (empty
-  /// name = features handshake); arms the retry timer.
-  void track_commit(Connection& conn, const std::string& flow_name,
+  /// Sends a tracked request covering the commits of `flows` (empty list
+  /// = the features handshake); arms the retry timer.  Batching mode
+  /// tracks whole trains through flush_egress instead.
+  void track_commit(Connection& conn, std::vector<std::string> flows,
                     std::uint32_t retries);
   /// Keepalives, request timeouts with exponential backoff, audits.
   void service_timers();
-  /// Handles one expired tracked request on `conn`.
-  void retry_request(Connection& conn, const std::string& flow_name,
+  /// Handles one expired tracked request on `conn`: re-pushes every flow
+  /// the lost train covered (a lost barrier vouches for none of them).
+  void retry_request(Connection& conn, const std::vector<std::string>& flows,
                      std::uint32_t retries);
   /// Reconciles the FS flow directories against an audit flow-stats
   /// reply: re-pushes committed flows missing from hardware, deletes
@@ -144,7 +191,6 @@ class OfDriver {
   std::shared_ptr<vfs::Vfs> vfs_;
   DriverOptions options_;
   net::Listener listener_;
-  vfs::WatchQueuePtr fs_events_;
 
   /// Handles into the Vfs's obs registry (see docs/OBSERVABILITY.md).
   struct Metrics {
@@ -160,6 +206,13 @@ class OfDriver {
     obs::Counter* audit_total;
     obs::Counter* audit_repair_total;
     obs::Histogram* echo_rtt_ns;
+    /// FLOW_MODs per flushed egress train.
+    obs::Histogram* batch_size;
+    /// Shard-queue handles shared by every per-switch queue: depth shows
+    /// the most recently updated shard, the counters sum across shards.
+    obs::Gauge* watch_depth;
+    obs::Counter* watch_drops;
+    obs::Counter* watch_coalesced;
   } metrics_;
 
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -29,6 +29,24 @@ bool Channel::send(Message message) {
   return true;
 }
 
+bool Channel::send_batch(std::vector<Message> messages) {
+  if (!shared_) return false;
+  dbg::LockGuard lock(shared_->mu);
+  if (shared_->closed) return false;
+  auto& queue = shared_->queues[1 - side_];
+  for (auto& message : messages) {
+    if (shared_->hook) {
+      if (!shared_->hook->on_send(queue, std::move(message))) {
+        shared_->closed = true;  // fault: connection severed mid-burst
+        return false;
+      }
+    } else {
+      queue.push_back(std::move(message));
+    }
+  }
+  return true;
+}
+
 std::optional<Message> Channel::try_recv() {
   if (!shared_) return std::nullopt;
   dbg::LockGuard lock(shared_->mu);

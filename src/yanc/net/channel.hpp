@@ -59,6 +59,16 @@ class Channel {
   /// gone — the old void signature made that failure invisible.
   [[nodiscard]] bool send(Message message);
 
+  /// Vectored send: enqueues every message toward the peer under a single
+  /// lock acquisition — one wakeup for the whole burst instead of one per
+  /// message.  An installed fault hook still sees each message
+  /// individually, so injected drop/dup/reorder schedules are identical
+  /// to N separate send() calls.  Returns false once the channel is
+  /// closed or a hook severs it mid-burst; messages enqueued before the
+  /// severance stay delivered (a burst racing a RST, truncated not
+  /// rolled back).
+  [[nodiscard]] bool send_batch(std::vector<Message> messages);
+
   /// Non-blocking receive.  Still drains messages queued before close(),
   /// so a peer's final words are never lost.
   std::optional<Message> try_recv();

@@ -1,6 +1,7 @@
 #include "yanc/netfs/flowio.hpp"
 
 #include <map>
+#include <set>
 
 #include "yanc/util/strings.hpp"
 
@@ -28,10 +29,27 @@ std::optional<std::string> read_field(Vfs& vfs, const std::string& dir,
   return std::string(trimmed);
 }
 
+// Field access for the two read_flow variants.  The dense reader probes
+// every file (each absent field is a negative VFS lookup); the sparse
+// reader consults a readdir() snapshot first, so absent fields cost a
+// set lookup instead of a path resolution.  Either way the value read is
+// read_field's, so both variants parse byte-identical inputs.
+struct FieldReader {
+  Vfs& vfs;
+  const std::string& dir;
+  const Credentials& creds;
+  const std::set<std::string, std::less<>>* present = nullptr;
+
+  std::optional<std::string> operator()(const char* name) const {
+    if (present && !present->count(name)) return std::nullopt;
+    return read_field(vfs, dir, name, creds);
+  }
+};
+
 template <typename T, typename Parser>
-Status load(Vfs& vfs, const std::string& dir, const char* name,
-            const Credentials& creds, std::optional<T>& out, Parser parse) {
-  auto text = read_field(vfs, dir, name, creds);
+Status load(const FieldReader& field, const char* name, std::optional<T>& out,
+            Parser parse) {
+  auto text = field(name);
   if (!text) return ok_status();
   auto v = parse(*text);
   if (!v) return v.error();
@@ -58,10 +76,9 @@ Result<std::uint16_t> parse_hex16_field(const std::string& s) {
 }
 
 // Appends an action parsed from action.<name> if that file exists.
-Status load_action(Vfs& vfs, const std::string& dir, const char* name,
-                   const Credentials& creds, std::vector<Action>& out) {
-  auto text = read_field(vfs, dir, (std::string("action.") + name).c_str(),
-                         creds);
+Status load_action(const FieldReader& field, const char* name,
+                   std::vector<Action>& out) {
+  auto text = field((std::string("action.") + name).c_str());
   if (!text) return ok_status();
   if ((std::string_view(name) == "strip_vlan") && trim(*text) == "0")
     return ok_status();  // flag explicitly off
@@ -81,46 +98,41 @@ Status write_or_remove(Vfs& vfs, const std::string& dir, const std::string& name
   return ec;
 }
 
-}  // namespace
-
-Result<FlowSpec> read_flow(Vfs& vfs, const std::string& dir,
-                           const Credentials& creds) {
-  if (auto st = vfs.stat(dir, creds); !st)
-    return st.error();
+Result<FlowSpec> read_flow_impl(const FieldReader& field) {
   FlowSpec spec;
 
   // Entry metadata (fall back to schema defaults when the file is absent).
-  if (auto t = read_field(vfs, dir, "priority", creds)) {
+  if (auto t = field("priority")) {
     auto v = parse_u16_field(*t);
     if (!v) return v.error();
     spec.priority = *v;
   }
-  if (auto t = read_field(vfs, dir, "idle_timeout", creds)) {
+  if (auto t = field("idle_timeout")) {
     auto v = parse_u16_field(*t);
     if (!v) return v.error();
     spec.idle_timeout = *v;
   }
-  if (auto t = read_field(vfs, dir, "hard_timeout", creds)) {
+  if (auto t = field("hard_timeout")) {
     auto v = parse_u16_field(*t);
     if (!v) return v.error();
     spec.hard_timeout = *v;
   }
-  if (auto t = read_field(vfs, dir, "cookie", creds)) {
+  if (auto t = field("cookie")) {
     auto v = parse_hex_u64(*t);
     if (!v) return v.error();
     spec.cookie = *v;
   }
-  if (auto t = read_field(vfs, dir, "table_id", creds)) {
+  if (auto t = field("table_id")) {
     auto v = parse_u8_field(*t);
     if (!v) return v.error();
     spec.table_id = *v;
   }
-  if (auto t = read_field(vfs, dir, "goto_table", creds)) {
+  if (auto t = field("goto_table")) {
     auto v = parse_u8_field(*t);
     if (!v) return v.error();
     spec.goto_table = *v;
   }
-  if (auto t = read_field(vfs, dir, "version", creds)) {
+  if (auto t = field("version")) {
     auto v = parse_u64(*t);
     if (!v) return v.error();
     spec.version = *v;
@@ -128,49 +140,42 @@ Result<FlowSpec> read_flow(Vfs& vfs, const std::string& dir,
 
   // Match fields: absence = wildcard (§3.4).
   Match& m = spec.match;
-  if (auto ec = load(vfs, dir, "match.in_port", creds, m.in_port,
-                     parse_u16_field); ec)
+  if (auto ec = load(field, "match.in_port", m.in_port, parse_u16_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.dl_src", creds, m.dl_src,
+  if (auto ec = load(field, "match.dl_src", m.dl_src,
                      [](const std::string& s) { return MacAddress::parse(s); });
       ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.dl_dst", creds, m.dl_dst,
+  if (auto ec = load(field, "match.dl_dst", m.dl_dst,
                      [](const std::string& s) { return MacAddress::parse(s); });
       ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.dl_type", creds, m.dl_type,
-                     parse_hex16_field); ec)
+  if (auto ec = load(field, "match.dl_type", m.dl_type, parse_hex16_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.dl_vlan", creds, m.dl_vlan,
-                     parse_u16_field); ec)
+  if (auto ec = load(field, "match.dl_vlan", m.dl_vlan, parse_u16_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.dl_vlan_pcp", creds, m.dl_vlan_pcp,
+  if (auto ec = load(field, "match.dl_vlan_pcp", m.dl_vlan_pcp,
                      parse_u8_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.nw_src", creds, m.nw_src,
+  if (auto ec = load(field, "match.nw_src", m.nw_src,
                      [](const std::string& s) { return Cidr::parse(s); });
       ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.nw_dst", creds, m.nw_dst,
+  if (auto ec = load(field, "match.nw_dst", m.nw_dst,
                      [](const std::string& s) { return Cidr::parse(s); });
       ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.nw_proto", creds, m.nw_proto,
-                     parse_u8_field); ec)
+  if (auto ec = load(field, "match.nw_proto", m.nw_proto, parse_u8_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.nw_tos", creds, m.nw_tos,
-                     parse_u8_field); ec)
+  if (auto ec = load(field, "match.nw_tos", m.nw_tos, parse_u8_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.tp_src", creds, m.tp_src,
-                     parse_u16_field); ec)
+  if (auto ec = load(field, "match.tp_src", m.tp_src, parse_u16_field); ec)
     return ec;
-  if (auto ec = load(vfs, dir, "match.tp_dst", creds, m.tp_dst,
-                     parse_u16_field); ec)
+  if (auto ec = load(field, "match.tp_dst", m.tp_dst, parse_u16_field); ec)
     return ec;
 
   // action.drop wins outright: the entry drops.
-  if (auto t = read_field(vfs, dir, "action.drop", creds); t && *t == "1") {
+  if (auto t = field("action.drop"); t && *t == "1") {
     spec.actions.clear();
     return spec;
   }
@@ -179,11 +184,11 @@ Result<FlowSpec> read_flow(Vfs& vfs, const std::string& dir,
   for (const char* name :
        {"set_vlan", "strip_vlan", "set_dl_src", "set_dl_dst", "set_nw_src",
         "set_nw_dst", "set_nw_tos", "set_tp_src", "set_tp_dst", "enqueue"}) {
-    if (auto ec = load_action(vfs, dir, name, creds, spec.actions); ec)
+    if (auto ec = load_action(field, name, spec.actions); ec)
       return ec;
   }
   // action.out may list several ports ("1 2 controller").
-  if (auto t = read_field(vfs, dir, "action.out", creds)) {
+  if (auto t = field("action.out")) {
     for (const auto& tok : split_nonempty(*t, ' ')) {
       auto a = flow::parse_action("out", tok);
       if (!a) return a.error();
@@ -191,6 +196,26 @@ Result<FlowSpec> read_flow(Vfs& vfs, const std::string& dir,
     }
   }
   return spec;
+}
+
+}  // namespace
+
+Result<FlowSpec> read_flow(Vfs& vfs, const std::string& dir,
+                           const Credentials& creds) {
+  if (auto st = vfs.stat(dir, creds); !st)
+    return st.error();
+  return read_flow_impl(FieldReader{vfs, dir, creds, nullptr});
+}
+
+Result<FlowSpec> read_flow_sparse(Vfs& vfs, const std::string& dir,
+                                  const Credentials& creds) {
+  // The listing doubles as the existence check stat() performs on the
+  // dense path, so a deleted flow still reports not_found here.
+  auto entries = vfs.readdir(dir, creds);
+  if (!entries) return entries.error();
+  std::set<std::string, std::less<>> present;
+  for (auto& e : *entries) present.insert(std::move(e.name));
+  return read_flow_impl(FieldReader{vfs, dir, creds, &present});
 }
 
 Status write_flow(Vfs& vfs, const std::string& dir, const FlowSpec& spec,

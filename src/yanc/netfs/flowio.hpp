@@ -22,6 +22,15 @@ namespace yanc::netfs {
 Result<flow::FlowSpec> read_flow(vfs::Vfs& vfs, const std::string& flow_dir,
                                  const vfs::Credentials& creds = {});
 
+/// Like read_flow, but lists the directory once and reads only the files
+/// the listing contains, so the ~20 absent-field probes of a typically
+/// sparse flow become set lookups.  Returns the same FlowSpec as
+/// read_flow for any directory state; used by the driver's batched
+/// pipeline (docs/PERFORMANCE.md "Batching").
+Result<flow::FlowSpec> read_flow_sparse(vfs::Vfs& vfs,
+                                        const std::string& flow_dir,
+                                        const vfs::Credentials& creds = {});
+
 /// Writes `spec` into `flow_dir`, creating the directory if needed,
 /// removing match/action files the spec no longer carries, and — when
 /// `commit` is true — incrementing the version file so drivers pick the

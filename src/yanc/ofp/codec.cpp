@@ -776,15 +776,53 @@ std::string message_name(const Message& m) {
 
 Result<std::vector<std::uint8_t>> encode(Version v, std::uint32_t xid,
                                          const Message& message) {
-  BufWriter w;
-  w.u8(static_cast<std::uint8_t>(v));
-  w.u8(wire_type(v, message));
-  w.u16(0);  // length, patched
-  w.u32(xid);
-  if (auto ec = encode_body(w, v, message); ec) return ec;
-  if (w.size() > 0xffff) return Errc::overflow;
-  w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
-  return w.take();
+  // One message is a batch of one: sharing the framing code keeps the two
+  // paths byte-identical (the batch round-trip tests rely on it).
+  BatchEncoder batch(v);
+  if (auto ec = batch.append(xid, message); ec) return ec;
+  return batch.take();
+}
+
+Status BatchEncoder::append(std::uint32_t xid, const Message& message) {
+  std::size_t base = w_.size();
+  w_.u8(static_cast<std::uint8_t>(version_));
+  w_.u8(wire_type(version_, message));
+  w_.u16(0);  // length, patched
+  w_.u32(xid);
+  if (auto ec = encode_body(w_, version_, message); ec) {
+    w_.truncate(base);
+    return ec;
+  }
+  std::size_t length = w_.size() - base;
+  if (length > 0xffff) {
+    w_.truncate(base);
+    return make_error_code(Errc::overflow);
+  }
+  w_.patch_u16(base + 2, static_cast<std::uint16_t>(length));
+  ++count_;
+  return ok_status();
+}
+
+std::vector<std::uint8_t> BatchEncoder::take() {
+  count_ = 0;
+  auto out = w_.take();
+  w_ = BufWriter{};
+  return out;
+}
+
+Result<std::vector<std::span<const std::uint8_t>>> split_frames(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::span<const std::uint8_t>> frames;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto header = peek_header(bytes.subspan(pos));
+    if (!header) return header.error();
+    if (header->length < kHeaderSize || header->length > bytes.size() - pos)
+      return Errc::protocol_error;
+    frames.push_back(bytes.subspan(pos, header->length));
+    pos += header->length;
+  }
+  return frames;
 }
 
 Result<Header> peek_header(std::span<const std::uint8_t> bytes) {

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "yanc/ofp/messages.hpp"
+#include "yanc/util/bytes.hpp"
 
 namespace yanc::ofp {
 
@@ -13,6 +14,37 @@ namespace yanc::ofp {
 /// Fails with ENOTSUP for combinations the dialect cannot express.
 Result<std::vector<std::uint8_t>> encode(Version v, std::uint32_t xid,
                                          const Message& message);
+
+/// Packs several messages into one wire buffer (vectored egress).  Each
+/// message is length-framed by its own header exactly as encode() frames
+/// it — byte for byte — so a receiver splits the train with
+/// split_frames() and runs each frame through the unchanged decode().
+class BatchEncoder {
+ public:
+  explicit BatchEncoder(Version v) : version_(v) {}
+
+  /// Appends one message framed with `xid`.  On failure the buffer is
+  /// unchanged (the partial trailing message is rolled back).
+  [[nodiscard]] Status append(std::uint32_t xid, const Message& message);
+
+  std::size_t count() const noexcept { return count_; }
+  std::size_t size_bytes() const noexcept { return w_.size(); }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Returns the packed train; the encoder is empty again and reusable.
+  std::vector<std::uint8_t> take();
+
+ private:
+  Version version_;
+  BufWriter w_;
+  std::size_t count_ = 0;
+};
+
+/// Splits a buffer holding one or more length-framed messages into
+/// per-message sub-spans (no copying; the spans borrow `bytes`).  Fails
+/// when a header is malformed or a length field overruns the buffer.
+Result<std::vector<std::span<const std::uint8_t>>> split_frames(
+    std::span<const std::uint8_t> bytes);
 
 struct Decoded {
   Header header;

@@ -55,13 +55,25 @@ void Switch::send(const ofp::Message& message, std::uint32_t xid) {
 std::size_t Switch::pump() {
   std::size_t handled = 0;
   while (auto msg = channel_.try_recv()) {
-    auto decoded = ofp::decode(*msg);
-    if (!decoded) {
+    // A batching driver packs a whole commit burst into one buffer; each
+    // message still carries its own length-framed header, so split first
+    // and decode the frames individually.  A lone message is a train of
+    // one — the pre-batching wire format unchanged.
+    auto frames = ofp::split_frames(*msg);
+    if (!frames) {
       send(ofp::Error{/*type=*/1, /*code=*/0, std::move(*msg)});
       continue;
     }
-    handle_message(*decoded);
-    ++handled;
+    for (auto frame : *frames) {
+      auto decoded = ofp::decode(frame);
+      if (!decoded) {
+        send(ofp::Error{/*type=*/1, /*code=*/0,
+                        {frame.begin(), frame.end()}});
+        continue;
+      }
+      handle_message(*decoded);
+      ++handled;
+    }
   }
   return handled;
 }

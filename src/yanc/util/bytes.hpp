@@ -51,6 +51,10 @@ class BufWriter {
     buf_[offset + 1] = static_cast<std::uint8_t>(v);
   }
 
+  /// Discards everything written at or past `size` (rollback of a
+  /// partially serialized trailing record; `size` must not exceed size()).
+  void truncate(std::size_t size) { buf_.resize(size); }
+
   std::size_t size() const noexcept { return buf_.size(); }
   const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
   std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }

@@ -8,6 +8,18 @@ void WatchQueue::push(Event e) {
   bool enqueued = false;
   {
     dbg::LockGuard lock(mu_);
+    if (coalesce_ && e.mask == event::modified && !events_.empty()) {
+      // Merge only into the tail, and only modified-into-modified for the
+      // same path: any interleaved event (a delete, a create, a different
+      // path) sits at the tail instead and blocks the merge, so ordering
+      // and terminal events survive coalescing by construction.
+      const Event& tail = events_.back();
+      if (tail.mask == event::modified && tail.node == e.node &&
+          tail.name == e.name) {
+        if (coalesce_metric_) coalesce_metric_->add();
+        return;  // the queued tail already announces this state change
+      }
+    }
     if (events_.size() >= capacity_) {
       if (drop_metric_) drop_metric_->add();
       if (!overflow_pending_) {
@@ -57,6 +69,41 @@ std::optional<Event> WatchQueue::pop_wait(std::chrono::milliseconds timeout) {
   return e;
 }
 
+std::size_t WatchQueue::drain_locked(std::vector<Event>& out,
+                                     std::size_t max) {
+  std::size_t n = std::min(max, events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(events_.front()));
+    events_.pop_front();
+  }
+  if (events_.empty()) overflow_pending_ = false;
+  if (n && depth_metric_)
+    depth_metric_->set(static_cast<std::int64_t>(events_.size()));
+  return n;
+}
+
+std::size_t WatchQueue::try_pop_batch(std::vector<Event>& out,
+                                      std::size_t max) {
+  dbg::LockGuard lock(mu_);
+  return drain_locked(out, max);
+}
+
+std::vector<Event> WatchQueue::pop_wait_batch(
+    std::size_t max, std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<Event> out;
+  dbg::UniqueLock lock(mu_);
+  if (!cv_.wait_until(lock, deadline, [&] { return !events_.empty(); }))
+    return out;  // timeout: empty
+  drain_locked(out, max);
+  return out;
+}
+
+void WatchQueue::set_coalescing(bool enabled) {
+  dbg::LockGuard lock(mu_);
+  coalesce_ = enabled;
+}
+
 std::vector<Event> WatchQueue::drain() {
   dbg::LockGuard lock(mu_);
   std::vector<Event> out(events_.begin(), events_.end());
@@ -66,10 +113,12 @@ std::vector<Event> WatchQueue::drain() {
   return out;
 }
 
-void WatchQueue::bind_metrics(obs::Gauge* depth, obs::Counter* drops) {
+void WatchQueue::bind_metrics(obs::Gauge* depth, obs::Counter* drops,
+                              obs::Counter* coalesced) {
   dbg::LockGuard lock(mu_);
   depth_metric_ = depth;
   drop_metric_ = drops;
+  coalesce_metric_ = coalesced;
   if (depth_metric_)
     depth_metric_->set(static_cast<std::int64_t>(events_.size()));
 }

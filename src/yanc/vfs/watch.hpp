@@ -64,25 +64,49 @@ class WatchQueue {
   /// Blocking consume with timeout; nullopt on timeout.
   std::optional<Event> pop_wait(std::chrono::milliseconds timeout);
 
+  /// Non-blocking bulk consume: appends up to `max` queued events to
+  /// `out` (front first, so delivery order is unchanged) and returns how
+  /// many were appended.  One lock round-trip however many events move.
+  std::size_t try_pop_batch(std::vector<Event>& out, std::size_t max);
+
+  /// Blocking bulk consume: waits until at least one event is queued (or
+  /// the timeout expires — empty result), then drains up to `max`.
+  std::vector<Event> pop_wait_batch(std::size_t max,
+                                    std::chrono::milliseconds timeout);
+
   /// Drains everything currently queued.
   std::vector<Event> drain();
+
+  /// Coalescing policy: when enabled, a push whose event is modified-only
+  /// and whose (node, name) equals the queue's current *tail* event (also
+  /// modified-only) merges into that tail instead of enqueuing.  Only the
+  /// tail is ever merged into, so per-path ordering is untouched and a
+  /// terminal event (deleted, delete_self, overflow — any non-modified
+  /// mask) breaks adjacency: nothing ever coalesces across it.
+  void set_coalescing(bool enabled);
 
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
   bool overflowed() const;
 
-  /// Mirrors queue depth and dropped events into obs handles (either may
-  /// be nullptr).  The owner of the queue decides the metric names.
-  void bind_metrics(obs::Gauge* depth, obs::Counter* drops);
+  /// Mirrors queue depth, dropped events, and coalesced merges into obs
+  /// handles (any may be nullptr).  The owner decides the metric names.
+  void bind_metrics(obs::Gauge* depth, obs::Counter* drops,
+                    obs::Counter* coalesced = nullptr);
 
  private:
+  /// Moves up to `max` events into `out`; caller holds mu_.
+  std::size_t drain_locked(std::vector<Event>& out, std::size_t max);
+
   mutable dbg::Mutex<dbg::Rank::watch_queue> mu_;
   dbg::CondVar cv_;
   std::deque<Event> events_;
   std::size_t capacity_;
   bool overflow_pending_ = false;
+  bool coalesce_ = false;
   obs::Gauge* depth_metric_ = nullptr;
   obs::Counter* drop_metric_ = nullptr;
+  obs::Counter* coalesce_metric_ = nullptr;
 };
 
 using WatchQueuePtr = std::shared_ptr<WatchQueue>;

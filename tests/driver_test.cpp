@@ -116,6 +116,31 @@ TEST_P(DriverTest, CommittedFlowReachesHardware) {
   EXPECT_EQ(*net().switch_at("sw1").read_field("counters/flow_mods"), "1");
 }
 
+TEST_P(DriverTest, CommitBurstShipsAsOneTrain) {
+  auto s = make_switch(0x42);
+  settle({s.get()});
+  auto* trains = vfs->metrics()->histogram("driver/of/batch_size");
+  const auto trains_before = trains->count();
+  const auto mods_before = trains->sum();
+
+  // Twenty commits land on the shard queue before the driver polls
+  // again: the batched drain must dedup each flow to one push and ship
+  // the whole burst as a single train (20 FLOW_MODs, one barrier).
+  for (int i = 0; i < 20; ++i) {
+    FlowSpec spec;
+    spec.match.tp_dst = static_cast<std::uint16_t>(1000 + i);
+    spec.actions = {Action::output(1)};
+    ASSERT_FALSE(
+        net().switch_at("sw1").add_flow("b" + std::to_string(i), spec));
+  }
+  settle({s.get()});
+
+  EXPECT_EQ(s->table().size(), 20u);
+  EXPECT_EQ(*net().switch_at("sw1").read_field("counters/flow_mods"), "20");
+  EXPECT_EQ(trains->count() - trains_before, 1u);
+  EXPECT_EQ(trains->sum() - mods_before, 20u);
+}
+
 TEST_P(DriverTest, UncommittedFieldsStayOffHardware) {
   auto s = make_switch(0x42);
   settle({s.get()});
@@ -814,8 +839,10 @@ TEST(DriverOverflowRecovery, RescanRearmsWatchesAndReconcilesDeletions) {
 // The acceptance scenario: kill a switch mid-commit, reconnect the same
 // dpid behind a 5% lossy link, and require the wire flow table to end up
 // byte-identical to the committed flows/ directory — for ten consecutive
-// RNG seeds (override the base with YANC_FAULT_SEED).
-TEST(DriverFaultMatrix, ReconnectResyncUnderLossTenSeeds) {
+// RNG seeds (override the base with YANC_FAULT_SEED).  Runs once per
+// pipeline: batched trains and the per-event path must converge to the
+// same hardware table under the same faults.
+void run_reconnect_resync_matrix(bool batching) {
   const char* env = std::getenv("YANC_FAULT_SEED");
   const std::uint64_t base = env ? std::strtoull(env, nullptr, 10) : 1;
   for (std::uint64_t seed = base; seed < base + 10; ++seed) {
@@ -830,6 +857,7 @@ TEST(DriverFaultMatrix, ReconnectResyncUnderLossTenSeeds) {
     opts.request_timeout = 4;
     opts.max_retries = 8;
     opts.audit_interval = 16;
+    opts.batching = batching;
     OfDriver driver(vfs, opts);
     auto injector = std::make_shared<faults::Injector>(seed);
     driver.listener().set_fault_hook_factory(
@@ -916,6 +944,14 @@ TEST(DriverFaultMatrix, ReconnectResyncUnderLossTenSeeds) {
     EXPECT_GT(vfs->metrics()->counter("driver/of/resync_total")->value(),
               0u);
   }
+}
+
+TEST(DriverFaultMatrix, ReconnectResyncUnderLossTenSeeds) {
+  run_reconnect_resync_matrix(/*batching=*/true);
+}
+
+TEST(DriverFaultMatrix, ReconnectResyncUnderLossTenSeedsUnbatched) {
+  run_reconnect_resync_matrix(/*batching=*/false);
 }
 
 TEST(DriverVersionMismatch, WrongDialectClosed) {

@@ -179,6 +179,65 @@ TEST(ChannelTest, SendReportsDeliveryFate) {
   EXPECT_FALSE(empty.send({4}));
 }
 
+TEST(ChannelTest, SendBatchDeliversInOrder) {
+  auto [a, b] = Channel::make_pair();
+  EXPECT_TRUE(a.send_batch({{1}, {2, 3}, {4}}));
+  EXPECT_EQ(b.pending(), 3u);
+  EXPECT_EQ(*b.try_recv(), (Message{1}));
+  EXPECT_EQ(*b.try_recv(), (Message{2, 3}));
+  EXPECT_EQ(*b.try_recv(), (Message{4}));
+  EXPECT_FALSE(b.try_recv().has_value());
+  EXPECT_TRUE(a.send_batch({}));  // empty burst: no-op, still "delivered"
+}
+
+TEST(ChannelTest, SendBatchRefusedAfterClose) {
+  auto [a, b] = Channel::make_pair();
+  b.close();
+  EXPECT_FALSE(a.send_batch({{1}, {2}}));
+  EXPECT_FALSE(b.try_recv().has_value());
+  Channel empty;
+  EXPECT_FALSE(empty.send_batch({{3}}));
+}
+
+namespace {
+
+/// Sees every message individually; severs on a chosen one.
+class CountingHook : public FaultHook {
+ public:
+  explicit CountingHook(int sever_at = -1) : sever_at_(sever_at) {}
+  bool on_send(std::deque<Message>& queue, Message message) override {
+    if (seen_++ == sever_at_) return false;
+    queue.push_back(std::move(message));
+    return true;
+  }
+  int seen() const { return seen_; }
+
+ private:
+  int seen_ = 0;
+  int sever_at_;
+};
+
+}  // namespace
+
+TEST(ChannelTest, SendBatchRunsHookPerMessage) {
+  auto [a, b] = Channel::make_pair();
+  auto hook = std::make_shared<CountingHook>();
+  a.set_fault_hook(hook);
+  EXPECT_TRUE(a.send_batch({{1}, {2}, {3}}));
+  EXPECT_EQ(hook->seen(), 3);  // identical schedule to three send() calls
+  EXPECT_EQ(b.pending(), 3u);
+}
+
+TEST(ChannelTest, SendBatchSeveredMidBurstKeepsPrefix) {
+  auto [a, b] = Channel::make_pair();
+  a.set_fault_hook(std::make_shared<CountingHook>(/*sever_at=*/1));
+  EXPECT_FALSE(a.send_batch({{1}, {2}, {3}}));  // hook kills message #2
+  EXPECT_FALSE(a.connected());
+  // The burst raced a RST: what got in before the severance still drains.
+  EXPECT_EQ(*b.try_recv(), (Message{1}));
+  EXPECT_FALSE(b.try_recv().has_value());
+}
+
 TEST(ChannelTest, ListenerInstallsFreshHookPerConnection) {
   // Each accepted connection gets its own hook instance, so per-channel
   // state (delay stashes) is never shared between switches.

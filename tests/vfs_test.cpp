@@ -507,6 +507,79 @@ TEST(WatchQueueTest, PopWaitTimesOut) {
   EXPECT_TRUE(q.pop_wait(std::chrono::milliseconds(5)).has_value());
 }
 
+TEST(WatchQueueTest, TryPopBatchDrainsInOrder) {
+  WatchQueue q;
+  q.push({event::created, 1, "a", 0});
+  q.push({event::modified, 1, "a", 0});
+  q.push({event::deleted, 1, "a", 0});
+  std::vector<Event> out;
+  EXPECT_EQ(q.try_pop_batch(out, 2), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].is(event::created));
+  EXPECT_TRUE(out[1].is(event::modified));
+  out.clear();
+  EXPECT_EQ(q.try_pop_batch(out, 10), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].is(event::deleted));
+  out.clear();
+  EXPECT_EQ(q.try_pop_batch(out, 10), 0u);
+}
+
+TEST(WatchQueueTest, PopWaitBatchTimesOutThenDrains) {
+  WatchQueue q;
+  EXPECT_TRUE(q.pop_wait_batch(4, std::chrono::milliseconds(5)).empty());
+  q.push({event::created, 1, "a", 0});
+  q.push({event::created, 1, "b", 0});
+  q.push({event::created, 1, "c", 0});
+  auto got = q.pop_wait_batch(2, std::chrono::milliseconds(5));
+  ASSERT_EQ(got.size(), 2u);  // capped at max, front first
+  EXPECT_EQ(got[0].name, "a");
+  EXPECT_EQ(got[1].name, "b");
+  got = q.pop_wait_batch(2, std::chrono::milliseconds(5));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].name, "c");
+}
+
+TEST(WatchQueueTest, CoalescingMergesOnlyAdjacentSamePathModify) {
+  WatchQueue q;
+  q.set_coalescing(true);
+  obs::Registry registry;
+  auto* coalesced = registry.counter("q/coalesced");
+  q.bind_metrics(registry.gauge("q/depth"), registry.counter("q/drops"),
+                 coalesced);
+  q.push({event::modified, 1, "v", 0});
+  q.push({event::modified, 1, "v", 0});  // tail duplicate: merged
+  q.push({event::modified, 1, "v", 0});  // merged again
+  q.push({event::modified, 2, "v", 0});  // different node: kept
+  q.push({event::modified, 1, "v", 0});  // no longer adjacent: kept
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(coalesced->value(), 2u);
+}
+
+TEST(WatchQueueTest, CoalescingNeverCrossesTerminalOrMixedEvents) {
+  WatchQueue q;
+  q.set_coalescing(true);
+  // A modify after a terminal event on the same path must survive: it
+  // announces the *new* incarnation's state.
+  q.push({event::modified, 1, "v", 0});
+  q.push({event::deleted, 1, "v", 0});
+  q.push({event::modified, 1, "v", 0});
+  EXPECT_EQ(q.size(), 3u);
+  // Mixed-mask events never merge even when adjacent and same-path.
+  WatchQueue q2;
+  q2.set_coalescing(true);
+  q2.push({event::created, 1, "v", 0});
+  q2.push({event::modified, 1, "v", 0});
+  EXPECT_EQ(q2.size(), 2u);
+}
+
+TEST(WatchQueueTest, CoalescingOffKeepsDuplicates) {
+  WatchQueue q;  // default: no coalescing
+  q.push({event::modified, 1, "v", 0});
+  q.push({event::modified, 1, "v", 0});
+  EXPECT_EQ(q.size(), 2u);
+}
+
 TEST(WatchQueueTest, OverflowPushWakesBlockedConsumer) {
   // Regression: push() used to enqueue the overflow marker without
   // notifying the condition variable, so a consumer already blocked in
