@@ -10,6 +10,7 @@
 //   ls [-l] PATH        cat PATH          echo VALUE > PATH
 //   tree PATH           find ROOT GLOB    grep PATTERN ROOT
 //   mkdir PATH          rm PATH           cp FROM TO      mv FROM TO
+//   trace ID|FILTER     (span trees from /yanc/.trace/by-id)
 //   sync                (drive the controller/switches to quiescence)
 #include <cstdio>
 
@@ -17,6 +18,7 @@
 #include "yanc/faults/faults_fs.hpp"
 #include "yanc/netfs/yancfs.hpp"
 #include "yanc/obs/stats_fs.hpp"
+#include "yanc/obs/trace_fs.hpp"
 #include "yanc/shell/coreutils.hpp"
 #include "yanc/sw/switch.hpp"
 #include "yanc/util/strings.hpp"
@@ -62,7 +64,19 @@ constexpr const char* kDemoScript =
     "sync;"
     "cat /yanc/.stats/faults/drop_total;"
     "cat /yanc/.stats/driver/of/retry_total;"
-    "cat /yanc/.stats/driver/of/audit_total";
+    "cat /yanc/.stats/driver/of/audit_total;"
+    // Causal tracing is a filesystem too (/yanc/.trace): arm capture,
+    // commit a flow, then reconstruct its span tree straight from a file.
+    "echo start > /yanc/.trace/ctl;"
+    "mkdir /net/switches/sw1/flows/dns;"
+    "echo 0x0800 > /net/switches/sw1/flows/dns/match.dl_type;"
+    "echo 53 > /net/switches/sw1/flows/dns/match.tp_dst;"
+    "echo 2 > /net/switches/sw1/flows/dns/action.out;"
+    "echo 1 > /net/switches/sw1/flows/dns/version;"
+    "sync;"
+    "echo stop > /yanc/.trace/ctl;"
+    "cat /yanc/.trace/status;"
+    "trace /net/switches/sw1/flows/dns";
 
 struct World {
   std::shared_ptr<vfs::Vfs> vfs = std::make_shared<vfs::Vfs>();
@@ -88,6 +102,7 @@ struct World {
         faults::channel_hook_factory(injector));
     (void)faults::mount_faults_fs(*vfs, injector);
     if (auto fs = obs::mount_stats_fs(*vfs)) stats = *fs;
+    (void)obs::mount_trace_fs(*vfs);
     for (std::uint64_t dpid : {1, 2}) {
       sw::SwitchOptions opts;
       opts.datapath_id = dpid;
@@ -181,6 +196,12 @@ int run_command(World& world, const std::string& line) {
   }
   if (cmd == "mv" && args.size() == 3) {
     if (auto ec = shell::mv(vfs, args[1], args[2])) return fail(cmd, ec), 1;
+    return 0;
+  }
+  if (cmd == "trace" && args.size() == 2) {
+    auto out = shell::trace_show(vfs, args[1]);
+    if (!out) return fail(cmd, out.error()), 1;
+    std::fputs(out->c_str(), stdout);
     return 0;
   }
   std::printf("yancsh: unknown or malformed command: %s\n", line.c_str());

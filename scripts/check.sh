@@ -25,6 +25,40 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "=== lint ==="
 scripts/lint.sh build
 
+# Perf gate: when two recorded baselines of the same variant exist
+# (BENCH_<date>.json, or BENCH_<date>_<variant>.json), diff the two
+# newest.  Cross-day baselines carry ambient machine drift well beyond
+# the tolerance (EXPERIMENTS.md EXP-10 saw +31…+63% day-to-day swings on
+# untouched code), so by default a regression here is REPORTED but does
+# not fail the gate; set YANC_BENCH_STRICT=1 to make it fatal — correct
+# when both files came from the same session (scripts/bench_diff.sh on
+# an interleaved A/B pair is always strict when invoked directly).
+echo "=== bench diff (recorded baselines) ==="
+for variant in $(ls BENCH_*.json 2>/dev/null \
+                   | sed -E 's/^BENCH_[0-9]+(_)?//; s/\.json$//; s/^$/@default/' \
+                   | sort -u); do
+  if [[ "$variant" != "@default" ]]; then
+    files=(BENCH_*_"$variant".json)
+  else
+    variant=""
+    files=($(ls BENCH_*.json 2>/dev/null | grep -E '^BENCH_[0-9]+\.json$' || true))
+  fi
+  if (( ${#files[@]} >= 2 )); then
+    prev="${files[-2]}" latest="${files[-1]}"
+    echo "--- ${variant:-default}: $prev -> $latest"
+    if ! scripts/bench_diff.sh "$prev" "$latest"; then
+      if [[ "${YANC_BENCH_STRICT:-0}" == 1 ]]; then
+        echo "bench diff: regression beyond tolerance (YANC_BENCH_STRICT=1)"
+        exit 1
+      fi
+      echo "bench diff: regression reported (advisory — cross-day baselines;"
+      echo "            set YANC_BENCH_STRICT=1 to enforce)"
+    fi
+  else
+    echo "--- ${variant:-default}: single baseline, nothing to diff"
+  fi
+done
+
 echo "=== release build (YANC_DBG_LOCKS=OFF: wrappers must compile away) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DYANC_DBG_LOCKS=OFF
 cmake --build build-release -j "$(nproc)"

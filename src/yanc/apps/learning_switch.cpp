@@ -2,6 +2,7 @@
 
 #include "yanc/net/packet.hpp"
 #include "yanc/netfs/flowio.hpp"
+#include "yanc/obs/tracer.hpp"
 
 namespace yanc::apps {
 
@@ -30,6 +31,11 @@ Result<std::size_t> LearningSwitch::poll() {
   std::size_t handled = 0;
 
   for (const auto& pkt : *pending) {
+    // One span per packet, parented to the driver's handoff; the buffer
+    // wait rides as queue_ns and the scope makes every FS write below
+    // (flow install, packet-out) inherit this packet's trace.
+    obs::Span trace_span(pkt.trace, "app", "packet_in", pkt.trace_queue_ns);
+    obs::TraceScope trace_scope(trace_span.ref());
     net::Frame frame(pkt.data.begin(), pkt.data.end());
     auto parsed = net::parse_frame(frame);
     if (!parsed) continue;

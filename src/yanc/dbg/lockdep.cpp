@@ -20,11 +20,13 @@ const char* rank_name(Rank r) noexcept {
     case Rank::faults_injector: return "faults_injector";
     case Rank::obs_metrics: return "obs_metrics";
     case Rank::obs_trace: return "obs_trace";
+    case Rank::obs_tracer: return "obs_tracer";
     case Rank::net_listener: return "net_listener";
     case Rank::net_channel: return "net_channel";
     case Rank::packet_pool: return "packet_pool";
     case Rank::dist_transport: return "dist_transport";
     case Rank::driver: return "driver";
+    case Rank::trace_fs: return "trace_fs";
   }
   return "unknown_rank";
 }
@@ -64,7 +66,7 @@ EdgeSite g_site[kN][kN];
 
 /// DFS: is `to` reachable from `from` over recorded edges?  Fills `path`
 /// with the rank chain (inclusive of both ends) when found.  Runs under
-/// g_mu; the graph is at most 17 nodes, so recursion depth is trivial.
+/// g_mu; the graph has kRankCount nodes, so recursion depth is trivial.
 bool find_path(int from, int to, bool (&visited)[kN], int (&path)[kN + 1],
                int& path_len) {
   path[path_len++] = from;

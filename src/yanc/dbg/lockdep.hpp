@@ -58,14 +58,16 @@ enum class Rank : std::uint8_t {
   faults_injector,  // faults::Injector plans + rng
   obs_metrics,      // obs::Registry name map
   obs_trace,        // obs::TraceRing ring
+  obs_tracer,       // obs::Tracer correlation maps + stage-handle cache
   net_listener,     // net::Listener accept backlog
   net_channel,      // net::Channel shared queue pair
   packet_pool,      // fast::PacketPool free list
   dist_transport,   // reserved (dist layer is scheduler-single-threaded)
   driver,           // reserved (drivers run on the caller's thread)
+  trace_fs,         // obs::TraceFs by-id node map
 };
 
-inline constexpr std::size_t kRankCount = 17;
+inline constexpr std::size_t kRankCount = 19;
 
 /// Stable lower_snake name for diagnostics ("vfs_namespace").
 const char* rank_name(Rank r) noexcept;

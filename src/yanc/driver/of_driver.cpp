@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "yanc/obs/tracer.hpp"
 #include "yanc/util/log.hpp"
 #include "yanc/util/strings.hpp"
 
@@ -13,6 +14,24 @@ namespace yanc::driver {
 using flow::FlowSpec;
 using vfs::Credentials;
 using vfs::NodeId;
+
+// An in-flight tracked request (flow-commit barrier, the features
+// handshake), keyed by xid in its connection's `pending` map.  `flows`
+// lists every commit the request covers — a batched train's barrier
+// vouches for all of them, so a timeout re-pushes all of them.  Empty
+// means the handshake.
+struct OfDriver::PendingRequest {
+  std::vector<std::string> flows;
+  std::uint64_t deadline = 0;  // tick at which to retry
+  std::uint32_t retries = 0;
+  // Tracing state of the covered train (empty when untraced): each
+  // trace gets a commit_ack span when the barrier reply lands, or a
+  // fault annotation when the train dies; leftover wire handoffs under
+  // these xids are reclaimed either way so nothing leaks.
+  std::vector<obs::TraceRef> traces;
+  std::vector<std::uint32_t> xids;
+  std::uint64_t sent_ns = 0;  // when the train left (ack queue = RTT)
+};
 
 struct OfDriver::Connection {
   net::Channel channel;
@@ -39,6 +58,13 @@ struct OfDriver::Connection {
     std::uint64_t counter_delta = 0;       // deferred counters/flow_mods
     std::uint32_t retries = 0;             // max over contributing pushes
     std::uint64_t first_tick = 0;          // when the burst opened
+    // Causal contexts riding the train, and the FLOW_MOD xids they were
+    // wire_put under (parallel staging, consumed independently: traces
+    // feed the barrier's commit_ack spans, xids feed handoff cleanup
+    // when the train dies).  Both empty when tracing is off, so the
+    // fast path never touches them.
+    std::vector<obs::TraceRef> traces;
+    std::vector<std::uint32_t> xids;
   } egress;
 
   // --- liveness / recovery state (ticks = driver poll counter) ---------
@@ -50,15 +76,7 @@ struct OfDriver::Connection {
   // directory now; this zombie must not touch the FS on its way out.
   bool superseded = false;
 
-  // In-flight tracked requests (flow-commit barriers, the features
-  // handshake), keyed by xid.  `flows` lists every commit the request
-  // covers — a batched train's barrier vouches for all of them, so a
-  // timeout re-pushes all of them.  Empty means the handshake.
-  struct PendingRequest {
-    std::vector<std::string> flows;
-    std::uint64_t deadline = 0;  // tick at which to retry
-    std::uint32_t retries = 0;
-  };
+  // In-flight tracked requests, keyed by xid.
   std::map<std::uint32_t, PendingRequest> pending;
   std::uint32_t audit_xid = 0;  // outstanding audit flow-stats request
 
@@ -95,6 +113,55 @@ struct OfDriver::WatchContext {
   Connection* conn = nullptr;
   std::string name;  // flow / port / packet-out directory name
 };
+
+namespace {
+
+/// Closes out a dead train's causal state: reclaims any wire handoff the
+/// switch never consumed and stamps `what` ("retry 2", "connection lost")
+/// onto each carried trace, so a reconstructed chain ends at the fault
+/// instead of dangling open.  Both vectors are empty when tracing was off
+/// at staging time, making this free on the fault paths too.
+void release_train(std::uint64_t dpid, const std::vector<std::uint32_t>& xids,
+                   const std::vector<obs::TraceRef>& traces,
+                   const std::string& what) {
+  auto& tracer = obs::tracer();
+  for (std::uint32_t xid : xids) (void)tracer.wire_take(dpid, xid);
+  for (const auto& ref : traces)
+    tracer.annotate(ref, "driver", "train_fault", what);
+}
+
+/// RAII commit-stage trace: opens a "driver/commit" span parented to the
+/// first carried ref and installs it as the thread's context, so the
+/// FLOW_MOD egress this push produces inherits the trace.  Every
+/// *additional* ref — absorbed by watch-queue coalescing or by the
+/// batched drain's per-flow dedup — gets a zero-width child span closing
+/// its chain at this stage: one wire train, every contributing trace
+/// accounted for.  Inert when `refs` is empty.
+class CommitTrace {
+ public:
+  CommitTrace(const std::vector<obs::TraceRef>& refs, std::uint64_t ts_ns)
+      : span_(refs.empty() ? obs::TraceRef{} : refs.front(), "driver",
+              "commit", queue_ns(ts_ns)),
+        scope_(span_.ref()) {
+    if (refs.size() <= 1) return;
+    std::uint64_t now = obs::Tracer::now_ns();
+    for (std::size_t i = 1; i < refs.size(); ++i)
+      (void)obs::tracer().child(refs[i], "driver", "commit", now, now,
+                                queue_ns(ts_ns), "coalesced");
+  }
+
+ private:
+  static std::uint64_t queue_ns(std::uint64_t ts_ns) {
+    if (ts_ns == 0) return 0;
+    std::uint64_t now = obs::Tracer::now_ns();
+    return now > ts_ns ? now - ts_ns : 0;
+  }
+
+  obs::Span span_;
+  obs::TraceScope scope_;
+};
+
+}  // namespace
 
 OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
     : vfs_(std::move(vfs)), options_(std::move(options)) {
@@ -166,10 +233,20 @@ std::uint32_t OfDriver::send(Connection& conn, const ofp::Message& message) {
 }
 
 void OfDriver::send_flow_mod(Connection& conn, const ofp::FlowMod& fm) {
-  if (options_.batching)
+  if (options_.batching) {
     queue_flow_mod(conn, fm);
-  else
-    send(conn, fm);
+    return;
+  }
+  std::uint32_t xid = send(conn, fm);
+  if (xid == 0) return;
+  // Stage the causal context under the message's xid: the switch claims
+  // it on receipt, and the next tracked barrier (track_commit) adopts the
+  // staged copy so its ack — or its loss — closes the trace.
+  if (auto ref = obs::current_trace()) {
+    obs::tracer().wire_put(conn.dpid, xid, ref);
+    conn.egress.traces.push_back(ref);
+    conn.egress.xids.push_back(xid);
+  }
 }
 
 void OfDriver::queue_flow_mod(Connection& conn, const ofp::FlowMod& fm) {
@@ -184,6 +261,11 @@ void OfDriver::queue_flow_mod(Connection& conn, const ofp::FlowMod& fm) {
     return;
   }
   ++eg.mods;
+  if (auto ref = obs::current_trace()) {
+    obs::tracer().wire_put(conn.dpid, xid, ref);
+    eg.traces.push_back(ref);
+    eg.xids.push_back(xid);
+  }
   if (eg.enc->count() >= options_.max_batch)
     eg.bufs.push_back(eg.enc->take());  // seal; enc is empty and reusable
 }
@@ -227,6 +309,8 @@ void OfDriver::flush_egress(Connection& conn) {
   std::uint64_t counter_delta = eg.counter_delta;
   std::vector<std::string> flows = std::move(eg.flows);
   std::uint32_t retries = eg.retries;
+  std::vector<obs::TraceRef> traces = std::move(eg.traces);
+  std::vector<std::uint32_t> xids = std::move(eg.xids);
   bool ok = conn.channel.send_batch(std::move(eg.bufs));
   eg = Connection::Egress{};
 
@@ -236,6 +320,7 @@ void OfDriver::flush_egress(Connection& conn) {
     // Peer gone (or a fault hook severed the link mid-burst): the reap /
     // reconnect resync re-pushes from the FS record.
     metrics_.send_fail_total->add();
+    release_train(conn.dpid, xids, traces, "send failed; awaiting resync");
     return;
   }
   metrics_.msg_out_total->add(messages);
@@ -243,8 +328,20 @@ void OfDriver::flush_egress(Connection& conn) {
   if (barrier_xid) {
     std::uint64_t wait = options_.request_timeout
                          << std::min<std::uint32_t>(retries, 16);
-    conn.pending[barrier_xid] = Connection::PendingRequest{
-        std::move(flows), tick_ + wait, retries};
+    auto& req = conn.pending[barrier_xid];
+    req = PendingRequest{};
+    req.flows = std::move(flows);
+    req.deadline = tick_ + wait;
+    req.retries = retries;
+    if (!traces.empty()) {
+      req.traces = std::move(traces);
+      req.xids = std::move(xids);
+      req.sent_ns = obs::Tracer::now_ns();
+    }
+  } else if (!traces.empty()) {
+    // A train of pure deletes carries no barrier; no ack span is coming,
+    // so close the carried traces here rather than leaking them.
+    release_train(conn.dpid, {}, traces, "unbarriered train shipped");
   }
 }
 
@@ -345,8 +442,28 @@ void OfDriver::handle_switch_message(Connection& conn,
       std::holds_alternative<ofp::FeaturesReply>(m) ||
       std::holds_alternative<ofp::EchoReply>(m) ||
       std::holds_alternative<ofp::StatsReply>(m) ||
-      std::holds_alternative<ofp::Error>(m))
-    conn.pending.erase(decoded.header.xid);
+      std::holds_alternative<ofp::Error>(m)) {
+    auto it = conn.pending.find(decoded.header.xid);
+    if (it != conn.pending.end()) {
+      const auto& req = it->second;
+      if (!req.traces.empty()) {
+        // The barrier's reply vouches for every commit on the train:
+        // close each carried trace with a commit_ack whose queue-wait is
+        // the train's wire round-trip, then reclaim any handoff a lossy
+        // link kept the switch from consuming (the audit repairs the
+        // flow; the trace must not leak meanwhile).
+        std::uint64_t now = obs::Tracer::now_ns();
+        std::uint64_t rtt =
+            req.sent_ns != 0 && now > req.sent_ns ? now - req.sent_ns : 0;
+        for (const auto& ref : req.traces)
+          (void)obs::tracer().child(ref, "driver", "commit_ack", now, now,
+                                    rtt);
+        for (std::uint32_t xid : req.xids)
+          (void)obs::tracer().wire_take(conn.dpid, xid);
+      }
+      conn.pending.erase(it);
+    }
+  }
   if (std::holds_alternative<ofp::Hello>(m)) return;
   if (auto* echo = std::get_if<ofp::EchoRequest>(&m)) {
     send(conn, ofp::EchoReply{echo->data});
@@ -372,7 +489,7 @@ void OfDriver::handle_switch_message(Connection& conn,
     return;
   }
   if (auto* pi = std::get_if<ofp::PacketIn>(&m)) {
-    on_packet_in(conn, *pi);
+    on_packet_in(conn, *pi, decoded.header.xid);
     return;
   }
   if (auto* ps = std::get_if<ofp::PortStatus>(&m)) {
@@ -726,13 +843,17 @@ std::size_t OfDriver::drain_shard(Connection& conn) {
     if (ctx.kind == WatchContext::Kind::flows_dir) {
       if (event->is(vfs::event::created)) {
         watch_flow(conn, event->name);
+        CommitTrace trace(event->trace, event->trace_ts_ns);
         push_flow(conn, event->name);  // may already be committed
       } else if (event->is(vfs::event::deleted)) {
+        CommitTrace trace(event->trace, event->trace_ts_ns);
         handle_flow_deleted(conn, event->name);
       }
     } else {  // flow_version
-      if (seen_level_triggered.insert(event->node).second)
+      if (seen_level_triggered.insert(event->node).second) {
+        CommitTrace trace(event->trace, event->trace_ts_ns);
         push_flow(conn, ctx.name);
+      }
     }
   }
   return handled;
@@ -752,6 +873,27 @@ std::size_t OfDriver::drain_shard_batched(Connection& conn) {
   std::set<std::string> dirty_set;
   auto mark_dirty = [&](const std::string& name) {
     if (dirty_set.insert(name).second) dirty.push_back(name);
+  };
+  // Per-flow causal state for the deferred pushes: a burst dedups many
+  // events into one push, so the push must carry every ref those events
+  // held (including refs coalescing packed into a single event) and the
+  // *oldest* enqueue time — queue-wait is measured from the first work
+  // the push answers for.  Bounded like the event's own ref list.
+  struct PendingTrace {
+    std::vector<obs::TraceRef> refs;
+    std::uint64_t ts_ns = 0;
+  };
+  std::map<std::string, PendingTrace> flow_traces;
+  auto absorb_trace = [&](const std::string& name, const vfs::Event& event) {
+    if (event.trace.empty()) return;
+    auto& pending = flow_traces[name];
+    for (const auto& ref : event.trace) {
+      if (pending.refs.size() >= vfs::kMaxTraceRefs) break;
+      pending.refs.push_back(ref);
+    }
+    if (event.trace_ts_ns != 0 &&
+        (pending.ts_ns == 0 || event.trace_ts_ns < pending.ts_ns))
+      pending.ts_ns = event.trace_ts_ns;
   };
   std::vector<vfs::Event> batch;
   while (conn.fs_queue->try_pop_batch(batch, options_.max_batch) > 0) {
@@ -773,12 +915,17 @@ std::size_t OfDriver::drain_shard_batched(Connection& conn) {
         if (event.is(vfs::event::created)) {
           watch_flow(conn, event.name);
           mark_dirty(event.name);
+          absorb_trace(event.name, event);
         } else if (event.is(vfs::event::deleted)) {
+          CommitTrace trace(event.trace, event.trace_ts_ns);
           handle_flow_deleted(conn, event.name);
         }
       } else {  // flow_version: level-triggered, once per burst
         if (seen_level_triggered.insert(event.node).second)
           mark_dirty(ctx.name);
+        // Refs accumulate even for deduped repeats: the one push answers
+        // for every commit event the burst folded into it.
+        absorb_trace(ctx.name, event);
       }
     }
     batch.clear();
@@ -786,7 +933,14 @@ std::size_t OfDriver::drain_shard_batched(Connection& conn) {
   // Push every dirty flow once, in first-marked order; push_flow reads
   // the *current* FS state, so a recreate during the burst pushes the
   // new incarnation and a deletion pushes nothing.
-  for (const auto& name : dirty) push_flow(conn, name);
+  for (const auto& name : dirty) {
+    auto traced = flow_traces.find(name);
+    CommitTrace trace(
+        traced == flow_traces.end() ? std::vector<obs::TraceRef>{}
+                                    : traced->second.refs,
+        traced == flow_traces.end() ? 0 : traced->second.ts_ns);
+    push_flow(conn, name);
+  }
   return handled;
 }
 
@@ -847,6 +1001,12 @@ void OfDriver::rescan_flows(Connection& conn) {
 }
 
 void OfDriver::mark_down(Connection& conn) {
+  // However the switch died, no reply is coming for anything still
+  // tracked: close out every carried trace so chains end at the fault
+  // instead of leaking, even for zombies the guard below skips.
+  for (auto& [xid, request] : conn.pending)
+    release_train(conn.dpid, request.xids, request.traces, "connection lost");
+  conn.pending.clear();
   if (conn.down_marked || conn.superseded || conn.path.empty()) return;
   conn.down_marked = true;
   (void)vfs_->write_file(conn.path + "/status", "down");
@@ -864,23 +1024,47 @@ void OfDriver::track_commit(Connection& conn, std::vector<std::string> flows,
   // so the arithmetic can't overflow).
   std::uint64_t wait = options_.request_timeout
                        << std::min<std::uint32_t>(retries, 16);
-  conn.pending[xid] =
-      Connection::PendingRequest{std::move(flows), tick_ + wait, retries};
+  auto& req = conn.pending[xid];
+  req = PendingRequest{};
+  req.flows = std::move(flows);
+  req.deadline = tick_ + wait;
+  req.retries = retries;
+  // Adopt contexts staged by send_flow_mod since the last tracked request
+  // (per-event pipeline: the barrier right after each push).  A preceding
+  // untracked delete's context rides along too — correctly, since this
+  // barrier vouches for everything sent before it.
+  if (!conn.egress.traces.empty()) {
+    req.traces = std::move(conn.egress.traces);
+    req.xids = std::move(conn.egress.xids);
+    req.sent_ns = obs::Tracer::now_ns();
+    conn.egress.traces.clear();
+    conn.egress.xids.clear();
+  }
 }
 
 void OfDriver::retry_request(Connection& conn,
-                             const std::vector<std::string>& flows,
-                             std::uint32_t retries) {
+                             const PendingRequest& request) {
   metrics_.retry_total->add();
-  if (flows.empty()) {
+  std::uint32_t retries = request.retries + 1;
+  // The lost train's wire handoffs are dead (reclaim them) and its
+  // traces record the fault; the surviving refs then ride the retry
+  // train, so the eventual ack still closes every original trace.
+  release_train(conn.dpid, request.xids, request.traces,
+                "retry " + std::to_string(retries));
+  if (request.flows.empty()) {
     // Handshake lost on the wire: ask again.
     if (conn.state == Connection::State::handshaking)
       track_commit(conn, {}, retries);
     return;
   }
+  // Re-stage the traces *before* re-pushing: non-batching's track_commit
+  // (called inside push_flow) and batching's flush both adopt the staged
+  // list, so the retry train's tracked request inherits them either way.
+  conn.egress.traces.insert(conn.egress.traces.end(), request.traces.begin(),
+                            request.traces.end());
   // The lost barrier vouched for every commit on its train: re-push them
   // all.  (Batching gathers the re-pushes into one new train at flush.)
-  for (const auto& flow_name : flows) {
+  for (const auto& flow_name : request.flows) {
     auto it = conn.flows.find(flow_name);
     if (it == conn.flows.end()) continue;  // deleted; audit covers it
     it->second.pushed_version = 0;         // force the re-send
@@ -924,7 +1108,7 @@ void OfDriver::service_timers() {
     }
 
     // Tracked-request timeouts with bounded retries.
-    std::vector<Connection::PendingRequest> expired;
+    std::vector<PendingRequest> expired;
     for (auto it = conn.pending.begin(); it != conn.pending.end();) {
       if (tick_ < it->second.deadline) {
         ++it;
@@ -940,11 +1124,14 @@ void OfDriver::service_timers() {
                       ": request abandoned after " +
                       std::to_string(request.retries) +
                       " retries; declaring down");
+        release_train(conn.dpid, request.xids, request.traces,
+                      "abandoned after " + std::to_string(request.retries) +
+                          " retries");
         mark_down(conn);
         conn.channel.close();
         break;
       }
-      retry_request(conn, request.flows, request.retries + 1);
+      retry_request(conn, request);
     }
     if (!conn.channel.connected()) continue;
 
@@ -1040,8 +1227,18 @@ void OfDriver::send_packet_out_dir(Connection& conn, const std::string& name) {
   (void)vfs_->rmdir(dir);
 }
 
-void OfDriver::on_packet_in(Connection& conn, const ofp::PacketIn& pi) {
+void OfDriver::on_packet_in(Connection& conn, const ofp::PacketIn& pi,
+                            std::uint32_t xid) {
   metrics_.packet_in_total->add();
+  // Claim the context the switch staged under this message's xid: the
+  // wait since wire_put is the packet-in's time on the channel.  The
+  // span's scope covers the pkt_* fan-out below, so the FS events those
+  // writes emit — and the per-app handoffs — all parent to this stage.
+  obs::Tracer::Handoff handoff;
+  if (obs::tracer().enabled()) handoff = obs::tracer().wire_take(conn.dpid, xid);
+  obs::Span trace_span(handoff.ref, "driver", "packet_in",
+                       handoff ? obs::Tracer::now_ns() - handoff.ts_ns : 0);
+  obs::TraceScope trace_scope(trace_span.ref());
   bump_counter(conn.path + "/counters/packet_ins");
   std::string events_dir = options_.net_root + "/events";
   auto apps = vfs_->readdir(events_dir);
@@ -1070,6 +1267,9 @@ void OfDriver::on_packet_in(Connection& conn, const ofp::PacketIn& pi) {
         pkt_dir + "/data",
         std::string_view(reinterpret_cast<const char*>(pi.data.data()),
                          pi.data.size()));
+    // Each app drains its buffer on its own thread; hand the context over
+    // keyed by the pkt directory (the only identity that crosses).
+    obs::tracer().path_put(pkt_dir, trace_span.ref());
   }
 }
 

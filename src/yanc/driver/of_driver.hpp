@@ -113,6 +113,7 @@ class OfDriver {
 
  private:
   struct Connection;
+  struct PendingRequest;
   struct WatchContext;
 
   std::size_t accept_new();
@@ -134,7 +135,8 @@ class OfDriver {
 
   void handle_switch_message(Connection& conn, const ofp::Decoded& decoded);
   void on_features(Connection& conn, const ofp::FeaturesReply& features);
-  void on_packet_in(Connection& conn, const ofp::PacketIn& pi);
+  void on_packet_in(Connection& conn, const ofp::PacketIn& pi,
+                    std::uint32_t xid);
   void on_port_status(Connection& conn, const ofp::PortStatus& ps);
   void on_flow_removed(Connection& conn, const ofp::FlowRemoved& fr);
   void on_stats_reply(Connection& conn, const ofp::StatsReply& sr,
@@ -177,9 +179,9 @@ class OfDriver {
   /// Keepalives, request timeouts with exponential backoff, audits.
   void service_timers();
   /// Handles one expired tracked request on `conn`: re-pushes every flow
-  /// the lost train covered (a lost barrier vouches for none of them).
-  void retry_request(Connection& conn, const std::vector<std::string>& flows,
-                     std::uint32_t retries);
+  /// the lost train covered (a lost barrier vouches for none of them),
+  /// annotating and re-staging any causal traces the train carried.
+  void retry_request(Connection& conn, const PendingRequest& request);
   /// Reconciles the FS flow directories against an audit flow-stats
   /// reply: re-pushes committed flows missing from hardware, deletes
   /// hardware entries no FS flow claims.

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "yanc/obs/tracer.hpp"
 #include "yanc/util/strings.hpp"
 
 namespace yanc::netfs {
@@ -221,6 +222,14 @@ Result<FlowSpec> read_flow_sparse(Vfs& vfs, const std::string& dir,
 Status write_flow(Vfs& vfs, const std::string& dir, const FlowSpec& spec,
                   const Credentials& creds, bool commit) {
   vfs.metrics()->counter("netfs/flow_write_total")->add();
+  // A user write into the FS *is* the API (§3.1), which makes it a trace
+  // ingress: if the thread carries no context, start one here so the
+  // chain runs write -> watch event -> driver commit -> wire.  A caller
+  // already inside a span (an app handling a packet-in) keeps its own.
+  obs::TraceRef root;
+  if (!obs::current_trace() && obs::tracer().enabled())
+    root = obs::tracer().mint("netfs", "write_flow", dir);
+  obs::TraceScope trace_scope(root);
   if (auto st = vfs.stat(dir, creds); !st) {
     if (st.error() != make_error_code(Errc::not_found)) return st.error();
     if (auto ec = vfs.mkdir(dir, 0755, creds); ec) return ec;
@@ -324,6 +333,12 @@ Status write_flow(Vfs& vfs, const std::string& dir, const FlowSpec& spec,
 Result<std::uint64_t> commit_flow(Vfs& vfs, const std::string& dir,
                                   const Credentials& creds) {
   vfs.metrics()->counter("netfs/flow_commit_total")->add();
+  // Same ingress rule as write_flow: a bare commit (bumping version on an
+  // already-written flow) starts its own trace when none is active.
+  obs::TraceRef root;
+  if (!obs::current_trace() && obs::tracer().enabled())
+    root = obs::tracer().mint("netfs", "commit_flow", dir);
+  obs::TraceScope trace_scope(root);
   std::uint64_t current = 0;
   if (auto t = read_field(vfs, dir, "version", creds)) {
     auto v = parse_u64(*t);

@@ -340,6 +340,17 @@ Result<PacketInInfo> EventBufferHandle::read(const std::string& name) const {
   if (auto v = read_u64_file(*vfs_, dir + "/buffer_id", creds_))
     info.buffer_id = static_cast<std::uint32_t>(*v);
   if (auto d = vfs_->read_file(dir + "/data", creds_)) info.data = *d;
+  // Claim the causal context the driver staged under this directory's
+  // path (first reader wins — matching consume(), which also races at
+  // most one winner).  The elapsed time since the driver's put is the
+  // event's buffer wait.
+  if (obs::tracer().enabled()) {
+    if (auto handoff = obs::tracer().path_take(dir)) {
+      info.trace = handoff.ref;
+      std::uint64_t now = obs::Tracer::now_ns();
+      info.trace_queue_ns = now > handoff.ts_ns ? now - handoff.ts_ns : 0;
+    }
+  }
   return info;
 }
 

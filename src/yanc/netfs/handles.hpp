@@ -14,6 +14,7 @@
 
 #include "yanc/flow/flowspec.hpp"
 #include "yanc/netfs/flowio.hpp"
+#include "yanc/obs/tracer.hpp"
 #include "yanc/vfs/vfs.hpp"
 
 namespace yanc::netfs {
@@ -32,6 +33,13 @@ struct PacketInInfo {
   std::string reason;    // "no_match" | "action"
   std::uint32_t buffer_id = 0;
   std::string data;      // raw frame bytes
+
+  // Causal context the driver handed over with this pkt_* directory
+  // (zero when the packet-in was untraced).  `trace_queue_ns` is how long
+  // the event sat in the buffer before this app read it — the app's span
+  // should pass it as queue_ns so wait and service stay separated.
+  obs::TraceRef trace;
+  std::uint64_t trace_queue_ns = 0;
 };
 
 class NetDir {

@@ -2,30 +2,24 @@
 
 namespace yanc::obs {
 
-void TraceRing::record(std::uint64_t ts_ns, std::uint64_t dur_ns,
-                       std::string_view component, std::string_view name) {
+void TraceRing::record(TraceEvent e) {
   dbg::LockGuard lock(mu_);
-  TraceEvent e;
   e.seq = seq_++;
-  e.ts_ns = ts_ns;
-  e.dur_ns = dur_ns;
-  e.component.assign(component);
-  e.name.assign(name);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(e));
-  } else {
-    ring_[next_] = std::move(e);
-    next_ = (next_ + 1) % capacity_;
+    return;
   }
+  // Overwrite the oldest record; its successor becomes the new oldest.
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
   dbg::LockGuard lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
-  // Once wrapped, next_ points at the oldest record.
   for (std::size_t i = 0; i < ring_.size(); ++i)
-    out.push_back(ring_[(next_ + i) % ring_.size()]);
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
   return out;
 }
 
@@ -44,10 +38,33 @@ std::size_t TraceRing::size() const {
   return ring_.size();
 }
 
+std::size_t TraceRing::capacity() const {
+  dbg::LockGuard lock(mu_);
+  return capacity_;
+}
+
 void TraceRing::clear() {
   dbg::LockGuard lock(mu_);
   ring_.clear();
-  next_ = 0;
+  head_ = 0;
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  dbg::LockGuard lock(mu_);
+  if (capacity == capacity_) return;
+  // Rotate into oldest-first order, then keep the newest `capacity`.
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    ordered.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+  if (ordered.size() > capacity)
+    ordered.erase(ordered.begin(),
+                  ordered.begin() +
+                      static_cast<std::ptrdiff_t>(ordered.size() - capacity));
+  capacity_ = capacity;
+  ring_ = std::move(ordered);
+  head_ = 0;
 }
 
 std::string TraceRing::dump() const {
@@ -62,6 +79,20 @@ std::string TraceRing::dump() const {
     out += e.component;
     out += ' ';
     out += e.name;
+    if (e.trace_id != 0) {
+      out += " trace=";
+      out += std::to_string(e.trace_id);
+      out += " span=";
+      out += std::to_string(e.span_id);
+      out += " parent=";
+      out += std::to_string(e.parent_span_id);
+      out += " queue_ns=";
+      out += std::to_string(e.queue_ns);
+      if (!e.note.empty()) {
+        out += " note=";
+        out += e.note;
+      }
+    }
     out += '\n';
   }
   return out;

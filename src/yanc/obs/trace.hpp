@@ -7,6 +7,12 @@
 // `cat /yanc/.stats/trace` answers "what did the controller just do" the
 // same way the rest of the paper's state model answers "what is the
 // controller's state".
+//
+// Records optionally carry causal linkage (trace_id / span_id /
+// parent_span_id, plus the queue-wait preceding the span's service time):
+// the Tracer (yanc/obs/tracer.hpp) threads these through the pipeline and
+// TraceFs reconstructs per-trace span trees from them.  Legacy records
+// leave the linkage fields zero and render exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +28,19 @@ namespace yanc::obs {
 /// else is a span that ended at `ts_ns + dur_ns`.
 struct TraceEvent {
   std::uint64_t seq = 0;    // global record ordinal (never wraps)
-  std::uint64_t ts_ns = 0;  // virtual-clock start time
+  std::uint64_t ts_ns = 0;  // start time (virtual or steady clock)
   std::uint64_t dur_ns = 0;
   std::string component;    // "driver", "dist", "vfs", ...
   std::string name;         // "packet_in", "replicate/apply", ...
+
+  // Causal linkage (all zero for untraced records).  `queue_ns` is how
+  // long the work waited in a queue before `dur_ns` of service began:
+  // the span's wall interval is [ts_ns - queue_ns, ts_ns + dur_ns].
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t queue_ns = 0;
+  std::string note;  // free-form annotation ("retry 2", "absorbed=3", ...)
 };
 
 class TraceRing {
@@ -36,15 +51,29 @@ class TraceRing {
   /// Records an instantaneous event.
   void event(std::uint64_t ts_ns, std::string_view component,
              std::string_view name) {
-    record(ts_ns, 0, component, name);
+    TraceEvent e;
+    e.ts_ns = ts_ns;
+    e.component.assign(component);
+    e.name.assign(name);
+    record(std::move(e));
   }
   /// Records a span of `dur_ns` starting at `ts_ns`.
   void span(std::uint64_t ts_ns, std::uint64_t dur_ns,
             std::string_view component, std::string_view name) {
-    record(ts_ns, dur_ns, component, name);
+    TraceEvent e;
+    e.ts_ns = ts_ns;
+    e.dur_ns = dur_ns;
+    e.component.assign(component);
+    e.name.assign(name);
+    record(std::move(e));
   }
+  /// Records a fully-populated record (linkage fields included).  `seq`
+  /// is assigned by the ring; any caller-provided value is overwritten.
+  void record(TraceEvent e);
 
-  /// Oldest-to-newest copy of the retained records.
+  /// Oldest-to-newest copy of the retained records: seq values in the
+  /// returned vector are strictly increasing, whether or not the ring
+  /// has wrapped.
   std::vector<TraceEvent> snapshot() const;
 
   /// Records evicted because the ring was full.
@@ -52,22 +81,26 @@ class TraceRing {
   /// Total records ever written.
   std::uint64_t recorded() const;
   std::size_t size() const;
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const;
 
   void clear();
+  /// Resizes the ring, keeping the newest records that still fit.
+  void set_capacity(std::size_t capacity);
 
-  /// Text rendering, one record per line:
+  /// Text rendering, one record per line, oldest first:
   ///   "<seq> <ts_ns> <dur_ns> <component> <name>\n"
+  /// Records with causal linkage append
+  ///   " trace=<id> span=<id> parent=<id> queue_ns=<n>[ note=<text>]".
   std::string dump() const;
 
  private:
-  void record(std::uint64_t ts_ns, std::uint64_t dur_ns,
-              std::string_view component, std::string_view name);
+  /// Caller holds mu_.  Oldest retained record; 0 until the ring wraps.
+  std::size_t head_locked() const { return head_; }
 
   mutable dbg::Mutex<dbg::Rank::obs_trace> mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
-  std::size_t next_ = 0;          // write cursor once wrapped
+  std::size_t head_ = 0;          // index of the oldest record once wrapped
   std::uint64_t seq_ = 0;
 };
 

@@ -1,0 +1,439 @@
+#include "yanc/obs/trace_fs.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::obs {
+
+using vfs::Credentials;
+using vfs::NodeId;
+
+namespace {
+
+/// Minimal JSON string escaper for component/name/note fields.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Parses a duration token: digits with an optional ns/us/ms/s suffix.
+std::optional<std::uint64_t> parse_duration_ns(std::string_view text) {
+  std::uint64_t scale = 1;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ns") {
+    text.remove_suffix(2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "us") {
+    text.remove_suffix(2);
+    scale = 1000;
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    text.remove_suffix(2);
+    scale = 1000000;
+  } else if (text.size() >= 1 && text.back() == 's') {
+    text.remove_suffix(1);
+    scale = 1000000000;
+  }
+  auto value = parse_u64(text);
+  if (!value) return std::nullopt;
+  return *value * scale;
+}
+
+/// One trace's events rendered as an indented span tree, oldest first.
+/// Children may be *recorded* before their parent (a RAII parent span
+/// closes after the stages nested in it), so the tree is rebuilt from the
+/// linkage fields rather than ring order.
+std::string render_trace(const std::vector<TraceEvent>& events,
+                         std::uint64_t trace_id) {
+  std::vector<const TraceEvent*> mine;
+  std::uint64_t t0 = UINT64_MAX;
+  for (const auto& e : events) {
+    if (e.trace_id != trace_id) continue;
+    mine.push_back(&e);
+    std::uint64_t start = e.ts_ns - std::min(e.queue_ns, e.ts_ns);
+    t0 = std::min(t0, start);
+  }
+  if (mine.empty()) return {};
+
+  std::set<std::uint64_t> span_ids;
+  for (const auto* e : mine) span_ids.insert(e->span_id);
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> children;
+  std::vector<const TraceEvent*> roots;
+  for (const auto* e : mine) {
+    if (e->parent_span_id != 0 && span_ids.count(e->parent_span_id))
+      children[e->parent_span_id].push_back(e);
+    else
+      roots.push_back(e);
+  }
+  auto by_start = [](const TraceEvent* a, const TraceEvent* b) {
+    return a->ts_ns - std::min(a->queue_ns, a->ts_ns) <
+           b->ts_ns - std::min(b->queue_ns, b->ts_ns);
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children)
+    std::sort(kids.begin(), kids.end(), by_start);
+
+  std::string out = "trace " + std::to_string(trace_id) + ": " +
+                    std::to_string(mine.size()) + " spans\n";
+  // Iterative DFS; depth capped so a pathological parent cycle (ids
+  // reused after a clear()) cannot recurse away the stack.
+  struct Frame {
+    const TraceEvent* e;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+    stack.push_back({*it, 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    out += std::string(2 * f.depth, ' ');
+    out += f.e->component + "/" + f.e->name;
+    out += " span=" + std::to_string(f.e->span_id);
+    std::uint64_t start = f.e->ts_ns - std::min(f.e->queue_ns, f.e->ts_ns);
+    out += " start=+" + std::to_string(start - t0) + "ns";
+    out += " queue=" + std::to_string(f.e->queue_ns) + "ns";
+    out += " dur=" + std::to_string(f.e->dur_ns) + "ns";
+    if (!f.e->note.empty()) out += " note=" + f.e->note;
+    out += '\n';
+    if (f.depth >= 64) continue;
+    auto kids = children.find(f.e->span_id);
+    if (kids == children.end()) continue;
+    for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it)
+      stack.push_back({*it, f.depth + 1});
+  }
+  return out;
+}
+
+/// The whole ring as Chrome trace_event JSON (load in chrome://tracing or
+/// Perfetto).  Each span is one complete ("X") event; ts/dur are in
+/// microseconds per the format, args keep full-precision nanoseconds.
+/// Traces map to tid rows so concurrent traces render as parallel tracks.
+std::string render_chrome_json(const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, std::uint64_t> tids;
+  for (const auto& e : events)
+    tids.emplace(e.trace_id, tids.size() + 1);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ',';
+    first = false;
+    std::uint64_t start = e.ts_ns - std::min(e.queue_ns, e.ts_ns);
+    out += "{\"ph\":\"X\",\"name\":\"" + json_escape(e.component) + "/" +
+           json_escape(e.name) + "\"";
+    out += ",\"cat\":\"" + json_escape(e.component) + "\"";
+    out += ",\"pid\":1,\"tid\":" + std::to_string(tids[e.trace_id]);
+    out += ",\"ts\":" + std::to_string(start / 1000) + "." +
+           std::to_string(start % 1000);
+    std::uint64_t total = e.queue_ns + e.dur_ns;
+    out += ",\"dur\":" + std::to_string(total / 1000) + "." +
+           std::to_string(total % 1000);
+    out += ",\"args\":{\"trace_id\":" + std::to_string(e.trace_id) +
+           ",\"span_id\":" + std::to_string(e.span_id) +
+           ",\"parent_span_id\":" + std::to_string(e.parent_span_id) +
+           ",\"queue_ns\":" + std::to_string(e.queue_ns) +
+           ",\"service_ns\":" + std::to_string(e.dur_ns) +
+           ",\"note\":\"" + json_escape(e.note) + "\"}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+TraceFs::TraceFs(Tracer* t) : tracer_(t ? t : &tracer()) {}
+
+std::string TraceFs::content_of(NodeId node) const {
+  switch (node) {
+    case kCtl:
+      // Reading ctl shows the accepted grammar (self-documenting knob).
+      return "# start | stop | clear | sample_every=N | capacity=N |"
+             " trigger=dur_ns>DUR | trigger=off\n";
+    case kStatus: {
+      std::string out;
+      out += "enabled " + std::to_string(tracer_->enabled() ? 1 : 0) + "\n";
+      out += "sample_every " + std::to_string(tracer_->sample_every()) + "\n";
+      out += "trigger_ns " + std::to_string(tracer_->trigger_ns()) + "\n";
+      out += "capacity " + std::to_string(tracer_->ring().capacity()) + "\n";
+      out +=
+          "events " + std::to_string(tracer_->ring().snapshot().size()) + "\n";
+      out += "inflight " + std::to_string(tracer_->inflight()) + "\n";
+      return out;
+    }
+    case kExport:
+      return render_chrome_json(tracer_->ring().snapshot());
+    default: {
+      std::uint64_t trace_id = trace_for_node(node);
+      if (trace_id == 0) return {};
+      return render_trace(tracer_->ring().snapshot(), trace_id);
+    }
+  }
+}
+
+NodeId TraceFs::node_for_trace(std::uint64_t trace_id) {
+  dbg::LockGuard lock(mu_);
+  auto it = trace_nodes_.find(trace_id);
+  if (it != trace_nodes_.end()) return it->second;
+  NodeId node = next_dynamic_++;
+  trace_nodes_.emplace(trace_id, node);
+  node_traces_.emplace(node, trace_id);
+  return node;
+}
+
+std::uint64_t TraceFs::trace_for_node(NodeId node) const {
+  dbg::LockGuard lock(mu_);
+  auto it = node_traces_.find(node);
+  return it == node_traces_.end() ? 0 : it->second;
+}
+
+Result<NodeId> TraceFs::lookup(NodeId parent, const std::string& name) {
+  if (parent == kRoot) {
+    if (name == "ctl") return kCtl;
+    if (name == "status") return kStatus;
+    if (name == "export.json") return kExport;
+    if (name == "by-id") return kByIdDir;
+    return Errc::not_found;
+  }
+  if (parent == kByIdDir) {
+    auto id = parse_u64(name);
+    if (!id || *id == 0) return Errc::not_found;
+    for (const auto& e : tracer_->ring().snapshot())
+      if (e.trace_id == *id) return node_for_trace(*id);
+    return Errc::not_found;
+  }
+  return is_fixed_file(parent) || trace_for_node(parent) ? Errc::not_dir
+                                                         : Errc::not_found;
+}
+
+Result<vfs::Stat> TraceFs::getattr(NodeId node) {
+  bool file = is_fixed_file(node) || trace_for_node(node) != 0;
+  if (!is_dir(node) && !file) return Errc::not_found;
+  vfs::Stat st;
+  st.ino = node;
+  st.type = is_dir(node) ? vfs::FileType::directory : vfs::FileType::regular;
+  st.mode = is_dir(node) ? 0755 : (node == kCtl ? 0644 : 0444);
+  st.nlink = 1;
+  st.size = is_dir(node) ? 1 : content_of(node).size();
+  st.version = 1;
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> TraceFs::readdir(NodeId dir) {
+  std::vector<vfs::DirEntry> out;
+  if (dir == kRoot) {
+    out.push_back({"by-id", kByIdDir, vfs::FileType::directory});
+    out.push_back({"ctl", kCtl, vfs::FileType::regular});
+    out.push_back({"export.json", kExport, vfs::FileType::regular});
+    out.push_back({"status", kStatus, vfs::FileType::regular});
+    return out;
+  }
+  if (dir == kByIdDir) {
+    std::set<std::uint64_t> ids;
+    for (const auto& e : tracer_->ring().snapshot())
+      if (e.trace_id != 0) ids.insert(e.trace_id);
+    for (std::uint64_t id : ids)
+      out.push_back({std::to_string(id), node_for_trace(id),
+                     vfs::FileType::regular});
+    return out;
+  }
+  if (is_fixed_file(dir) || trace_for_node(dir)) return Errc::not_dir;
+  return Errc::not_found;
+}
+
+Result<std::string> TraceFs::readlink(NodeId) {
+  return Errc::invalid_argument;
+}
+
+Result<std::string> TraceFs::read(NodeId node, std::uint64_t offset,
+                                  std::uint64_t size, const Credentials&) {
+  if (is_dir(node)) return Errc::is_dir;
+  if (!is_fixed_file(node) && trace_for_node(node) == 0)
+    return Errc::not_found;
+  std::string content = content_of(node);
+  if (offset >= content.size()) return std::string();
+  return content.substr(offset, size);
+}
+
+Result<std::vector<std::uint8_t>> TraceFs::getxattr(NodeId,
+                                                    const std::string&) {
+  return Errc::not_found;
+}
+
+Result<std::vector<std::string>> TraceFs::listxattr(NodeId) {
+  return std::vector<std::string>{};
+}
+
+Status TraceFs::access(NodeId node, std::uint8_t want, const Credentials&) {
+  bool file = is_fixed_file(node) || trace_for_node(node) != 0;
+  if (!is_dir(node) && !file) return Errc::not_found;
+  if ((want & 2) && node != kCtl) return Errc::access_denied;
+  return ok_status();
+}
+
+Status TraceFs::apply_ctl(std::string_view text) {
+  // Parse every token before applying any (echo of FaultsFs: an invalid
+  // line is EINVAL and changes nothing).
+  struct Pending {
+    bool start = false, stop = false, clear = false;
+    std::optional<std::uint32_t> sample_every;
+    std::optional<std::size_t> capacity;
+    std::optional<std::uint64_t> trigger_ns;
+  } pending;
+  std::string normalized(text);
+  for (char& c : normalized)
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  for (const auto& raw : split_nonempty(normalized, ' ')) {
+    std::string_view token = trim(raw);
+    if (token.empty()) continue;
+    if (token == "start") {
+      pending.start = true;
+    } else if (token == "stop") {
+      pending.stop = true;
+    } else if (token == "clear") {
+      pending.clear = true;
+    } else if (token.rfind("sample_every=", 0) == 0) {
+      auto n = parse_u64(token.substr(13));
+      if (!n || *n == 0 || *n > UINT32_MAX)
+        return make_error_code(Errc::invalid_argument);
+      pending.sample_every = static_cast<std::uint32_t>(*n);
+    } else if (token.rfind("capacity=", 0) == 0) {
+      auto n = parse_u64(token.substr(9));
+      if (!n || *n == 0 || *n > (1u << 24))
+        return make_error_code(Errc::invalid_argument);
+      pending.capacity = static_cast<std::size_t>(*n);
+    } else if (token == "trigger=off") {
+      pending.trigger_ns = 0;
+    } else if (token.rfind("trigger=dur_ns>", 0) == 0) {
+      auto ns = parse_duration_ns(token.substr(15));
+      if (!ns) return make_error_code(Errc::invalid_argument);
+      pending.trigger_ns = *ns;
+    } else {
+      return make_error_code(Errc::invalid_argument);
+    }
+  }
+  if (pending.start && pending.stop)
+    return make_error_code(Errc::invalid_argument);
+
+  if (pending.clear) {
+    tracer_->clear();
+    dbg::LockGuard lock(mu_);
+    trace_nodes_.clear();
+    node_traces_.clear();
+  }
+  if (pending.capacity) tracer_->set_capacity(*pending.capacity);
+  if (pending.sample_every) tracer_->set_sample_every(*pending.sample_every);
+  if (pending.trigger_ns) tracer_->set_trigger_ns(*pending.trigger_ns);
+  if (pending.stop) tracer_->stop();
+  if (pending.start) tracer_->start();
+
+  dbg::LockGuard lock(mu_);
+  watches_.emit(kCtl, vfs::event::modified);
+  watches_.emit(kStatus, vfs::event::modified);
+  watches_.emit(kRoot, vfs::event::modified, "ctl");
+  return ok_status();
+}
+
+Result<std::uint64_t> TraceFs::write(NodeId node, std::uint64_t offset,
+                                     std::string_view data,
+                                     const Credentials&) {
+  if (is_dir(node)) return Errc::is_dir;
+  if (!is_fixed_file(node) && trace_for_node(node) == 0)
+    return Errc::not_found;
+  if (node != kCtl) return Errc::access_denied;
+  // Control writes are whole-value (echo > ctl); offset writes have no
+  // sensible parse.
+  if (offset != 0) return Errc::invalid_argument;
+  if (auto ec = apply_ctl(data)) return ec;
+  return static_cast<std::uint64_t>(data.size());
+}
+
+Status TraceFs::truncate(NodeId node, std::uint64_t size, const Credentials&) {
+  if (is_dir(node)) return Errc::is_dir;
+  if (!is_fixed_file(node) && trace_for_node(node) == 0)
+    return Errc::not_found;
+  if (node != kCtl) return Errc::access_denied;
+  // O_TRUNC on open: accepted as a no-op so `echo start > ctl` works.
+  return size == 0 ? ok_status() : make_error_code(Errc::invalid_argument);
+}
+
+Result<NodeId> TraceFs::mkdir(NodeId, const std::string&, std::uint32_t,
+                              const Credentials&) {
+  return Errc::not_permitted;
+}
+Result<NodeId> TraceFs::create(NodeId, const std::string&, std::uint32_t,
+                               const Credentials&) {
+  return Errc::not_permitted;
+}
+Result<NodeId> TraceFs::symlink(NodeId, const std::string&, const std::string&,
+                                const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::link(NodeId, NodeId, const std::string&, const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::unlink(NodeId, const std::string&, const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::rmdir(NodeId, const std::string&, const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::rename(NodeId, const std::string&, NodeId, const std::string&,
+                       const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::chmod(NodeId, std::uint32_t, const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::chown(NodeId, vfs::Uid, vfs::Gid, const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::setxattr(NodeId, const std::string&, std::vector<std::uint8_t>,
+                         const Credentials&) {
+  return Errc::not_permitted;
+}
+Status TraceFs::removexattr(NodeId, const std::string&, const Credentials&) {
+  return Errc::not_permitted;
+}
+
+Result<vfs::WatchRegistry::WatchId> TraceFs::watch(NodeId node,
+                                                   std::uint32_t mask,
+                                                   vfs::WatchQueuePtr queue) {
+  if (!is_dir(node) && !is_fixed_file(node) && trace_for_node(node) == 0)
+    return Errc::not_found;
+  dbg::LockGuard lock(mu_);
+  return watches_.add(node, mask, std::move(queue));
+}
+
+void TraceFs::unwatch(vfs::WatchRegistry::WatchId id) {
+  dbg::LockGuard lock(mu_);
+  watches_.remove(id);
+}
+
+Result<std::shared_ptr<TraceFs>> mount_trace_fs(vfs::Vfs& vfs,
+                                                const std::string& mount_path) {
+  tracer().bind_metrics(vfs.metrics());
+  if (auto ec = vfs.mkdir_p(mount_path, 0755, Credentials::root())) return ec;
+  auto fs = std::make_shared<TraceFs>();
+  if (auto ec = vfs.mount(mount_path, fs)) return ec;
+  return fs;
+}
+
+}  // namespace yanc::obs

@@ -221,4 +221,26 @@ Result<std::vector<std::string>> flows_matching_port(
   return flow_dirs;
 }
 
+Result<std::string> trace_show(Vfs& vfs, const std::string& what,
+                               const Credentials& creds,
+                               const std::string& trace_root) {
+  const std::string by_id = trace_root + "/by-id";
+  // A captured trace id resolves directly.
+  if (auto exact = vfs.read_file(by_id + "/" + what, creds)) return *exact;
+  // Otherwise treat `what` as a filter over every captured trace: a flow
+  // path, a pkt_* dir, a dpid — anything a span tree mentions.
+  auto ids = vfs.readdir(by_id, creds);
+  if (!ids) return ids.error();
+  std::string out;
+  for (const auto& entry : *ids) {
+    auto rendered = vfs.read_file(by_id + "/" + entry.name, creds);
+    if (!rendered) continue;
+    if (rendered->find(what) == std::string::npos) continue;
+    if (!out.empty()) out += '\n';
+    out += *rendered;
+  }
+  if (out.empty()) return Errc::not_found;
+  return out;
+}
+
 }  // namespace yanc::shell

@@ -72,4 +72,13 @@ Result<std::vector<std::string>> flows_matching_port(
     vfs::Vfs& vfs, const std::string& net_root, std::uint16_t port,
     const vfs::Credentials& creds = {});
 
+/// `trace WHAT` — causal-trace inspection over the /yanc/.trace subtree.
+/// If WHAT names a captured trace id, prints that trace's span tree;
+/// otherwise WHAT is a filter (a path, flow name, or dpid) and every
+/// captured trace whose span tree mentions it is printed.  Fails with
+/// not_found when nothing matches.
+Result<std::string> trace_show(vfs::Vfs& vfs, const std::string& what,
+                               const vfs::Credentials& creds = {},
+                               const std::string& trace_root = "/yanc/.trace");
+
 }  // namespace yanc::shell

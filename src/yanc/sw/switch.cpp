@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "yanc/obs/tracer.hpp"
 #include "yanc/util/log.hpp"
 
 namespace yanc::sw {
@@ -39,17 +40,19 @@ void Switch::connect(net::Channel channel) {
   send(ofp::Hello{});
 }
 
-void Switch::send(const ofp::Message& message, std::uint32_t xid) {
-  if (!channel_.connected()) return;
-  auto bytes = ofp::encode(options_.version, xid ? xid : next_xid_++, message);
+std::uint32_t Switch::send(const ofp::Message& message, std::uint32_t xid) {
+  if (!channel_.connected()) return 0;
+  if (xid == 0) xid = next_xid_++;
+  auto bytes = ofp::encode(options_.version, xid, message);
   if (!bytes) {
     log_error("sw", "encode failed for " + ofp::message_name(message));
-    return;
+    return 0;
   }
   // A false return means the controller end closed mid-send; pump()
   // observes the disconnect via connected() on its next pass, so the
   // lost message needs no handling here.
   std::ignore = channel_.send(std::move(*bytes));
+  return xid;
 }
 
 std::size_t Switch::pump() {
@@ -98,7 +101,7 @@ void Switch::handle_message(const ofp::Decoded& decoded) {
     return;
   }
   if (auto* fm = std::get_if<ofp::FlowMod>(&m)) {
-    handle_flow_mod(*fm);
+    handle_flow_mod(*fm, xid);
     return;
   }
   if (auto* po = std::get_if<ofp::PacketOut>(&m)) {
@@ -121,8 +124,16 @@ void Switch::handle_message(const ofp::Decoded& decoded) {
   send(ofp::Error{1, 1, {}}, xid);
 }
 
-void Switch::handle_flow_mod(const ofp::FlowMod& fm) {
+void Switch::handle_flow_mod(const ofp::FlowMod& fm, std::uint32_t xid) {
   ++flow_mods_;
+  // Close the wire leg of a traced commit: queue-wait is the time the
+  // encoded FLOW_MOD sat in the channel, service is the table mutation.
+  obs::Tracer::Handoff handoff;
+  if (obs::tracer().enabled())
+    handoff = obs::tracer().wire_take(options_.datapath_id, xid);
+  obs::Span trace_span(
+      handoff.ref, "sw", "flow_mod",
+      handoff ? obs::Tracer::now_ns() - handoff.ts_ns : 0);
   std::uint8_t table = options_.version == ofp::Version::of10
                            ? 0
                            : fm.spec.table_id;
@@ -409,7 +420,16 @@ void Switch::send_packet_in(const net::Frame& frame, std::uint16_t in_port,
     buffers_[pi.buffer_id] = frame;
   }
   ++packet_ins_;
-  send(pi);
+  // Ingress of the control-plane pipeline: mint the root of a causal
+  // trace and tie it to the in-flight PacketIn's (dpid, xid), so the
+  // driver can pick the context up on the far side of the channel.
+  obs::TraceRef trace_ref;
+  if (obs::tracer().enabled())
+    trace_ref = obs::tracer().mint("sw", "packet_in",
+                                   "in_port=" + std::to_string(in_port));
+  std::uint32_t xid = send(pi);
+  if (trace_ref && xid != 0)
+    obs::tracer().wire_put(options_.datapath_id, xid, trace_ref);
 }
 
 void Switch::send_flow_removed(const ExpiredEntry& expired) {

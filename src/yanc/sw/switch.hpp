@@ -77,9 +77,11 @@ class Switch : public net::Device {
   void bind_metrics(obs::Registry& registry);
 
  private:
-  void send(const ofp::Message& message, std::uint32_t xid = 0);
+  /// Encodes and sends; returns the xid used (0 when nothing was sent),
+  /// so callers can correlate in-flight messages (causal tracing).
+  std::uint32_t send(const ofp::Message& message, std::uint32_t xid = 0);
   void handle_message(const ofp::Decoded& decoded);
-  void handle_flow_mod(const ofp::FlowMod& fm);
+  void handle_flow_mod(const ofp::FlowMod& fm, std::uint32_t xid);
   void handle_packet_out(const ofp::PacketOut& po);
   void handle_stats(const ofp::StatsRequest& sr, std::uint32_t xid);
   void handle_port_mod(const ofp::PortMod& pm);

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 
+#include "yanc/obs/tracer.hpp"
 #include "yanc/util/strings.hpp"
 #include "yanc/vfs/memfs.hpp"
 
@@ -407,6 +408,14 @@ Status Vfs::write_file(std::string_view path, std::string_view data,
                        const Credentials& creds, const std::string& root) {
   OpTimer timer(obs_.op_ns);
   count_op(OpKind::write);
+  // A path write with no active context is pipeline ingress: a user (or
+  // an app outside any traced scope) pushing new intent into the FS.
+  // Minting here makes the whole downstream chain — watch emit, driver
+  // commit, OpenFlow egress — children of this write.
+  obs::TraceRef ingress;
+  if (!obs::current_trace() && obs::tracer().enabled())
+    ingress = obs::tracer().mint("vfs", "write", std::string(path));
+  obs::TraceScope trace_scope(ingress);
   // Deliberately NOT open(O_TRUNC): that truncates in one FS op and writes
   // in a second, leaving a window where concurrent readers see an empty
   // file.  replace() commits the new content in a single step.
@@ -463,6 +472,14 @@ Status Vfs::mkdir(std::string_view path, std::uint32_t mode,
                   const Credentials& creds, const std::string& root) {
   OpTimer timer(obs_.op_ns);
   count_op(OpKind::write);
+  // Ingress like write_file: `mkdir /net/.../flows/f` is how a flow is
+  // born, and in a create-then-commit burst the driver dedups the whole
+  // burst onto the `created` event — the ref minted here is the one that
+  // survives onto the FLOW_MOD train.
+  obs::TraceRef ingress;
+  if (!obs::current_trace() && obs::tracer().enabled())
+    ingress = obs::tracer().mint("vfs", "mkdir", std::string(path));
+  obs::TraceScope trace_scope(ingress);
   std::string leaf;
   auto parent = resolve_parent(path, creds, &leaf, root);
   if (!parent) return parent.error();
@@ -521,6 +538,12 @@ Status Vfs::rmdir(std::string_view path, const Credentials& creds,
 
 Status Vfs::remove_all(std::string_view path, const Credentials& creds,
                        const std::string& root) {
+  // Ingress for deletions: `rm` of a flow dir drives a delete FLOW_MOD
+  // through the same pipeline a commit does.
+  obs::TraceRef ingress;
+  if (!obs::current_trace() && obs::tracer().enabled())
+    ingress = obs::tracer().mint("vfs", "remove", std::string(path));
+  obs::TraceScope trace_scope(ingress);
   auto st = lstat(path, creds, root);
   if (!st) return st.error();
   if (st->is_dir()) {

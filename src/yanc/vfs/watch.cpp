@@ -13,10 +13,23 @@ void WatchQueue::push(Event e) {
       // same path: any interleaved event (a delete, a create, a different
       // path) sits at the tail instead and blocks the merge, so ordering
       // and terminal events survive coalescing by construction.
-      const Event& tail = events_.back();
+      Event& tail = events_.back();
       if (tail.mask == event::modified && tail.node == e.node &&
           tail.name == e.name) {
         if (coalesce_metric_) coalesce_metric_->add();
+        // The merged tail must keep the causal refs it absorbs, or the
+        // coalesced traces lose their chain here.  The tail's (earlier)
+        // trace_ts_ns stays: queue-wait is measured from the oldest
+        // absorbed work.  Bounded so a pathological burst of distinct
+        // traces onto one path cannot grow the event without limit.
+        if (!e.trace.empty() && tail.trace.size() < kMaxTraceRefs) {
+          std::size_t room = kMaxTraceRefs - tail.trace.size();
+          tail.trace.insert(
+              tail.trace.end(), e.trace.begin(),
+              e.trace.begin() +
+                  static_cast<std::ptrdiff_t>(std::min(room, e.trace.size())));
+          if (tail.trace_ts_ns == 0) tail.trace_ts_ns = e.trace_ts_ns;
+        }
         return;  // the queued tail already announces this state change
       }
     }
@@ -177,7 +190,16 @@ void WatchRegistry::emit(NodeId node, std::uint32_t mask,
       if (sub.mask & mask) targets.push_back(sub.queue);
     }
   }
-  for (auto& q : targets) q->push(Event{mask, node, name, cookie});
+  Event base{mask, node, name, cookie};
+  // Stamp the emitting thread's causal context.  MemFs's MutationScope
+  // defers emission, but the deferral still runs on the mutating thread
+  // before the VFS call returns, so the ingress TraceScope is still
+  // active here — one stamp point covers every filesystem.
+  if (auto ref = obs::current_trace()) {
+    base.trace.push_back(ref);
+    base.trace_ts_ns = obs::Tracer::now_ns();
+  }
+  for (auto& q : targets) q->push(base);
 }
 
 bool WatchRegistry::watched(NodeId node) const {

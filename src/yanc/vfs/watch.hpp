@@ -17,6 +17,7 @@
 
 #include "yanc/dbg/lockdep.hpp"
 #include "yanc/obs/metrics.hpp"
+#include "yanc/obs/tracer.hpp"
 #include "yanc/vfs/types.hpp"
 
 namespace yanc::vfs {
@@ -37,14 +38,32 @@ inline constexpr std::uint32_t all =
     delete_self | move_self;
 }  // namespace event
 
+/// Cap on causal refs a single (possibly coalesced) event carries.
+inline constexpr std::size_t kMaxTraceRefs = 16;
+
 /// One notification.  For directory watches, `name` is the child entry the
 /// event refers to; for watches on the node itself it is empty.  Rename
 /// emits a moved_from/moved_to pair sharing a `cookie`.
 struct Event {
+  Event() = default;
+  Event(std::uint32_t mask_bits, NodeId target, std::string child = {},
+        std::uint32_t rename_cookie = 0)
+      : mask(mask_bits), node(target), name(std::move(child)),
+        cookie(rename_cookie) {}
+
   std::uint32_t mask = 0;
   NodeId node = kInvalidNode;  // the watched node the event fired on
   std::string name;
   std::uint32_t cookie = 0;
+
+  // Causal contexts this event carries (empty when untraced).  Normally
+  // one ref — the context active on the emitting thread — but an event
+  // that coalescing merged keeps every ref it absorbed, so a batched
+  // consumer can close a stage span for each trace in the batch.
+  // `trace_ts_ns` is when the oldest carried ref was enqueued: the
+  // consumer's (now - trace_ts_ns) is the event's queue-wait.
+  std::vector<obs::TraceRef> trace;
+  std::uint64_t trace_ts_ns = 0;
 
   bool is(std::uint32_t bit) const noexcept { return (mask & bit) != 0; }
 };

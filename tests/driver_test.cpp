@@ -12,6 +12,7 @@
 #include "yanc/faults/injector.hpp"
 #include "yanc/netfs/handles.hpp"
 #include "yanc/netfs/yancfs.hpp"
+#include "yanc/obs/tracer.hpp"
 #include "yanc/sw/switch.hpp"
 
 namespace yanc::driver {
@@ -862,6 +863,11 @@ void run_reconnect_resync_matrix(bool batching) {
     auto injector = std::make_shared<faults::Injector>(seed);
     driver.listener().set_fault_hook_factory(
         faults::channel_hook_factory(injector));
+    // Causal tracing rides along the whole matrix: every handoff a fault
+    // strands must be reclaimed (no leaks), and the faults themselves
+    // must surface as span annotations.
+    obs::tracer().clear();
+    obs::tracer().start();
 
     auto spawn = [&](const char* name) {
       sw::SwitchOptions sopts;
@@ -943,6 +949,15 @@ void run_reconnect_resync_matrix(bool batching) {
     EXPECT_GT(vfs->metrics()->counter("driver/of/retry_total")->value(), 0u);
     EXPECT_GT(vfs->metrics()->counter("driver/of/resync_total")->value(),
               0u);
+    // Spans closed, not leaked: the blackout train was reclaimed by the
+    // retry path, the in-flight train by mark_down on disconnect, and the
+    // lossy reconnect's drops by their retries — so nothing is stranded
+    // in the correlation maps, and the fault annotations are in the ring.
+    EXPECT_EQ(obs::tracer().inflight(), 0u);
+    EXPECT_NE(obs::tracer().ring().dump().find("train_fault"),
+              std::string::npos);
+    obs::tracer().stop();
+    obs::tracer().clear();
   }
 }
 

@@ -9,6 +9,8 @@
 #include "yanc/netfs/yancfs.hpp"
 #include "yanc/obs/stats_fs.hpp"
 #include "yanc/obs/trace.hpp"
+#include "yanc/obs/trace_fs.hpp"
+#include "yanc/obs/tracer.hpp"
 #include "yanc/shell/coreutils.hpp"
 #include "yanc/sw/switch.hpp"
 #include "yanc/util/strings.hpp"
@@ -158,6 +160,285 @@ TEST(TraceRingTest, WrapsKeepingNewestAndCountsDrops) {
     expected += std::to_string(6 + i);
     EXPECT_EQ(events[i].name, expected);
   }
+}
+
+TEST(TraceRingTest, DumpAfterWrapIsOldestFirstAndKeepsLinkage) {
+  TraceRing ring(4);
+  // Six legacy records (no linkage), then four with causal fields; the
+  // wrap must retain exactly the newest four, oldest first, and the
+  // legacy line format must survive the linkage extension unchanged.
+  for (std::uint64_t i = 0; i < 6; ++i) ring.event(i * 10, "t", "legacy");
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    TraceEvent e;
+    e.ts_ns = 100 + i;
+    e.dur_ns = 7;
+    e.component = "driver";
+    e.name = "commit";
+    e.trace_id = 42;
+    e.span_id = 50 + i;
+    e.parent_span_id = 42;
+    e.queue_ns = 3;
+    if (i == 3) e.note = "retry 1";
+    ring.record(std::move(e));
+  }
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);  // strictly increasing across the wrap
+    EXPECT_EQ(events[i].span_id, 50 + i);
+  }
+  std::string dump = ring.dump();
+  EXPECT_EQ(dump.find("legacy"), std::string::npos);  // evicted
+  EXPECT_NE(dump.find("6 100 7 driver commit trace=42 span=50 parent=42 "
+                      "queue_ns=3\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("9 103 7 driver commit trace=42 span=53 parent=42 "
+                      "queue_ns=3 note=retry 1\n"),
+            std::string::npos);
+}
+
+// --- Tracer -------------------------------------------------------------
+
+TEST(TracerTest, MintIsGatedOnEnableAndSampling) {
+  Tracer tracer;
+  EXPECT_FALSE(bool(tracer.mint("vfs", "write")));  // off: zero ref
+  tracer.start();
+  auto a = tracer.mint("vfs", "write");
+  EXPECT_TRUE(bool(a));
+  EXPECT_EQ(a.trace_id, a.span_id);  // root span carries the trace id
+  tracer.set_sample_every(4);
+  std::size_t minted = 0;
+  for (int i = 0; i < 16; ++i)
+    if (tracer.mint("vfs", "write")) ++minted;
+  EXPECT_EQ(minted, 4u);  // exactly 1-in-4
+}
+
+TEST(TracerTest, ChildSpansLinkToParents) {
+  Tracer tracer;
+  tracer.start();
+  auto root = tracer.mint("sw", "packet_in", "port 3");
+  auto child = tracer.child(root, "driver", "packet_in", 100, 250, 40);
+  ASSERT_TRUE(bool(child));
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  auto events = tracer.ring().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].note, "port 3");
+  EXPECT_EQ(events[1].parent_span_id, root.span_id);
+  EXPECT_EQ(events[1].dur_ns, 150u);
+  EXPECT_EQ(events[1].queue_ns, 40u);
+  // A zero parent disarms everything downstream.
+  EXPECT_FALSE(bool(tracer.child({}, "driver", "packet_in", 0, 1, 0)));
+}
+
+TEST(TracerTest, TraceScopeInstallsAndRestores) {
+  EXPECT_FALSE(bool(current_trace()));
+  TraceRef outer{7, 9};
+  {
+    TraceScope scope(outer);
+    EXPECT_EQ(current_trace().span_id, 9u);
+    {
+      TraceScope inner(TraceRef{7, 11});
+      EXPECT_EQ(current_trace().span_id, 11u);
+    }
+    EXPECT_EQ(current_trace().span_id, 9u);
+    // Regression: a zero scope is inert — it must NOT sever the active
+    // context.  Nested ingress points (write_flow calling Vfs::write_file)
+    // each open a scope on a possibly-zero mint; the inner zero must keep
+    // the outer trace flowing into the watch events emitted under it.
+    {
+      TraceScope inert{TraceRef{}};
+      EXPECT_EQ(current_trace().span_id, 9u);
+    }
+  }
+  EXPECT_FALSE(bool(current_trace()));
+}
+
+TEST(TracerTest, SpanGuardRecordsServiceTimeAtDestruction) {
+  Tracer& t = tracer();
+  t.clear();
+  t.start();
+  auto root = t.mint("sw", "packet_in");
+  {
+    Span span(root, "driver", "packet_in", 11);
+    ASSERT_TRUE(bool(span));
+    EXPECT_EQ(span.ref().trace_id, root.trace_id);
+    span.note("shard 2");
+    // ref() is usable while still open: nested stages parent to it.
+    TraceScope scope(span.ref());
+    EXPECT_EQ(current_trace().span_id, span.ref().span_id);
+  }
+  auto events = t.ring().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].component, "driver");
+  EXPECT_EQ(events[1].parent_span_id, root.span_id);
+  EXPECT_EQ(events[1].queue_ns, 11u);
+  EXPECT_EQ(events[1].note, "shard 2");
+  // Inert span: no clock reads, no record, zero ref.
+  { Span inert({}, "driver", "packet_in"); EXPECT_FALSE(bool(inert)); }
+  EXPECT_EQ(t.ring().snapshot().size(), 2u);
+  t.stop();
+  t.clear();
+}
+
+TEST(TracerTest, WireAndPathHandoffsMeasureQueueWait) {
+  Tracer tracer;
+  tracer.start();
+  auto ref = tracer.mint("sw", "packet_in");
+  tracer.wire_put(1, 77, ref);
+  tracer.path_put("/net/apps/l2/pkt_0", ref);
+  EXPECT_EQ(tracer.inflight(), 2u);
+  auto wire = tracer.wire_take(1, 77);
+  ASSERT_TRUE(bool(wire));
+  EXPECT_EQ(wire.ref.span_id, ref.span_id);
+  EXPECT_GT(wire.ts_ns, 0u);
+  EXPECT_FALSE(bool(tracer.wire_take(1, 77)));  // claimed exactly once
+  auto path = tracer.path_take("/net/apps/l2/pkt_0");
+  EXPECT_TRUE(bool(path));
+  EXPECT_EQ(tracer.inflight(), 0u);
+  // Zero refs are dropped at put(): a lost sampling draw costs nothing.
+  tracer.wire_put(1, 78, {});
+  EXPECT_EQ(tracer.inflight(), 0u);
+}
+
+TEST(TracerTest, TriggerKeepsAnchorsButFiltersFastSpans) {
+  Tracer tracer;
+  tracer.start();
+  tracer.set_trigger_ns(1000);
+  auto root = tracer.mint("vfs", "write");        // anchor: always kept
+  (void)tracer.child(root, "driver", "commit", 100, 200, 0);    // 100ns: cut
+  (void)tracer.child(root, "driver", "commit", 100, 200, 950);  // q+s >= 1µs
+  tracer.annotate(root, "driver", "train_fault", "retry 1");  // always kept
+  auto events = tracer.ring().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "write");
+  EXPECT_EQ(events[1].queue_ns, 950u);
+  EXPECT_EQ(events[2].note, "retry 1");
+}
+
+TEST(TracerTest, ClearDropsRingAndInflightEntries) {
+  Tracer tracer;
+  tracer.start();
+  auto ref = tracer.mint("sw", "packet_in");
+  tracer.wire_put(9, 1, ref);
+  tracer.clear();
+  EXPECT_EQ(tracer.ring().snapshot().size(), 0u);
+  EXPECT_EQ(tracer.inflight(), 0u);
+  // Ids keep rising: refs already in flight stay unique after clear().
+  auto next = tracer.mint("sw", "packet_in");
+  EXPECT_GT(next.trace_id, ref.trace_id);
+}
+
+// --- TraceFs ------------------------------------------------------------
+
+class TraceFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(vfs->mkdir_p("/yanc/.trace", 0555, vfs::Credentials::root()));
+    ASSERT_FALSE(
+        vfs->mount("/yanc/.trace", std::make_shared<TraceFs>(&tracer)));
+  }
+  Status ctl(std::string_view line) {
+    return vfs->write_file("/yanc/.trace/ctl", line);
+  }
+  std::string status() { return *vfs->read_file("/yanc/.trace/status"); }
+  Tracer tracer;
+  std::shared_ptr<vfs::Vfs> vfs = std::make_shared<vfs::Vfs>();
+};
+
+TEST_F(TraceFsTest, CtlGrammarDrivesTheTracer) {
+  EXPECT_FALSE(tracer.enabled());
+  ASSERT_FALSE(ctl("start"));
+  EXPECT_TRUE(tracer.enabled());
+  ASSERT_FALSE(ctl("sample_every=8 trigger=dur_ns>1ms capacity=512"));
+  EXPECT_EQ(tracer.sample_every(), 8u);
+  EXPECT_EQ(tracer.trigger_ns(), 1000000u);
+  EXPECT_EQ(tracer.ring().capacity(), 512u);
+  std::string st = status();
+  EXPECT_NE(st.find("enabled 1"), std::string::npos);
+  EXPECT_NE(st.find("sample_every 8"), std::string::npos);
+  EXPECT_NE(st.find("trigger_ns 1000000"), std::string::npos);
+  EXPECT_NE(st.find("capacity 512"), std::string::npos);
+  ASSERT_FALSE(ctl("trigger=off stop"));
+  EXPECT_EQ(tracer.trigger_ns(), 0u);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST_F(TraceFsTest, CtlParsesThenAppliesSoBadLinesChangeNothing) {
+  ASSERT_FALSE(ctl("start sample_every=4"));
+  // One bad token poisons the whole line: nothing applies.
+  EXPECT_EQ(ctl("sample_every=2 bogus=1"),
+            make_error_code(Errc::invalid_argument));
+  EXPECT_EQ(ctl("start stop"), make_error_code(Errc::invalid_argument));
+  EXPECT_EQ(ctl("trigger=dur_ns>fast"),
+            make_error_code(Errc::invalid_argument));
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.sample_every(), 4u);
+  // Only ctl is writable.
+  EXPECT_EQ(vfs->write_file("/yanc/.trace/status", "x"),
+            make_error_code(Errc::access_denied));
+  EXPECT_EQ(vfs->mkdir("/yanc/.trace/by-id/99"),
+            make_error_code(Errc::not_permitted));
+}
+
+TEST_F(TraceFsTest, ByIdListsAndRendersSpanTrees) {
+  tracer.start();
+  auto root = tracer.mint("vfs", "write", "/net/switches/sw1/flows/f");
+  auto commit = tracer.child(root, "driver", "commit", 2000, 2500, 300);
+  (void)tracer.child(commit, "sw", "flow_mod", 2600, 2650, 50);
+  auto other = tracer.mint("sw", "packet_in");
+  ASSERT_TRUE(bool(other));
+
+  auto ids = shell::ls(*vfs, "/yanc/.trace/by-id");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_NE(ids->find(std::to_string(root.trace_id)), std::string::npos);
+  EXPECT_NE(ids->find(std::to_string(other.trace_id)), std::string::npos);
+
+  auto rendered =
+      vfs->read_file("/yanc/.trace/by-id/" + std::to_string(root.trace_id));
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_NE(rendered->find("trace " + std::to_string(root.trace_id) +
+                           ": 3 spans"),
+            std::string::npos);
+  // Children indent under their parents, queue/service split visible.
+  EXPECT_NE(rendered->find("vfs/write"), std::string::npos);
+  EXPECT_NE(rendered->find("\n  driver/commit"), std::string::npos);
+  EXPECT_NE(rendered->find("\n    sw/flow_mod"), std::string::npos);
+  EXPECT_NE(rendered->find("queue=300ns dur=500ns"), std::string::npos);
+  // The other trace's spans stay out of this file.
+  EXPECT_EQ(rendered->find("packet_in"), std::string::npos);
+
+  EXPECT_EQ(vfs->read_file("/yanc/.trace/by-id/123456").error(),
+            make_error_code(Errc::not_found));
+}
+
+TEST_F(TraceFsTest, ExportJsonIsChromeTraceEventShaped) {
+  tracer.start();
+  auto root = tracer.mint("vfs", "write", "a \"quoted\"\npath");
+  (void)tracer.child(root, "driver", "commit", 1000, 4000, 500);
+  auto json = vfs->read_file("/yanc/.trace/export.json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->front(), '{');
+  EXPECT_EQ(json->substr(json->size() - 3), "]}\n");
+  EXPECT_NE(json->find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json->find("\"name\":\"driver/commit\""), std::string::npos);
+  EXPECT_NE(json->find("\"queue_ns\":500"), std::string::npos);
+  // Notes are escaped into valid JSON string literals; the body itself is
+  // one line (the only newline is the trailing one).
+  EXPECT_NE(json->find("a \\\"quoted\\\"\\npath"), std::string::npos);
+  EXPECT_EQ(json->find('\n'), json->size() - 1);
+}
+
+TEST_F(TraceFsTest, ClearResetsCaptureAndByIdNamespace) {
+  tracer.start();
+  auto root = tracer.mint("vfs", "write");
+  std::string file = "/yanc/.trace/by-id/" + std::to_string(root.trace_id);
+  ASSERT_TRUE(vfs->read_file(file).ok());
+  ASSERT_FALSE(ctl("clear"));
+  EXPECT_EQ(tracer.ring().snapshot().size(), 0u);
+  EXPECT_EQ(vfs->read_file(file).error(), make_error_code(Errc::not_found));
+  EXPECT_NE(status().find("events 0"), std::string::npos);
 }
 
 // --- StatsFs ------------------------------------------------------------

@@ -4,6 +4,7 @@
 
 #include "yanc/netfs/handles.hpp"
 #include "yanc/netfs/yancfs.hpp"
+#include "yanc/obs/trace_fs.hpp"
 #include "yanc/shell/coreutils.hpp"
 
 namespace yanc::shell {
@@ -114,6 +115,35 @@ TEST_F(ShellTest, CpCopiesTreesAndMvRenames) {
   EXPECT_EQ(*cat(*vfs, "/net/middleboxes/ids2/state/sig-b2"), "B");
   // cp of a missing source reports the error.
   EXPECT_EQ(cp(*vfs, "/net/nope", "/net/middleboxes/ids2/state/x"),
+            make_error_code(Errc::not_found));
+}
+
+TEST_F(ShellTest, TraceShowReadsCapturedTraces) {
+  // `yancsh trace <id|filter>` over a mounted /yanc/.trace subtree.
+  obs::Tracer tracer;
+  tracer.start();
+  auto root =
+      tracer.mint("netfs", "write_flow", "/net/switches/sw1/flows/dns");
+  ASSERT_TRUE(bool(root));
+  std::uint64_t t0 = obs::Tracer::now_ns();
+  (void)tracer.child(root, "driver", "commit", t0, t0 + 1000, 250);
+  ASSERT_FALSE(vfs->mkdir_p("/yanc/.trace", 0555, vfs::Credentials::root()));
+  ASSERT_FALSE(
+      vfs->mount("/yanc/.trace", std::make_shared<obs::TraceFs>(&tracer)));
+
+  // A captured trace id resolves directly to its span tree.
+  auto by_id = trace_show(*vfs, std::to_string(root.trace_id));
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_NE(by_id->find("netfs/write_flow"), std::string::npos);
+  EXPECT_NE(by_id->find("driver/commit"), std::string::npos);
+
+  // A non-id argument filters by content: the flow path rode in on the
+  // ingress note, so it selects the same trace.
+  auto filtered = trace_show(*vfs, "/net/switches/sw1/flows/dns");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NE(filtered->find("driver/commit"), std::string::npos);
+
+  EXPECT_EQ(trace_show(*vfs, "no-such-thing").error(),
             make_error_code(Errc::not_found));
 }
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "yanc/obs/metrics.hpp"
+#include "yanc/obs/tracer.hpp"
 #include "yanc/vfs/memfs.hpp"
 #include "yanc/vfs/vfs.hpp"
 
@@ -571,6 +572,40 @@ TEST(WatchQueueTest, CoalescingNeverCrossesTerminalOrMixedEvents) {
   q2.push({event::created, 1, "v", 0});
   q2.push({event::modified, 1, "v", 0});
   EXPECT_EQ(q2.size(), 2u);
+}
+
+TEST(WatchQueueTest, CoalescingMergesAbsorbedTraceRefs) {
+  WatchQueue q;
+  q.set_coalescing(true);
+  auto traced = [](std::uint64_t span, std::uint64_t ts) {
+    Event e{event::modified, 1, "v", 0};
+    e.trace.push_back(obs::TraceRef{7, span});
+    e.trace_ts_ns = ts;
+    return e;
+  };
+  q.push(traced(10, 500));
+  q.push(traced(11, 900));  // merged into the tail: ref absorbed
+  Event untraced{event::modified, 1, "v", 0};
+  q.push(untraced);         // merged; nothing to absorb
+  auto got = q.try_pop();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->trace.size(), 2u);
+  EXPECT_EQ(got->trace[0].span_id, 10u);
+  EXPECT_EQ(got->trace[1].span_id, 11u);
+  // Queue-wait is measured from the OLDEST absorbed work.
+  EXPECT_EQ(got->trace_ts_ns, 500u);
+  EXPECT_FALSE(q.try_pop().has_value());
+
+  // The absorbed-ref list is bounded: a hot path cannot grow one event
+  // without limit.
+  WatchQueue q2;
+  q2.set_coalescing(true);
+  for (std::uint64_t i = 0; i < kMaxTraceRefs + 8; ++i)
+    q2.push(traced(100 + i, 1000 + i));
+  auto capped = q2.try_pop();
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->trace.size(), kMaxTraceRefs);
+  EXPECT_EQ(capped->trace_ts_ns, 1000u);
 }
 
 TEST(WatchQueueTest, CoalescingOffKeepsDuplicates) {

@@ -1,0 +1,25 @@
+// Fixture: blocking waits while an obs::Span guard is live must be
+// flagged — the wait would be booked as the stage's service time.
+#include <chrono>
+
+namespace yanc {
+
+void drain_one(Queue& q, obs::TraceRef parent) {
+  obs::Span span(parent, "driver", "drain");
+  auto ev = q.pop_wait(std::chrono::milliseconds(10));  // BAD: under span
+  handle(ev);
+}
+
+void drain_nested(Queue& q, Cv& cv, Lk& lk, obs::TraceRef parent) {
+  obs::Span span(parent, "driver", "drain");
+  if (q.empty()) {
+    cv.wait_until(lk, deadline());  // BAD: span still live in outer scope
+  }
+}
+
+Task co_drain(Queue& q, obs::TraceRef parent) {
+  obs::Span span(parent, "driver", "drain");
+  co_await q.next();  // BAD: suspension under a service-time guard
+}
+
+}  // namespace yanc

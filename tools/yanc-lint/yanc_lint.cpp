@@ -16,6 +16,10 @@
 //   discarded-result  a call to a [[nodiscard]]-annotated yanc API (or any
 //                     Result<T>-returning API) used as a bare statement.
 //   pragma-once       every header carries #pragma once.
+//   span-wait         a blocking wait (pop_wait/wait/wait_for/wait_until/
+//                     sleep*/co_await/co_yield) while an obs::Span guard is
+//                     live in the same scope — the wait would be booked as
+//                     service time, corrupting the queue/service split.
 //
 // Suppression: a finding on line N is waived when line N or N-1 carries a
 // comment of the form
@@ -219,6 +223,59 @@ void rule_pragma_once(const SourceFile& sf, std::vector<Finding>& out) {
   report(out, sf, 1, "pragma-once",
          "header without #pragma once (every yanc header is include-guarded "
          "this way)");
+}
+
+// --- span-wait -------------------------------------------------------------
+
+/// Blocking calls that must not run under a live obs::Span guard: the
+/// guard measures *service* time, and a wait inside it books queue time
+/// as work, corrupting the per-stage attribution `/yanc/.trace` reports.
+const std::unordered_set<std::string> kBlockingWaits = {
+    "pop_wait", "wait", "wait_for", "wait_until",
+    "sleep",    "sleep_for", "sleep_until"};
+
+void rule_span_wait(const SourceFile& sf, std::vector<Finding>& out) {
+  const auto& t = sf.lex.tokens;
+  struct OpenSpan {
+    int depth;
+    int line;
+    std::string name;
+  };
+  std::vector<OpenSpan> open;
+  int depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "{") {
+      ++depth;
+      continue;
+    }
+    if (s == "}") {
+      // Guards declared in the closing scope are destroyed here.
+      while (!open.empty() && open.back().depth >= depth) open.pop_back();
+      --depth;
+      continue;
+    }
+    if (t[i].kind != TokKind::identifier) continue;
+    // A guard declaration: `obs :: Span name (` inside a function body.
+    // The qualifier requirement keeps `Span make();` member declarations
+    // (the most-vexing-parse twin) from registering phantom guards.
+    if (s == "Span" && depth >= 1 && i >= 2 && i + 2 < t.size() &&
+        t[i - 2].text == "obs" && t[i - 1].text == "::" &&
+        t[i + 1].kind == TokKind::identifier && t[i + 2].text == "(") {
+      open.push_back({depth, t[i].line, t[i + 1].text});
+      continue;
+    }
+    bool blocking = s == "co_await" || s == "co_yield";
+    if (!blocking && kBlockingWaits.count(s) && i + 1 < t.size() &&
+        t[i + 1].text == "(")
+      blocking = true;
+    if (blocking && !open.empty())
+      report(out, sf, t[i].line, "span-wait",
+             s + " while span guard '" + open.back().name + "' (line " +
+                 std::to_string(open.back().line) +
+                 ") is live — the wait is booked as service time; close "
+                 "the span first or measure the wait as queue_ns");
+  }
 }
 
 // --- discarded-result ------------------------------------------------------
@@ -501,6 +558,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     }
     rule_banned_function(sf, findings);
     rule_pragma_once(sf, findings);
+    rule_span_wait(sf, findings);
     rule_discarded_result(sf, nodiscard_names, findings);
   }
   rule_include_cycle(files, root, findings);
