@@ -18,6 +18,7 @@
 
 #include "bench_json.hpp"
 
+#include "yanc/cluster/harness.hpp"
 #include "yanc/dist/replicated.hpp"
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/handles.hpp"
@@ -136,6 +137,52 @@ void BM_PartitionHealBacklog(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * backlog);
 }
 BENCHMARK(BM_PartitionHealBacklog)->Arg(10)->Arg(100)->Arg(1000);
+
+// Active-cluster failover (docs/ROBUSTNESS.md "Cluster failover"): kill
+// the primary for a shard, then drive the cluster until a successor
+// owns the shard and the committed flows are back on the hardware.
+// Wall time is the CPU cost of the whole elect -> re-home -> resync
+// machinery; the counters report convergence in cluster rounds and in
+// modelled (virtual-clock) time, which is what an operator would see.
+void BM_ClusterFailover(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  double total_rounds = 0, total_virtual_us = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::HarnessOptions options;
+    options.nodes = nodes;
+    options.switches = 1;
+    cluster::Harness h(options);
+    h.settle();
+    auto owner = h.owner_of(1);
+    for (int i = 0; i < 8; ++i)
+      (void)h.commit_flow(*owner, 1, "f" + std::to_string(i),
+                          sample_flow(i));
+    h.settle(4);
+    const auto t0 = h.scheduler().clock().now_ns();
+    state.ResumeTiming();
+
+    h.kill(*owner);
+    std::size_t rounds = 0;
+    while (rounds < 200) {
+      h.tick();
+      ++rounds;
+      auto successor = h.owner_of(1);
+      if (successor && successor != owner &&
+          h.hw_flows(1) == h.fs_flows(*successor, 1))
+        break;
+    }
+    total_rounds += static_cast<double>(rounds);
+    total_virtual_us +=
+        static_cast<double>(h.scheduler().clock().now_ns() - t0) / 1e3;
+  }
+  state.counters["failover_rounds"] = benchmark::Counter(
+      total_rounds / static_cast<double>(state.iterations()));
+  state.counters["failover_virtual_us"] = benchmark::Counter(
+      total_virtual_us / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ClusterFailover)->Arg(2)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,8 +12,15 @@
 //   mkdir PATH          rm PATH           cp FROM TO      mv FROM TO
 //   trace ID|FILTER     (span trees from /yanc/.trace/by-id)
 //   sync                (drive the controller/switches to quiescence)
+//
+// `./build/examples/yancsh cluster` runs the active-cluster demo instead:
+// three controller nodes share the switches per-dpid through replicated
+// lease files, the demo kills the owner of shard 1 and shows the lease,
+// the epoch bump and the switch re-homing — all read back through the
+// file system (docs/ROBUSTNESS.md "Cluster failover").
 #include <cstdio>
 
+#include "yanc/cluster/harness.hpp"
 #include "yanc/driver/of_driver.hpp"
 #include "yanc/faults/faults_fs.hpp"
 #include "yanc/netfs/yancfs.hpp"
@@ -208,9 +215,72 @@ int run_command(World& world, const std::string& line) {
   return 1;
 }
 
+// The cluster demo: everything it prints is read back through a node's
+// file system — the shard map IS the lease files.
+void print_shard_map(cluster::Harness& h) {
+  std::printf("  %-6s %-30s %s\n", "shard", "lease", "primary");
+  for (std::uint64_t dpid = 1; dpid <= h.options().switches; ++dpid) {
+    std::string lease = "(none)";
+    for (std::size_t n = 0; n < h.options().nodes; ++n) {
+      if (!h.alive(n)) continue;
+      if (auto text = h.vfs(n)->read_file(
+              "/yanc/.cluster/shards/" + std::to_string(dpid) + "/lease")) {
+        lease = std::string(trim(*text));
+        break;
+      }
+    }
+    auto owner = h.owner_of(dpid);
+    std::printf("  %-6llu %-30s %s\n",
+                static_cast<unsigned long long>(dpid), lease.c_str(),
+                owner ? ("node " + std::to_string(*owner)).c_str() : "-");
+  }
+}
+
+int run_cluster_demo() {
+  cluster::HarnessOptions options;
+  options.nodes = 3;
+  options.switches = 4;
+  cluster::Harness h(options);
+  h.settle();
+
+  std::printf("== 3 nodes, 4 switches: shard map after the first "
+              "elections ==\n");
+  print_shard_map(h);
+
+  auto victim = h.owner_of(1);
+  if (!victim) return std::printf("shard 1 never elected a primary\n"), 1;
+  std::printf("== killing node %zu (primary for shard 1) ==\n", *victim);
+  h.kill(*victim);
+  h.settle(30);
+
+  std::printf("== shard map after failover (note the epoch bump) ==\n");
+  print_shard_map(h);
+
+  std::printf("== switch 1 from the fence's chair ==\n");
+  std::printf("  master_epoch=%llu max_epoch=%llu fenced_mods=%llu\n",
+              static_cast<unsigned long long>(h.switch_at(1).master_epoch()),
+              static_cast<unsigned long long>(h.switch_at(1).max_epoch()),
+              static_cast<unsigned long long>(h.switch_at(1).fenced_mods()));
+
+  std::printf("== failover telemetry (/yanc/.stats/cluster) ==\n");
+  for (std::size_t n = 0; n < options.nodes; ++n) {
+    if (!h.alive(n)) continue;
+    auto reg = h.vfs(n)->metrics();
+    std::printf("  node %zu: elections=%llu takeovers=%llu renews=%llu\n", n,
+                static_cast<unsigned long long>(
+                    reg->counter("cluster/election_total")->value()),
+                static_cast<unsigned long long>(
+                    reg->counter("cluster/takeover_total")->value()),
+                static_cast<unsigned long long>(
+                    reg->counter("cluster/lease_renew_total")->value()));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "cluster") return run_cluster_demo();
   World world;
   std::string script = argc > 1 ? argv[1] : kDemoScript;
   int failures = 0;

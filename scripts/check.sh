@@ -62,7 +62,11 @@ done
 echo "=== release build (YANC_DBG_LOCKS=OFF: wrappers must compile away) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DYANC_DBG_LOCKS=OFF
 cmake --build build-release -j "$(nproc)"
-ctest --test-dir build-release --output-on-failure -j "$(nproc)" -R dbg_test
+# dbg_test proves the lock wrappers still behave; smoke_cluster_failover
+# proves a node-kill failover (elect -> re-home -> resync) end to end in
+# the release configuration too.
+ctest --test-dir build-release --output-on-failure -j "$(nproc)" \
+  -R '(dbg_test|smoke_cluster_failover)'
 
 if [[ "$FAST" == 1 ]]; then
   echo "check.sh --fast: OK (sanitizers skipped)"

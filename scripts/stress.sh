@@ -9,10 +9,23 @@
 #       --gtest_filter='DriverFaultMatrix.*'
 #   YANC_PROP_SEED=<seed> build-stress/tests/batch_prop_test \
 #       --gtest_filter='BatchPipelineProperty.*'
-# Usage: scripts/stress.sh [build-dir]   (default: build-stress)
+#
+# The `cluster` preset runs only the cluster chaos sweep (20 seeds of
+# randomized node-kill / partition / lease-delay schedules against the
+# 3-node active cluster; docs/ROBUSTNESS.md "Cluster failover"):
+#   scripts/stress.sh cluster
+# Replay one seed with:
+#   YANC_FAULT_SEED=<seed> build-stress/tests/cluster_test \
+#       --gtest_filter='ClusterChaos.*'
+# Usage: scripts/stress.sh [cluster] [build-dir]   (default: build-stress)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+PRESET="all"
+if [[ "${1:-}" == "cluster" ]]; then
+  PRESET="cluster"
+  shift
+fi
 BUILD_DIR="${1:-build-stress}"
 
 cmake -B "$BUILD_DIR" -S . \
@@ -24,4 +37,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # halt_on_error makes UBSan findings fail the run instead of just logging.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export ASAN_OPTIONS="detect_leaks=1"
-ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure -j "$(nproc)"
+if [[ "$PRESET" == "cluster" ]]; then
+  ctest --test-dir "$BUILD_DIR" -R '^stress_cluster_seed' \
+    --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure -j "$(nproc)"
+fi

@@ -1,0 +1,37 @@
+#include "yanc/cluster/lease.hpp"
+
+#include "yanc/util/strings.hpp"
+
+namespace yanc::cluster {
+
+std::string Lease::format() const {
+  std::string out;
+  out += "holder=" + std::to_string(holder);
+  out += " epoch=" + std::to_string(epoch);
+  out += " expiry=" + std::to_string(expiry);
+  out += '\n';
+  return out;
+}
+
+Result<Lease> Lease::parse(std::string_view text) {
+  auto fields = split_nonempty(trim(text), ' ');
+  if (fields.size() != 3) return make_error_code(Errc::invalid_argument);
+  const char* keys[3] = {"holder=", "epoch=", "expiry="};
+  std::uint64_t values[3];
+  for (int i = 0; i < 3; ++i) {
+    std::string_view field = fields[i];
+    std::string_view key = keys[i];
+    if (field.substr(0, key.size()) != key)
+      return make_error_code(Errc::invalid_argument);
+    auto value = parse_u64(field.substr(key.size()));
+    if (!value) return value.error();
+    values[i] = *value;
+  }
+  Lease lease;
+  lease.holder = values[0];
+  lease.epoch = values[1];
+  lease.expiry = values[2];
+  return lease;
+}
+
+}  // namespace yanc::cluster

@@ -1,0 +1,42 @@
+// A shard lease: who owns a datapath, under which fencing epoch, until
+// which cluster tick.  Leases live as single-line files at
+// /net/.cluster/shards/<dpid>/lease — plain replicated FS state, no
+// side-channel RPC (docs/ROBUSTNESS.md "Cluster failover").  Claims and
+// renewals go through Vfs::write_file (atomic replace), and concurrent
+// claims resolve the way every other replicated write does: dist's
+// last-writer-wins versions pick one, and the loser notices on re-read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "yanc/util/result.hpp"
+
+namespace yanc::cluster {
+
+struct Lease {
+  /// Node id of the lease holder.
+  std::uint64_t holder = 0;
+  /// Fencing token: strictly increases across ownership changes of a
+  /// shard.  A deposed primary's epoch is forever below its successor's,
+  /// so the switch-side fence (sw::Switch) and the driver egress gate can
+  /// reject its stale FLOW_MODs.
+  std::uint64_t epoch = 0;
+  /// Cluster tick (virtual clock) past which the lease is dead and the
+  /// shard is up for election.
+  std::uint64_t expiry = 0;
+
+  bool operator==(const Lease&) const = default;
+
+  /// "holder=<id> epoch=<n> expiry=<tick>\n" — strict round-trip with
+  /// parse().
+  std::string format() const;
+
+  /// Parses format() output.  Strict: all three keys, in order, nothing
+  /// else.  A lease file a partial write or a merge mangled must read as
+  /// invalid (-> election), never as some other lease.
+  static Result<Lease> parse(std::string_view text);
+};
+
+}  // namespace yanc::cluster

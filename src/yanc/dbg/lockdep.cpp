@@ -27,6 +27,7 @@ const char* rank_name(Rank r) noexcept {
     case Rank::dist_transport: return "dist_transport";
     case Rank::driver: return "driver";
     case Rank::trace_fs: return "trace_fs";
+    case Rank::cluster_manager: return "cluster_manager";
   }
   return "unknown_rank";
 }

@@ -65,9 +65,10 @@ enum class Rank : std::uint8_t {
   dist_transport,   // reserved (dist layer is scheduler-single-threaded)
   driver,           // reserved (drivers run on the caller's thread)
   trace_fs,         // obs::TraceFs by-id node map
+  cluster_manager,  // cluster::Manager lease/election state
 };
 
-inline constexpr std::size_t kRankCount = 19;
+inline constexpr std::size_t kRankCount = 20;
 
 /// Stable lower_snake name for diagnostics ("vfs_namespace").
 const char* rank_name(Rank r) noexcept;

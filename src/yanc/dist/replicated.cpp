@@ -177,6 +177,24 @@ void ReplicatedYancFs::attach(Transport* transport, Transport::NodeId self,
   primary_ = primary;
 }
 
+Transport::NodeId ReplicatedYancFs::join_cluster(Transport& transport,
+                                                 Transport::NodeId primary) {
+  auto id = transport.join(
+      [this](Transport::NodeId from, const std::vector<std::uint8_t>& bytes) {
+        handle_message(from, bytes);
+      });
+  attach(&transport, id, primary);
+  return id;
+}
+
+void ReplicatedYancFs::rejoin_cluster() {
+  if (!transport_) return;
+  transport_->rejoin(self_, [this](Transport::NodeId from,
+                                   const std::vector<std::uint8_t>& bytes) {
+    handle_message(from, bytes);
+  });
+}
+
 Mode ReplicatedYancFs::mode_for(NodeId node) const {
   auto value = nearest_xattr(node, kConsistencyXattr);
   if (!value) return options_.default_mode;

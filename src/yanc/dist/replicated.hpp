@@ -42,6 +42,18 @@ class ReplicatedYancFs : public netfs::YancFs {
   void attach(Transport* transport, Transport::NodeId self,
               Transport::NodeId primary);
 
+  /// Self-service cluster wiring: joins `transport` (registering this
+  /// replica's op-log handler) and attaches, returning the node id the
+  /// transport assigned.  The external equivalent of what dist::Cluster
+  /// does for its own members — cluster::Harness uses it because
+  /// handle_message is otherwise private.
+  Transport::NodeId join_cluster(Transport& transport,
+                                 Transport::NodeId primary = 0);
+  /// Re-registers the op-log handler after Transport::leave(self) — node
+  /// revival.  The transport bumps the incarnation, so anything in flight
+  /// to the dead node stays dead.
+  void rejoin_cluster();
+
   // Mutating operations (overridden to replicate after local success).
   Result<vfs::NodeId> mkdir(vfs::NodeId parent, const std::string& name,
                             std::uint32_t mode,

@@ -1,31 +1,56 @@
 #include "yanc/dist/transport.hpp"
 
-#include <algorithm>
 #include <tuple>
+#include <utility>
 
 #include "yanc/faults/injector.hpp"
+#include "yanc/obs/metrics.hpp"
 
 namespace yanc::dist {
 
-namespace {
-std::pair<Transport::NodeId, Transport::NodeId> ordered(
-    Transport::NodeId a, Transport::NodeId b) {
-  return {std::min(a, b), std::max(a, b)};
-}
-}  // namespace
-
 Transport::NodeId Transport::join(Handler handler) {
   handlers_.push_back(std::move(handler));
+  incarnations_.push_back(0);
   return handlers_.size() - 1;
+}
+
+void Transport::leave(NodeId node) {
+  if (node >= handlers_.size()) return;
+  handlers_[node] = nullptr;
+  ++incarnations_[node];
+}
+
+void Transport::rejoin(NodeId node, Handler handler) {
+  if (node >= handlers_.size()) return;
+  handlers_[node] = std::move(handler);
+  ++incarnations_[node];
+}
+
+bool Transport::alive(NodeId node) const {
+  return node < handlers_.size() && handlers_[node] != nullptr;
+}
+
+void Transport::bind_metrics(obs::Registry& registry) {
+  send_fail_metric_ = registry.counter("dist/send_fail_total");
+}
+
+void Transport::note_send_failure() {
+  ++send_failures_;
+  if (send_fail_metric_) send_fail_metric_->add();
 }
 
 bool Transport::send(NodeId from, NodeId to,
                      std::vector<std::uint8_t> message) {
   if (to >= handlers_.size() || from == to) return false;
+  if (!handlers_[to]) {
+    // Departed destination: the caller addressed a dead node.
+    note_send_failure();
+    return false;
+  }
   ++messages_;
   bytes_ += message.size();
   LinkFate fate;
-  if (filter_) fate = filter_(message);
+  if (filter_) fate = filter_(from, to, message);
   if (fate.drop) {
     ++dropped_;
     return false;
@@ -45,36 +70,53 @@ bool Transport::send(NodeId from, NodeId to,
 void Transport::broadcast(NodeId from,
                           const std::vector<std::uint8_t>& message) {
   for (NodeId to = 0; to < handlers_.size(); ++to)
-    if (to != from)
+    if (to != from && handlers_[to])
       // Best-effort fan-out: each link rolls its own fate, and losses are
       // already tallied in messages_dropped() for the caller to inspect.
       std::ignore = send(from, to, message);
 }
 
 void Transport::set_partitioned(NodeId a, NodeId b, bool blocked) {
-  blocked_[ordered(a, b)] = blocked;
-  if (blocked) return;
-  // Healed: flush queued traffic (both directions) in send order.
-  for (auto key : {std::pair{a, b}, std::pair{b, a}}) {
-    auto it = queued_.find(key);
-    if (it == queued_.end()) continue;
-    for (auto& message : it->second)
-      deliver(key.first, key.second, std::move(message));
-    queued_.erase(it);
-  }
+  set_partitioned_oneway(a, b, blocked);
+  set_partitioned_oneway(b, a, blocked);
 }
 
-bool Transport::partitioned(NodeId a, NodeId b) const {
-  auto it = blocked_.find(ordered(a, b));
+void Transport::set_partitioned_oneway(NodeId from, NodeId to,
+                                       bool blocked) {
+  blocked_[{from, to}] = blocked;
+  if (blocked) return;
+  // Healed: flush this direction's queued traffic in send order.
+  auto it = queued_.find({from, to});
+  if (it == queued_.end()) return;
+  auto pending = std::move(it->second);
+  queued_.erase(it);
+  for (auto& message : pending) deliver(from, to, std::move(message));
+}
+
+bool Transport::partitioned(NodeId from, NodeId to) const {
+  auto it = blocked_.find({from, to});
   return it != blocked_.end() && it->second;
 }
 
 void Transport::deliver(NodeId from, NodeId to,
                         std::vector<std::uint8_t> message,
                         VirtualClock::duration extra_delay) {
+  bool delayed = extra_delay > VirtualClock::duration::zero();
+  std::uint64_t incarnation = incarnations_[to];
   scheduler_.schedule_after(
       latency_ + extra_delay,
-      [this, from, to, message = std::move(message)]() {
+      [this, from, to, delayed, incarnation,
+       message = std::move(message)]() {
+        // Delivery-time lifecycle checks: the destination may have left
+        // or re-registered while the message was in flight, and a
+        // fault-delayed message may have been overtaken by a partition.
+        // Such traffic dies on the wire instead of resurrecting on a link
+        // that no longer exists.
+        if (!alive(to) || incarnations_[to] != incarnation ||
+            (delayed && partitioned(from, to))) {
+          note_send_failure();
+          return;
+        }
         handlers_[to](from, message);
       });
 }
@@ -87,8 +129,16 @@ void attach_faults(Transport& transport,
   }
   VirtualClock::duration latency = transport.latency();
   transport.set_fault_filter(
-      [injector, latency](std::vector<std::uint8_t>& message) {
+      [injector, latency](Transport::NodeId from, Transport::NodeId to,
+                          std::vector<std::uint8_t>& message) {
         Transport::LinkFate fate;
+        if (injector->plan(faults::Scope::transport)
+                .is_partitioned(from, to)) {
+          // Planned directed cut: the link is gone, not congested — eat
+          // the message rather than queueing it for a heal.
+          fate.drop = true;
+          return fate;
+        }
         auto wire = injector->decide(faults::Scope::transport, message);
         if (!wire) {
           // Point-to-point replica links have no connection to sever;

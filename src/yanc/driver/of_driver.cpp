@@ -172,6 +172,7 @@ OfDriver::OfDriver(std::shared_ptr<vfs::Vfs> vfs, DriverOptions options)
   metrics_.packet_out_total = reg.counter("driver/of/packet_out_total");
   metrics_.flow_mod_total = reg.counter("driver/of/flow_mod_total");
   metrics_.send_fail_total = reg.counter("driver/of/send_fail_total");
+  metrics_.egress_gated_total = reg.counter("driver/of/egress_gated_total");
   metrics_.keepalive_timeout_total =
       reg.counter("driver/of/keepalive_timeout_total");
   metrics_.retry_total = reg.counter("driver/of/retry_total");
@@ -210,6 +211,16 @@ Result<std::string> OfDriver::switch_name(std::uint64_t dpid) const {
 }
 
 std::uint32_t OfDriver::send(Connection& conn, const ofp::Message& message) {
+  // Cluster self-fence: a node that does not own this dpid must not
+  // mutate it.  send_flow_mod gates the batched path before queueing;
+  // this catches the direct sends (PACKET_OUT, PORT_MOD, unbatched mods).
+  if (options_.egress_gate && !options_.egress_gate(conn.dpid) &&
+      (std::holds_alternative<ofp::FlowMod>(message) ||
+       std::holds_alternative<ofp::PacketOut>(message) ||
+       std::holds_alternative<ofp::PortMod>(message))) {
+    metrics_.egress_gated_total->add();
+    return 0;
+  }
   std::uint32_t xid = conn.next_xid++;
   auto bytes = ofp::encode(options_.version, xid, message);
   if (!bytes) {
@@ -233,6 +244,12 @@ std::uint32_t OfDriver::send(Connection& conn, const ofp::Message& message) {
 }
 
 void OfDriver::send_flow_mod(Connection& conn, const ofp::FlowMod& fm) {
+  if (options_.egress_gate && !options_.egress_gate(conn.dpid)) {
+    // Not the owner of this dpid: swallow the mod before it reaches the
+    // burst — the owner's takeover resync replays the committed state.
+    metrics_.egress_gated_total->add();
+    return;
+  }
   if (options_.batching) {
     queue_flow_mod(conn, fm);
     return;
@@ -1000,6 +1017,24 @@ void OfDriver::rescan_flows(Connection& conn) {
   }
 }
 
+void OfDriver::abandon_switch(std::uint64_t dpid) {
+  if (dpid == 0) return;
+  for (auto& connp : connections_) {
+    Connection& conn = *connp;
+    if (conn.dpid != dpid || !conn.channel.connected()) continue;
+    // No reply is coming over a channel we are about to close: end the
+    // tracked trains' traces at the release instead of leaking them.
+    for (auto& [xid, request] : conn.pending)
+      release_train(conn.dpid, request.xids, request.traces,
+                    "lease released");
+    conn.pending.clear();
+    // superseded = the reap must not write status=down: the successor
+    // owns the directory record now and has already marked it up.
+    conn.superseded = true;
+    conn.channel.close();
+  }
+}
+
 void OfDriver::mark_down(Connection& conn) {
   // However the switch died, no reply is coming for anything still
   // tracked: close out every carried trace so chains end at the fault
@@ -1144,11 +1179,64 @@ void OfDriver::service_timers() {
     if (options_.audit_interval && conn.state == Connection::State::ready &&
         tick_ - conn.last_audit_tick >= options_.audit_interval) {
       conn.last_audit_tick = tick_;
+      absorb_duplicate_dirs(conn);
       ofp::StatsRequest flows;
       flows.kind = ofp::StatsKind::flow;
       conn.audit_xid = send(conn, flows);
       if (conn.audit_xid) metrics_.audit_total->add();
     }
+  }
+}
+
+void OfDriver::absorb_duplicate_dirs(Connection& conn) {
+  // Only the shard's current owner may arbitrate a split identity; a
+  // deposed driver merging toward ITS tree would undo the successor's.
+  if (options_.egress_gate && !options_.egress_gate(conn.dpid)) return;
+  std::string switches = options_.net_root + "/switches";
+  auto entries = vfs_->readdir(switches);
+  if (!entries) return;
+  for (const auto& e : *entries) {
+    if (e.name == conn.name) continue;
+    std::string dir = switches + "/" + e.name;
+    auto id = vfs_->read_file(dir + "/id");
+    if (!id) continue;
+    auto parsed = parse_hex_u64(trim(*id));
+    if (!parsed || *parsed != conn.dpid) continue;
+    bool in_flight = false;
+    if (auto flows = vfs_->readdir(dir + "/flows")) {
+      for (const auto& f : *flows) {
+        auto spec = netfs::read_flow(*vfs_, dir + "/flows/" + f.name);
+        if (!spec || spec->version == 0) {
+          // No version file yet.  This may be a committed flow whose
+          // version write is still replicating toward us; a tombstone
+          // written now carries a newer timestamp and would eat that
+          // write when it lands — an acknowledged commit lost.  Hold the
+          // removal for a later audit (bounded below, so a genuinely
+          // uncommitted stray cannot pin the duplicate forever).
+          in_flight = true;
+          continue;
+        }
+        std::string ours = conn.path + "/flows/" + f.name;
+        auto mine = netfs::read_flow(*vfs_, ours);
+        // Same name on both sides: ours wins — the lease makes this tree
+        // the one the switch currently enforces.
+        if (mine && mine->version > 0) continue;
+        metrics_.resync_total->add();
+        // The write lands in our own watched flows/ dir, so the normal
+        // commit pipeline pushes it to hardware.
+        if (netfs::write_flow(*vfs_, ours, *spec))
+          log_error("driver", conn.name + ": duplicate-dir flow " + f.name +
+                                  " could not be re-committed");
+      }
+    }
+    if (in_flight && absorb_deferred_[dir]++ < 2) continue;
+    absorb_deferred_.erase(dir);
+    log_error("driver", conn.name + ": absorbing duplicate directory " +
+                            e.name + " for dpid " + std::to_string(conn.dpid));
+    // rmdir, not remove_all: the switch object allows recursive rmdir,
+    // while remove_all's recursion would trip over the schema's fixed
+    // dirs (flows/, ports/ ... are not individually removable).
+    (void)vfs_->rmdir(dir);
   }
 }
 

@@ -22,6 +22,7 @@
 // means writing a new driver, not touching anything above (§4.1).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -80,6 +81,15 @@ struct DriverOptions {
   /// Coalesce adjacent same-path modify events at the shard queues
   /// (effective only while `batching` is on, so off means off).
   bool coalesce_watch_events = true;
+
+  /// Cluster self-fencing valve (docs/ROBUSTNESS.md "Cluster failover"):
+  /// when set, state-mutating egress (FLOW_MOD, PACKET_OUT, PORT_MOD) for
+  /// a dpid is suppressed unless the gate returns true — a node that lost
+  /// its lease stops talking before the switch-side epoch fence even has
+  /// to fire.  Suppressed messages count in driver/of/egress_gated_total;
+  /// the takeover resync re-pushes anything dropped here.  Handshake and
+  /// read-only traffic always passes.
+  std::function<bool(std::uint64_t dpid)> egress_gate;
 };
 
 class OfDriver {
@@ -110,6 +120,15 @@ class OfDriver {
 
   /// Name of the switch directory for a datapath id, once connected.
   Result<std::string> switch_name(std::uint64_t dpid) const;
+
+  /// Cluster release valve (docs/ROBUSTNESS.md "Cluster failover"): a
+  /// node that lost its lease must stop *speaking for* the switch, not
+  /// just stop mutating it — a deposed connection left open keeps
+  /// writing keepalive counters and stats mirrors into the replicated
+  /// record, fighting the successor's tree forever.  Quietly drops every
+  /// connection carrying `dpid`: channel closed, traces released, and no
+  /// status=down written (the successor owns the directory now).
+  void abandon_switch(std::uint64_t dpid);
 
  private:
   struct Connection;
@@ -189,6 +208,14 @@ class OfDriver {
   /// Full flows/ rescan after a watch-queue overflow: re-arms stale
   /// watches, pushes missed commits, reconciles missed deletions.
   void rescan_flows(Connection& conn);
+  /// Cluster-failover repair (runs with the audit, only while this
+  /// driver holds the egress gate): a takeover handshake that raced a
+  /// partition can leave a second /net/switches directory claiming the
+  /// same datapath id.  Committed flows the duplicate carries and ours
+  /// lacks are re-committed into our tree — no acknowledged write may be
+  /// lost — then the duplicate is removed (its tombstone stops
+  /// anti-entropy from resurrecting the split identity).
+  void absorb_duplicate_dirs(Connection& conn);
 
   std::shared_ptr<vfs::Vfs> vfs_;
   DriverOptions options_;
@@ -202,6 +229,7 @@ class OfDriver {
     obs::Counter* packet_out_total;
     obs::Counter* flow_mod_total;
     obs::Counter* send_fail_total;
+    obs::Counter* egress_gated_total;
     obs::Counter* keepalive_timeout_total;
     obs::Counter* retry_total;
     obs::Counter* resync_total;
@@ -218,6 +246,9 @@ class OfDriver {
   } metrics_;
 
   std::vector<std::unique_ptr<Connection>> connections_;
+  /// Audits a duplicate-dir removal has been deferred, per directory
+  /// (absorb_duplicate_dirs waits for in-flight commit replication).
+  std::map<std::string, std::uint32_t> absorb_deferred_;
   // Watched-node -> what that node means (flow version file, flows dir...).
   std::map<vfs::NodeId, WatchContext> watch_contexts_;
   std::uint64_t next_switch_index_ = 1;

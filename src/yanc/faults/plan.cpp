@@ -24,7 +24,46 @@ std::string format_probability(double v) {
   return buf;
 }
 
+// Parses "1->2" or "1<->2"; the bidirectional form appends both edges.
+Status parse_partition(std::string_view value,
+                       std::vector<FaultPlan::Edge>& out) {
+  bool both = false;
+  auto arrow = value.find("<->");
+  std::size_t arrow_len = 3;
+  if (arrow != std::string_view::npos) {
+    both = true;
+  } else {
+    arrow = value.find("->");
+    arrow_len = 2;
+  }
+  if (arrow == std::string_view::npos)
+    return make_error_code(Errc::invalid_argument);
+  auto from = parse_u64(value.substr(0, arrow));
+  auto to = parse_u64(value.substr(arrow + arrow_len));
+  if (!from || !to) return make_error_code(Errc::invalid_argument);
+  if (*from == *to || *from > 0xffffffffu || *to > 0xffffffffu)
+    return make_error_code(Errc::invalid_argument);
+  if (out.size() + (both ? 2 : 1) > 64)
+    return make_error_code(Errc::invalid_argument);
+  FaultPlan::Edge forward{static_cast<std::uint32_t>(*from),
+                          static_cast<std::uint32_t>(*to)};
+  auto add = [&out](FaultPlan::Edge edge) {
+    for (const auto& existing : out)
+      if (existing == edge) return;
+    out.push_back(edge);
+  };
+  add(forward);
+  if (both) add({forward.to, forward.from});
+  return ok_status();
+}
+
 }  // namespace
+
+bool FaultPlan::is_partitioned(std::uint64_t from, std::uint64_t to) const {
+  for (const auto& edge : partitions)
+    if (edge.from == from && edge.to == to) return true;
+  return false;
+}
 
 Result<FaultPlan> FaultPlan::parse(std::string_view text) {
   auto trimmed = trim(text);
@@ -39,6 +78,10 @@ Result<FaultPlan> FaultPlan::parse(std::string_view text) {
       auto n = parse_u64(value);
       if (!n || *n == 0 || *n > 1024) return Errc::invalid_argument;
       plan.delay_msgs = static_cast<std::uint32_t>(*n);
+      continue;
+    }
+    if (key == "partition") {
+      if (auto st = parse_partition(value, plan.partitions); st) return st;
       continue;
     }
     auto p = parse_probability(value);
@@ -70,6 +113,9 @@ std::string FaultPlan::format() const {
   out += " delay=" + format_probability(delay);
   out += " disconnect=" + format_probability(disconnect);
   out += " delay_msgs=" + std::to_string(delay_msgs);
+  for (const auto& edge : partitions)
+    out += " partition=" + std::to_string(edge.from) + "->" +
+           std::to_string(edge.to);
   return out;
 }
 

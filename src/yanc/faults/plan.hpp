@@ -6,15 +6,19 @@
 //   drop=0.05 duplicate=0.01 reorder=0.02 corrupt=0 delay=0 disconnect=0
 //
 // plus `delay_msgs=N` (how many later sends a delayed message is held
-// behind).  `off`, `clear`, or an empty write resets everything to zero.
-// Parsing is strict — an unknown key or an out-of-range probability fails
-// with EINVAL and the previous plan stays in force, the same
+// behind) and directed partitions: `partition=1->2` cuts node 1's traffic
+// to node 2 while leaving 2->1 alive (the asymmetric failure that
+// provokes split-brain), `partition=1<->2` cuts both directions.  `off`,
+// `clear`, or an empty write resets everything to zero.  Parsing is
+// strict — an unknown key or an out-of-range probability fails with
+// EINVAL and the previous plan stays in force, the same
 // validate-before-apply contract the typed netfs files follow.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "yanc/util/result.hpp"
 
@@ -29,9 +33,21 @@ struct FaultPlan {
   double disconnect = 0;  // connection severed mid-send
   std::uint32_t delay_msgs = 2;
 
+  /// One directed link cut (transport scope): messages from `from` to
+  /// `to` are eaten on the wire.  `partition=a<->b` parses into the two
+  /// directed edges.
+  struct Edge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    bool operator==(const Edge&) const = default;
+  };
+  std::vector<Edge> partitions;
+
+  bool is_partitioned(std::uint64_t from, std::uint64_t to) const;
+
   bool any() const {
     return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
-           delay > 0 || disconnect > 0;
+           delay > 0 || disconnect > 0 || !partitions.empty();
   }
 
   static Result<FaultPlan> parse(std::string_view text);

@@ -356,6 +356,9 @@ const RootBundle& root_bundle() {
                           {"events", &kEventsCollection}};
     // A view (same spec as the root) is removable as a unit.
     b->root.recursive_rmdir = true;
+    // Runtime subtrees (/net/.cluster lease files) live beside the schema
+    // dirs so the replicated FS carries them; see ObjectSpec::allow_hidden.
+    b->root.allow_hidden = true;
     b->views_collection.mkdir_child = &b->root;
     return b;
   }();

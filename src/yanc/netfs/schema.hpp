@@ -76,6 +76,12 @@ struct ObjectSpec {
   bool strict_files = true;
   /// rmdir on an instance of this object removes its whole subtree (§3.2).
   bool recursive_rmdir = false;
+  /// When true, mkdir of a dot-prefixed name is admitted as plain
+  /// (schema-free) directory territory even though this spec would
+  /// otherwise forbid or type the child.  The root sets it so runtime
+  /// subtrees like /net/.cluster can live inside the replicated FS and
+  /// ride its op log (ISSUE 7) without appearing in the Fig. 2 schema.
+  bool allow_hidden = false;
   /// Symlink names permitted inside this object ("peer", "location").
   std::vector<const char*> symlinks;
 

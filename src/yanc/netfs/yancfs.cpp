@@ -49,6 +49,9 @@ void YancFs::on_mkdir(NodeId node, NodeId parent, const std::string& name,
       return;
     }
   }
+  // Hidden subtrees are plain directory territory: no spec, no
+  // auto-population, free-form files below.
+  if (parent_spec->allow_hidden && !name.empty() && name[0] == '.') return;
   if (parent_spec->mkdir_child) {
     dir_specs_[node] = parent_spec->mkdir_child;
     populate_locked(node, *parent_spec->mkdir_child, creds);
@@ -64,9 +67,11 @@ Result<NodeId> YancFs::mkdir(NodeId parent, const std::string& name,
     bool is_fixed_name = false;
     for (const auto& fd : spec->fixed_dirs)
       if (name == fd.name) is_fixed_name = true;
+    bool hidden = spec->allow_hidden && !name.empty() && name[0] == '.';
     // Only collections admit new objects; recreating a (deleted) fixed dir
-    // is also allowed so the schema can be repaired.
-    if (!spec->mkdir_child && !is_fixed_name)
+    // is also allowed so the schema can be repaired, and specs with
+    // allow_hidden admit dot-prefixed plain subtrees (/net/.cluster).
+    if (!spec->mkdir_child && !is_fixed_name && !hidden)
       return Errc::not_permitted;
   }
   return mkdir_locked(parent, name, mode, creds);

@@ -31,17 +31,55 @@ void Switch::add_port(std::uint16_t no, MacAddress hw_addr,
   desc.hw_addr = hw_addr;
   desc.name = std::move(if_name);
   ports_[no] = PortState{desc};
-  if (channel_.connected())
+  if (connected())
     send(ofp::PortStatus{ofp::PortStatus::Reason::add, desc});
 }
 
-void Switch::connect(net::Channel channel) {
-  channel_ = std::move(channel);
+void Switch::connect(net::Channel channel, std::uint64_t epoch) {
+  if (epoch == 0 && max_epoch_ == 0) {
+    // Single-controller semantics: the new channel replaces any old one.
+    ctrls_.clear();
+    master_ = kNoCtrl;
+  }
+  ctrls_.push_back(Ctrl{std::move(channel), epoch});
+  // Highest epoch wins mastership; >= makes the latest connect win ties,
+  // which is also what keeps the legacy (all-zero-epoch) path working.
+  if (master_ == kNoCtrl || epoch >= max_epoch_)
+    master_ = ctrls_.size() - 1;
+  if (epoch > max_epoch_) max_epoch_ = epoch;
+  std::size_t prev = pumping_;
+  pumping_ = ctrls_.size() - 1;  // the HELLO belongs to the new connection
   send(ofp::Hello{});
+  pumping_ = prev;
+}
+
+bool Switch::connected() const {
+  for (const auto& ctrl : ctrls_)
+    if (ctrl.channel.connected()) return true;
+  return false;
+}
+
+void Switch::disconnect() {
+  for (auto& ctrl : ctrls_) ctrl.channel.close();
+  ctrls_.clear();
+  master_ = kNoCtrl;
+}
+
+std::uint64_t Switch::master_epoch() const {
+  return master_ == kNoCtrl ? 0 : ctrls_[master_].epoch;
+}
+
+Switch::Ctrl* Switch::send_target() {
+  if (pumping_ != kNoCtrl && pumping_ < ctrls_.size())
+    return &ctrls_[pumping_];
+  if (master_ != kNoCtrl && master_ < ctrls_.size())
+    return &ctrls_[master_];
+  return nullptr;
 }
 
 std::uint32_t Switch::send(const ofp::Message& message, std::uint32_t xid) {
-  if (!channel_.connected()) return 0;
+  Ctrl* target = send_target();
+  if (!target || !target->channel.connected()) return 0;
   if (xid == 0) xid = next_xid_++;
   auto bytes = ofp::encode(options_.version, xid, message);
   if (!bytes) {
@@ -51,33 +89,56 @@ std::uint32_t Switch::send(const ofp::Message& message, std::uint32_t xid) {
   // A false return means the controller end closed mid-send; pump()
   // observes the disconnect via connected() on its next pass, so the
   // lost message needs no handling here.
-  std::ignore = channel_.send(std::move(*bytes));
+  std::ignore = target->channel.send(std::move(*bytes));
   return xid;
+}
+
+void Switch::prune_ctrls() {
+  for (std::size_t i = ctrls_.size(); i-- > 0;) {
+    if (ctrls_[i].channel.connected()) continue;
+    ctrls_.erase(ctrls_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  // Re-elect: highest epoch, ties to the most recent connect.  The
+  // max_epoch_ high-water mark is deliberately not rolled back — a
+  // deposed primary reconnecting with its old token stays fenced.
+  master_ = kNoCtrl;
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    if (master_ == kNoCtrl || ctrls_[i].epoch >= best) {
+      master_ = i;
+      best = ctrls_[i].epoch;
+    }
+  }
 }
 
 std::size_t Switch::pump() {
   std::size_t handled = 0;
-  while (auto msg = channel_.try_recv()) {
-    // A batching driver packs a whole commit burst into one buffer; each
-    // message still carries its own length-framed header, so split first
-    // and decode the frames individually.  A lone message is a train of
-    // one — the pre-batching wire format unchanged.
-    auto frames = ofp::split_frames(*msg);
-    if (!frames) {
-      send(ofp::Error{/*type=*/1, /*code=*/0, std::move(*msg)});
-      continue;
-    }
-    for (auto frame : *frames) {
-      auto decoded = ofp::decode(frame);
-      if (!decoded) {
-        send(ofp::Error{/*type=*/1, /*code=*/0,
-                        {frame.begin(), frame.end()}});
+  prune_ctrls();
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    pumping_ = i;
+    while (auto msg = ctrls_[i].channel.try_recv()) {
+      // A batching driver packs a whole commit burst into one buffer; each
+      // message still carries its own length-framed header, so split first
+      // and decode the frames individually.  A lone message is a train of
+      // one — the pre-batching wire format unchanged.
+      auto frames = ofp::split_frames(*msg);
+      if (!frames) {
+        send(ofp::Error{/*type=*/1, /*code=*/0, std::move(*msg)});
         continue;
       }
-      handle_message(*decoded);
-      ++handled;
+      for (auto frame : *frames) {
+        auto decoded = ofp::decode(frame);
+        if (!decoded) {
+          send(ofp::Error{/*type=*/1, /*code=*/0,
+                          {frame.begin(), frame.end()}});
+          continue;
+        }
+        handle_message(*decoded);
+        ++handled;
+      }
     }
   }
+  pumping_ = kNoCtrl;
   return handled;
 }
 
@@ -85,6 +146,19 @@ void Switch::handle_message(const ofp::Decoded& decoded) {
   const auto& m = decoded.message;
   std::uint32_t xid = decoded.header.xid;
   if (std::holds_alternative<ofp::Hello>(m)) return;
+  // Epoch fence: state-mutating messages from a connection with a stale
+  // fencing token are rejected, so a deposed primary that still believes
+  // it owns this switch cannot corrupt the table (docs/ROBUSTNESS.md).
+  // Reads (stats, echo, features, barrier) stay open to every connection.
+  if (pumping_ != kNoCtrl && ctrls_[pumping_].epoch < max_epoch_ &&
+      (std::holds_alternative<ofp::FlowMod>(m) ||
+       std::holds_alternative<ofp::PacketOut>(m) ||
+       std::holds_alternative<ofp::PortMod>(m))) {
+    ++fenced_;
+    if (fenced_metric_) fenced_metric_->add();
+    send(ofp::Error{1 /*BAD_REQUEST*/, 5 /*EPERM*/, {}}, xid);
+    return;
+  }
   if (auto* echo = std::get_if<ofp::EchoRequest>(&m)) {
     send(ofp::EchoReply{echo->data}, xid);
     return;
@@ -271,13 +345,14 @@ void Switch::handle_port_mod(const ofp::PortMod& pm) {
 void Switch::bind_metrics(obs::Registry& registry) {
   hit_metric_ = registry.counter("sw/flow_hit_total");
   miss_metric_ = registry.counter("sw/flow_miss_total");
+  fenced_metric_ = registry.counter("sw/fenced_mod_total");
 }
 
 void Switch::handle_link_status(std::uint16_t port, bool up) {
   auto it = ports_.find(port);
   if (it == ports_.end()) return;
   it->second.desc.link_down = !up;
-  if (channel_.connected())
+  if (connected())
     send(ofp::PortStatus{ofp::PortStatus::Reason::modify, it->second.desc});
 }
 
@@ -406,7 +481,7 @@ void Switch::output_frame(std::uint16_t out_port, const net::Frame& frame,
 
 void Switch::send_packet_in(const net::Frame& frame, std::uint16_t in_port,
                             ofp::PacketIn::Reason reason) {
-  if (!channel_.connected()) {
+  if (!connected()) {
     ++dropped_;
     return;
   }

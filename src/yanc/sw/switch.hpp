@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "yanc/net/channel.hpp"
 #include "yanc/net/simnet.hpp"
@@ -38,12 +39,27 @@ class Switch : public net::Device {
   void add_port(std::uint16_t port_no, MacAddress hw_addr,
                 std::string if_name);
 
-  /// Attaches the control channel (switch-side endpoint) and sends HELLO.
-  void connect(net::Channel channel);
-  bool connected() const { return channel_.connected(); }
-  /// Severs the control channel (switch death / control link cut).  The
+  /// Attaches a control channel (switch-side endpoint) and sends HELLO.
+  ///
+  /// `epoch` is the controller's fencing token (cluster lease epoch,
+  /// docs/ROBUSTNESS.md).  epoch 0 keeps the single-controller semantics:
+  /// the new channel replaces every previous one.  A non-zero epoch adds
+  /// the channel alongside existing ones; the highest epoch (ties: latest
+  /// connect) is the master — async messages go to it, and state-mutating
+  /// messages (FLOW_MOD, PACKET_OUT, PORT_MOD) from any connection with a
+  /// lower epoch are rejected with OFPET_BAD_REQUEST/EPERM and counted in
+  /// fenced_mods().  The high-water epoch survives disconnects, so a
+  /// deposed primary reconnecting with its stale token stays fenced.
+  void connect(net::Channel channel, std::uint64_t epoch = 0);
+  bool connected() const;
+  /// Severs every control channel (switch death / control link cut).  The
   /// flow tables keep running — reconnect resync is the controller's job.
-  void disconnect() { channel_.close(); }
+  void disconnect();
+  std::size_t controllers() const noexcept { return ctrls_.size(); }
+  /// Epoch high-water mark across every controller ever connected.
+  std::uint64_t max_epoch() const noexcept { return max_epoch_; }
+  /// Epoch of the current master connection (0 when none).
+  std::uint64_t master_epoch() const;
 
   /// Processes pending control messages; returns how many were handled.
   /// The simulation harness calls this between events (a real switch would
@@ -65,6 +81,9 @@ class Switch : public net::Device {
   std::uint64_t flow_mods_received() const noexcept { return flow_mods_; }
   std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
   std::uint64_t frames_dropped() const noexcept { return dropped_; }
+  /// State-mutating messages rejected because they arrived on a
+  /// connection with a stale epoch.
+  std::uint64_t fenced_mods() const noexcept { return fenced_; }
 
   struct PortState {
     ofp::PortDesc desc;
@@ -77,9 +96,22 @@ class Switch : public net::Device {
   void bind_metrics(obs::Registry& registry);
 
  private:
+  /// One attached controller connection and its fencing token.
+  struct Ctrl {
+    net::Channel channel;
+    std::uint64_t epoch = 0;
+  };
+
   /// Encodes and sends; returns the xid used (0 when nothing was sent),
   /// so callers can correlate in-flight messages (causal tracing).
+  /// Replies go to the connection being pumped; async messages (packet-in,
+  /// flow-removed, port-status) go to the master.
   std::uint32_t send(const ofp::Message& message, std::uint32_t xid = 0);
+  /// The connection send() targets right now, nullptr when none.
+  Ctrl* send_target();
+  /// Drops closed connections and re-elects the master (highest epoch,
+  /// ties to the latest connect).
+  void prune_ctrls();
   void handle_message(const ofp::Decoded& decoded);
   void handle_flow_mod(const ofp::FlowMod& fm, std::uint32_t xid);
   void handle_packet_out(const ofp::PacketOut& po);
@@ -99,7 +131,15 @@ class Switch : public net::Device {
 
   SwitchOptions options_;
   net::Network& network_;
-  net::Channel channel_;
+  std::vector<Ctrl> ctrls_;
+  /// Index into ctrls_ of the master connection (kNoCtrl when empty).
+  std::size_t master_ = kNoCtrl;
+  /// Connection currently being pumped (kNoCtrl outside pump()): replies
+  /// route back to it, never to the master.
+  std::size_t pumping_ = kNoCtrl;
+  std::uint64_t max_epoch_ = 0;
+  std::uint64_t fenced_ = 0;
+  static constexpr std::size_t kNoCtrl = static_cast<std::size_t>(-1);
   std::map<std::uint8_t, FlowTable> tables_;
   std::map<std::uint16_t, PortState> ports_;
   std::map<std::uint32_t, net::Frame> buffers_;
@@ -111,6 +151,7 @@ class Switch : public net::Device {
   std::uint64_t dropped_ = 0;
   obs::Counter* hit_metric_ = nullptr;
   obs::Counter* miss_metric_ = nullptr;
+  obs::Counter* fenced_metric_ = nullptr;
   // per-port (packets, bytes) counters
   std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>>
       port_counters_rx_, port_counters_tx_;

@@ -8,6 +8,7 @@
 #include "yanc/faults/injector.hpp"
 #include "yanc/netfs/flowio.hpp"
 #include "yanc/netfs/handles.hpp"
+#include "yanc/obs/metrics.hpp"
 #include "yanc/util/strings.hpp"
 
 namespace yanc::dist {
@@ -53,6 +54,103 @@ TEST(TransportTest, PartitionQueuesAndHealsInOrder) {
   ASSERT_EQ(received.size(), 2u);
   EXPECT_EQ(received[0], "1");
   EXPECT_EQ(received[1], "2");
+}
+
+TEST(TransportTest, AsymmetricPartitionBlocksOneDirection) {
+  net::Scheduler scheduler;
+  Transport transport(scheduler, {});
+  std::vector<std::string> at_a, at_b;
+  auto a = transport.join([&](auto, const auto& m) {
+    at_a.push_back(std::string(m.begin(), m.end()));
+  });
+  auto b = transport.join([&](auto, const auto& m) {
+    at_b.push_back(std::string(m.begin(), m.end()));
+  });
+  transport.set_partitioned_oneway(a, b, true);
+  EXPECT_TRUE(transport.partitioned(a, b));
+  EXPECT_FALSE(transport.partitioned(b, a));
+  ASSERT_TRUE(transport.send(a, b, {'x'}));  // queued behind the cut
+  ASSERT_TRUE(transport.send(b, a, {'y'}));  // reverse path stays alive
+  scheduler.run_until_idle();
+  EXPECT_TRUE(at_b.empty());
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0], "y");
+  transport.set_partitioned_oneway(a, b, false);
+  scheduler.run_until_idle();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0], "x");
+}
+
+// Regression (ISSUE 7): a message held back by a delay fault must not be
+// delivered after its link is partitioned — the delayed copy would
+// resurrect on a link the test already declared dead.
+TEST(TransportTest, DelayedMessageDroppedWhenPartitionOvertakesIt) {
+  net::Scheduler scheduler;
+  Transport transport(scheduler, std::chrono::milliseconds(1));
+  std::vector<std::string> received;
+  auto a = transport.join([&](auto, const auto&) {});
+  auto b = transport.join([&](auto, const auto& m) {
+    received.push_back(std::string(m.begin(), m.end()));
+  });
+  obs::Registry registry;
+  transport.bind_metrics(registry);
+  transport.set_fault_filter([](auto, auto, std::vector<std::uint8_t>&) {
+    Transport::LinkFate fate;
+    fate.extra_delay = std::chrono::milliseconds(50);
+    return fate;
+  });
+  ASSERT_TRUE(transport.send(a, b, {'z'}));
+  transport.set_fault_filter(nullptr);
+  // The partition lands while the delayed message is still in flight.
+  transport.set_partitioned(a, b, true);
+  scheduler.run_until_idle();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(transport.send_failures(), 1u);
+  EXPECT_EQ(*registry.value_of("dist/send_fail_total"), "1");
+  // Healing afterwards must not replay it either: it died on the wire.
+  transport.set_partitioned(a, b, false);
+  scheduler.run_until_idle();
+  EXPECT_TRUE(received.empty());
+}
+
+// Regression (ISSUE 7): in-flight traffic addressed to a node that left
+// (or re-registered) is dropped, not delivered to the next incarnation.
+TEST(TransportTest, InFlightMessageDroppedAcrossLeaveAndRejoin) {
+  net::Scheduler scheduler;
+  Transport transport(scheduler, std::chrono::milliseconds(5));
+  std::vector<std::string> first_life, second_life;
+  auto a = transport.join([&](auto, const auto&) {});
+  auto b = transport.join([&](auto, const auto& m) {
+    first_life.push_back(std::string(m.begin(), m.end()));
+  });
+  ASSERT_TRUE(transport.send(a, b, {'1'}));
+  transport.leave(b);
+  EXPECT_FALSE(transport.alive(b));
+  scheduler.run_until_idle();
+  EXPECT_TRUE(first_life.empty());
+  EXPECT_EQ(transport.send_failures(), 1u);
+
+  // Sends addressed to a departed node fail at the call site.
+  EXPECT_FALSE(transport.send(a, b, {'2'}));
+  EXPECT_EQ(transport.send_failures(), 2u);
+
+  transport.rejoin(b, [&](auto, const auto& m) {
+    second_life.push_back(std::string(m.begin(), m.end()));
+  });
+  EXPECT_TRUE(transport.alive(b));
+  ASSERT_TRUE(transport.send(a, b, {'3'}));
+  // A message put on the wire before a re-register belongs to the old
+  // incarnation: rejoin again mid-flight and it must die too.
+  transport.rejoin(b, [&](auto, const auto& m) {
+    second_life.push_back(std::string(m.begin(), m.end()));
+  });
+  scheduler.run_until_idle();
+  EXPECT_TRUE(second_life.empty());
+  EXPECT_EQ(transport.send_failures(), 3u);
+  ASSERT_TRUE(transport.send(a, b, {'4'}));
+  scheduler.run_until_idle();
+  ASSERT_EQ(second_life.size(), 1u);
+  EXPECT_EQ(second_life[0], "4");
 }
 
 class ClusterTest : public ::testing::Test {

@@ -93,6 +93,34 @@ TEST(FaultPlanTest, StrictRejections) {
   EXPECT_FALSE(FaultPlan::parse("delay_msgs=9999").ok());
 }
 
+TEST(FaultPlanTest, PartitionGrammar) {
+  auto plan = FaultPlan::parse("partition=1->2 partition=0<->2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->any());
+  ASSERT_EQ(plan->partitions.size(), 3u);  // 1->2, 0->2, 2->0
+  EXPECT_TRUE(plan->is_partitioned(1, 2));
+  EXPECT_FALSE(plan->is_partitioned(2, 1));  // asymmetric cut
+  EXPECT_TRUE(plan->is_partitioned(0, 2));
+  EXPECT_TRUE(plan->is_partitioned(2, 0));
+  EXPECT_FALSE(plan->is_partitioned(0, 1));
+  auto again = FaultPlan::parse(plan->format());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *plan);
+  // Duplicate edges collapse; "off" clears partitions like everything else.
+  auto dup = FaultPlan::parse("partition=1->2 partition=1<->2");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->partitions.size(), 2u);
+  EXPECT_FALSE(FaultPlan::parse("off")->any());
+}
+
+TEST(FaultPlanTest, PartitionRejections) {
+  EXPECT_FALSE(FaultPlan::parse("partition=1->1").ok());  // self-cut
+  EXPECT_FALSE(FaultPlan::parse("partition=1").ok());
+  EXPECT_FALSE(FaultPlan::parse("partition=a->b").ok());
+  EXPECT_FALSE(FaultPlan::parse("partition=1->").ok());
+  EXPECT_FALSE(FaultPlan::parse("partition=->2").ok());
+}
+
 // --- Injector ------------------------------------------------------------------
 
 TEST(InjectorTest, QuietPlanTouchesNothing) {
@@ -348,6 +376,31 @@ TEST(TransportFaults, DropFilterLosesMessages) {
   EXPECT_TRUE(transport.send(b, a, {1}));
   scheduler.run_until_idle();
   EXPECT_EQ(received, 1u);
+}
+
+TEST(TransportFaults, PlannedPartitionEatsDirectedTraffic) {
+  net::Scheduler scheduler;
+  dist::Transport transport(scheduler, {});
+  std::size_t at_a = 0, at_b = 0;
+  auto a = transport.join([&](auto, const auto&) { ++at_a; });
+  auto b = transport.join([&](auto, const auto&) { ++at_b; });
+  auto inj = std::make_shared<Injector>(1);
+  auto plan = FaultPlan::parse("partition=0->1");
+  ASSERT_TRUE(plan.ok());
+  inj->set_plan(Scope::transport, *plan);
+  dist::attach_faults(transport, inj);
+  // a->b is cut hard (eaten, not queued); b->a stays alive.
+  EXPECT_FALSE(transport.send(a, b, {1}));
+  EXPECT_TRUE(transport.send(b, a, {2}));
+  scheduler.run_until_idle();
+  EXPECT_EQ(at_b, 0u);
+  EXPECT_EQ(at_a, 1u);
+  EXPECT_EQ(transport.messages_dropped(), 1u);
+  // Clearing the plan heals the link.
+  inj->set_plan(Scope::transport, {});
+  EXPECT_TRUE(transport.send(a, b, {3}));
+  scheduler.run_until_idle();
+  EXPECT_EQ(at_b, 1u);
 }
 
 TEST(TransportFaults, DuplicateDeliversTwice) {

@@ -505,5 +505,83 @@ TEST_F(SwitchTest, LinkStatusEmitsPortStatus) {
   EXPECT_TRUE(ps.desc.link_down);
 }
 
+// --- epoch fencing (docs/ROBUSTNESS.md "Cluster failover") -------------
+
+TEST_F(SwitchTest, EpochFenceRejectsStaleMutations) {
+  auto sw = make_switch(ofp::Version::of10);  // `controller`, epoch 0
+  recv_all();
+
+  // A successor connects with a higher fencing token and takes mastership.
+  auto [c2, s2] = net::Channel::make_pair();
+  sw->connect(std::move(s2), 2);
+  EXPECT_EQ(sw->master_epoch(), 2u);
+  EXPECT_EQ(sw->max_epoch(), 2u);
+
+  // The deposed channel's FLOW_MOD is fenced: Error{BAD_REQUEST, EPERM},
+  // table untouched.
+  ofp::FlowMod fm;
+  fm.spec.match.tp_dst = 22;
+  fm.spec.actions = {flow::Action::output(2)};
+  send(*sw, fm, 9);
+  EXPECT_EQ(sw->table().size(), 0u);
+  EXPECT_EQ(sw->fenced_mods(), 1u);
+  auto msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  auto& err = std::get<ofp::Error>(msgs[0].message);
+  EXPECT_EQ(err.type, 1);
+  EXPECT_EQ(err.code, 5);
+  EXPECT_EQ(msgs[0].header.xid, 9u);
+
+  // Reads stay open to stale connections (the audit path depends on it).
+  send(*sw, ofp::EchoRequest{{1, 2, 3}}, 10);
+  msgs = recv_all();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<ofp::EchoReply>(msgs[0].message));
+
+  // The master's FLOW_MOD lands.
+  auto bytes = ofp::encode(sw->options().version, 11, fm);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(c2.send(std::move(*bytes)));
+  sw->pump();
+  EXPECT_EQ(sw->table().size(), 1u);
+  EXPECT_EQ(sw->fenced_mods(), 1u);
+}
+
+TEST_F(SwitchTest, MaxEpochSurvivesDisconnect) {
+  auto sw = make_switch(ofp::Version::of10);
+  recv_all();
+  {
+    auto [c2, s2] = net::Channel::make_pair();
+    sw->connect(std::move(s2), 3);
+    EXPECT_EQ(sw->max_epoch(), 3u);
+    c2.close();  // the epoch-3 primary dies
+  }
+  sw->pump();
+
+  // A deposed primary reconnecting with its old token stays fenced: the
+  // high-water mark did not roll back with the disconnect.
+  auto [c3, s3] = net::Channel::make_pair();
+  sw->connect(std::move(s3), 2);
+  EXPECT_EQ(sw->max_epoch(), 3u);
+  ofp::FlowMod fm;
+  fm.spec.match.tp_dst = 80;
+  fm.spec.actions = {flow::Action::output(2)};
+  auto bytes = ofp::encode(sw->options().version, 5, fm);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(c3.send(std::move(*bytes)));
+  sw->pump();
+  EXPECT_EQ(sw->table().size(), 0u);
+  EXPECT_EQ(sw->fenced_mods(), 1u);
+
+  // Only a fresher token (the next elected epoch) may mutate again.
+  auto [c4, s4] = net::Channel::make_pair();
+  sw->connect(std::move(s4), 4);
+  bytes = ofp::encode(sw->options().version, 6, fm);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(c4.send(std::move(*bytes)));
+  sw->pump();
+  EXPECT_EQ(sw->table().size(), 1u);
+}
+
 }  // namespace
 }  // namespace yanc::sw
