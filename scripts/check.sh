@@ -4,11 +4,14 @@
 # Usage: scripts/check.sh [--fast]
 #
 #   default — configure + build (lockdep ON), full ctest tier (which
-#             includes the yanc-lint gate and its self-test), lint.sh,
-#             a lockdep-OFF release build proving the wrappers compile
+#             includes the yanc-lint and yanc-analyze gates and their
+#             self-tests), lint.sh, yanc-analyze with the runtime
+#             lock-coverage sweep (scripts/analyze.sh --coverage), a
+#             lockdep-OFF release build proving the wrappers compile
 #             away, then ASan/UBSan over the full suite and TSan over the
 #             concurrency suites via scripts/sanitize.sh.
-#   --fast  — stop after the lint gate (no sanitizer rebuilds).
+#   --fast  — static-only yanc-analyze, stop before the coverage sweep
+#             and sanitizer rebuilds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +27,16 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "=== lint ==="
 scripts/lint.sh build
+
+# Static lock-order gate: --fast stops at the static pass; the full run
+# also sweeps tier 1 with edge dumping on and prints the static-vs-runtime
+# lock-coverage report.
+echo "=== yanc-analyze ==="
+if [[ "$FAST" == 1 ]]; then
+  scripts/analyze.sh build
+else
+  scripts/analyze.sh --coverage build
+fi
 
 # Perf gate: when two recorded baselines of the same variant exist
 # (BENCH_<date>.json, or BENCH_<date>_<variant>.json), diff the two

@@ -31,8 +31,13 @@ if command -v clang-tidy >/dev/null 2>&1; then
   if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
     cmake -B "$BUILD_DIR" -S . >/dev/null
   fi
-  find src/yanc -name '*.cpp' -print0 |
-    xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "$BUILD_DIR" --quiet
+  # Propagate failures: a clang-tidy diagnostic fails the gate, exactly
+  # like a yanc-lint finding (xargs exits non-zero when any batch does).
+  if ! find src/yanc -name '*.cpp' -print0 |
+      xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "$BUILD_DIR" --quiet; then
+    echo "clang-tidy: findings above are fatal"
+    exit 1
+  fi
   echo "clang-tidy: clean"
 else
   echo "clang-tidy: not installed, skipped (yanc-lint is the required gate)"

@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if YANC_DBG_LOCKS
+#include <unistd.h>  // getpid: the edge export writes one file per process
+#endif
+
 namespace yanc::dbg {
 
 const char* rank_name(Rank r) noexcept {
@@ -174,6 +178,64 @@ void on_release(Rank r) noexcept {
 int held_depth() noexcept { return t_depth; }
 
 }  // namespace detail
+
+std::vector<LockEdge> lock_edges() {
+  std::vector<LockEdge> out;
+  // yanc-lint: allow(raw-mutex) lockdep's own graph lock, as above
+  std::lock_guard graph_lock(detail::g_mu);
+  for (int a = 0; a < detail::kN; ++a) {
+    for (int b = 0; b < detail::kN; ++b) {
+      if (!detail::g_edge[a][b].load(std::memory_order_relaxed)) continue;
+      const auto& site = detail::g_site[a][b];
+      out.push_back(LockEdge{static_cast<Rank>(a), static_cast<Rank>(b),
+                             site.holder_file, site.holder_line,
+                             site.acquire_file, site.acquire_line});
+    }
+  }
+  return out;
+}
+
+std::string dump_lock_edges() {
+  std::string out;
+  char line[512];
+  for (const LockEdge& e : lock_edges()) {
+    std::snprintf(line, sizeof line, "%s %s %s:%u %s:%u\n",
+                  rank_name(e.held), rank_name(e.acquired), e.holder_file,
+                  e.holder_line, e.acquire_file, e.acquire_line);
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+void export_edges_at_exit() {
+  const char* base = std::getenv("YANC_LOCK_EDGES_OUT");
+  if (!base || !*base) return;
+  char path[512];
+  std::snprintf(path, sizeof path, "%s.%ld", base,
+                static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::string text = dump_lock_edges();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+// Self-registering: any process linked against yanc exports its observed
+// edge graph at exit when YANC_LOCK_EDGES_OUT is set — no test changes
+// needed for the coverage sweep.
+[[maybe_unused]] const bool g_export_registered = [] {
+  if (std::getenv("YANC_LOCK_EDGES_OUT")) std::atexit(&export_edges_at_exit);
+  return true;
+}();
+
+}  // namespace
+
+#else  // !YANC_DBG_LOCKS — no graph is recorded; the API stays callable.
+
+std::vector<LockEdge> lock_edges() { return {}; }
+std::string dump_lock_edges() { return {}; }
 
 #endif  // YANC_DBG_LOCKS
 

@@ -31,6 +31,8 @@
 #include <mutex>
 #include <shared_mutex>
 #include <source_location>
+#include <string>
+#include <vector>
 
 #ifndef YANC_DBG_LOCKS
 #define YANC_DBG_LOCKS 1
@@ -62,7 +64,9 @@ enum class Rank : std::uint8_t {
   net_listener,     // net::Listener accept backlog
   net_channel,      // net::Channel shared queue pair
   packet_pool,      // fast::PacketPool free list
+  // yanc-analyze: allow(rank-unused) reserved: dist runs on the simnet scheduler thread
   dist_transport,   // reserved (dist layer is scheduler-single-threaded)
+  // yanc-analyze: allow(rank-unused) reserved: drivers run on the caller's thread
   driver,           // reserved (drivers run on the caller's thread)
   trace_fs,         // obs::TraceFs by-id node map
   cluster_manager,  // cluster::Manager lease/election state
@@ -72,6 +76,30 @@ inline constexpr std::size_t kRankCount = 20;
 
 /// Stable lower_snake name for diagnostics ("vfs_namespace").
 const char* rank_name(Rank r) noexcept;
+
+/// One observed acquired-while-held edge, with the sites that first
+/// created it (file/line of the holder and of the acquisition).
+struct LockEdge {
+  Rank held;
+  Rank acquired;
+  const char* holder_file;
+  unsigned holder_line;
+  const char* acquire_file;
+  unsigned acquire_line;
+};
+
+/// Snapshot of the process-wide runtime edge graph, ordered by rank pair.
+/// Empty in release builds (YANC_DBG_LOCKS=0): no graph is recorded.
+std::vector<LockEdge> lock_edges();
+
+/// Text form, one edge per line:
+///   <held> <acquired> <holder_file>:<line> <acquire_file>:<line>
+/// Consumed by `yanc-analyze --runtime-edges` for the static-vs-runtime
+/// lock-coverage report, and exposed at /yanc/.stats/dbg/lock_edges.
+/// Additionally, when the environment variable YANC_LOCK_EDGES_OUT is set
+/// at startup, every process writes this dump to "<value>.<pid>" at exit
+/// (one file per process: a ctest run spans many binaries).
+std::string dump_lock_edges();
 
 #if YANC_DBG_LOCKS
 

@@ -1,5 +1,6 @@
 #include "yanc/obs/stats_fs.hpp"
 
+#include "yanc/dbg/lockdep.hpp"
 #include "yanc/util/strings.hpp"
 
 namespace yanc::obs {
@@ -21,10 +22,21 @@ StatsFs::StatsFs(std::shared_ptr<Registry> registry,
     file.type = vfs::FileType::regular;
     file.name = "trace";
     file.parent = kRootNode;
-    file.is_trace = true;
-    file.last_value = trace_->dump();
+    file.provider = [ring = trace_] { return ring->dump(); };
+    file.last_value = file.provider();
     nodes_.emplace(id, std::move(file));
     nodes_[kRootNode].children.emplace("trace", id);
+  }
+  // The runtime lock-order graph, as a file: `cat .../dbg/lock_edges`
+  // shows every acquired-while-held edge the process has observed, and
+  // yanc-analyze diffs it against the statically derived edge set.
+  // Empty (not absent) in release builds.
+  if (NodeId edges = ensure_path_locked("dbg/lock_edges");
+      edges != vfs::kInvalidNode) {
+    Node& node = nodes_[edges];
+    node.metric_path.clear();
+    node.provider = [] { return dbg::dump_lock_edges(); };
+    node.last_value = node.provider();
   }
   sync_tree_locked();
 }
@@ -81,7 +93,7 @@ const StatsFs::Node* StatsFs::find_synced(NodeId id) {
 }
 
 std::string StatsFs::content_of(const Node& node) const {
-  if (node.is_trace) return trace_ ? trace_->dump() : std::string();
+  if (node.provider) return node.provider();
   auto value = registry_->value_of(node.metric_path);
   return value ? *value + "\n" : std::string();
 }

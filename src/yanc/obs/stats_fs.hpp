@@ -5,7 +5,9 @@
 // metric path ("driver/of/packet_in_total") becomes a read-only file in a
 // directory tree, values are formatted at read time (so `cat` always sees
 // the live number), histograms fan out into `_count`/`_p50`/`_p90`/`_p99`
-// files, and an attached TraceRing is exposed as a top-level `trace` file.
+// files, an attached TraceRing is exposed as a top-level `trace` file, and
+// the dbg lock-order edge graph is exposed at `dbg/lock_edges` (empty in
+// release builds, where no graph is recorded).
 //
 // Mounted at /yanc/.stats (mount_stats_fs), the whole subtree is readable
 // and watchable with the ordinary shell coreutils and vfs::WatchQueue
@@ -17,6 +19,7 @@
 // for the life of the file system.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -105,7 +108,10 @@ class StatsFs : public vfs::Filesystem {
     std::string name;
     vfs::NodeId parent = vfs::kInvalidNode;
     std::string metric_path;  // full registry export path (files only)
-    bool is_trace = false;
+    // Synthetic files (trace, dbg/lock_edges): content comes from the
+    // provider instead of the registry.  refresh() diffing works the same
+    // way, so provider files are watchable like any metric file.
+    std::function<std::string()> provider;
     std::map<std::string, vfs::NodeId> children;  // dirs only, sorted
     std::string last_value;   // last refresh()-observed content
     std::uint64_t version = 0;

@@ -127,6 +127,39 @@ TEST(LockdepTest, SharedAcquisitionsFeedTheSameGraph) {
   EXPECT_EQ(detail::held_depth(), 0);
 }
 
+TEST(LockdepTest, EdgeGraphSnapshotRecordsNestingWithSites) {
+  // Establish dist_transport -> driver (also used by sibling tests, so
+  // it may pre-exist; the snapshot must contain it either way).
+  Mutex<Rank::dist_transport> outer;
+  Mutex<Rank::driver> inner;
+  {
+    LockGuard a(outer);
+    LockGuard b(inner);
+  }
+  bool found = false;
+  for (const LockEdge& e : lock_edges()) {
+    EXPECT_NE(e.held, e.acquired);  // same-rank edges can never be recorded
+    if (e.held == Rank::dist_transport && e.acquired == Rank::driver) {
+      found = true;
+      // First-observation sites: both ends must point at a real file.
+      EXPECT_NE(std::string(e.holder_file).find("dbg_test"),
+                std::string::npos);
+      EXPECT_GT(e.holder_line, 0u);
+      EXPECT_GT(e.acquire_line, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The text dump is the parseable contract yanc-analyze consumes:
+  // "<held> <acquired> <holder_file>:<line> <acquire_file>:<line>".
+  std::string text = dump_lock_edges();
+  auto pos = text.find("dist_transport driver ");
+  ASSERT_NE(pos, std::string::npos);
+  auto eol = text.find('\n', pos);
+  ASSERT_NE(eol, std::string::npos);
+  EXPECT_NE(text.substr(pos, eol - pos).find("dbg_test"), std::string::npos);
+}
+
 TEST(LockdepDeathTest, InversionAbortsWithBothRanksAndSites) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(

@@ -539,6 +539,21 @@ TEST(StatsFsTest, TraceRingExposedAsFile) {
   EXPECT_NE(text->find("driver packet_in"), std::string::npos);
 }
 
+TEST(StatsFsTest, LockEdgeGraphExposedAsFile) {
+  auto vfs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(mount_stats_fs(*vfs).ok());
+  auto text = shell::cat(*vfs, "/yanc/.stats/dbg/lock_edges");
+  ASSERT_TRUE(text.ok());
+#if YANC_DBG_LOCKS
+  // Mounting alone nests stats_fs over obs_metrics (metric values are
+  // read under the tree lock), so the dump already contains that edge,
+  // in the "<held> <acquired> <site> <site>" format yanc-analyze diffs.
+  EXPECT_NE(text->find("stats_fs obs_metrics "), std::string::npos);
+#else
+  EXPECT_TRUE(text->empty());  // release builds record no graph
+#endif
+}
+
 // --- Cross-subsystem wiring ---------------------------------------------
 
 TEST(ObsIntegrationTest, NetfsValidationMetrics) {

@@ -1,0 +1,16 @@
+// Sleeping while holding a ranked lock: every other thread that wants
+// rank a is parked for the duration.
+namespace dbg {
+enum class Rank { a };
+}
+
+class Sleepy {
+ public:
+  void nap() {
+    dbg::LockGuard g(a_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> a_;
+};

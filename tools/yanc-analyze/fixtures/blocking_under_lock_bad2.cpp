@@ -1,0 +1,30 @@
+// The blocking call hides one level down: Queue::pop waits on a condvar,
+// and Outer::drain calls it while holding rank a.  Only the may-block
+// fixpoint over the call graph sees it.
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Queue {
+ public:
+  void pop() {
+    dbg::UniqueLock lk(m_);
+    cv_.wait(lk);
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::b> m_;
+  dbg::CondVar cv_;
+};
+
+class Outer {
+ public:
+  void drain() {
+    dbg::LockGuard g(a_);
+    q_.pop();
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> a_;
+  Queue q_;
+};

@@ -1,0 +1,23 @@
+// Policy-blocking callee: Channel::send backpressures on a bounded queue
+// in the real tree, so it is seeded as blocking even though this mini
+// body contains no wait.
+namespace dbg {
+enum class Rank { a };
+}
+
+class Channel {
+ public:
+  void send() {}
+};
+
+class Fan {
+ public:
+  void push() {
+    dbg::LockGuard g(a_);
+    ch_.send();
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> a_;
+  Channel ch_;
+};

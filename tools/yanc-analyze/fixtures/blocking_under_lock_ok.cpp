@@ -1,0 +1,17 @@
+// A condvar wait releases the guard passed to it: waiting with only that
+// lock held is the intended pattern, not a finding.
+namespace dbg {
+enum class Rank { b };
+}
+
+class Queue {
+ public:
+  void pop() {
+    dbg::UniqueLock lk(m_);
+    cv_.wait(lk);
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::b> m_;
+  dbg::CondVar cv_;
+};

@@ -1,0 +1,17 @@
+// Dropping the lock before the blocking call is the fix the rule pushes
+// toward; guard.unlock() must be modeled as a release.
+namespace dbg {
+enum class Rank { a };
+}
+
+class Careful {
+ public:
+  void nap() {
+    dbg::UniqueLock g(a_);
+    g.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> a_;
+};

@@ -1,0 +1,10 @@
+// Enum order is vfs, watch, stats — the doc table swaps the last two.
+namespace dbg {
+enum class Rank { vfs, watch, stats };
+}
+
+class Use {
+  dbg::Mutex<dbg::Rank::vfs> a_;
+  dbg::Mutex<dbg::Rank::watch> b_;
+  dbg::Mutex<dbg::Rank::stats> c_;
+};

@@ -1,0 +1,10 @@
+// Doc table and enum agree on names, order, and count.
+namespace dbg {
+enum class Rank { vfs, watch, stats };
+}
+
+class Use {
+  dbg::Mutex<dbg::Rank::vfs> a_;
+  dbg::Mutex<dbg::Rank::watch> b_;
+  dbg::Mutex<dbg::Rank::stats> c_;
+};

@@ -1,0 +1,21 @@
+// Two paths take ranks a and b in opposite orders: the classic ABBA
+// deadlock.  The analyzer must find it without either path running.
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Pair {
+ public:
+  void ab() {
+    dbg::LockGuard ga(a_);
+    dbg::LockGuard gb(b_);
+  }
+  void ba() {
+    dbg::LockGuard gb(b_);
+    dbg::LockGuard ga(a_);
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> a_;
+  dbg::Mutex<dbg::Rank::b> b_;
+};

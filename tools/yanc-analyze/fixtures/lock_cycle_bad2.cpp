@@ -1,0 +1,24 @@
+// The inversion hides behind a call: helper() acquires b, and ba() takes
+// b directly before re-acquiring a.  Only the transitive closure over the
+// call graph sees the a->b / b->a cycle.
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Pair {
+ public:
+  void ab() {
+    dbg::LockGuard ga(a_);
+    helper();
+  }
+  void ba() {
+    dbg::LockGuard gb(b_);
+    dbg::LockGuard ga(a_);
+  }
+
+ private:
+  void helper() { dbg::LockGuard gb(b_); }
+
+  dbg::Mutex<dbg::Rank::a> a_;
+  dbg::Mutex<dbg::Rank::b> b_;
+};

@@ -1,0 +1,22 @@
+// Both paths agree on the order a -> b: no cycle, nothing to report.
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Pair {
+ public:
+  void one() {
+    dbg::LockGuard ga(a_);
+    dbg::LockGuard gb(b_);
+  }
+  void two() {
+    dbg::LockGuard ga(a_);
+    helper();
+  }
+
+ private:
+  void helper() { dbg::LockGuard gb(b_); }
+
+  dbg::Mutex<dbg::Rank::a> a_;
+  dbg::Mutex<dbg::Rank::b> b_;
+};

@@ -1,0 +1,9 @@
+// Rank b is declared but no Mutex/SharedMutex ever instantiates it:
+// dead rank or missing lock.
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Only {
+  dbg::Mutex<dbg::Rank::a> a_;
+};

@@ -1,0 +1,9 @@
+// Every declared rank has an instantiation (one mutex, one shared).
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Both {
+  dbg::Mutex<dbg::Rank::a> a_;
+  dbg::SharedMutex<dbg::Rank::b> b_;
+};

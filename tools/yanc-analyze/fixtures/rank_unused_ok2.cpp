@@ -1,0 +1,13 @@
+// A reserved rank with a justified waiver is allowed (the real tree
+// reserves dist_transport and driver this way).
+namespace dbg {
+enum class Rank {
+  a,
+  // yanc-analyze: allow(rank-unused) reserved for the single-threaded layer
+  b,
+};
+}
+
+class Only {
+  dbg::Mutex<dbg::Rank::a> a_;
+};

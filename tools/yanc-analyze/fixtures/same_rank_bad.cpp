@@ -1,0 +1,17 @@
+// Two locks of one rank held at once: forbidden (it would hide A-B/B-A
+// inversions between instances of the rank).
+namespace dbg {
+enum class Rank { a };
+}
+
+class Twice {
+ public:
+  void both() {
+    dbg::LockGuard g1(first_);
+    dbg::LockGuard g2(second_);
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> first_;
+  dbg::Mutex<dbg::Rank::a> second_;
+};

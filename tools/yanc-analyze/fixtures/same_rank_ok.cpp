@@ -1,0 +1,21 @@
+// Sequential (non-nested) acquisitions of one rank are fine: the first
+// guard's scope closes before the second opens.
+namespace dbg {
+enum class Rank { a };
+}
+
+class Sequential {
+ public:
+  void one_then_other() {
+    {
+      dbg::LockGuard g1(first_);
+    }
+    {
+      dbg::LockGuard g2(second_);
+    }
+  }
+
+ private:
+  dbg::Mutex<dbg::Rank::a> first_;
+  dbg::Mutex<dbg::Rank::a> second_;
+};

@@ -1,0 +1,8 @@
+// A guard over an expression the variable->rank map cannot resolve: the
+// map must stay total, so this is a finding, not a silent skip.
+class Box {
+ public:
+  void touch() {
+    dbg::LockGuard g(mystery_mu());
+  }
+};

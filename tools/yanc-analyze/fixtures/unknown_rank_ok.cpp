@@ -1,0 +1,24 @@
+// Every resolvable guard shape: member, parameter, nested member, and a
+// rank-returning accessor.
+namespace dbg {
+enum class Rank { a, b };
+}
+
+class Inner {
+ public:
+  dbg::Mutex<dbg::Rank::b> mu;
+};
+
+class Box {
+ public:
+  void direct() { dbg::LockGuard g(mu_); }
+  void through(dbg::Mutex<dbg::Rank::a>& m) { dbg::LockGuard g(m); }
+  void nested() { dbg::LockGuard g(inner_.mu); }
+  void accessor() { dbg::LockGuard g(shard_of(0)); }
+
+ private:
+  dbg::Mutex<dbg::Rank::a>& shard_of(int i) { return mu_; }
+
+  dbg::Mutex<dbg::Rank::a> mu_;
+  Inner inner_;
+};

@@ -1,0 +1,4 @@
+// A raw standard mutex outside dbg/: a lock the rank graph cannot see.
+class Legacy {
+  std::mutex m_;
+};

@@ -1,0 +1,6 @@
+// Raw condition variables are just as invisible to the graph as raw
+// mutexes: their waits cannot be checked against held ranks.
+class Legacy {
+  std::condition_variable cv_;
+  std::shared_timed_mutex m_;
+};

@@ -1,0 +1,9 @@
+// The ranked wrappers are the sanctioned spelling.
+namespace dbg {
+enum class Rank { a };
+}
+
+class Modern {
+  dbg::Mutex<dbg::Rank::a> m_;
+  dbg::CondVar cv_;
+};

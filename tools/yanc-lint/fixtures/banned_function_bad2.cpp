@@ -1,0 +1,11 @@
+// Fixture: lexer hardening — the token stream must recover cleanly after
+// prefixed raw strings and separator-laden numbers, so a real banned call
+// following them is still seen.
+#include <cstring>
+
+const wchar_t* fmt = LR"(this "quoted" body \ has both hazards)";
+int window = 1'000'000;
+
+void f(char* dst, const char* src) {
+  strcpy(dst, src);
+}

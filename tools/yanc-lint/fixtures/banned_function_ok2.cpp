@@ -1,0 +1,18 @@
+// Fixture: lexer hardening — banned names inside raw string literals
+// (prefixed or not) and numbers with digit separators must stay opaque.
+// Before the prefix-aware lexer, LR"(...)" tokenized as identifier `LR`
+// plus an ordinary string, and the raw body leaked into the token stream.
+#include <cstdio>
+
+const char* a = R"(sprintf(buf, "%s", src))";
+const wchar_t* b = LR"(strcpy(dst, src))";
+const char* c = u8R"delim(strtok(line, ","))delim";
+const char16_t* d = uR"(rand())";
+const char32_t* e = UR"x(srand(1))x";
+const wchar_t* f = L"gmtime(&t)";
+const char* g = u8"localtime(&t)";
+
+// Digit separators must not swallow an adjacent quote into the number.
+int counts[] = {1'000'000, 0xfff'f, 0b1010'0110};
+char h = u8's';
+long big = 2'000'000'000;

@@ -100,26 +100,33 @@ inline LexedFile lex(std::string_view src) {
       out.tokens.push_back(Token{TokKind::preproc, text, start_line});
       continue;
     }
-    // Raw string literal (possibly with encoding prefix already consumed as
-    // an identifier — handle the bare R"..( form here).
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t delim_start = i + 2;
+    // Raw string literal: R"delim(...)delim", with or without an encoding
+    // prefix (LR, u8R, uR, UR — the identifier branch below routes those
+    // here).  Consumed as one opaque token; the body is never escaped, so
+    // the ordinary quote scanner must not see it.
+    auto lex_raw_string = [&](std::size_t lit_start) -> bool {
+      // i points at the opening '"' of R"...; lit_start at the prefix.
+      std::size_t delim_start = i + 1;
       std::size_t paren = src.find('(', delim_start);
-      if (paren != std::string_view::npos) {
-        std::string close = ")" + std::string(src.substr(delim_start,
-                                                         paren - delim_start)) +
-                            "\"";
-        std::size_t end = src.find(close, paren + 1);
-        int start_line = line;
-        std::size_t stop = end == std::string_view::npos ? n
-                                                         : end + close.size();
-        for (std::size_t k = i; k < stop; ++k)
-          if (src[k] == '\n') ++line;
-        i = stop;
-        out.tokens.push_back(Token{TokKind::string_lit, "R\"...\"",
-                                   start_line});
-        continue;
-      }
+      if (paren == std::string_view::npos) return false;
+      std::string close =
+          ")" + std::string(src.substr(delim_start, paren - delim_start)) +
+          "\"";
+      std::size_t end = src.find(close, paren + 1);
+      int start_line = line;
+      std::size_t stop =
+          end == std::string_view::npos ? n : end + close.size();
+      for (std::size_t k = lit_start; k < stop; ++k)
+        if (src[k] == '\n') ++line;
+      i = stop;
+      out.tokens.push_back(Token{TokKind::string_lit, "R\"...\"", start_line});
+      return true;
+    };
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t lit_start = i;
+      ++i;  // onto the '"'
+      if (lex_raw_string(lit_start)) continue;
+      i = lit_start;  // malformed (no '('): fall through to other branches
     }
     if (c == '"' || c == '\'') {
       char quote = c;
@@ -141,16 +148,40 @@ inline LexedFile lex(std::string_view src) {
       while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
                        src[i] == '_'))
         ++i;
-      out.tokens.push_back(
-          Token{TokKind::identifier, std::string(src.substr(start, i - start)),
-                line});
+      std::string_view id = src.substr(start, i - start);
+      // Encoding prefixes glue to the literal that follows.  Without this,
+      // LR"(...)" lexes as identifier `LR` plus an ordinary string, and the
+      // raw body's unescaped quotes/backslashes corrupt every token after.
+      if (i < n && src[i] == '"' &&
+          (id == "R" || id == "LR" || id == "u8R" || id == "uR" ||
+           id == "UR")) {
+        if (lex_raw_string(start)) continue;
+      }
+      if (i < n && (src[i] == '"' || src[i] == '\'') &&
+          (id == "L" || id == "u8" || id == "u" || id == "U")) {
+        continue;  // the quote branch consumes the literal next iteration
+      }
+      out.tokens.push_back(Token{TokKind::identifier, std::string(id), line});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t start = i;
-      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
-                       src[i] == '.' || src[i] == '\''))
-        ++i;
+      while (i < n) {
+        char d = src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.') {
+          ++i;
+          continue;
+        }
+        // Digit separator: a ' inside a number only when flanked by
+        // alphanumerics (1'000'000, 0xfff'f).  A bare trailing ' belongs
+        // to the next token (a char literal), not to this number.
+        if (d == '\'' && i + 1 < n &&
+            std::isalnum(static_cast<unsigned char>(src[i + 1]))) {
+          ++i;
+          continue;
+        }
+        break;
+      }
       out.tokens.push_back(
           Token{TokKind::number, std::string(src.substr(start, i - start)),
                 line});
